@@ -1,0 +1,77 @@
+// Section 3 reproduction: the communication-to-computation bounds and
+// the maximum re-use algorithm (Figures 2-3 and the surrounding
+// analysis).
+//
+// Prints (1) the paper's m = 21, mu = 4 walkthrough, (2) the CCR of the
+// maximum re-use algorithm measured in simulation against the closed
+// forms and both lower bounds across a memory sweep, and (3) the
+// layout comparison against Toledo's thirds layout (the sqrt(3) gap).
+#include <cmath>
+#include <iostream>
+
+#include "common.hpp"
+#include "model/bounds.hpp"
+#include "sched/maxreuse.hpp"
+#include "sim/scheduler.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace hmxp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(
+      argc, argv, "Section 3: CCR bounds and the maximum re-use layout");
+  if (!args) return 0;
+
+  // --- The paper's walkthrough: m = 21 buffers.
+  std::cout << "== Fig. 2/3: maximum re-use layout walkthrough (m = 21) ==\n";
+  const model::BlockCount m21 = 21;
+  const model::BlockCount mu = model::max_reuse_mu(m21);
+  std::cout << "mu = " << mu << " (1 buffer for A, " << mu << " for B, "
+            << mu * mu << " for C; 1 + mu + mu^2 = "
+            << model::max_reuse_footprint(mu) << " <= 21)\n\n";
+
+  // --- CCR sweep: simulated algorithm vs closed forms vs bounds.
+  std::cout << "== CCR vs memory (t = 100 blocks, simulated vs theory) ==\n";
+  util::Table table({"m", "mu", "CCR sim", "2/t+2/mu", "2/sqrt(m)",
+                     "Toledo CCR", "bound sqrt(27/8m)", "ITT sqrt(1/8m)",
+                     "sim/bound"});
+  const auto part = matrix::Partition::from_blocks(84, 100, 84, 80);
+  for (const model::BlockCount m :
+       {21LL, 57LL, 157LL, 507LL, 1807LL, 4557LL}) {
+    // Platform memory m; r and s chosen divisible by common mu values so
+    // the simulated CCR is exact, not edge-affected.
+    const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, m);
+    sched::MaxReuseScheduler scheduler(plat, part);
+    const sim::RunResult run = sim::simulate(scheduler, plat, part);
+    table.build_row()
+        .cell(static_cast<long long>(m))
+        .cell(static_cast<long long>(scheduler.mu()))
+        .cell(run.ccr(), 4)
+        .cell(model::max_reuse_ccr(m, 100), 4)
+        .cell(model::max_reuse_ccr_closed_form(m), 4)
+        .cell(model::toledo_ccr(m, 100), 4)
+        .cell(model::ccr_lower_bound(m), 4)
+        .cell(model::ccr_lower_bound_itt(m), 4)
+        .cell(run.ccr() / model::ccr_lower_bound(m), 3)
+        .done();
+  }
+  table.print(std::cout);
+
+  std::cout << "\nAsymptotics: maxreuse / lower-bound -> sqrt(32/27) = "
+            << util::format_fixed(std::sqrt(32.0 / 27.0), 4)
+            << "; Toledo / maxreuse -> sqrt(3) = "
+            << util::format_fixed(std::sqrt(3.0), 4) << "\n";
+  const model::BlockCount big = 1000000;
+  std::cout << "At m = 10^6: maxreuse/bound = "
+            << util::format_fixed(
+                   model::max_reuse_ccr_asymptotic(big) /
+                       model::ccr_lower_bound(big),
+                   4)
+            << ", Toledo/maxreuse = "
+            << util::format_fixed(model::toledo_ccr_asymptotic(big) /
+                                      model::max_reuse_ccr_asymptotic(big),
+                                  4)
+            << "\n";
+  return 0;
+}

@@ -1,0 +1,22 @@
+// Figure 4 reproduction: heterogeneous memory.
+//
+// Platform: 8 workers with uniform links and speeds and memories
+// {2 x 256 MiB, 4 x 512 MiB, 2 x 1 GiB}; A is 8000x8000 and B grows from
+// 8000x64000 to 8000x128000 (s = 800..1600 blocks of q = 80).
+// Paper shape: ODDOML and Het achieve the best makespans, OMMOML is
+// about twice as bad, the rest ~20% off; in relative work OMMOML is
+// thriftiest and ORROML/BMM are worst.
+#include "common.hpp"
+
+using namespace hmxp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(
+      argc, argv, "Figure 4: heterogeneous memory experiment");
+  if (!args) return 0;
+  auto instances = bench::fig4_instances();
+  if (args->quick) instances.erase(instances.begin() + 1, instances.end());
+  bench::report_experiment("Fig. 4: heterogeneous memory", instances,
+                           args->csv_prefix);
+  return 0;
+}

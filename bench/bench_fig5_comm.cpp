@@ -1,0 +1,21 @@
+// Figure 5 reproduction: heterogeneous communication links.
+//
+// Platform: 8 workers, uniform speeds and memories (1 GiB), links in the
+// paper's 10:5:1 ratio {2 fast, 4 medium, 2 slow}.
+// Paper shape: Het and HomI excellent; Hom under-enrolls badly (its
+// virtual platform assumes the worst link for everyone); BMM has the
+// worst makespan and, with no resource selection, the worst work.
+#include "common.hpp"
+
+using namespace hmxp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(
+      argc, argv, "Figure 5: heterogeneous communication links experiment");
+  if (!args) return 0;
+  auto instances = bench::fig5_instances();
+  if (args->quick) instances.erase(instances.begin() + 1, instances.end());
+  bench::report_experiment("Fig. 5: heterogeneous communication links",
+                           instances, args->csv_prefix);
+  return 0;
+}

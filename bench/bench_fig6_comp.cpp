@@ -1,0 +1,21 @@
+// Figure 6 reproduction: heterogeneous computation speeds.
+//
+// Platform: 8 workers, uniform links and memories (1 GiB), speeds
+// {2 x S, 4 x S/2, 2 x S/4}.
+// Paper shape: Het best; BMM performs rather well (its finer chunks
+// balance heterogeneous speeds) but stays behind Het; ODDOML good;
+// OMMOML ~2x off; relative-work gaps widen as the paper notes.
+#include "common.hpp"
+
+using namespace hmxp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(
+      argc, argv, "Figure 6: heterogeneous computation speeds experiment");
+  if (!args) return 0;
+  auto instances = bench::fig6_instances();
+  if (args->quick) instances.erase(instances.begin() + 1, instances.end());
+  bench::report_experiment("Fig. 6: heterogeneous computation speeds",
+                           instances, args->csv_prefix);
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Figure 9 reproduction: summary over every experiment.
+//
+// Re-runs the Fig. 4-8 instance sets and aggregates, per algorithm, the
+// relative cost and relative work; then prints the paper's headline
+// comparisons for Het, ODDOML (best dynamic heuristic on our layout)
+// and BMM (Toledo layout):
+//   * our layout (ODDOML) vs Toledo's (BMM): ~19% mean gain in the paper;
+//   * Het vs BMM: ~27%;
+//   * Het's mean distance from the best makespan: ~1%, worst 14%
+//     (ODDOML 61%, BMM 128%);
+//   * steady-state upper bound vs Het throughput: mean 2.29x, worst 3.42x.
+#include "common.hpp"
+#include "util/stats.hpp"
+
+using namespace hmxp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(
+      argc, argv, "Figure 9: summary of all experiments");
+  if (!args) return 0;
+
+  std::vector<core::Instance> instances;
+  const auto append = [&](std::vector<core::Instance> extra) {
+    for (auto& instance : extra) instances.push_back(std::move(instance));
+  };
+  if (args->quick) {
+    auto f4 = bench::fig4_instances();
+    f4.erase(f4.begin() + 1, f4.end());
+    append(std::move(f4));
+  } else {
+    append(bench::fig4_instances());
+    append(bench::fig5_instances());
+    append(bench::fig6_instances());
+    append(bench::fig7_instances(20080220));
+    append(bench::fig8_instances(2000));  // trimmed from 4000 to keep the
+                                          // summary bench under a minute
+  }
+
+  const auto& algorithms = core::all_algorithms();
+  const auto results = core::run_experiment(instances, algorithms);
+  const auto summaries = core::summarize(results, algorithms);
+
+  std::cout << "== Fig. 9: summary over " << instances.size()
+            << " instances ==\n\n";
+  util::Table table({"algorithm", "rel cost mean", "rel cost max",
+                     "rel work mean", "rel work max", "mean enrolled",
+                     "bound/achieved mean", "bound/achieved max"});
+  table.set_align(0, util::Align::kLeft);
+  for (const auto& summary : summaries) {
+    table.build_row()
+        .cell(summary.label)
+        .cell(summary.relative_cost.mean(), 3)
+        .cell(summary.relative_cost.max(), 3)
+        .cell(summary.relative_work.mean(), 3)
+        .cell(summary.relative_work.max(), 3)
+        .cell(summary.enrolled.mean(), 1)
+        .cell(summary.bound_over_achieved.mean(), 2)
+        .cell(summary.bound_over_achieved.max(), 2)
+        .done();
+  }
+  table.print(std::cout);
+
+  const auto find = [&](core::Algorithm algorithm) -> const auto& {
+    for (const auto& summary : summaries)
+      if (summary.algorithm == algorithm) return summary;
+    throw std::logic_error("missing summary");
+  };
+  const auto& het = find(core::Algorithm::kHet);
+  const auto& oddoml = find(core::Algorithm::kOddoml);
+  const auto& bmm = find(core::Algorithm::kBmm);
+
+  std::cout << "\nHeadline comparisons (paper values in parentheses):\n";
+  std::cout << "  layout gain, BMM vs ODDOML mean rel cost: "
+            << util::format_fixed(
+                   100.0 * (bmm.relative_cost.mean() /
+                                oddoml.relative_cost.mean() -
+                            1.0),
+                   1)
+            << "% (paper ~19%)\n";
+  std::cout << "  Het vs BMM mean rel cost gain:            "
+            << util::format_fixed(
+                   100.0 * (bmm.relative_cost.mean() /
+                                het.relative_cost.mean() -
+                            1.0),
+                   1)
+            << "% (paper ~27%)\n";
+  std::cout << "  Het mean distance from best:              "
+            << util::format_fixed(100.0 * (het.relative_cost.mean() - 1.0), 1)
+            << "% (paper ~1%), worst "
+            << util::format_fixed(100.0 * (het.relative_cost.max() - 1.0), 1)
+            << "% (paper 14%)\n";
+  std::cout << "  ODDOML worst distance from best:          "
+            << util::format_fixed(100.0 * (oddoml.relative_cost.max() - 1.0),
+                                  1)
+            << "% (paper 61%)\n";
+  std::cout << "  BMM worst distance from best:             "
+            << util::format_fixed(100.0 * (bmm.relative_cost.max() - 1.0), 1)
+            << "% (paper 128%)\n";
+  std::cout << "  steady-state bound / Het throughput:      mean "
+            << util::format_fixed(het.bound_over_achieved.mean(), 2)
+            << "x (paper 2.29x), worst "
+            << util::format_fixed(het.bound_over_achieved.max(), 2)
+            << "x (paper 3.42x)\n";
+  return 0;
+}

@@ -1,0 +1,123 @@
+// google-benchmark microbenchmarks backing the calibration constants:
+// GEMM kernel rates (the w_i of the model), engine decision throughput
+// (the cost of Het's 8-variant simulation), and the simplex solver.
+#include <benchmark/benchmark.h>
+
+#include "matrix/gemm.hpp"
+#include "model/steady_state.hpp"
+#include "platform/generator.hpp"
+#include "sched/demand_driven.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace hmxp;
+
+void BM_GemmNaive(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(1);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    matrix::gemm_naive(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      matrix::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmNaive)->Arg(80);
+
+void BM_GemmTiled(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    matrix::gemm_tiled(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      matrix::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmTiled)->Arg(80)->Arg(160)->Arg(320);
+
+void BM_GemmParallel(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    matrix::gemm_parallel(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFlop/s"] = benchmark::Counter(
+      matrix::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GemmParallel)->Arg(320);
+
+void BM_BlockUpdate(benchmark::State& state) {
+  // One q x q block update: the atom whose cost is w_i in the model.
+  const std::size_t q = 80;
+  util::Rng rng(4);
+  const auto a = matrix::Matrix::random(q, q, rng);
+  const auto b = matrix::Matrix::random(q, q, rng);
+  matrix::Matrix c(q, q, 0.0);
+  for (auto _ : state) {
+    matrix::gemm_tiled(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+}
+BENCHMARK(BM_BlockUpdate);
+
+void BM_EngineDecisionThroughput(benchmark::State& state) {
+  // Full simulated run of ODDOML on the Fig. 4 platform; reports
+  // scheduling decisions per second, the cost driver of Het's phase 1.
+  const auto plat = platform::hetero_memory();
+  const auto part = matrix::Partition::from_blocks(
+      100, 100, static_cast<std::size_t>(state.range(0)), 80);
+  std::size_t decisions = 0;
+  for (auto _ : state) {
+    auto scheduler = sched::make_oddoml(plat, part);
+    sim::Engine engine(plat, part, /*record_trace=*/false);
+    const sim::RunResult result = sim::run(scheduler, engine);
+    decisions += result.decisions;
+    benchmark::DoNotOptimize(result.makespan);
+  }
+  state.counters["decisions/s"] = benchmark::Counter(
+      static_cast<double>(decisions), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_EngineDecisionThroughput)->Arg(400)->Arg(800);
+
+void BM_SteadyStateSimplex(benchmark::State& state) {
+  const auto plat = platform::real_platform_aug2007();
+  const auto workers = plat.steady_workers();
+  for (auto _ : state) {
+    const auto solution = model::solve_lp(workers);
+    benchmark::DoNotOptimize(solution.throughput);
+  }
+}
+BENCHMARK(BM_SteadyStateSimplex);
+
+void BM_BandwidthCentricGreedy(benchmark::State& state) {
+  const auto plat = platform::real_platform_aug2007();
+  const auto workers = plat.steady_workers();
+  for (auto _ : state) {
+    const auto solution = model::solve_bandwidth_centric(workers);
+    benchmark::DoNotOptimize(solution.throughput);
+  }
+}
+BENCHMARK(BM_BandwidthCentricGreedy);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,68 @@
+// Table 1 reproduction: the steady-state linear program.
+//
+// For every experimental platform, solves Table 1's LP twice (simplex
+// and the closed-form bandwidth-centric greedy), prints the optimal
+// throughput, the enrolled set, and the bound-to-achieved ratio of Het
+// -- the section 6.3 claim that the (optimistic) bound averages 2.29x
+// Het's throughput.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/run.hpp"
+#include "model/steady_state.hpp"
+#include "util/table.hpp"
+
+using namespace hmxp;
+
+int main(int argc, char** argv) {
+  const auto args = bench::parse_bench_args(
+      argc, argv, "Table 1: bandwidth-centric steady-state LP");
+  if (!args) return 0;
+
+  struct Case {
+    std::string name;
+    platform::Platform plat;
+  };
+  std::vector<Case> cases = {
+      {"hetero-memory", platform::hetero_memory()},
+      {"hetero-links", platform::hetero_links()},
+      {"hetero-compute", platform::hetero_compute()},
+      {"fully-hetero-2", platform::fully_hetero(2.0)},
+      {"fully-hetero-4", platform::fully_hetero(4.0)},
+      {"real-aug2007", platform::real_platform_aug2007()},
+  };
+  if (args->quick) cases.resize(2);
+
+  std::cout << "== Table 1: steady-state LP per platform ==\n\n";
+  util::Table table({"platform", "LP throughput", "greedy", "saturated",
+                     "partial", "Het achieved", "bound/Het"});
+  table.set_align(0, util::Align::kLeft);
+
+  const auto part = bench::paper_partition(800);
+  for (const Case& entry : cases) {
+    const auto workers = entry.plat.steady_workers();
+    const auto lp = model::solve_lp(workers);
+    const auto greedy = model::solve_bandwidth_centric(workers);
+    int saturated = 0, partial = 0;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (greedy.saturated[i]) ++saturated;
+      else if (greedy.x[i] > 1e-12) ++partial;
+    }
+    const auto het =
+        core::run_algorithm(core::Algorithm::kHet, entry.plat, part);
+    table.build_row()
+        .cell(entry.name)
+        .cell(lp.throughput, 2)
+        .cell(greedy.throughput, 2)
+        .cell(static_cast<long long>(saturated))
+        .cell(static_cast<long long>(partial))
+        .cell(het.result.throughput(), 2)
+        .cell(het.bound_over_achieved, 2)
+        .done();
+  }
+  table.print(std::cout);
+  std::cout << "\n(throughputs in q x q block updates per second; the LP and "
+               "greedy columns must agree -- the greedy is the LP's "
+               "closed-form optimum)\n";
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Section 3 in action: one memory-limited worker running the maximum
+// re-use algorithm -- the out-of-core view of the problem.
+//
+// Sweeps the worker's memory and shows how the chunk side mu, the
+// communication volume and the achieved CCR follow the theory: CCR =
+// 2/t + 2/mu, within sqrt(32/27) of the paper's lower bound and a
+// factor ~sqrt(3) below Toledo's thirds layout.
+//
+// Run:  ./out_of_core
+#include <iostream>
+
+#include "model/bounds.hpp"
+#include "platform/platform.hpp"
+#include "sched/demand_driven.hpp"
+#include "sched/maxreuse.hpp"
+#include "sim/scheduler.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace hmxp;
+
+  const auto part = matrix::Partition::from_blocks(60, 100, 60, 80);
+  std::cout << "One worker, C of 60x60 blocks, t = 100 inner steps.\n\n";
+
+  util::Table table({"memory m", "mu", "beta", "maxreuse CCR", "2/t+2/mu",
+                     "BMM CCR", "lower bound", "maxreuse/bound"});
+  for (const model::BlockCount m : {21LL, 90LL, 341LL, 1121LL, 3782LL}) {
+    const auto plat = platform::Platform::homogeneous(1, 1.0, 0.05, m);
+    sched::MaxReuseScheduler maxreuse(plat, part);
+    const sim::RunResult mr = sim::simulate(maxreuse, plat, part);
+    auto bmm = sched::make_bmm(plat, part);
+    const sim::RunResult toledo = sim::simulate(bmm, plat, part);
+    table.build_row()
+        .cell(static_cast<long long>(m))
+        .cell(static_cast<long long>(model::max_reuse_mu(m)))
+        .cell(static_cast<long long>(model::toledo_beta(m)))
+        .cell(mr.ccr(), 4)
+        .cell(model::max_reuse_ccr(m, 100), 4)
+        .cell(toledo.ccr(), 4)
+        .cell(model::ccr_lower_bound(m), 4)
+        .cell(mr.ccr() / model::ccr_lower_bound(m), 3)
+        .done();
+  }
+  table.print(std::cout);
+  std::cout << "\nEvery extra buffer pays: CCR falls like 2/sqrt(m), and the\n"
+               "maximum re-use layout tracks the lower bound within ~9-30%\n"
+               "(exactly sqrt(32/27) when mu divides the matrix evenly),\n"
+               "while the thirds layout trails by up to sqrt(3).\n";
+  return 0;
+}

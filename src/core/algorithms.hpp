@@ -1,0 +1,41 @@
+// Registry of the seven algorithms compared in section 6.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matrix/partition.hpp"
+#include "platform/platform.hpp"
+#include "sched/het.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::core {
+
+enum class Algorithm {
+  kHom,     // homogeneous algorithm on the best memory-threshold platform
+  kHomI,    // improved Hom: (m, c, w) threshold grid
+  kHet,     // the paper's heterogeneous algorithm (8-variant selection)
+  kOrroml,  // overlapped round-robin, our layout
+  kOmmoml,  // overlapped min-min, our layout
+  kOddoml,  // overlapped demand-driven, our layout
+  kBmm      // Toledo's block matrix multiply (thirds layout)
+};
+
+/// All seven, in the paper's presentation order.
+const std::vector<Algorithm>& all_algorithms();
+
+std::string algorithm_name(Algorithm algorithm);
+/// Inverse of algorithm_name; throws std::invalid_argument on unknowns.
+Algorithm algorithm_from_name(const std::string& name);
+
+/// Instantiates the scheduler (running any selection phase the
+/// algorithm requires). For kHet, `het_selection` (if non-null)
+/// receives the phase-1 outcome.
+std::unique_ptr<sim::Scheduler> make_scheduler(
+    Algorithm algorithm, const platform::Platform& platform,
+    const matrix::Partition& partition,
+    sched::HetSelection* het_selection = nullptr);
+
+}  // namespace hmxp::core

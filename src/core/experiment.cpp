@@ -1,0 +1,116 @@
+#include "core/experiment.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmxp::core {
+
+InstanceResults run_instance(const Instance& instance,
+                             const std::vector<Algorithm>& algorithms) {
+  HMXP_REQUIRE(!algorithms.empty(), "no algorithms to run");
+  InstanceResults results;
+  results.instance_name = instance.name;
+  results.reports.reserve(algorithms.size());
+  for (const Algorithm algorithm : algorithms) {
+    results.reports.push_back(
+        run_algorithm(algorithm, instance.platform, instance.partition));
+  }
+
+  results.best_makespan = std::numeric_limits<double>::infinity();
+  results.best_work = std::numeric_limits<double>::infinity();
+  for (const RunReport& report : results.reports) {
+    results.best_makespan =
+        std::min(results.best_makespan, report.result.makespan);
+    results.best_work = std::min(results.best_work, report.result.work());
+  }
+  for (const RunReport& report : results.reports) {
+    results.relative_cost.push_back(report.result.makespan /
+                                    results.best_makespan);
+    results.relative_work.push_back(report.result.work() / results.best_work);
+  }
+  return results;
+}
+
+std::vector<InstanceResults> run_experiment(
+    const std::vector<Instance>& instances,
+    const std::vector<Algorithm>& algorithms) {
+  std::vector<InstanceResults> all;
+  all.reserve(instances.size());
+  for (const Instance& instance : instances)
+    all.push_back(run_instance(instance, algorithms));
+  return all;
+}
+
+std::vector<AlgorithmSummary> summarize(
+    const std::vector<InstanceResults>& results,
+    const std::vector<Algorithm>& algorithms) {
+  std::vector<AlgorithmSummary> summaries;
+  for (std::size_t a = 0; a < algorithms.size(); ++a) {
+    AlgorithmSummary summary;
+    summary.algorithm = algorithms[a];
+    summary.label = algorithm_name(algorithms[a]);
+    for (const InstanceResults& instance : results) {
+      HMXP_CHECK(instance.reports.size() == algorithms.size(),
+                 "results not aligned with algorithm list");
+      summary.relative_cost.add(instance.relative_cost[a]);
+      summary.relative_work.add(instance.relative_work[a]);
+      summary.bound_over_achieved.add(
+          instance.reports[a].bound_over_achieved);
+      summary.enrolled.add(
+          static_cast<double>(instance.reports[a].result.workers_enrolled));
+    }
+    summaries.push_back(std::move(summary));
+  }
+  return summaries;
+}
+
+namespace {
+util::Table metric_table(const std::vector<InstanceResults>& results,
+                         const std::vector<Algorithm>& algorithms,
+                         const std::vector<double> InstanceResults::* metric,
+                         int precision) {
+  std::vector<std::string> headers{"instance"};
+  for (const Algorithm algorithm : algorithms)
+    headers.push_back(algorithm_name(algorithm));
+  util::Table table(std::move(headers));
+  table.set_align(0, util::Align::kLeft);
+  for (const InstanceResults& instance : results) {
+    auto row = table.build_row();
+    row.cell(instance.instance_name);
+    for (const double value : instance.*metric) row.cell(value, precision);
+    row.done();
+  }
+  return table;
+}
+}  // namespace
+
+util::Table relative_cost_table(const std::vector<InstanceResults>& results,
+                                const std::vector<Algorithm>& algorithms) {
+  return metric_table(results, algorithms, &InstanceResults::relative_cost, 3);
+}
+
+util::Table relative_work_table(const std::vector<InstanceResults>& results,
+                                const std::vector<Algorithm>& algorithms) {
+  return metric_table(results, algorithms, &InstanceResults::relative_work, 3);
+}
+
+util::Table enrolled_table(const std::vector<InstanceResults>& results,
+                           const std::vector<Algorithm>& algorithms) {
+  std::vector<std::string> headers{"instance"};
+  for (const Algorithm algorithm : algorithms)
+    headers.push_back(algorithm_name(algorithm));
+  util::Table table(std::move(headers));
+  table.set_align(0, util::Align::kLeft);
+  for (const InstanceResults& instance : results) {
+    auto row = table.build_row();
+    row.cell(instance.instance_name);
+    for (const RunReport& report : instance.reports)
+      row.cell(static_cast<long long>(report.result.workers_enrolled));
+    row.done();
+  }
+  return table;
+}
+
+}  // namespace hmxp::core

@@ -1,0 +1,70 @@
+// Experiment harness: runs sets of algorithms over sets of instances and
+// computes the paper's two figures of merit.
+//
+//   relative cost  = makespan / (best makespan on the instance)
+//   relative work  = makespan * enrolled / min(makespan * enrolled)
+//
+// Section 6.3 presents every experiment as these two bar charts; the
+// benches print one table per chart with the same rows.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/run.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace hmxp::core {
+
+struct Instance {
+  std::string name;               // e.g. "s=800" or "random-3"
+  platform::Platform platform;
+  matrix::Partition partition;
+};
+
+struct InstanceResults {
+  std::string instance_name;
+  std::vector<RunReport> reports;       // aligned with the algorithm list
+  std::vector<double> relative_cost;    // aligned with reports
+  std::vector<double> relative_work;
+  double best_makespan = 0.0;
+  double best_work = 0.0;
+};
+
+/// Runs every algorithm on the instance and fills the relative metrics.
+InstanceResults run_instance(const Instance& instance,
+                             const std::vector<Algorithm>& algorithms);
+
+/// Runs a whole experiment (one per figure).
+std::vector<InstanceResults> run_experiment(
+    const std::vector<Instance>& instances,
+    const std::vector<Algorithm>& algorithms);
+
+/// Per-algorithm aggregation across instances (fig. 9): mean and max of
+/// both relative metrics, plus the bound/achieved throughput ratio.
+struct AlgorithmSummary {
+  Algorithm algorithm;
+  std::string label;
+  util::Samples relative_cost;
+  util::Samples relative_work;
+  util::Samples bound_over_achieved;
+  util::Samples enrolled;
+};
+
+std::vector<AlgorithmSummary> summarize(
+    const std::vector<InstanceResults>& results,
+    const std::vector<Algorithm>& algorithms);
+
+/// Renders the two paper-style tables (cost and work) for an experiment:
+/// one row per instance, one column per algorithm.
+util::Table relative_cost_table(const std::vector<InstanceResults>& results,
+                                const std::vector<Algorithm>& algorithms);
+util::Table relative_work_table(const std::vector<InstanceResults>& results,
+                                const std::vector<Algorithm>& algorithms);
+/// Enrolled-workers table (the resource-selection story of the figures).
+util::Table enrolled_table(const std::vector<InstanceResults>& results,
+                           const std::vector<Algorithm>& algorithms);
+
+}  // namespace hmxp::core

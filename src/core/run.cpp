@@ -1,0 +1,38 @@
+#include "core/run.hpp"
+
+#include <chrono>
+
+#include "model/steady_state.hpp"
+
+namespace hmxp::core {
+
+RunReport run_algorithm(Algorithm algorithm,
+                        const platform::Platform& platform,
+                        const matrix::Partition& partition,
+                        bool record_trace) {
+  RunReport report;
+  report.algorithm = algorithm;
+  report.algorithm_label = algorithm_name(algorithm);
+
+  sched::HetSelection het_selection;
+  const auto selection_begin = std::chrono::steady_clock::now();
+  std::unique_ptr<sim::Scheduler> scheduler = make_scheduler(
+      algorithm, platform, partition,
+      algorithm == Algorithm::kHet ? &het_selection : nullptr);
+  const auto selection_end = std::chrono::steady_clock::now();
+  report.selection_wall_seconds =
+      std::chrono::duration<double>(selection_end - selection_begin).count();
+  if (algorithm == Algorithm::kHet)
+    report.het_variant = het_selection.variant;
+
+  report.result = sim::simulate(*scheduler, platform, partition, record_trace);
+
+  report.steady_state_bound =
+      model::steady_state_throughput(platform.steady_workers());
+  const double achieved = report.result.throughput();
+  report.bound_over_achieved =
+      achieved > 0 ? report.steady_state_bound / achieved : 0.0;
+  return report;
+}
+
+}  // namespace hmxp::core

@@ -1,0 +1,124 @@
+#include "matrix/gemm.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hmxp::matrix {
+
+namespace {
+void check_shapes(ConstView a, ConstView b, const View& c) {
+  HMXP_REQUIRE(a.cols() == b.rows(), "inner dimensions differ");
+  HMXP_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+               "output shape mismatch");
+}
+
+// Tile sizes: MC x KC panel of A resident in L2, KC x NR slab of B
+// streamed, 1 x NR register accumulation. Chosen for the q = 80..128
+// blocks the paper uses; not autotuned.
+constexpr std::size_t kMc = 64;
+constexpr std::size_t kKc = 128;
+constexpr std::size_t kNr = 4;
+
+void tile_kernel(ConstView a, ConstView b, View c, std::size_t i0,
+                 std::size_t i1, std::size_t k0, std::size_t k1) {
+  const std::size_t n = c.cols();
+  for (std::size_t i = i0; i < i1; ++i) {
+    const double* a_row = a.row(i);
+    double* c_row = c.row(i);
+    std::size_t j = 0;
+    // 4-wide register-blocked main loop.
+    for (; j + kNr <= n; j += kNr) {
+      double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+      for (std::size_t k = k0; k < k1; ++k) {
+        const double aik = a_row[k];
+        const double* b_row = b.row(k);
+        acc0 += aik * b_row[j];
+        acc1 += aik * b_row[j + 1];
+        acc2 += aik * b_row[j + 2];
+        acc3 += aik * b_row[j + 3];
+      }
+      c_row[j] += acc0;
+      c_row[j + 1] += acc1;
+      c_row[j + 2] += acc2;
+      c_row[j + 3] += acc3;
+    }
+    // Remainder columns.
+    for (; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = k0; k < k1; ++k) acc += a_row[k] * b.row(k)[j];
+      c_row[j] += acc;
+    }
+  }
+}
+
+void gemm_tiled_rows(ConstView a, ConstView b, View c, std::size_t row_begin,
+                     std::size_t row_end) {
+  const std::size_t kk = a.cols();
+  for (std::size_t i0 = row_begin; i0 < row_end; i0 += kMc) {
+    const std::size_t i1 = std::min(i0 + kMc, row_end);
+    for (std::size_t k0 = 0; k0 < kk; k0 += kKc) {
+      const std::size_t k1 = std::min(k0 + kKc, kk);
+      tile_kernel(a, b, c, i0, i1, k0, k1);
+    }
+  }
+}
+}  // namespace
+
+void gemm_naive(ConstView a, ConstView b, View c) {
+  check_shapes(a, b, c);
+  for (std::size_t i = 0; i < c.rows(); ++i) {
+    for (std::size_t j = 0; j < c.cols(); ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.cols(); ++k)
+        acc += a.at(i, k) * b.at(k, j);
+      c.at(i, j) += acc;
+    }
+  }
+}
+
+void gemm_tiled(ConstView a, ConstView b, View c) {
+  check_shapes(a, b, c);
+  gemm_tiled_rows(a, b, c, 0, c.rows());
+}
+
+void gemm_parallel(ConstView a, ConstView b, View c, int threads) {
+  check_shapes(a, b, c);
+  std::size_t worker_count = threads > 0
+      ? static_cast<std::size_t>(threads)
+      : std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  worker_count = std::min(worker_count, c.rows());
+  if (worker_count <= 1) {
+    gemm_tiled(a, b, c);
+    return;
+  }
+  // Row-partitioning keeps every thread's C region disjoint: no
+  // synchronization needed beyond join.
+  std::vector<std::thread> pool;
+  pool.reserve(worker_count);
+  const std::size_t rows_per = (c.rows() + worker_count - 1) / worker_count;
+  for (std::size_t w = 0; w < worker_count; ++w) {
+    const std::size_t begin = w * rows_per;
+    const std::size_t end = std::min(begin + rows_per, c.rows());
+    if (begin >= end) break;
+    pool.emplace_back(
+        [&, begin, end] { gemm_tiled_rows(a, b, c, begin, end); });
+  }
+  for (std::thread& t : pool) t.join();
+}
+
+void gemm(const Matrix& a, const Matrix& b, Matrix& c) {
+  HMXP_REQUIRE(a.cols() == b.rows(), "inner dimensions differ");
+  HMXP_REQUIRE(c.rows() == a.rows() && c.cols() == b.cols(),
+               "output shape mismatch");
+  gemm_tiled(a.view(), b.view(), c.view());
+}
+
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k) {
+  return 2.0 * static_cast<double>(m) * static_cast<double>(n) *
+         static_cast<double>(k);
+}
+
+}  // namespace hmxp::matrix

@@ -1,0 +1,38 @@
+// GEMM kernels: C += A * B on views.
+//
+// The paper assumes ATLAS-generated Level-3 BLAS on each worker; hmxp is
+// dependency-free, so it carries its own kernels:
+//   * gemm_naive     -- reference i-j-k triple loop, the test oracle;
+//   * gemm_tiled     -- cache-tiled i-k-j with 4-wide register blocking,
+//                       the production kernel workers run;
+//   * gemm_parallel  -- row-partitioned std::thread wrapper over the
+//                       tiled kernel for large single-node products
+//                       (used by the verification oracle on big cases).
+//
+// All kernels accumulate (C += A*B), matching the paper's kernel
+// C <- C + A B, and all accept rectangular shapes so edge blocks
+// (short rows/cols) work unchanged.
+#pragma once
+
+#include <cstddef>
+
+#include "matrix/matrix.hpp"
+
+namespace hmxp::matrix {
+
+/// Reference kernel. Requires a.cols() == b.rows(), c is a.rows() x b.cols().
+void gemm_naive(ConstView a, ConstView b, View c);
+
+/// Cache-tiled kernel; same contract as gemm_naive.
+void gemm_tiled(ConstView a, ConstView b, View c);
+
+/// Multi-threaded tiled kernel; `threads` <= 0 picks hardware_concurrency.
+void gemm_parallel(ConstView a, ConstView b, View c, int threads = 0);
+
+/// Whole-matrix convenience: c += a * b.
+void gemm(const Matrix& a, const Matrix& b, Matrix& c);
+
+/// Flop count of one such update (2 * m * n * k).
+double gemm_flops(std::size_t m, std::size_t n, std::size_t k);
+
+}  // namespace hmxp::matrix

@@ -1,0 +1,67 @@
+#include "matrix/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hmxp::matrix {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::random(std::size_t rows, std::size_t cols, util::Rng& rng,
+                      double lo, double hi) {
+  Matrix m(rows, cols);
+  for (double& value : m.data_) value = rng.uniform(lo, hi);
+  return m;
+}
+
+View Matrix::window(std::size_t row0, std::size_t col0, std::size_t rows,
+                    std::size_t cols) {
+  HMXP_REQUIRE(row0 + rows <= rows_ && col0 + cols <= cols_,
+               "window exceeds matrix bounds");
+  return View(data_.data() + row0 * cols_ + col0, rows, cols, cols_);
+}
+
+ConstView Matrix::window(std::size_t row0, std::size_t col0, std::size_t rows,
+                         std::size_t cols) const {
+  HMXP_REQUIRE(row0 + rows <= rows_ && col0 + cols <= cols_,
+               "window exceeds matrix bounds");
+  return ConstView(data_.data() + row0 * cols_ + col0, rows, cols, cols_);
+}
+
+double Matrix::max_abs_diff(const Matrix& a, const Matrix& b) {
+  HMXP_REQUIRE(a.rows() == b.rows() && a.cols() == b.cols(),
+               "shape mismatch in max_abs_diff");
+  double worst = 0.0;
+  for (std::size_t k = 0; k < a.data_.size(); ++k)
+    worst = std::max(worst, std::fabs(a.data_[k] - b.data_[k]));
+  return worst;
+}
+
+double Matrix::frobenius_norm() const {
+  double sum = 0.0;
+  for (double value : data_) sum += value * value;
+  return std::sqrt(sum);
+}
+
+void copy_into(ConstView src, View dst) {
+  HMXP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+               "shape mismatch in copy_into");
+  for (std::size_t i = 0; i < src.rows(); ++i)
+    std::copy(src.row(i), src.row(i) + src.cols(), dst.row(i));
+}
+
+void accumulate(ConstView src, View dst) {
+  HMXP_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+               "shape mismatch in accumulate");
+  for (std::size_t i = 0; i < src.rows(); ++i) {
+    const double* s = src.row(i);
+    double* d = dst.row(i);
+    for (std::size_t j = 0; j < src.cols(); ++j) d[j] += s[j];
+  }
+}
+
+}  // namespace hmxp::matrix

@@ -1,0 +1,126 @@
+// Dense row-major double-precision matrix and lightweight mutable /
+// immutable views. This is the data substrate the threaded runtime
+// multiplies for real; the simulator never touches element data.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp::matrix {
+
+class ConstView;
+
+/// Non-owning mutable view of a rows x cols window with a row stride.
+class View {
+ public:
+  View(double* data, std::size_t rows, std::size_t cols, std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    HMXP_REQUIRE(stride >= cols, "stride must cover a full row");
+  }
+  double& at(std::size_t i, std::size_t j) const {
+    HMXP_CHECK(i < rows_ && j < cols_, "view index out of range");
+    return data_[i * stride_ + j];
+  }
+  double* row(std::size_t i) const { return data_ + i * stride_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  double* data() const { return data_; }
+
+ private:
+  double* data_;
+  std::size_t rows_, cols_, stride_;
+};
+
+/// Non-owning immutable view.
+class ConstView {
+ public:
+  ConstView(const double* data, std::size_t rows, std::size_t cols,
+            std::size_t stride)
+      : data_(data), rows_(rows), cols_(cols), stride_(stride) {
+    HMXP_REQUIRE(stride >= cols, "stride must cover a full row");
+  }
+  // Implicit: every mutable view is readable.
+  ConstView(const View& view)  // NOLINT(google-explicit-constructor)
+      : data_(view.data()), rows_(view.rows()), cols_(view.cols()),
+        stride_(view.stride()) {}
+  double at(std::size_t i, std::size_t j) const {
+    HMXP_CHECK(i < rows_ && j < cols_, "view index out of range");
+    return data_[i * stride_ + j];
+  }
+  const double* row(std::size_t i) const { return data_ + i * stride_; }
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t stride() const { return stride_; }
+  const double* data() const { return data_; }
+
+ private:
+  const double* data_;
+  std::size_t rows_, cols_, stride_;
+};
+
+/// Owning dense row-major matrix.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  static Matrix identity(std::size_t n);
+  /// Entries i.i.d. uniform in [lo, hi) from the given deterministic rng.
+  static Matrix random(std::size_t rows, std::size_t cols, util::Rng& rng,
+                       double lo = -1.0, double hi = 1.0);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& at(std::size_t i, std::size_t j) {
+    HMXP_CHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+  double at(std::size_t i, std::size_t j) const {
+    HMXP_CHECK(i < rows_ && j < cols_, "matrix index out of range");
+    return data_[i * cols_ + j];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+
+  /// Whole-matrix views.
+  View view() { return View(data_.data(), rows_, cols_, cols_); }
+  ConstView view() const { return ConstView(data_.data(), rows_, cols_, cols_); }
+
+  /// Window view of the [row0, row0+rows) x [col0, col0+cols) submatrix.
+  View window(std::size_t row0, std::size_t col0, std::size_t rows,
+              std::size_t cols);
+  ConstView window(std::size_t row0, std::size_t col0, std::size_t rows,
+                   std::size_t cols) const;
+
+  void fill(double value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Largest |a_ij - b_ij|; requires identical shapes.
+  static double max_abs_diff(const Matrix& a, const Matrix& b);
+
+  /// Frobenius norm; used for relative-error checks in tests.
+  double frobenius_norm() const;
+
+  bool operator==(const Matrix& other) const = default;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Copies a window of `src` into a dense buffer (used when the runtime
+/// serializes a block into a message).
+void copy_into(ConstView src, View dst);
+
+/// dst += src, element-wise over equal-shaped views.
+void accumulate(ConstView src, View dst);
+
+}  // namespace hmxp::matrix

@@ -1,0 +1,88 @@
+#include "matrix/partition.hpp"
+
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hmxp::matrix {
+
+std::string BlockRect::to_string() const {
+  std::ostringstream os;
+  os << "[" << i0 << "," << i1 << ")x[" << j0 << "," << j1 << ")";
+  return os.str();
+}
+
+namespace {
+std::size_t div_up(std::size_t a, std::size_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+Partition::Partition(std::size_t n_a, std::size_t n_ab, std::size_t n_b,
+                     std::size_t q)
+    : n_a_(n_a), n_ab_(n_ab), n_b_(n_b), q_(q) {
+  HMXP_REQUIRE(q >= 1, "block size q must be positive");
+  HMXP_REQUIRE(n_a >= 1 && n_ab >= 1 && n_b >= 1, "matrix dims must be positive");
+  r_ = div_up(n_a, q);
+  t_ = div_up(n_ab, q);
+  s_ = div_up(n_b, q);
+}
+
+Partition Partition::from_blocks(std::size_t r, std::size_t t, std::size_t s,
+                                 std::size_t q) {
+  HMXP_REQUIRE(r >= 1 && t >= 1 && s >= 1, "block dims must be positive");
+  HMXP_REQUIRE(q >= 1, "block size q must be positive");
+  Partition p;
+  p.q_ = q;
+  p.r_ = r;
+  p.t_ = t;
+  p.s_ = s;
+  p.n_a_ = r * q;
+  p.n_ab_ = t * q;
+  p.n_b_ = s * q;
+  return p;
+}
+
+std::size_t Partition::row_begin(std::size_t i) const {
+  HMXP_REQUIRE(i < r_, "block-row out of range");
+  return i * q_;
+}
+
+std::size_t Partition::row_size(std::size_t i) const {
+  HMXP_REQUIRE(i < r_, "block-row out of range");
+  return (i + 1 == r_) ? n_a_ - i * q_ : q_;
+}
+
+std::size_t Partition::col_begin(std::size_t j) const {
+  HMXP_REQUIRE(j < s_, "block-col out of range");
+  return j * q_;
+}
+
+std::size_t Partition::col_size(std::size_t j) const {
+  HMXP_REQUIRE(j < s_, "block-col out of range");
+  return (j + 1 == s_) ? n_b_ - j * q_ : q_;
+}
+
+std::size_t Partition::inner_begin(std::size_t k) const {
+  HMXP_REQUIRE(k < t_, "inner block out of range");
+  return k * q_;
+}
+
+std::size_t Partition::inner_size(std::size_t k) const {
+  HMXP_REQUIRE(k < t_, "inner block out of range");
+  return (k + 1 == t_) ? n_ab_ - k * q_ : q_;
+}
+
+std::string Partition::to_string() const {
+  std::ostringstream os;
+  os << "Partition{q=" << q_ << ", r=" << r_ << ", t=" << t_ << ", s=" << s_
+     << "}";
+  return os.str();
+}
+
+std::size_t chunk_count(std::size_t rows, std::size_t cols,
+                        model::BlockCount mu) {
+  HMXP_REQUIRE(mu >= 1, "mu must be positive");
+  const auto m = static_cast<std::size_t>(mu);
+  return div_up(rows, m) * div_up(cols, m);
+}
+
+}  // namespace hmxp::matrix

@@ -1,0 +1,94 @@
+// Figure 1 of the paper: the r x t x s block decomposition.
+//
+//   A (nA x nAB)  -> r horizontal stripes of t blocks      A_{i,k}
+//   B (nAB x nB)  -> s vertical stripes of t blocks        B_{k,j}
+//   C (nA x nB)   -> r x s blocks                          C_{i,j}
+//
+// with square q x q blocks (q = 80 or 100 to suit Level-3 BLAS). Block
+// indices are 0-based in code (the paper is 1-based). Edge blocks may be
+// smaller when q does not divide the element dimensions; helpers expose
+// the exact element window of every block so schedulers and the runtime
+// never recompute geometry.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "model/layout.hpp"
+
+namespace hmxp::matrix {
+
+/// Index of one q x q block within a partitioned matrix.
+struct BlockCoord {
+  std::size_t i = 0;  // block-row
+  std::size_t j = 0;  // block-col
+  bool operator==(const BlockCoord&) const = default;
+  auto operator<=>(const BlockCoord&) const = default;
+};
+
+/// Half-open rectangle of blocks [i0, i1) x [j0, j1).
+struct BlockRect {
+  std::size_t i0 = 0, i1 = 0, j0 = 0, j1 = 0;
+  std::size_t rows() const { return i1 - i0; }
+  std::size_t cols() const { return j1 - j0; }
+  std::size_t count() const { return rows() * cols(); }
+  bool empty() const { return i0 >= i1 || j0 >= j1; }
+  bool contains(BlockCoord coord) const {
+    return coord.i >= i0 && coord.i < i1 && coord.j >= j0 && coord.j < j1;
+  }
+  bool overlaps(const BlockRect& other) const {
+    return i0 < other.i1 && other.i0 < i1 && j0 < other.j1 && other.j0 < j1;
+  }
+  bool operator==(const BlockRect&) const = default;
+  std::string to_string() const;
+};
+
+/// Geometry of one C = C + A * B problem in blocks.
+class Partition {
+ public:
+  /// From element dimensions: A is n_a x n_ab, B is n_ab x n_b.
+  Partition(std::size_t n_a, std::size_t n_ab, std::size_t n_b, std::size_t q);
+
+  /// Directly in block counts (all blocks full q x q; q still recorded
+  /// for cost conversions). Used by the simulator-driven experiments.
+  static Partition from_blocks(std::size_t r, std::size_t t, std::size_t s,
+                               std::size_t q);
+
+  std::size_t q() const { return q_; }
+  std::size_t r() const { return r_; }  // block-rows of A and C
+  std::size_t t() const { return t_; }  // inner block dimension
+  std::size_t s() const { return s_; }  // block-cols of B and C
+
+  std::size_t n_a() const { return n_a_; }
+  std::size_t n_ab() const { return n_ab_; }
+  std::size_t n_b() const { return n_b_; }
+
+  /// Total C blocks (r * s) and total block updates (r * s * t).
+  std::size_t c_blocks() const { return r_ * s_; }
+  std::size_t total_updates() const { return r_ * s_ * t_; }
+
+  /// Element extents of block index `i` along each axis (edge blocks may
+  /// be short).
+  std::size_t row_begin(std::size_t i) const;   // element row of block-row i
+  std::size_t row_size(std::size_t i) const;
+  std::size_t col_begin(std::size_t j) const;   // element col of block-col j
+  std::size_t col_size(std::size_t j) const;
+  std::size_t inner_begin(std::size_t k) const; // element index of block k
+  std::size_t inner_size(std::size_t k) const;
+
+  bool operator==(const Partition&) const = default;
+  std::string to_string() const;
+
+ private:
+  Partition() = default;
+  std::size_t n_a_ = 0, n_ab_ = 0, n_b_ = 0, q_ = 0;
+  std::size_t r_ = 0, t_ = 0, s_ = 0;
+};
+
+/// Splits a rectangle [0,r) x [j0,j1) into chunks of at most mu x mu
+/// blocks, column-major (all chunks of a column group before moving
+/// right), the traversal order of Algorithm 1. Exposed for tests.
+std::size_t chunk_count(std::size_t rows, std::size_t cols,
+                        model::BlockCount mu);
+
+}  // namespace hmxp::matrix

@@ -1,0 +1,61 @@
+#include "model/bounds.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmxp::model {
+
+double loomis_whitney(double n_a, double n_b, double n_c) {
+  HMXP_REQUIRE(n_a >= 0 && n_b >= 0 && n_c >= 0,
+               "element counts must be non-negative");
+  return std::sqrt(n_a * n_b * n_c);
+}
+
+double ccr_lower_bound(BlockCount m) {
+  HMXP_REQUIRE(m >= 1, "memory must be positive");
+  return std::sqrt(27.0 / (8.0 * static_cast<double>(m)));
+}
+
+double ccr_lower_bound_itt(BlockCount m) {
+  HMXP_REQUIRE(m >= 1, "memory must be positive");
+  return std::sqrt(1.0 / (8.0 * static_cast<double>(m)));
+}
+
+double max_reuse_ccr(BlockCount m, BlockCount t) {
+  HMXP_REQUIRE(t >= 1, "inner dimension must be positive");
+  const BlockCount mu = max_reuse_mu(m);
+  return 2.0 / static_cast<double>(t) + 2.0 / static_cast<double>(mu);
+}
+
+double max_reuse_ccr_asymptotic(BlockCount m) {
+  return 2.0 / static_cast<double>(max_reuse_mu(m));
+}
+
+double max_reuse_ccr_closed_form(BlockCount m) {
+  HMXP_REQUIRE(m >= 1, "memory must be positive");
+  return 2.0 / std::sqrt(static_cast<double>(m));
+}
+
+double toledo_ccr(BlockCount m, BlockCount t) {
+  HMXP_REQUIRE(t >= 1, "inner dimension must be positive");
+  const BlockCount beta = toledo_beta(m);
+  return 2.0 / static_cast<double>(t) + 2.0 / static_cast<double>(beta);
+}
+
+double toledo_ccr_asymptotic(BlockCount m) {
+  return 2.0 / static_cast<double>(toledo_beta(m));
+}
+
+double max_updates_per_m_communications(BlockCount m) {
+  HMXP_REQUIRE(m >= 1, "memory must be positive");
+  // Section 3: before m communication steps the memory holds at most m
+  // blocks (alpha_old + beta_old + gamma_old <= m) and the steps bring
+  // m more. Loomis-Whitney caps updates by
+  //   K = sqrt((a_old + a_recv)(b_old + b_recv)(c_old + c_recv)),
+  // maximized when each factor equals 2m/3.
+  const double third = 2.0 * static_cast<double>(m) / 3.0;
+  return loomis_whitney(third, third, third);
+}
+
+}  // namespace hmxp::model

@@ -1,0 +1,49 @@
+// Communication-to-computation ratio (CCR) bounds from section 3.
+//
+// Units: a "communication" is one q x q block moved between master and
+// worker; a "computation" is one block update C_ij += A_ik * B_kj
+// (q^3 multiply-adds). CCR = communications / computations over a run.
+#pragma once
+
+#include "model/layout.hpp"
+
+namespace hmxp::model {
+
+/// Loomis-Whitney bound: accessing NA elements of A, NB of B, NC of C
+/// permits at most sqrt(NA * NB * NC) elementary updates.
+double loomis_whitney(double n_a, double n_b, double n_c);
+
+/// The paper's improved lower bound on CCR for memory m:
+/// CCR_opt >= sqrt(27 / (8 m)).
+double ccr_lower_bound(BlockCount m);
+
+/// Previous best bound (Irony, Toledo, Tiskin): sqrt(1 / (8 m)).
+double ccr_lower_bound_itt(BlockCount m);
+
+/// Exact CCR of the maximum re-use algorithm for memory m and inner
+/// dimension t blocks: 2/t + 2/mu with mu = max_reuse_mu(m).
+double max_reuse_ccr(BlockCount m, BlockCount t);
+
+/// Asymptotic (t -> infinity) CCR of maximum re-use: 2 / mu.
+double max_reuse_ccr_asymptotic(BlockCount m);
+
+/// The paper quotes the asymptotic ratio as 2/sqrt(m) = sqrt(32/(8m));
+/// this evaluates that closed form (mu ~ sqrt(m)).
+double max_reuse_ccr_closed_form(BlockCount m);
+
+/// Exact CCR of Toledo's blocked algorithm (thirds layout): per chunk of
+/// beta^2 C blocks, 2 beta^2 C transfers plus 2 beta^2 operand blocks per
+/// beta of the t inner steps => CCR = 2/t + 2/beta, beta = toledo_beta(m).
+double toledo_ccr(BlockCount m, BlockCount t);
+
+/// Asymptotic CCR of Toledo's algorithm: 2 / beta (~ 2 sqrt(3) / sqrt(m)).
+double toledo_ccr_asymptotic(BlockCount m);
+
+/// Communications needed by a sequence achieving `updates` block updates
+/// starting from a memory of m blocks, per the refined section 3
+/// argument; used in tests to validate the bound derivation numerically.
+/// Returns the maximum number of updates achievable with m consecutive
+/// communications (the K of the paper with the balanced 2m/3 split).
+double max_updates_per_m_communications(BlockCount m);
+
+}  // namespace hmxp::model

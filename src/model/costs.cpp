@@ -1,0 +1,70 @@
+#include "model/costs.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmxp::model {
+
+Time batch_comm_time(BlockCount mu, Time c) {
+  HMXP_REQUIRE(mu >= 1 && c >= 0, "invalid batch parameters");
+  return 2.0 * static_cast<double>(mu) * c;
+}
+
+Time chunk_comm_time(BlockCount blocks, Time c) {
+  HMXP_REQUIRE(blocks >= 0 && c >= 0, "invalid chunk parameters");
+  return static_cast<double>(blocks) * c;
+}
+
+Time batch_compute_time(BlockCount mu, Time w) {
+  HMXP_REQUIRE(mu >= 1 && w >= 0, "invalid compute parameters");
+  return static_cast<double>(mu * mu) * w;
+}
+
+int homogeneous_enrollment(int p, BlockCount mu, Time c, Time w) {
+  HMXP_REQUIRE(p >= 1, "need at least one worker");
+  HMXP_REQUIRE(mu >= 1, "mu must be positive");
+  HMXP_REQUIRE(c > 0 && w > 0, "speeds must be positive");
+  const double ratio = static_cast<double>(mu) * w / (2.0 * c);
+  const int needed = static_cast<int>(std::ceil(ratio - 1e-12));
+  return std::clamp(needed, 1, p);
+}
+
+Time homogeneous_makespan_estimate(int p, BlockCount m, Time c, Time w,
+                                   BlockCount r, BlockCount s, BlockCount t) {
+  HMXP_REQUIRE(p >= 1, "need at least one worker");
+  HMXP_REQUIRE(r >= 1 && s >= 1 && t >= 1, "matrix must be non-empty");
+  const BlockCount mu = double_buffered_mu(m);
+  const int enrolled = homogeneous_enrollment(p, mu, c, w);
+
+  // Chunks of mu x mu C blocks (the last row/column of chunks may be
+  // smaller; the estimate uses the average size, adequate for ranking).
+  const double chunks =
+      std::ceil(static_cast<double>(r) / static_cast<double>(mu)) *
+      std::ceil(static_cast<double>(s) / static_cast<double>(mu));
+  const double chunk_blocks =
+      static_cast<double>(r) * static_cast<double>(s) / chunks;
+
+  // Per chunk: C in + C out (sequentialized, section 4), t operand
+  // batches of 2 mu blocks, t batch computations of mu^2 w.
+  const double c_io = 2.0 * chunk_blocks * c;
+  const double operand_comm =
+      static_cast<double>(t) * batch_comm_time(mu, c);
+  const double compute = static_cast<double>(t) * batch_compute_time(mu, w);
+
+  // The master pipelines `enrolled` workers: in steady state, each round
+  // of one chunk per worker costs the master `enrolled * (operand_comm +
+  // c_io)` of port time while each worker computes for `compute`; the
+  // round length is the max of the two. Rounds = chunks / enrolled.
+  const double rounds = chunks / static_cast<double>(enrolled);
+  const double port_per_round =
+      static_cast<double>(enrolled) * (operand_comm + c_io);
+  const double round_length = std::max(port_per_round, compute + c_io);
+  // Pipeline fill: the first chunk's operands must arrive before any
+  // computation; drain: the last C chunk must come back.
+  const double fill = operand_comm + chunk_blocks * c;
+  return fill + rounds * round_length;
+}
+
+}  // namespace hmxp::model

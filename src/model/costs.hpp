@@ -1,0 +1,44 @@
+// Linear cost model of the paper (section 2) and the closed-form
+// quantities the algorithms derive from it.
+//
+//  * sending X blocks to worker i (or receiving X from it) occupies the
+//    master's single port for X * c_i time units;
+//  * executing X block updates on worker i takes X * w_i time units;
+//  * start-up overheads are neglected (large q x q blocks amortize them).
+#pragma once
+
+#include "model/layout.hpp"
+
+namespace hmxp::model {
+
+/// Time is in seconds throughout hmxp.
+using Time = double;
+
+/// Port time to ship one operand batch (mu blocks of B + mu blocks of A)
+/// for one inner step k: 2 mu c.
+Time batch_comm_time(BlockCount mu, Time c);
+
+/// Port time to send or retrieve a C chunk of `blocks` blocks.
+Time chunk_comm_time(BlockCount blocks, Time c);
+
+/// Compute time for one inner step over a full mu x mu chunk:
+/// mu^2 updates at w each.
+Time batch_compute_time(BlockCount mu, Time w);
+
+/// The homogeneous resource selection of section 4: the smallest P with
+/// P * mu^2 t w >= 2 mu t c * P ... i.e. the smallest P such that sending
+/// operand batches to P workers (2 mu t c each) takes at least as long as
+/// one worker's computation (mu^2 t w):  P = ceil(mu w / (2 c)), clamped
+/// to [1, p].
+int homogeneous_enrollment(int p, BlockCount mu, Time c, Time w);
+
+/// Predicted makespan of the homogeneous algorithm on p identical
+/// workers (c, w, m) for an r x t x s block product. Used by Hom / HomI
+/// to rank candidate virtual platforms analytically; mirrors the
+/// round-based accounting of section 4 including the sequentialized C
+/// I/O term. The simulator remains the ground truth; tests check this
+/// estimate tracks it within a few percent on divisible instances.
+Time homogeneous_makespan_estimate(int p, BlockCount m, Time c, Time w,
+                                   BlockCount r, BlockCount s, BlockCount t);
+
+}  // namespace hmxp::model

@@ -1,0 +1,62 @@
+#include "model/layout.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmxp::model {
+
+namespace {
+/// Largest integer x >= low with pred(x) true, given pred is monotone
+/// (true on a prefix). `hint` seeds the search near the analytic root so
+/// the fix-up loops run O(1) iterations regardless of magnitude.
+template <typename Pred>
+BlockCount largest_satisfying(BlockCount low, BlockCount hint, Pred pred) {
+  BlockCount x = hint < low ? low : hint;
+  while (!pred(x) && x > low) --x;
+  HMXP_CHECK(pred(x), "no feasible layout parameter");
+  while (pred(x + 1)) ++x;
+  return x;
+}
+}  // namespace
+
+BlockCount max_reuse_mu(BlockCount m) {
+  HMXP_REQUIRE(m >= 3, "maximum re-use layout needs at least 3 buffers");
+  // 1 + mu + mu^2 <= m  <=>  mu <= (-1 + sqrt(4m - 3)) / 2.
+  const auto hint = static_cast<BlockCount>(
+      (std::sqrt(4.0 * static_cast<double>(m) - 3.0) - 1.0) / 2.0);
+  return largest_satisfying(1, hint, [m](BlockCount mu) {
+    return mu >= 1 && 1 + mu + mu * mu <= m;
+  });
+}
+
+BlockCount double_buffered_mu(BlockCount m) {
+  HMXP_REQUIRE(m >= 5, "double-buffered layout needs at least 5 buffers");
+  // mu^2 + 4mu <= m  <=>  (mu + 2)^2 <= m + 4  <=>  mu <= sqrt(m+4) - 2.
+  const auto hint = static_cast<BlockCount>(
+      std::sqrt(static_cast<double>(m) + 4.0) - 2.0);
+  return largest_satisfying(1, hint, [m](BlockCount mu) {
+    return mu >= 1 && mu * mu + 4 * mu <= m;
+  });
+}
+
+BlockCount toledo_beta(BlockCount m) {
+  HMXP_REQUIRE(m >= 3, "thirds layout needs at least 3 buffers");
+  const auto hint =
+      static_cast<BlockCount>(std::sqrt(static_cast<double>(m) / 3.0));
+  return largest_satisfying(1, hint, [m](BlockCount beta) {
+    return beta >= 1 && 3 * beta * beta <= m;
+  });
+}
+
+BlockCount double_buffered_footprint(BlockCount mu) {
+  HMXP_REQUIRE(mu >= 1, "mu must be positive");
+  return mu * mu + 4 * mu;
+}
+
+BlockCount max_reuse_footprint(BlockCount mu) {
+  HMXP_REQUIRE(mu >= 1, "mu must be positive");
+  return 1 + mu + mu * mu;
+}
+
+}  // namespace hmxp::model

@@ -1,0 +1,44 @@
+// Memory-layout arithmetic from the paper.
+//
+// All quantities are in *block units*: a buffer holds one q x q block of
+// matrix elements, and a worker with memory m_i can hold m_i such blocks
+// (from A, B and/or C in any mix).
+//
+// Three layouts appear in the paper:
+//  * maximum re-use (section 3, single worker, no overlap):
+//      1 buffer for A, mu for B, mu^2 for C, with 1 + mu + mu^2 <= m.
+//  * double-buffered master-worker layout (sections 4-5):
+//      2mu for A, 2mu for B (one operand batch in use + one prefetched),
+//      mu^2 for C, with mu^2 + 4mu <= m.
+//  * Toledo's thirds layout (the BMM baseline, [17]):
+//      memory split in three equal panels of beta x beta blocks each,
+//      3 beta^2 <= m.
+#pragma once
+
+#include <cstdint>
+
+namespace hmxp::model {
+
+/// Number of q x q block buffers a worker can hold.
+using BlockCount = std::int64_t;
+
+/// Largest mu >= 1 with 1 + mu + mu^2 <= m (maximum re-use layout).
+/// Requires m >= 3 (one buffer each for A, B, C is the degenerate case).
+BlockCount max_reuse_mu(BlockCount m);
+
+/// Largest mu >= 1 with mu^2 + 4mu <= m (double-buffered layout).
+/// Requires m >= 5.
+BlockCount double_buffered_mu(BlockCount m);
+
+/// Largest beta >= 1 with 3 beta^2 <= m (Toledo thirds layout).
+/// Requires m >= 3.
+BlockCount toledo_beta(BlockCount m);
+
+/// Total buffers consumed by the double-buffered layout for a given mu:
+/// mu^2 (C chunk) + 2mu (A) + 2mu (B).
+BlockCount double_buffered_footprint(BlockCount mu);
+
+/// Total buffers consumed by the maximum re-use layout for a given mu.
+BlockCount max_reuse_footprint(BlockCount mu);
+
+}  // namespace hmxp::model

@@ -1,0 +1,203 @@
+#include "model/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmxp::model {
+
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Tableau for max c.x st Ax <= b, x >= 0, solved with the standard
+// dictionary method. Basis holds the variable index of each row; slack
+// variable for row i has index n + i. Bland's rule (smallest index
+// entering/leaving) guarantees termination.
+class Tableau {
+ public:
+  Tableau(std::size_t n, std::size_t m) : n_(n), m_(m) {
+    a_.assign(m, std::vector<double>(n + m, 0.0));
+    b_.assign(m, 0.0);
+    c_.assign(n + m, 0.0);
+    basis_.resize(m);
+    for (std::size_t i = 0; i < m; ++i) basis_[i] = n + i;
+  }
+
+  std::vector<std::vector<double>> a_;
+  std::vector<double> b_;
+  std::vector<double> c_;       // current objective row (reduced costs)
+  std::vector<std::size_t> basis_;
+  double objective_shift_ = 0.0;
+  std::size_t n_;
+  std::size_t m_;
+
+  void pivot(std::size_t row, std::size_t col) {
+    const double pivot_value = a_[row][col];
+    HMXP_CHECK(std::fabs(pivot_value) > kEps, "degenerate pivot element");
+    const double inv = 1.0 / pivot_value;
+    for (double& v : a_[row]) v *= inv;
+    b_[row] *= inv;
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (i == row) continue;
+      const double factor = a_[i][col];
+      if (std::fabs(factor) < kEps) continue;
+      for (std::size_t j = 0; j < a_[i].size(); ++j)
+        a_[i][j] -= factor * a_[row][j];
+      b_[i] -= factor * b_[row];
+    }
+    const double obj_factor = c_[col];
+    if (std::fabs(obj_factor) > kEps) {
+      for (std::size_t j = 0; j < c_.size(); ++j)
+        c_[j] -= obj_factor * a_[row][j];
+      objective_shift_ += obj_factor * b_[row];
+    }
+    basis_[row] = col;
+  }
+
+  /// Runs simplex iterations until optimal or unbounded.
+  LpStatus iterate() {
+    while (true) {
+      // Bland: smallest-index column with positive reduced cost.
+      std::size_t entering = c_.size();
+      for (std::size_t j = 0; j < c_.size(); ++j) {
+        if (c_[j] > kEps) {
+          entering = j;
+          break;
+        }
+      }
+      if (entering == c_.size()) return LpStatus::kOptimal;
+
+      // Ratio test; Bland tie-break on smallest basis index.
+      std::size_t leaving = m_;
+      double best_ratio = std::numeric_limits<double>::infinity();
+      for (std::size_t i = 0; i < m_; ++i) {
+        if (a_[i][entering] > kEps) {
+          const double ratio = b_[i] / a_[i][entering];
+          if (ratio < best_ratio - kEps ||
+              (ratio < best_ratio + kEps &&
+               (leaving == m_ || basis_[i] < basis_[leaving]))) {
+            best_ratio = ratio;
+            leaving = i;
+          }
+        }
+      }
+      if (leaving == m_) return LpStatus::kUnbounded;
+      pivot(leaving, entering);
+    }
+  }
+};
+
+}  // namespace
+
+SimplexSolver::SimplexSolver(std::vector<double> objective)
+    : objective_(std::move(objective)) {
+  HMXP_REQUIRE(!objective_.empty(), "LP needs at least one variable");
+}
+
+void SimplexSolver::add_constraint_le(const std::vector<double>& coeffs,
+                                      double rhs) {
+  HMXP_REQUIRE(coeffs.size() == objective_.size(),
+               "constraint width differs from variable count");
+  rows_.push_back(Row{coeffs, rhs});
+}
+
+void SimplexSolver::add_constraint_ge(const std::vector<double>& coeffs,
+                                      double rhs) {
+  std::vector<double> negated(coeffs.size());
+  for (std::size_t j = 0; j < coeffs.size(); ++j) negated[j] = -coeffs[j];
+  add_constraint_le(negated, -rhs);
+}
+
+LpSolution SimplexSolver::solve() const {
+  const std::size_t n = objective_.size();
+  const std::size_t m = rows_.size();
+  LpSolution solution;
+
+  if (m == 0) {
+    // No constraints: optimum is 0 iff all costs are <= 0, else unbounded.
+    const bool any_positive =
+        std::any_of(objective_.begin(), objective_.end(),
+                    [](double cj) { return cj > kEps; });
+    solution.status = any_positive ? LpStatus::kUnbounded : LpStatus::kOptimal;
+    if (!any_positive) solution.x.assign(n, 0.0);
+    return solution;
+  }
+
+  Tableau tableau(n, m);
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) tableau.a_[i][j] = rows_[i].coeffs[j];
+    tableau.a_[i][n + i] = 1.0;
+    tableau.b_[i] = rows_[i].rhs;
+  }
+
+  // Phase 1 (only if some rhs < 0): drive the most-negative basic
+  // variable feasible by the standard dual-style pivot on negative rows.
+  for (bool progress = true; progress;) {
+    progress = false;
+    std::size_t worst_row = m;
+    double worst = -kEps;
+    for (std::size_t i = 0; i < m; ++i) {
+      if (tableau.b_[i] < worst) {
+        worst = tableau.b_[i];
+        worst_row = i;
+      }
+    }
+    if (worst_row == m) break;  // feasible
+    // Pick a column with negative coefficient in that row (Bland order).
+    std::size_t col = tableau.a_[worst_row].size();
+    for (std::size_t j = 0; j < tableau.a_[worst_row].size(); ++j) {
+      if (tableau.a_[worst_row][j] < -kEps) {
+        col = j;
+        break;
+      }
+    }
+    if (col == tableau.a_[worst_row].size()) {
+      solution.status = LpStatus::kInfeasible;
+      return solution;
+    }
+    // Ratio test restricted to rows keeping feasibility.
+    std::size_t pivot_row = worst_row;
+    double best_ratio = tableau.b_[worst_row] / tableau.a_[worst_row][col];
+    for (std::size_t i = 0; i < m; ++i) {
+      if (tableau.a_[i][col] > kEps && tableau.b_[i] >= -kEps) {
+        const double ratio = tableau.b_[i] / tableau.a_[i][col];
+        if (ratio < best_ratio) {
+          best_ratio = ratio;
+          pivot_row = i;
+        }
+      }
+    }
+    tableau.pivot(pivot_row, col);
+    progress = true;
+  }
+
+  // Install the real objective expressed in the current basis.
+  for (std::size_t j = 0; j < n; ++j) tableau.c_[j] = objective_[j];
+  for (std::size_t j = n; j < n + m; ++j) tableau.c_[j] = 0.0;
+  tableau.objective_shift_ = 0.0;
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::size_t var = tableau.basis_[i];
+    const double cost = tableau.c_[var];
+    if (std::fabs(cost) > kEps) {
+      for (std::size_t j = 0; j < tableau.c_.size(); ++j)
+        tableau.c_[j] -= cost * tableau.a_[i][j];
+      tableau.objective_shift_ += cost * tableau.b_[i];
+    }
+  }
+
+  const LpStatus status = tableau.iterate();
+  solution.status = status;
+  if (status != LpStatus::kOptimal) return solution;
+
+  solution.x.assign(n, 0.0);
+  for (std::size_t i = 0; i < m; ++i) {
+    if (tableau.basis_[i] < n) solution.x[tableau.basis_[i]] = tableau.b_[i];
+  }
+  solution.objective = tableau.objective_shift_;
+  return solution;
+}
+
+}  // namespace hmxp::model

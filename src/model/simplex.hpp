@@ -1,0 +1,58 @@
+// Dense primal simplex solver for small linear programs in the form
+//
+//     maximize  c . x
+//     subject   A x <= b     (b may contain zeros or negatives)
+//               x >= 0
+//
+// Used to solve the steady-state program of Table 1 exactly and to
+// cross-check the closed-form bandwidth-centric solution. The LPs here
+// have tens of variables at most, so a textbook dense tableau with
+// Bland's anti-cycling rule is the right tool: simple, exact enough in
+// double precision, no dependencies.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hmxp::model {
+
+enum class LpStatus {
+  kOptimal,    // bounded optimum found
+  kUnbounded,  // objective can grow without limit
+  kInfeasible  // constraints admit no x >= 0
+};
+
+struct LpSolution {
+  LpStatus status = LpStatus::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  // primal solution (empty unless optimal)
+};
+
+class SimplexSolver {
+ public:
+  /// Builds the program: `objective[j]` is c_j; each constraint is a row
+  /// of coefficients with its right-hand side.
+  explicit SimplexSolver(std::vector<double> objective);
+
+  /// Adds sum_j coeffs[j] * x_j <= rhs. coeffs must match variable count.
+  void add_constraint_le(const std::vector<double>& coeffs, double rhs);
+
+  /// Adds sum_j coeffs[j] * x_j >= rhs (stored as negated <=).
+  void add_constraint_ge(const std::vector<double>& coeffs, double rhs);
+
+  /// Solves with a two-phase method (phase 1 only if some rhs < 0).
+  LpSolution solve() const;
+
+  std::size_t num_variables() const { return objective_.size(); }
+  std::size_t num_constraints() const { return rows_.size(); }
+
+ private:
+  struct Row {
+    std::vector<double> coeffs;
+    double rhs;
+  };
+  std::vector<double> objective_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace hmxp::model

@@ -1,0 +1,172 @@
+#include "model/steady_state.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hmxp::model {
+
+namespace {
+void validate(const std::vector<SteadyWorker>& workers) {
+  HMXP_REQUIRE(!workers.empty(), "steady state needs at least one worker");
+  for (const SteadyWorker& worker : workers) {
+    HMXP_REQUIRE(worker.c > 0, "communication cost must be positive");
+    HMXP_REQUIRE(worker.w > 0, "computation cost must be positive");
+    HMXP_REQUIRE(worker.mu >= 1, "mu must be >= 1");
+  }
+}
+}  // namespace
+
+std::size_t SteadyStateSolution::enrolled_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(x.begin(), x.end(), [](double xi) { return xi > 1e-12; }));
+}
+
+SteadyStateSolution solve_bandwidth_centric(
+    const std::vector<SteadyWorker>& workers) {
+  validate(workers);
+  const std::size_t p = workers.size();
+
+  // Sort by non-decreasing 2 c_i / mu_i: cheapest port time per update.
+  std::vector<std::size_t> order(p);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    const double ka = 2.0 * workers[a].c / static_cast<double>(workers[a].mu);
+    const double kb = 2.0 * workers[b].c / static_cast<double>(workers[b].mu);
+    if (ka != kb) return ka < kb;
+    return a < b;  // deterministic tie-break
+  });
+
+  SteadyStateSolution solution;
+  solution.x.assign(p, 0.0);
+  solution.y.assign(p, 0.0);
+  solution.port_share.assign(p, 0.0);
+  solution.saturated.assign(p, false);
+
+  double port_left = 1.0;  // fraction of master port still available
+  for (const std::size_t i : order) {
+    if (port_left <= 1e-15) break;
+    const SteadyWorker& worker = workers[i];
+    // Fully saturating worker i: x = 1/w, y = 2x/mu, port = y c.
+    const double x_full = 1.0 / worker.w;
+    const double y_full = 2.0 * x_full / static_cast<double>(worker.mu);
+    const double port_full = y_full * worker.c;
+    if (port_full <= port_left + 1e-15) {
+      solution.x[i] = x_full;
+      solution.y[i] = y_full;
+      solution.port_share[i] = port_full;
+      solution.saturated[i] = true;
+      port_left -= port_full;
+    } else {
+      // Marginal worker: gets the leftover port fraction.
+      const double y_partial = port_left / worker.c;
+      solution.y[i] = y_partial;
+      solution.x[i] = y_partial * static_cast<double>(worker.mu) / 2.0;
+      solution.port_share[i] = port_left;
+      port_left = 0.0;
+    }
+  }
+  solution.throughput =
+      std::accumulate(solution.x.begin(), solution.x.end(), 0.0);
+  return solution;
+}
+
+SteadyStateSolution solve_lp(const std::vector<SteadyWorker>& workers) {
+  validate(workers);
+  const std::size_t p = workers.size();
+  // Variables: x_0..x_{p-1}, y_0..y_{p-1}.
+  std::vector<double> objective(2 * p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) objective[i] = 1.0;
+  SimplexSolver solver(std::move(objective));
+
+  // Port: sum_i y_i c_i <= 1.
+  std::vector<double> port_row(2 * p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) port_row[p + i] = workers[i].c;
+  solver.add_constraint_le(port_row, 1.0);
+
+  for (std::size_t i = 0; i < p; ++i) {
+    // Compute: x_i w_i <= 1.
+    std::vector<double> compute_row(2 * p, 0.0);
+    compute_row[i] = workers[i].w;
+    solver.add_constraint_le(compute_row, 1.0);
+    // Data coverage: x_i / mu_i^2 - y_i / (2 mu_i) <= 0.
+    std::vector<double> coverage_row(2 * p, 0.0);
+    const double mu = static_cast<double>(workers[i].mu);
+    coverage_row[i] = 1.0 / (mu * mu);
+    coverage_row[p + i] = -1.0 / (2.0 * mu);
+    solver.add_constraint_le(coverage_row, 0.0);
+  }
+
+  const LpSolution lp = solver.solve();
+  HMXP_CHECK(lp.status == LpStatus::kOptimal,
+             "Table 1 LP must be bounded and feasible");
+
+  SteadyStateSolution solution;
+  solution.throughput = lp.objective;
+  solution.x.assign(lp.x.begin(), lp.x.begin() + static_cast<long>(p));
+  solution.y.assign(lp.x.begin() + static_cast<long>(p), lp.x.end());
+  solution.port_share.assign(p, 0.0);
+  solution.saturated.assign(p, false);
+  for (std::size_t i = 0; i < p; ++i) {
+    solution.port_share[i] = solution.y[i] * workers[i].c;
+    solution.saturated[i] =
+        std::fabs(solution.x[i] * workers[i].w - 1.0) < 1e-6;
+  }
+  return solution;
+}
+
+double steady_state_throughput(const std::vector<SteadyWorker>& workers) {
+  return solve_bandwidth_centric(workers).throughput;
+}
+
+std::vector<double> steady_state_buffer_demand(
+    const std::vector<SteadyWorker>& workers) {
+  validate(workers);
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  const std::size_t p = workers.size();
+
+  // Service gap seen by worker i: the master must dedicate port_share_j
+  // of every time unit to each other enrolled worker j. The coarsest
+  // feasible interleaving serves each worker once per "round"; a round in
+  // which every enrolled worker j receives one operand batch (2 mu_j
+  // blocks, costing 2 mu_j c_j port time) lasts
+  //     L = max_j over enrolled (2 mu_j c_j / port_share_j)
+  // (the slowest-cycling worker sets the round length; others receive
+  // proportionally more batches per round). Worker i is then unserved
+  // for up to g_i = L - (its own service time) per round.
+  double round_length = 0.0;
+  for (std::size_t j = 0; j < p; ++j) {
+    if (solution.port_share[j] <= 1e-15) continue;
+    const double service =
+        2.0 * static_cast<double>(workers[j].mu) * workers[j].c;
+    round_length = std::max(round_length, service / solution.port_share[j]);
+  }
+
+  std::vector<double> demand(p, 0.0);
+  for (std::size_t i = 0; i < p; ++i) {
+    if (solution.x[i] <= 1e-15) continue;
+    // Worker i's own service overlaps its compute, so the binding gap is
+    // the full round in the worst-case phase alignment.
+    const double gap = round_length;
+    // Updates performed out of buffered data during the gap.
+    const double updates = solution.x[i] * gap;
+    // Loomis-Whitney with only resident blocks: u updates need at least
+    // sqrt(2 u) blocks (paper's Table 2 argument), plus the operand
+    // batch in flight (2 mu_i) and nothing less than the layout minimum.
+    const double lw = std::sqrt(2.0 * updates);
+    const double layout_min =
+        static_cast<double>(double_buffered_footprint(workers[i].mu));
+    demand[i] = std::max(lw + 2.0 * static_cast<double>(workers[i].mu),
+                         layout_min);
+  }
+  return demand;
+}
+
+std::vector<SteadyWorker> table2_platform(double x) {
+  HMXP_REQUIRE(x > 0, "Table 2 parameter x must be positive");
+  return {SteadyWorker{1.0, 2.0, 2}, SteadyWorker{x, 2.0 * x, 2}};
+}
+
+}  // namespace hmxp::model

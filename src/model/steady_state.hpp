@@ -1,0 +1,78 @@
+// Steady-state analysis of section 5: the linear program of Table 1, its
+// closed-form bandwidth-centric optimum, and the memory-feasibility
+// argument of Table 2.
+//
+// Variables (per time unit, in block units):
+//   x_i  = C block updates computed by worker i,
+//   y_i  = operand blocks (A and B together) received by worker i.
+// Program (Table 1):
+//   maximize sum_i x_i
+//   s.t.     sum_i y_i c_i <= 1            (master port)
+//            x_i w_i <= 1                  (worker compute)
+//            x_i / mu_i^2 <= y_i / (2 mu_i) (operands cover the updates)
+//
+// The optimum is the bandwidth-centric allocation: workers sorted by
+// non-decreasing 2 c_i / mu_i, enrolled fully while the port fraction
+// sum 2 c_i / (mu_i w_i) stays <= 1, the marginal worker fractionally.
+// Table 2 shows this schedule may need unboundedly many buffers; the
+// demand functions below quantify that.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "model/costs.hpp"
+#include "model/layout.hpp"
+#include "model/simplex.hpp"
+
+namespace hmxp::model {
+
+/// Per-worker parameters the steady-state program needs.
+struct SteadyWorker {
+  Time c = 0.0;        // seconds per block on the master link
+  Time w = 0.0;        // seconds per block update
+  BlockCount mu = 1;   // chunk side the worker's memory supports
+};
+
+struct SteadyStateSolution {
+  double throughput = 0.0;          // sum of x_i, block updates per second
+  std::vector<double> x;            // per-worker compute rates
+  std::vector<double> y;            // per-worker operand receive rates
+  std::vector<double> port_share;   // y_i * c_i, fraction of master port
+  std::vector<bool> saturated;      // x_i == 1 / w_i (fully enrolled)
+  /// Workers with x_i > 0.
+  std::size_t enrolled_count() const;
+};
+
+/// Closed-form bandwidth-centric optimum (fractional knapsack greedy).
+SteadyStateSolution solve_bandwidth_centric(
+    const std::vector<SteadyWorker>& workers);
+
+/// The same program solved by the simplex method; used to cross-check
+/// the greedy (they agree to 1e-9 in tests) and as the general solver if
+/// extra constraints are ever added.
+SteadyStateSolution solve_lp(const std::vector<SteadyWorker>& workers);
+
+/// Upper bound on achievable throughput for a whole run: steady-state
+/// throughput (it ignores C traffic and start/finish transients, so any
+/// real schedule is slower -- the paper reports Het within 2.29x mean).
+double steady_state_throughput(const std::vector<SteadyWorker>& workers);
+
+/// Memory demanded of worker i to *sustain* the steady-state rates under
+/// the one-port model, following the Table 2 argument: while the master
+/// serves the other enrolled workers for a gap g_i (the longest port
+/// occupancy between two consecutive services of i), worker i performs
+/// x_i * g_i updates out of buffered operands. Updating u blocks without
+/// new data requires at least sqrt(2 u) resident blocks (Loomis-Whitney
+/// with the C chunk held), plus its own operand batch of 2 mu_i.
+/// Returns, per worker, that minimal buffer count; infeasible when it
+/// exceeds the worker's actual memory.
+std::vector<double> steady_state_buffer_demand(
+    const std::vector<SteadyWorker>& workers);
+
+/// Table 2 instance: two workers, c = {1, x}, w = {2, 2x}, mu = {2, 2}.
+/// Both saturate the port exactly (sum 2c_i/(mu_i w_i) = 1). Exposed so
+/// tests and the bench reproduce the published counterexample verbatim.
+std::vector<SteadyWorker> table2_platform(double x);
+
+}  // namespace hmxp::model

@@ -1,0 +1,47 @@
+#include "platform/calibration.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace hmxp::platform {
+
+std::size_t block_bytes(const CalibrationConstants& constants) {
+  return constants.q * constants.q * constants.element_bytes;
+}
+
+model::Time block_comm_seconds(double mbps,
+                               const CalibrationConstants& constants) {
+  HMXP_REQUIRE(mbps > 0, "bandwidth must be positive");
+  const double bits = static_cast<double>(block_bytes(constants)) * 8.0;
+  return bits / (mbps * 1e6);
+}
+
+model::Time block_update_seconds(double gflops,
+                                 const CalibrationConstants& constants) {
+  HMXP_REQUIRE(gflops > 0, "compute rate must be positive");
+  const double q = static_cast<double>(constants.q);
+  return 2.0 * q * q * q / (gflops * 1e9);
+}
+
+model::BlockCount memory_blocks(double ram_mib, double usable_fraction,
+                                const CalibrationConstants& constants) {
+  HMXP_REQUIRE(ram_mib > 0, "memory must be positive");
+  HMXP_REQUIRE(usable_fraction > 0 && usable_fraction <= 1,
+               "usable fraction must be in (0, 1]");
+  const double bytes = ram_mib * 1024.0 * 1024.0 * usable_fraction;
+  return static_cast<model::BlockCount>(
+      std::floor(bytes / static_cast<double>(block_bytes(constants))));
+}
+
+WorkerSpec calibrate(const PhysicalSpec& spec,
+                     const CalibrationConstants& constants) {
+  WorkerSpec worker;
+  worker.c = block_comm_seconds(spec.mbps, constants);
+  worker.w = block_update_seconds(spec.gflops, constants);
+  worker.m = memory_blocks(spec.ram_mib, spec.usable_fraction, constants);
+  worker.label = spec.label;
+  return worker;
+}
+
+}  // namespace hmxp::platform

@@ -1,0 +1,49 @@
+// Generators for every platform family of section 6.
+//
+// Base worker (all experiments): 100 Mbps link, 2.4 GFlop/s, 512 MiB —
+// see calibration.hpp for why 100 Mbps. Except where stated, platforms
+// have eight workers plus the (implicit) master, as in the paper.
+#pragma once
+
+#include "platform/calibration.hpp"
+#include "platform/platform.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp::platform {
+
+/// Memory-heterogeneous platform of Fig. 4: uniform links and speeds,
+/// memories {2 x 256 MiB, 4 x 512 MiB, 2 x 1024 MiB}.
+Platform hetero_memory(const CalibrationConstants& constants = {});
+
+/// Link-heterogeneous platform of Fig. 5: uniform speeds and memories,
+/// links in the paper's 10:5:1 ratio {2 fast, 4 medium, 2 slow}.
+Platform hetero_links(const CalibrationConstants& constants = {});
+
+/// Compute-heterogeneous platform of Fig. 6: uniform links and memories,
+/// speeds {2 x S, 4 x S/2, 2 x S/4}.
+Platform hetero_compute(const CalibrationConstants& constants = {});
+
+/// Fully heterogeneous platform of Fig. 7 (first two columns): each of
+/// link, speed and memory takes two values whose ratio is `ratio`
+/// (2 or 4 in the paper); the eight workers enumerate the 2^3 combos.
+Platform fully_hetero(double ratio, const CalibrationConstants& constants = {});
+
+/// Random platform of Fig. 7 (last ten columns): per-worker link, speed
+/// and memory drawn uniformly with max/min ratio up to 4.
+Platform random_platform(util::Rng& rng, int p = 8,
+                         const CalibrationConstants& constants = {});
+
+/// The real 20-worker Lyon platform, August 2007 configuration
+/// (section 6.3 "Real platform"): four homogeneous groups of five,
+/// {P4 2.4 GHz, Xeon 2.4 GHz, Xeon 2.6 GHz, P4 2.8 GHz}, all with 1 GiB.
+Platform real_platform_aug2007(const CalibrationConstants& constants = {});
+
+/// November 2006 configuration: same processors, but the 5013-GM and
+/// IDE250W groups still had 256 MiB.
+Platform real_platform_nov2006(const CalibrationConstants& constants = {});
+
+/// Base physical spec shared by the synthetic families (exposed so tests
+/// and benches can derive expectations from it).
+PhysicalSpec base_spec();
+
+}  // namespace hmxp::platform

@@ -1,0 +1,94 @@
+#include "platform/platform.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace hmxp::platform {
+
+model::BlockCount WorkerSpec::mu() const {
+  return model::double_buffered_mu(m);
+}
+
+model::BlockCount WorkerSpec::beta() const { return model::toledo_beta(m); }
+
+Platform::Platform(std::string name, std::vector<WorkerSpec> workers)
+    : name_(std::move(name)), workers_(std::move(workers)) {
+  HMXP_REQUIRE(!workers_.empty(), "platform needs at least one worker");
+  for (const WorkerSpec& worker : workers_) {
+    HMXP_REQUIRE(worker.c > 0, "worker bandwidth cost must be positive");
+    HMXP_REQUIRE(worker.w > 0, "worker compute cost must be positive");
+    HMXP_REQUIRE(worker.m >= 5,
+                 "worker memory must hold at least 5 blocks (mu = 1 layout)");
+  }
+  original_indices_.resize(workers_.size());
+  std::iota(original_indices_.begin(), original_indices_.end(), 0);
+}
+
+Platform Platform::homogeneous(int p, model::Time c, model::Time w,
+                               model::BlockCount m) {
+  HMXP_REQUIRE(p >= 1, "need at least one worker");
+  std::vector<WorkerSpec> workers(static_cast<std::size_t>(p),
+                                  WorkerSpec{c, w, m, "worker"});
+  return Platform("homogeneous", std::move(workers));
+}
+
+const WorkerSpec& Platform::worker(int i) const {
+  HMXP_REQUIRE(i >= 0 && i < size(), "worker index out of range");
+  return workers_[static_cast<std::size_t>(i)];
+}
+
+bool Platform::is_homogeneous() const {
+  for (const WorkerSpec& worker : workers_) {
+    if (worker.c != workers_.front().c || worker.w != workers_.front().w ||
+        worker.m != workers_.front().m)
+      return false;
+  }
+  return true;
+}
+
+Platform Platform::subset(const std::vector<int>& indices,
+                          const std::string& name) const {
+  HMXP_REQUIRE(!indices.empty(), "subset needs at least one worker");
+  std::vector<WorkerSpec> chosen;
+  std::vector<int> mapping;
+  chosen.reserve(indices.size());
+  for (int index : indices) {
+    HMXP_REQUIRE(index >= 0 && index < size(), "subset index out of range");
+    chosen.push_back(workers_[static_cast<std::size_t>(index)]);
+    mapping.push_back(original_indices_[static_cast<std::size_t>(index)]);
+  }
+  Platform result(name, std::move(chosen));
+  result.original_indices_ = std::move(mapping);
+  return result;
+}
+
+int Platform::original_index(int i) const {
+  HMXP_REQUIRE(i >= 0 && i < size(), "worker index out of range");
+  return original_indices_[static_cast<std::size_t>(i)];
+}
+
+std::vector<model::SteadyWorker> Platform::steady_workers() const {
+  std::vector<model::SteadyWorker> result;
+  result.reserve(workers_.size());
+  for (const WorkerSpec& worker : workers_)
+    result.push_back(model::SteadyWorker{worker.c, worker.w, worker.mu()});
+  return result;
+}
+
+std::string Platform::to_string() const {
+  std::ostringstream os;
+  os << "Platform '" << name_ << "' (" << size() << " workers)\n";
+  for (int i = 0; i < size(); ++i) {
+    const WorkerSpec& w = worker(i);
+    os << "  P" << (i + 1) << ": c=" << w.c << " s/block, w=" << w.w
+       << " s/update, m=" << w.m << " blocks (mu=" << w.mu()
+       << ", beta=" << w.beta() << ")";
+    if (!w.label.empty()) os << "  [" << w.label << "]";
+    os << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace hmxp::platform

@@ -1,0 +1,68 @@
+// The star platform of section 2: a master P0 with no processing
+// capability and p workers P1..Pp, each described by
+//   c_i  seconds of master-port time per q x q block sent or received,
+//   w_i  seconds per block update C_ij += A_ik * B_kj,
+//   m_i  memory capacity in q x q block buffers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model/costs.hpp"
+#include "model/layout.hpp"
+#include "model/steady_state.hpp"
+
+namespace hmxp::platform {
+
+struct WorkerSpec {
+  model::Time c = 0.0;       // s/block on the link to the master
+  model::Time w = 0.0;       // s/block-update
+  model::BlockCount m = 0;   // buffers
+  std::string label;         // free-form, e.g. "P4-2.4GHz/1GB"
+
+  /// Chunk side this worker's memory supports under the double-buffered
+  /// layout (sections 4-5).
+  model::BlockCount mu() const;
+  /// Chunk side under Toledo's thirds layout (the BMM baseline).
+  model::BlockCount beta() const;
+
+  bool operator==(const WorkerSpec&) const = default;
+};
+
+class Platform {
+ public:
+  Platform() = default;
+  Platform(std::string name, std::vector<WorkerSpec> workers);
+
+  /// p identical workers (the fully homogeneous case of section 4).
+  static Platform homogeneous(int p, model::Time c, model::Time w,
+                              model::BlockCount m);
+
+  const std::string& name() const { return name_; }
+  int size() const { return static_cast<int>(workers_.size()); }
+  const WorkerSpec& worker(int i) const;
+  const std::vector<WorkerSpec>& workers() const { return workers_; }
+
+  bool is_homogeneous() const;
+
+  /// Restriction to a subset of workers (for Hom/HomI resource
+  /// selection); indices refer to this platform and are preserved in the
+  /// returned platform's `original_index` mapping.
+  Platform subset(const std::vector<int>& indices,
+                  const std::string& name) const;
+  /// For platforms built via subset(): index into the parent platform.
+  /// Identity for platforms built any other way.
+  int original_index(int i) const;
+
+  /// Conversion for the steady-state machinery of Table 1.
+  std::vector<model::SteadyWorker> steady_workers() const;
+
+  std::string to_string() const;
+
+ private:
+  std::string name_;
+  std::vector<WorkerSpec> workers_;
+  std::vector<int> original_indices_;
+};
+
+}  // namespace hmxp::platform

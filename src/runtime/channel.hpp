@@ -1,0 +1,63 @@
+// Bounded MPSC channel used for master-worker message passing in the
+// threaded runtime. The bound is semantically load-bearing: a worker's
+// operand channel has capacity prefetch_depth + 1, so a master pushing
+// past a worker's buffer capacity blocks -- the same "master waits for
+// the worker to free a buffer" rule the simulator's engine enforces.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+template <typename T>
+class Channel {
+ public:
+  explicit Channel(std::size_t capacity) : capacity_(capacity) {
+    HMXP_REQUIRE(capacity >= 1, "channel capacity must be positive");
+  }
+
+  /// Blocks while the channel is full; fails if the channel was closed.
+  void push(T value) {
+    std::unique_lock lock(mutex_);
+    not_full_.wait(lock, [&] { return queue_.size() < capacity_ || closed_; });
+    HMXP_CHECK(!closed_, "push on closed channel");
+    queue_.push_back(std::move(value));
+    not_empty_.notify_one();
+  }
+
+  /// Blocks until a value or close; nullopt means closed-and-drained.
+  std::optional<T> pop() {
+    std::unique_lock lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  /// Wakes all waiters; subsequent pops drain then return nullopt.
+  void close() {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace hmxp::runtime

@@ -1,0 +1,310 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+#include "core/algorithms.hpp"
+#include "matrix/gemm.hpp"
+#include "runtime/channel.hpp"
+#include "runtime/messages.hpp"
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+namespace {
+
+/// Element window of a block rectangle under a partition (edge blocks
+/// may be short, so the window is clipped to the matrix extents).
+struct Window {
+  std::size_t row0 = 0, row1 = 0, col0 = 0, col1 = 0;
+  std::size_t rows() const { return row1 - row0; }
+  std::size_t cols() const { return col1 - col0; }
+};
+
+Window c_window(const matrix::Partition& part, const matrix::BlockRect& rect) {
+  Window window;
+  window.row0 = rect.i0 * part.q();
+  window.row1 = rect.i1 == part.r() ? part.n_a() : rect.i1 * part.q();
+  window.col0 = rect.j0 * part.q();
+  window.col1 = rect.j1 == part.s() ? part.n_b() : rect.j1 * part.q();
+  return window;
+}
+
+std::vector<double> copy_window(const matrix::Matrix& source, std::size_t row0,
+                                std::size_t row1, std::size_t col0,
+                                std::size_t col1) {
+  std::vector<double> data((row1 - row0) * (col1 - col0));
+  matrix::View dst(data.data(), row1 - row0, col1 - col0, col1 - col0);
+  matrix::copy_into(source.window(row0, col0, row1 - row0, col1 - col0), dst);
+  return data;
+}
+
+/// Per-worker thread: consumes chunk and operand messages, performs the
+/// real block updates, returns finished chunks.
+class WorkerThread {
+ public:
+  WorkerThread(int index, std::size_t operand_capacity, int slowdown,
+               std::size_t* updates_slot)
+      : index_(index),
+        inbox_(operand_capacity),
+        outbox_(1),
+        slowdown_(slowdown),
+        updates_slot_(updates_slot) {}
+
+  Channel<WorkerMessage>& inbox() { return inbox_; }
+  Channel<ResultMessage>& outbox() { return outbox_; }
+
+  void start() {
+    thread_ = std::thread([this] { run(); });
+  }
+  void join() {
+    inbox_.close();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    // A worker never propagates: on an internal error it closes its
+    // outbox so the master's next pop fails its own invariant check and
+    // unwinds through the cleanup path. Validated decision logs cannot
+    // reach this.
+    try {
+      while (auto message = inbox_.pop()) {
+        if (std::holds_alternative<ChunkMessage>(*message)) {
+          HMXP_CHECK(!chunk_.has_value(), "worker received chunk mid-chunk");
+          chunk_ = std::get<ChunkMessage>(std::move(*message));
+          steps_done_ = 0;
+        } else {
+          process(std::get<OperandMessage>(std::move(*message)));
+        }
+      }
+    } catch (...) {
+      outbox_.close();
+    }
+  }
+
+  void process(OperandMessage&& operands) {
+    HMXP_CHECK(chunk_.has_value(), "operands before chunk");
+    ChunkMessage& chunk = *chunk_;
+    HMXP_CHECK(operands.step == steps_done_, "operand step out of order");
+
+    const std::size_t rows = chunk.element_rows;
+    const std::size_t cols = chunk.element_cols;
+    const std::size_t kk = operands.k_elems;
+    matrix::ConstView a(operands.a.data(), rows, kk, kk);
+    matrix::ConstView b(operands.b.data(), kk, cols, cols);
+    matrix::View c(chunk.c.data(), rows, cols, cols);
+    matrix::gemm_tiled(a, b, c);
+
+    // Emulated slowdown: redo the same product into scratch, discarding
+    // the result, exactly like the paper's artificial deceleration.
+    if (slowdown_ > 1) {
+      std::vector<double> scratch(rows * cols, 0.0);
+      matrix::View sink(scratch.data(), rows, cols, cols);
+      for (int rep = 1; rep < slowdown_; ++rep)
+        matrix::gemm_tiled(a, b, sink);
+    }
+
+    *updates_slot_ += static_cast<std::size_t>(
+        chunk.plan.steps[operands.step].updates);
+    ++steps_done_;
+    if (steps_done_ == chunk.plan.steps.size()) {
+      ResultMessage result;
+      result.plan = chunk.plan;
+      result.element_rows = rows;
+      result.element_cols = cols;
+      result.c = std::move(chunk.c);
+      result.updates_performed = steps_done_;
+      chunk_.reset();
+      outbox_.push(std::move(result));
+    }
+  }
+
+  int index_;
+  Channel<WorkerMessage> inbox_;
+  Channel<ResultMessage> outbox_;
+  int slowdown_;
+  std::size_t* updates_slot_;
+  std::optional<ChunkMessage> chunk_;
+  std::size_t steps_done_ = 0;
+  std::thread thread_;
+};
+
+}  // namespace
+
+ExecutorReport execute(const platform::Platform& platform,
+                       const matrix::Partition& partition,
+                       const std::vector<sim::Decision>& decisions,
+                       const matrix::Matrix& a, const matrix::Matrix& b,
+                       matrix::Matrix& c, const ExecutorOptions& options) {
+  HMXP_REQUIRE(a.rows() == partition.n_a() && a.cols() == partition.n_ab(),
+               "A shape does not match the partition");
+  HMXP_REQUIRE(b.rows() == partition.n_ab() && b.cols() == partition.n_b(),
+               "B shape does not match the partition");
+  HMXP_REQUIRE(c.rows() == partition.n_a() && c.cols() == partition.n_b(),
+               "C shape does not match the partition");
+  HMXP_REQUIRE(options.compute_slowdown.empty() ||
+                   options.compute_slowdown.size() ==
+                       static_cast<std::size_t>(platform.size()),
+               "slowdown vector must cover every worker");
+
+  const auto wall_begin = std::chrono::steady_clock::now();
+  matrix::Matrix reference;
+  if (options.verify) {
+    reference = c;  // C_initial; reference product computed at the end
+  }
+
+  // Channel capacity per worker: chunk message + (prefetch + 1) operand
+  // batches, from the largest prefetch any of its chunks uses.
+  const auto worker_count = static_cast<std::size_t>(platform.size());
+  std::vector<int> prefetch(worker_count, 0);
+  for (const sim::Decision& decision : decisions) {
+    if (decision.kind == sim::Decision::Kind::kComm &&
+        decision.comm == sim::CommKind::kSendC) {
+      auto& slot = prefetch[static_cast<std::size_t>(decision.worker)];
+      slot = std::max(slot, decision.chunk.prefetch_depth);
+    }
+  }
+
+  ExecutorReport report;
+  report.updates_per_worker.assign(worker_count, 0);
+
+  std::vector<std::unique_ptr<WorkerThread>> workers;
+  workers.reserve(worker_count);
+  for (std::size_t i = 0; i < worker_count; ++i) {
+    const int slowdown = options.compute_slowdown.empty()
+                             ? 1
+                             : options.compute_slowdown[i];
+    HMXP_REQUIRE(slowdown >= 1, "slowdown factors must be >= 1");
+    const std::size_t capacity =
+        1 + static_cast<std::size_t>(prefetch[i]) + 1;
+    workers.push_back(std::make_unique<WorkerThread>(
+        static_cast<int>(i), capacity, slowdown,
+        &report.updates_per_worker[i]));
+    workers.back()->start();
+  }
+
+  // Master replica of each worker's plan progression, to know which step
+  // an operand decision refers to.
+  struct MasterView {
+    std::optional<sim::ChunkPlan> plan;
+    Window window;
+    std::size_t steps_sent = 0;
+  };
+  std::vector<MasterView> views(worker_count);
+
+  // Any protocol violation below must still join the worker threads
+  // before propagating, or thread destructors terminate the process.
+  const auto join_all = [&workers] {
+    for (auto& worker : workers) worker->join();
+  };
+
+  const std::size_t q = partition.q();
+  try {
+  for (const sim::Decision& decision : decisions) {
+    HMXP_CHECK(decision.kind == sim::Decision::Kind::kComm,
+               "decision log may only contain communications");
+    const auto w = static_cast<std::size_t>(decision.worker);
+    HMXP_CHECK(w < worker_count, "decision for unknown worker");
+    MasterView& view = views[w];
+
+    switch (decision.comm) {
+      case sim::CommKind::kSendC: {
+        HMXP_CHECK(!view.plan.has_value(), "SendC while chunk outstanding");
+        const Window window = c_window(partition, decision.chunk.rect);
+        ChunkMessage message;
+        message.plan = decision.chunk;
+        message.element_rows = window.rows();
+        message.element_cols = window.cols();
+        message.c = copy_window(c, window.row0, window.row1, window.col0,
+                                window.col1);
+        workers[w]->inbox().push(std::move(message));
+        view.plan = decision.chunk;
+        view.window = window;
+        view.steps_sent = 0;
+        break;
+      }
+      case sim::CommKind::kSendAB: {
+        HMXP_CHECK(view.plan.has_value(), "SendAB without a chunk");
+        HMXP_CHECK(view.steps_sent < view.plan->steps.size(),
+                   "SendAB past the last step");
+        const sim::StepPlan& step = view.plan->steps[view.steps_sent];
+        const std::size_t ek0 = step.k_begin * q;
+        const std::size_t ek1 =
+            step.k_end == partition.t() ? partition.n_ab() : step.k_end * q;
+        OperandMessage message;
+        message.step = view.steps_sent;
+        message.k_elem_begin = ek0;
+        message.k_elems = ek1 - ek0;
+        message.a =
+            copy_window(a, view.window.row0, view.window.row1, ek0, ek1);
+        message.b =
+            copy_window(b, ek0, ek1, view.window.col0, view.window.col1);
+        workers[w]->inbox().push(std::move(message));
+        ++view.steps_sent;
+        break;
+      }
+      case sim::CommKind::kRecvC: {
+        HMXP_CHECK(view.plan.has_value(), "RecvC without a chunk");
+        HMXP_CHECK(view.steps_sent == view.plan->steps.size(),
+                   "RecvC before all steps were sent");
+        auto result = workers[w]->outbox().pop();
+        HMXP_CHECK(result.has_value(), "worker closed before returning C");
+        HMXP_CHECK(result->element_rows == view.window.rows() &&
+                       result->element_cols == view.window.cols(),
+                   "returned chunk shape mismatch");
+        matrix::ConstView src(result->c.data(), result->element_rows,
+                              result->element_cols, result->element_cols);
+        matrix::View dst =
+            c.window(view.window.row0, view.window.col0, view.window.rows(),
+                     view.window.cols());
+        matrix::copy_into(src, dst);
+        ++report.chunks_processed;
+        view.plan.reset();
+        break;
+      }
+    }
+  }
+
+  } catch (...) {
+    join_all();
+    throw;
+  }
+
+  join_all();
+  for (const std::size_t updates : report.updates_per_worker)
+    report.updates_performed += updates;
+
+  const auto wall_end = std::chrono::steady_clock::now();
+  report.wall_seconds =
+      std::chrono::duration<double>(wall_end - wall_begin).count();
+
+  if (options.verify) {
+    matrix::gemm_parallel(a.view(), b.view(), reference.view());
+    report.max_abs_error = matrix::Matrix::max_abs_diff(c, reference);
+    if (report.max_abs_error > options.tolerance)
+      throw std::runtime_error(
+          "runtime verification failed: max |error| = " +
+          std::to_string(report.max_abs_error));
+    report.verified = true;
+  }
+  return report;
+}
+
+ExecutorReport run_on_data(const std::string& algorithm_name,
+                           const platform::Platform& platform,
+                           const matrix::Partition& partition,
+                           const matrix::Matrix& a, const matrix::Matrix& b,
+                           matrix::Matrix& c, const ExecutorOptions& options) {
+  const core::Algorithm algorithm = core::algorithm_from_name(algorithm_name);
+  std::unique_ptr<sim::Scheduler> scheduler =
+      core::make_scheduler(algorithm, platform, partition);
+  std::vector<sim::Decision> decisions;
+  sim::simulate(*scheduler, platform, partition, /*record_trace=*/false,
+                &decisions);
+  return execute(platform, partition, decisions, a, b, c, options);
+}
+
+}  // namespace hmxp::runtime

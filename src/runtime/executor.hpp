@@ -1,0 +1,72 @@
+// Threaded master-worker runtime: executes a scheduler's communication
+// sequence on real matrices, one std::thread per worker plus the calling
+// thread as the master.
+//
+// This is the in-process stand-in for the paper's MPI deployment:
+//  * the decision sequence comes from the same Scheduler code the
+//    simulator runs (for Het, the phase-2 replay log -- the paper's own
+//    two-phase structure);
+//  * the master owns A, B and C, extracts block panels into messages and
+//    folds returned C chunks back in (the "centralized data" hypothesis);
+//  * bounded channels enforce the worker-side buffer limits;
+//  * heterogeneity can be emulated as in the paper's experiments -- a
+//    worker computes each update `slowdown` times ("we ask a worker to
+//    compute a given matrix-product several times in order to slow down
+//    its computation capability").
+//
+// The runtime targets correctness demonstration and examples, not
+// timing experiments (wall time on one shared machine says nothing
+// about a star network; the simulator owns makespans).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "matrix/matrix.hpp"
+#include "matrix/partition.hpp"
+#include "platform/platform.hpp"
+#include "sim/engine.hpp"
+
+namespace hmxp::runtime {
+
+struct ExecutorOptions {
+  /// Per-worker compute repetition factors (>= 1); empty means all 1.
+  /// Entry i applies to worker i, mirroring the paper's slowdown trick.
+  std::vector<int> compute_slowdown;
+  /// Verify C against a reference product on completion (costly for
+  /// large matrices; on by default since the runtime exists to prove
+  /// schedules correct).
+  bool verify = true;
+  /// Numerical tolerance for verification (absolute, per element).
+  double tolerance = 1e-9;
+};
+
+struct ExecutorReport {
+  double wall_seconds = 0.0;
+  std::size_t chunks_processed = 0;
+  std::size_t updates_performed = 0;   // block updates across workers
+  std::vector<std::size_t> updates_per_worker;
+  bool verified = false;               // true iff verify ran and passed
+  double max_abs_error = 0.0;          // vs reference (when verify on)
+};
+
+/// Runs `decisions` (a log from sim::run) against real data:
+/// C += A * B with A (n_a x n_ab), B (n_ab x n_b), C (n_a x n_b) under
+/// `partition`. Throws std::logic_error on protocol violations and
+/// std::runtime_error if verification fails.
+ExecutorReport execute(const platform::Platform& platform,
+                       const matrix::Partition& partition,
+                       const std::vector<sim::Decision>& decisions,
+                       const matrix::Matrix& a, const matrix::Matrix& b,
+                       matrix::Matrix& c, const ExecutorOptions& options = {});
+
+/// Convenience: build the scheduler for `algorithm`, capture its
+/// decision log via simulation, then execute it on real data.
+ExecutorReport run_on_data(const std::string& algorithm_name,
+                           const platform::Platform& platform,
+                           const matrix::Partition& partition,
+                           const matrix::Matrix& a, const matrix::Matrix& b,
+                           matrix::Matrix& c,
+                           const ExecutorOptions& options = {});
+
+}  // namespace hmxp::runtime

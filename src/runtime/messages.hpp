@@ -1,0 +1,45 @@
+// Messages exchanged between the master thread and worker threads.
+// Payloads are dense copies of the covered element windows -- the worker
+// owns its copy, exactly like an MPI rank owns its receive buffer.
+#pragma once
+
+#include <cstddef>
+#include <variant>
+#include <vector>
+
+#include "matrix/partition.hpp"
+#include "sim/chunk.hpp"
+
+namespace hmxp::runtime {
+
+/// New C chunk: element data for plan.rect (row-major, rect rows of q
+/// elements each, edge blocks possibly short).
+struct ChunkMessage {
+  sim::ChunkPlan plan;
+  std::size_t element_rows = 0;   // elements, not blocks
+  std::size_t element_cols = 0;
+  std::vector<double> c;          // element_rows x element_cols
+};
+
+/// Operand batch for one step: the A panel (chunk rows x k-range) and
+/// the B panel (k-range x chunk cols).
+struct OperandMessage {
+  std::size_t step = 0;
+  std::size_t k_elem_begin = 0;   // element offset of the inner range
+  std::size_t k_elems = 0;        // inner extent in elements
+  std::vector<double> a;          // element_rows x k_elems
+  std::vector<double> b;          // k_elems x element_cols
+};
+
+/// Finished chunk heading home.
+struct ResultMessage {
+  sim::ChunkPlan plan;
+  std::size_t element_rows = 0;
+  std::size_t element_cols = 0;
+  std::vector<double> c;
+  std::size_t updates_performed = 0;
+};
+
+using WorkerMessage = std::variant<ChunkMessage, OperandMessage>;
+
+}  // namespace hmxp::runtime

@@ -1,0 +1,139 @@
+#include "sched/chunk_source.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+namespace {
+std::vector<model::BlockCount> default_widths(
+    const platform::Platform& platform, Layout layout) {
+  std::vector<model::BlockCount> widths;
+  widths.reserve(static_cast<std::size_t>(platform.size()));
+  for (const platform::WorkerSpec& worker : platform.workers()) {
+    switch (layout) {
+      case Layout::kDoubleBuffered:
+        widths.push_back(worker.mu());
+        break;
+      case Layout::kToledo:
+        widths.push_back(worker.beta());
+        break;
+      case Layout::kMaxReuse:
+        widths.push_back(model::max_reuse_mu(worker.m));
+        break;
+    }
+  }
+  return widths;
+}
+}  // namespace
+
+ChunkSource::ChunkSource(const platform::Platform& platform,
+                         const matrix::Partition& partition, Layout layout)
+    : platform_(&platform),
+      partition_(partition),
+      layout_(layout),
+      widths_(default_widths(platform, layout)),
+      groups_(static_cast<std::size_t>(platform.size())),
+      remaining_(partition.c_blocks()) {}
+
+ChunkSource::ChunkSource(const platform::Platform& platform,
+                         const matrix::Partition& partition, Layout layout,
+                         model::BlockCount uniform_width)
+    : platform_(&platform),
+      partition_(partition),
+      layout_(layout),
+      widths_(static_cast<std::size_t>(platform.size()), uniform_width),
+      groups_(static_cast<std::size_t>(platform.size())),
+      remaining_(partition.c_blocks()) {
+  HMXP_REQUIRE(uniform_width >= 1, "chunk width must be positive");
+}
+
+model::BlockCount ChunkSource::width(int worker) const {
+  HMXP_REQUIRE(worker >= 0 && worker < platform_->size(),
+               "worker index out of range");
+  return widths_[static_cast<std::size_t>(worker)];
+}
+
+std::optional<matrix::BlockRect> ChunkSource::carve(
+    int worker, Group& group, std::size_t& next_col) const {
+  const auto mu = static_cast<std::size_t>(width(worker));
+  if (!group.open() || group.next_row >= partition_.r()) {
+    // Claim a fresh column group.
+    if (next_col >= partition_.s()) return std::nullopt;
+    group.j0 = next_col;
+    group.j1 = std::min(next_col + mu, partition_.s());
+    group.next_row = 0;
+    next_col = group.j1;
+  }
+  // Balanced row slicing: the group's r rows split into ceil(r/mu)
+  // nearly equal slices rather than mu-tall slices plus a sliver. A
+  // sliver chunk (e.g. 11 rows when r = 100, mu = 89) carries almost no
+  // work per operand batch, so every work-per-port-time heuristic
+  // starves it until the drain phase, where its t serialized batches
+  // extend the makespan; balanced slices keep every chunk's
+  // work-to-communication ratio comparable. Each slice still fits the
+  // worker's memory (height <= mu).
+  const std::size_t r = partition_.r();
+  const std::size_t slices = (r + mu - 1) / mu;
+  const std::size_t base = r / slices;
+  const std::size_t extra = r % slices;
+  const auto slice_begin = [&](std::size_t k) {
+    return k * base + std::min(k, extra);
+  };
+  std::size_t k = 0;
+  while (k < slices && slice_begin(k) < group.next_row) ++k;
+  HMXP_CHECK(k < slices && slice_begin(k) == group.next_row,
+             "row slicing misaligned");
+
+  matrix::BlockRect rect;
+  rect.i0 = group.next_row;
+  rect.i1 = std::min(slice_begin(k + 1), r);
+  rect.j0 = group.j0;
+  rect.j1 = group.j1;
+  group.next_row = rect.i1;
+  return rect;
+}
+
+sim::ChunkPlan ChunkSource::to_plan(int worker,
+                                    const matrix::BlockRect& rect) const {
+  switch (layout_) {
+    case Layout::kDoubleBuffered:
+      return sim::make_double_buffered_chunk(rect, partition_.t());
+    case Layout::kToledo:
+      return sim::make_toledo_chunk(rect, partition_.t(),
+                                    platform_->worker(worker).beta());
+    case Layout::kMaxReuse:
+      return sim::make_max_reuse_chunk(rect, partition_.t());
+  }
+  HMXP_CHECK(false, "unreachable");
+  return {};
+}
+
+std::optional<sim::ChunkPlan> ChunkSource::next_chunk(int worker) {
+  HMXP_REQUIRE(worker >= 0 && worker < platform_->size(),
+               "worker index out of range");
+  Group& group = groups_[static_cast<std::size_t>(worker)];
+  const auto rect = carve(worker, group, next_col_);
+  if (!rect) return std::nullopt;
+  remaining_ -= rect->count();
+  return to_plan(worker, *rect);
+}
+
+std::optional<sim::ChunkPlan> ChunkSource::peek_chunk(int worker) const {
+  HMXP_REQUIRE(worker >= 0 && worker < platform_->size(),
+               "worker index out of range");
+  Group group = groups_[static_cast<std::size_t>(worker)];
+  std::size_t next_col = next_col_;
+  const auto rect = carve(worker, group, next_col);
+  if (!rect) return std::nullopt;
+  return to_plan(worker, *rect);
+}
+
+bool ChunkSource::has_work() const { return remaining_ > 0; }
+
+bool ChunkSource::has_work_for(int worker) const {
+  return peek_chunk(worker).has_value();
+}
+
+}  // namespace hmxp::sched

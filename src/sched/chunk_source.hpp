@@ -1,0 +1,80 @@
+// Chunk carving: turns the global C matrix into per-worker chunks.
+//
+// Following section 5, workers are assigned *full block columns*: when a
+// worker needs work it owns a "column group" as wide as its chunk side
+// (mu_i, or beta_i for the Toledo layout) and consumes it top to bottom
+// in chunk-side-tall slices; only when the group is exhausted does it
+// claim the next group of columns. This is the global partitioning rule
+// all schedulers share (the paper applies it to every algorithm "in
+// order to simplify the global partitioning of matrix C").
+//
+// ChunkSource is a value type: the Het look-ahead copies it alongside
+// the engine to evaluate hypothetical futures.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "matrix/partition.hpp"
+#include "platform/platform.hpp"
+#include "sim/chunk.hpp"
+
+namespace hmxp::sched {
+
+enum class Layout {
+  kDoubleBuffered,  // the paper's layout, chunk side mu_i
+  kToledo,          // thirds layout (BMM baseline), chunk side beta_i
+  kMaxReuse         // section 3 single-worker layout, chunk side from
+                    // 1 + mu + mu^2 <= m, streaming A
+};
+
+class ChunkSource {
+ public:
+  /// Widths default to each worker's layout-implied chunk side; a
+  /// uniform override (the homogeneous algorithm's virtual mu) may be
+  /// supplied instead.
+  ChunkSource(const platform::Platform& platform,
+              const matrix::Partition& partition, Layout layout);
+  ChunkSource(const platform::Platform& platform,
+              const matrix::Partition& partition, Layout layout,
+              model::BlockCount uniform_width);
+
+  /// Next chunk for the worker, committing the carve; nullopt when all
+  /// of C has been handed out.
+  std::optional<sim::ChunkPlan> next_chunk(int worker);
+
+  /// Same chunk without committing (for candidate evaluation).
+  std::optional<sim::ChunkPlan> peek_chunk(int worker) const;
+
+  /// True while any C block remains uncarved (globally or in an open
+  /// column group).
+  bool has_work() const;
+  /// True if next_chunk(worker) would produce a chunk.
+  bool has_work_for(int worker) const;
+
+  /// Blocks not yet carved.
+  std::size_t remaining_blocks() const { return remaining_; }
+
+  model::BlockCount width(int worker) const;
+
+ private:
+  struct Group {
+    std::size_t j0 = 0, j1 = 0;  // column range
+    std::size_t next_row = 0;    // rows [0, next_row) already carved
+    bool open() const { return j1 > j0; }
+  };
+
+  const platform::Platform* platform_;
+  matrix::Partition partition_;
+  Layout layout_;
+  std::vector<model::BlockCount> widths_;  // carve width per worker
+  std::vector<Group> groups_;              // active column group per worker
+  std::size_t next_col_ = 0;               // first unallocated column
+  std::size_t remaining_ = 0;
+
+  std::optional<matrix::BlockRect> carve(int worker, Group& group,
+                                         std::size_t& next_col) const;
+  sim::ChunkPlan to_plan(int worker, const matrix::BlockRect& rect) const;
+};
+
+}  // namespace hmxp::sched

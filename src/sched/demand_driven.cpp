@@ -1,0 +1,96 @@
+#include "sched/demand_driven.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+namespace {
+constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
+
+/// Kind priority for tie-breaks: results first (frees a worker), then
+/// new chunks, then operand batches. Ranking enrollment above feeding
+/// makes demand-driven algorithms enroll every idle worker as soon as
+/// the port can serve it -- the paper's ORROML/ODDOML/BMM "do not make
+/// any resource selection" and always use the whole platform.
+int kind_rank(sim::CommKind kind) {
+  switch (kind) {
+    case sim::CommKind::kRecvC: return 0;
+    case sim::CommKind::kSendC: return 1;
+    case sim::CommKind::kSendAB: return 2;
+  }
+  return 3;
+}
+}  // namespace
+
+DemandDrivenScheduler::DemandDrivenScheduler(std::string name,
+                                             ChunkSource source)
+    : name_(std::move(name)), source_(std::move(source)) {}
+
+sim::Decision DemandDrivenScheduler::next(const sim::Engine& engine) {
+  model::Time best_start = kNever;
+  int best_rank = 4;
+  int best_worker = -1;
+  sim::CommKind best_kind = sim::CommKind::kSendC;
+
+  for (int worker = 0; worker < engine.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = engine.progress(worker);
+    sim::CommKind kind;
+    model::Time start;
+    if (!state.has_chunk) {
+      if (!source_.has_work_for(worker)) continue;
+      kind = sim::CommKind::kSendC;
+      start = engine.earliest_start(worker, kind);
+    } else if (state.steps_received < state.chunk.steps.size()) {
+      kind = sim::CommKind::kSendAB;
+      start = engine.earliest_start(worker, kind);
+    } else {
+      kind = sim::CommKind::kRecvC;
+      start = engine.earliest_start(worker, kind);
+    }
+    const int rank = kind_rank(kind);
+    if (start < best_start - 1e-12 ||
+        (start < best_start + 1e-12 &&
+         (rank < best_rank ||
+          (rank == best_rank && best_worker != -1 && worker < best_worker)))) {
+      best_start = start;
+      best_rank = rank;
+      best_worker = worker;
+      best_kind = kind;
+    }
+  }
+
+  if (best_worker < 0) {
+    HMXP_CHECK(engine.all_work_done(),
+               "demand-driven found no action but work remains");
+    return sim::Decision::done();
+  }
+  switch (best_kind) {
+    case sim::CommKind::kSendC: {
+      auto plan = source_.next_chunk(best_worker);
+      HMXP_CHECK(plan.has_value(), "chunk vanished between peek and carve");
+      return sim::Decision::send_chunk(best_worker, std::move(*plan));
+    }
+    case sim::CommKind::kSendAB:
+      return sim::Decision::send_operands(best_worker);
+    case sim::CommKind::kRecvC:
+      return sim::Decision::recv_result(best_worker);
+  }
+  HMXP_CHECK(false, "unreachable");
+  return sim::Decision::done();
+}
+
+DemandDrivenScheduler make_oddoml(const platform::Platform& platform,
+                                  const matrix::Partition& partition) {
+  return DemandDrivenScheduler(
+      "ODDOML", ChunkSource(platform, partition, Layout::kDoubleBuffered));
+}
+
+DemandDrivenScheduler make_bmm(const platform::Platform& platform,
+                               const matrix::Partition& partition) {
+  return DemandDrivenScheduler(
+      "BMM", ChunkSource(platform, partition, Layout::kToledo));
+}
+
+}  // namespace hmxp::sched

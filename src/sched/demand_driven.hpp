@@ -1,0 +1,42 @@
+// Demand-driven scheduling (section 6.2):
+//
+//  * ODDOML -- the paper's memory layout (per-worker mu_i with double
+//    buffering): "one sends the next block to the first worker which can
+//    receive it". No resource selection: any idle worker gets a chunk.
+//  * BMM -- Toledo's algorithm: thirds memory layout (beta_i x beta_i
+//    panels, no prefetch buffers), demand-driven order: a worker
+//    receives a C panel, then corresponding A and B panels until C is
+//    fully computed, then returns it.
+//
+// Both pick, whenever the port frees, the action that can START
+// earliest; ties break by action kind (collect finished results first,
+// then feed operand batches, then start new chunks) and then by worker
+// index ("the first worker").
+#pragma once
+
+#include "sched/chunk_source.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+
+class DemandDrivenScheduler : public sim::Scheduler {
+ public:
+  DemandDrivenScheduler(std::string name, ChunkSource source);
+
+  std::string name() const override { return name_; }
+  sim::Decision next(const sim::Engine& engine) override;
+
+ private:
+  std::string name_;
+  ChunkSource source_;
+};
+
+/// ODDOML: demand-driven on the paper's layout.
+DemandDrivenScheduler make_oddoml(const platform::Platform& platform,
+                                  const matrix::Partition& partition);
+
+/// BMM: demand-driven on Toledo's thirds layout.
+DemandDrivenScheduler make_bmm(const platform::Platform& platform,
+                               const matrix::Partition& partition);
+
+}  // namespace hmxp::sched

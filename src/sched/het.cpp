@@ -1,0 +1,39 @@
+#include "sched/het.hpp"
+
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+HetSelection select_het(const platform::Platform& platform,
+                        const matrix::Partition& partition) {
+  HetSelection selection;
+  selection.predicted_makespan = std::numeric_limits<model::Time>::infinity();
+
+  for (const HetVariant& variant : all_het_variants()) {
+    IncrementalScheduler scheduler(platform, partition, variant);
+    std::vector<sim::Decision> decisions;
+    const sim::RunResult result = sim::simulate(
+        scheduler, platform, partition, /*record_trace=*/false, &decisions);
+    selection.variant_makespans.push_back(result.makespan);
+    if (result.makespan < selection.predicted_makespan) {
+      selection.predicted_makespan = result.makespan;
+      selection.variant = variant;
+      selection.decisions = std::move(decisions);
+    }
+  }
+  HMXP_CHECK(!selection.decisions.empty(), "Het selection produced no plan");
+  return selection;
+}
+
+sim::ReplayScheduler make_het(const platform::Platform& platform,
+                              const matrix::Partition& partition,
+                              HetSelection* selection_out) {
+  HetSelection selection = select_het(platform, partition);
+  std::vector<sim::Decision> decisions = selection.decisions;
+  if (selection_out != nullptr) *selection_out = std::move(selection);
+  return sim::ReplayScheduler("Het", std::move(decisions));
+}
+
+}  // namespace hmxp::sched

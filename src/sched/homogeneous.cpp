@@ -1,0 +1,50 @@
+#include "sched/homogeneous.hpp"
+
+#include <numeric>
+
+#include "model/costs.hpp"
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+model::BlockCount HomogeneousParams::mu() const {
+  return model::double_buffered_mu(m);
+}
+
+int HomogeneousParams::enrollment(int available) const {
+  return model::homogeneous_enrollment(available, mu(), c, w);
+}
+
+RoundRobinScheduler make_homogeneous(const platform::Platform& platform,
+                                     const matrix::Partition& partition) {
+  HMXP_REQUIRE(platform.is_homogeneous(),
+               "make_homogeneous needs a homogeneous platform; use "
+               "make_homogeneous_on with explicit parameters otherwise");
+  const platform::WorkerSpec& spec = platform.worker(0);
+  HomogeneousParams params{spec.c, spec.w, spec.m};
+  std::vector<int> all(static_cast<std::size_t>(platform.size()));
+  std::iota(all.begin(), all.end(), 0);
+  return make_homogeneous_on("Homogeneous", platform, partition, params, all);
+}
+
+RoundRobinScheduler make_homogeneous_on(
+    std::string name, const platform::Platform& platform,
+    const matrix::Partition& partition, const HomogeneousParams& params,
+    const std::vector<int>& candidates) {
+  HMXP_REQUIRE(!candidates.empty(), "no candidate workers");
+  for (int worker : candidates) {
+    HMXP_REQUIRE(worker >= 0 && worker < platform.size(),
+                 "candidate index out of range");
+    HMXP_REQUIRE(platform.worker(worker).m >= params.m,
+                 "candidate has less memory than the virtual platform");
+  }
+  const int p = params.enrollment(static_cast<int>(candidates.size()));
+  std::vector<int> enrolled(candidates.begin(),
+                            candidates.begin() + p);
+  ChunkSource source(platform, partition, Layout::kDoubleBuffered,
+                     params.mu());
+  return RoundRobinScheduler(std::move(name), std::move(enrolled),
+                             std::move(source));
+}
+
+}  // namespace hmxp::sched

@@ -1,0 +1,42 @@
+// The homogeneous algorithm of section 4 (Algorithms 1 and 2).
+//
+// Given per-worker parameters (c, w, m) assumed identical:
+//   * mu = largest integer with mu^2 + 4mu <= m (double buffering),
+//   * P  = min(p, ceil(mu w / 2c)) workers enrolled -- the smallest
+//     count saturating the master port while keeping workers busy,
+//   * chunks of mu x mu C blocks distributed round-robin, operand
+//     batches interleaved per k across the P workers, C I/O
+//     sequentialized with compute.
+#pragma once
+
+#include "sched/round_robin.hpp"
+
+namespace hmxp::sched {
+
+/// Parameters of the (possibly virtual) homogeneous platform a
+/// homogeneous schedule is derived from.
+struct HomogeneousParams {
+  model::Time c = 0.0;
+  model::Time w = 0.0;
+  model::BlockCount m = 0;
+
+  model::BlockCount mu() const;
+  /// Enrollment P over `available` candidate workers.
+  int enrollment(int available) const;
+};
+
+/// Builds the section 4 schedule for a truly homogeneous platform
+/// (params taken from the first worker; REQUIREs homogeneity).
+RoundRobinScheduler make_homogeneous(const platform::Platform& platform,
+                                     const matrix::Partition& partition);
+
+/// Builds a homogeneous schedule over an arbitrary platform using the
+/// supplied virtual parameters and candidate workers (used by Hom and
+/// HomI after virtual-platform selection). Enrolls the first
+/// params.enrollment(candidates.size()) candidates, in order.
+RoundRobinScheduler make_homogeneous_on(
+    std::string name, const platform::Platform& platform,
+    const matrix::Partition& partition, const HomogeneousParams& params,
+    const std::vector<int>& candidates);
+
+}  // namespace hmxp::sched

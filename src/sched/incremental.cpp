@@ -1,0 +1,191 @@
+#include "sched/incremental.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+namespace {
+constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
+}
+
+std::string HetVariant::name() const {
+  std::string name = global ? "het-global" : "het-local";
+  if (lookahead) name += "+la";
+  if (count_c_cost) name += "+ccost";
+  return name;
+}
+
+std::vector<HetVariant> all_het_variants() {
+  std::vector<HetVariant> variants;
+  for (const bool global : {true, false})
+    for (const bool lookahead : {false, true})
+      for (const bool ccost : {false, true})
+        variants.push_back(HetVariant{global, lookahead, ccost});
+  return variants;
+}
+
+IncrementalScheduler::IncrementalScheduler(const platform::Platform& platform,
+                                           const matrix::Partition& partition,
+                                           const HetVariant& variant)
+    : source_(platform, partition, Layout::kDoubleBuffered),
+      variant_(variant) {}
+
+std::vector<IncrementalScheduler::Candidate> IncrementalScheduler::enumerate(
+    const sim::Engine& engine, const ChunkSource& source) const {
+  std::vector<Candidate> candidates;
+  for (int worker = 0; worker < engine.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = engine.progress(worker);
+    if (state.has_chunk) {
+      if (state.steps_received >= state.chunk.steps.size()) continue;
+      Candidate candidate;
+      candidate.worker = worker;
+      candidate.kind = sim::CommKind::kSendAB;
+      candidate.delta_updates = static_cast<double>(
+          state.chunk.steps[state.steps_received].updates);
+      const model::Time start =
+          engine.earliest_start(worker, sim::CommKind::kSendAB);
+      candidate.end_eval =
+          start + engine.comm_duration(worker, sim::CommKind::kSendAB);
+      candidates.push_back(candidate);
+    } else {
+      const auto plan = source.peek_chunk(worker);
+      if (!plan) continue;
+      Candidate candidate;
+      candidate.worker = worker;
+      candidate.kind = sim::CommKind::kSendC;
+      candidate.delta_updates =
+          static_cast<double>(plan->steps.front().updates);
+      const model::Time start =
+          engine.earliest_start(worker, sim::CommKind::kSendC);
+      const platform::WorkerSpec& spec = engine.platform().worker(worker);
+      model::Time duration =
+          static_cast<double>(plan->steps.front().operand_blocks) * spec.c;
+      if (variant_.count_c_cost)
+        duration += static_cast<double>(plan->rect.count()) * spec.c;
+      candidate.end_eval = start + duration;
+      candidates.push_back(candidate);
+    }
+  }
+  return candidates;
+}
+
+double IncrementalScheduler::score(const Candidate& candidate,
+                                   double total_updates,
+                                   model::Time now) const {
+  if (variant_.global) {
+    HMXP_CHECK(candidate.end_eval > 0, "zero completion time");
+    return (total_updates + candidate.delta_updates) / candidate.end_eval;
+  }
+  const model::Time slice = candidate.end_eval - now;
+  HMXP_CHECK(slice > 0, "non-positive port slice");
+  return candidate.delta_updates / slice;
+}
+
+double IncrementalScheduler::lookahead_score(const Candidate& candidate,
+                                             const sim::Engine& engine,
+                                             model::Time now) const {
+  // Hypothetically execute the candidate on copies, then score the best
+  // follow-up with the same one-step criterion.
+  sim::Engine hypothetical = engine;
+  ChunkSource source_copy = source_;
+  if (candidate.kind == sim::CommKind::kSendC) {
+    auto plan = source_copy.next_chunk(candidate.worker);
+    HMXP_CHECK(plan.has_value(), "look-ahead chunk vanished");
+    hypothetical.execute(
+        sim::Decision::send_chunk(candidate.worker, std::move(*plan)));
+    hypothetical.execute(sim::Decision::send_operands(candidate.worker));
+  } else {
+    hypothetical.execute(sim::Decision::send_operands(candidate.worker));
+  }
+
+  const double updates_after =
+      static_cast<double>(hypothetical.updates_total());
+  const std::vector<Candidate> seconds =
+      enumerate(hypothetical, source_copy);
+  if (seconds.empty()) {
+    // Drained future: fall back to the one-step score.
+    return score(candidate, static_cast<double>(engine.updates_total()), now);
+  }
+  double best = -kNever;
+  for (const Candidate& second : seconds) {
+    double combined;
+    if (variant_.global) {
+      combined = (updates_after + second.delta_updates) / second.end_eval;
+    } else {
+      const model::Time slice = second.end_eval - now;
+      HMXP_CHECK(slice > 0, "non-positive look-ahead slice");
+      combined = (candidate.delta_updates + second.delta_updates) / slice;
+    }
+    best = std::max(best, combined);
+  }
+  return best;
+}
+
+sim::Decision IncrementalScheduler::next(const sim::Engine& engine) {
+  const model::Time now = engine.now();
+
+  // Collect any chunk already computed: the port loses nothing and the
+  // worker frees up for re-enrollment.
+  int ready_result = -1;
+  model::Time earliest_finish = kNever;
+  for (int worker = 0; worker < engine.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = engine.progress(worker);
+    if (state.has_chunk && state.chunk_computed(now)) {
+      const model::Time finish = state.chunk_compute_finish();
+      if (finish < earliest_finish) {
+        earliest_finish = finish;
+        ready_result = worker;
+      }
+    }
+  }
+  if (ready_result >= 0) return sim::Decision::recv_result(ready_result);
+
+  const std::vector<Candidate> candidates = enumerate(engine, source_);
+  if (candidates.empty()) {
+    // Drain: collect outstanding results in compute-completion order.
+    int pending = -1;
+    model::Time pending_finish = kNever;
+    for (int worker = 0; worker < engine.worker_count(); ++worker) {
+      const sim::WorkerProgress& state = engine.progress(worker);
+      if (state.has_chunk && state.all_steps_received()) {
+        const model::Time finish = state.chunk_compute_finish();
+        if (finish < pending_finish) {
+          pending_finish = finish;
+          pending = worker;
+        }
+      }
+    }
+    if (pending >= 0) return sim::Decision::recv_result(pending);
+    HMXP_CHECK(engine.all_work_done(),
+               "incremental scheduler stalled with work remaining");
+    return sim::Decision::done();
+  }
+
+  const double total_updates = static_cast<double>(engine.updates_total());
+  double best_score = -kNever;
+  const Candidate* best = nullptr;
+  for (const Candidate& candidate : candidates) {
+    const double candidate_score =
+        variant_.lookahead ? lookahead_score(candidate, engine, now)
+                           : score(candidate, total_updates, now);
+    if (candidate_score > best_score + 1e-15 ||
+        (best != nullptr && candidate_score > best_score - 1e-15 &&
+         candidate.worker < best->worker)) {
+      best_score = candidate_score;
+      best = &candidate;
+    }
+  }
+  HMXP_CHECK(best != nullptr, "no candidate selected");
+
+  if (best->kind == sim::CommKind::kSendC) {
+    auto plan = source_.next_chunk(best->worker);
+    HMXP_CHECK(plan.has_value(), "chunk vanished between peek and carve");
+    return sim::Decision::send_chunk(best->worker, std::move(*plan));
+  }
+  return sim::Decision::send_operands(best->worker);
+}
+
+}  // namespace hmxp::sched

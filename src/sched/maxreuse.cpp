@@ -1,0 +1,27 @@
+#include "sched/maxreuse.hpp"
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+MaxReuseScheduler::MaxReuseScheduler(const platform::Platform& platform,
+                                     const matrix::Partition& partition,
+                                     int worker)
+    : source_(platform, partition, Layout::kMaxReuse), worker_(worker) {
+  HMXP_REQUIRE(worker >= 0 && worker < platform.size(),
+               "worker index out of range");
+}
+
+sim::Decision MaxReuseScheduler::next(const sim::Engine& engine) {
+  const sim::WorkerProgress& state = engine.progress(worker_);
+  if (!state.has_chunk) {
+    auto plan = source_.next_chunk(worker_);
+    if (!plan) return sim::Decision::done();
+    return sim::Decision::send_chunk(worker_, std::move(*plan));
+  }
+  if (state.steps_received < state.chunk.steps.size())
+    return sim::Decision::send_operands(worker_);
+  return sim::Decision::recv_result(worker_);
+}
+
+}  // namespace hmxp::sched

@@ -1,0 +1,33 @@
+// The maximum re-use algorithm of section 3 (single worker).
+//
+// Memory layout: 1 buffer for A, mu for B, mu^2 for C with the largest
+// mu satisfying 1 + mu + mu^2 <= m. The master loads a mu x mu chunk of
+// C, then for each k sends the B row and streams the A column, the
+// worker updating as blocks arrive; the chunk is returned when its final
+// value is computed. Achieves CCR = 2/t + 2/mu, within sqrt(32/27) of
+// the paper's lower bound.
+#pragma once
+
+#include "sched/chunk_source.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+
+class MaxReuseScheduler final : public sim::Scheduler {
+ public:
+  /// Drives only `worker` (default the first); other platform workers
+  /// stay idle, matching the one-worker analysis.
+  MaxReuseScheduler(const platform::Platform& platform,
+                    const matrix::Partition& partition, int worker = 0);
+
+  std::string name() const override { return "MaxReuse"; }
+  sim::Decision next(const sim::Engine& engine) override;
+
+  model::BlockCount mu() const { return source_.width(worker_); }
+
+ private:
+  ChunkSource source_;
+  int worker_;
+};
+
+}  // namespace hmxp::sched

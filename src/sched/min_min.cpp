@@ -1,0 +1,107 @@
+#include "sched/min_min.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+namespace {
+constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
+}
+
+MinMinScheduler::MinMinScheduler(const platform::Platform& platform,
+                                 const matrix::Partition& partition)
+    : source_(platform, partition, Layout::kDoubleBuffered) {}
+
+model::Time MinMinScheduler::estimate_chunk_finish(
+    const sim::Engine& engine, int worker, const sim::ChunkPlan& plan,
+    model::Time start) const {
+  const platform::WorkerSpec& spec = engine.platform().worker(worker);
+  const double chunk_blocks = static_cast<double>(plan.rect.count());
+  model::Time time = start + chunk_blocks * spec.c;  // C in
+  model::Time compute_done = time;
+  for (const sim::StepPlan& step : plan.steps) {
+    // Operand transfers and compute overlap (double buffering): the
+    // worker finishes a step at the max of data arrival and CPU
+    // availability plus the update time.
+    time += static_cast<double>(step.operand_blocks) * spec.c;
+    compute_done = std::max(compute_done, time) +
+                   static_cast<double>(step.updates) * spec.w;
+  }
+  return std::max(time, compute_done) + chunk_blocks * spec.c;  // C out
+}
+
+sim::Decision MinMinScheduler::next(const sim::Engine& engine) {
+  model::Time best_finish = kNever;
+  int best_worker = -1;
+  sim::CommKind best_kind = sim::CommKind::kSendC;
+
+  for (int worker = 0; worker < engine.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = engine.progress(worker);
+    const platform::WorkerSpec& spec = engine.platform().worker(worker);
+    sim::CommKind kind;
+    model::Time finish;
+
+    if (!state.has_chunk) {
+      if (!source_.has_work_for(worker)) continue;
+      // Min-min schedules block by block: the candidate "task" for an
+      // idle worker is its C-chunk transfer, and its finish time is the
+      // end of that transfer. (Estimating the whole chunk's lifetime
+      // here would compare a ~chunk-long horizon against single-batch
+      // horizons of busy workers and never enroll anyone.)
+      kind = sim::CommKind::kSendC;
+      const auto plan = source_.peek_chunk(worker);
+      const model::Time start = engine.earliest_start(worker, kind);
+      finish = start + static_cast<double>(plan->rect.count()) * spec.c;
+    } else if (state.steps_received < state.chunk.steps.size()) {
+      kind = sim::CommKind::kSendAB;
+      const std::size_t n = state.steps_received;
+      const sim::StepPlan& step = state.chunk.steps[n];
+      const model::Time start = engine.earliest_start(worker, kind);
+      const model::Time arrival =
+          start + static_cast<double>(step.operand_blocks) * spec.c;
+      const model::Time cpu_free =
+          n == 0 ? state.chunk_arrival : state.compute_end[n - 1];
+      finish = std::max(arrival, cpu_free) +
+               static_cast<double>(step.updates) * spec.w;
+    } else {
+      kind = sim::CommKind::kRecvC;
+      finish = engine.earliest_start(worker, kind) +
+               engine.comm_duration(worker, kind);
+    }
+
+    if (finish < best_finish - 1e-12) {
+      best_finish = finish;
+      best_worker = worker;
+      best_kind = kind;
+    }
+  }
+
+  if (best_worker < 0) {
+    HMXP_CHECK(engine.all_work_done(),
+               "min-min found no action but work remains");
+    return sim::Decision::done();
+  }
+  switch (best_kind) {
+    case sim::CommKind::kSendC: {
+      auto plan = source_.next_chunk(best_worker);
+      HMXP_CHECK(plan.has_value(), "chunk vanished between peek and carve");
+      return sim::Decision::send_chunk(best_worker, std::move(*plan));
+    }
+    case sim::CommKind::kSendAB:
+      return sim::Decision::send_operands(best_worker);
+    case sim::CommKind::kRecvC:
+      return sim::Decision::recv_result(best_worker);
+  }
+  HMXP_CHECK(false, "unreachable");
+  return sim::Decision::done();
+}
+
+MinMinScheduler make_ommoml(const platform::Platform& platform,
+                            const matrix::Partition& partition) {
+  return MinMinScheduler(platform, partition);
+}
+
+}  // namespace hmxp::sched

@@ -1,0 +1,44 @@
+// OMMOML -- Overlapped Min-Min on the paper's memory layout
+// (section 6.2, after Maheswaran et al. [13]).
+//
+// A static min-min heuristic at communication granularity: whenever the
+// port frees, every feasible next communication is scored by the
+// estimated completion time of the work it triggers (operand batch ->
+// end of the induced compute; new chunk -> estimated end of the whole
+// chunk on that worker; result -> end of the transfer), and the minimum
+// wins -- "sends the next block to the first worker that will finish
+// it". Because cold workers estimate later finishes than warm ones,
+// min-min implicitly performs resource selection; on memory-
+// heterogeneous platforms it is very thrifty but can badly underuse the
+// platform (fig. 4 of the paper).
+#pragma once
+
+#include "sched/chunk_source.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+
+class MinMinScheduler : public sim::Scheduler {
+ public:
+  MinMinScheduler(const platform::Platform& platform,
+                  const matrix::Partition& partition);
+
+  std::string name() const override { return "OMMOML"; }
+  sim::Decision next(const sim::Engine& engine) override;
+
+ private:
+  ChunkSource source_;
+
+  /// Optimistic single-worker estimate of a whole chunk's completion if
+  /// its SendC starts at `start` (ignores future port contention, as
+  /// min-min estimates do).
+  model::Time estimate_chunk_finish(const sim::Engine& engine, int worker,
+                                    const sim::ChunkPlan& plan,
+                                    model::Time start) const;
+};
+
+/// Factory matching the other algorithms' naming convention.
+MinMinScheduler make_ommoml(const platform::Platform& platform,
+                            const matrix::Partition& partition);
+
+}  // namespace hmxp::sched

@@ -1,0 +1,52 @@
+#include "sched/round_robin.hpp"
+
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+RoundRobinScheduler::RoundRobinScheduler(std::string name,
+                                         std::vector<int> enrolled,
+                                         ChunkSource source)
+    : name_(std::move(name)),
+      enrolled_(std::move(enrolled)),
+      source_(std::move(source)) {
+  HMXP_REQUIRE(!enrolled_.empty(), "round robin needs at least one worker");
+}
+
+sim::Decision RoundRobinScheduler::next(const sim::Engine& engine) {
+  // One full cycle looking for a worker with an outstanding action.
+  for (std::size_t offset = 0; offset < enrolled_.size(); ++offset) {
+    const std::size_t slot = (cursor_ + offset) % enrolled_.size();
+    const int worker = enrolled_[slot];
+    const sim::WorkerProgress& state = engine.progress(worker);
+
+    if (!state.has_chunk) {
+      auto plan = source_.next_chunk(worker);
+      if (!plan) continue;  // this worker is finished
+      cursor_ = slot + 1;
+      return sim::Decision::send_chunk(worker, std::move(*plan));
+    }
+    if (state.steps_received < state.chunk.steps.size()) {
+      cursor_ = slot + 1;
+      return sim::Decision::send_operands(worker);
+    }
+    cursor_ = slot + 1;
+    return sim::Decision::recv_result(worker);
+  }
+  HMXP_CHECK(engine.all_work_done(),
+             "round robin found no action but work remains");
+  return sim::Decision::done();
+}
+
+RoundRobinScheduler make_orroml(const platform::Platform& platform,
+                                const matrix::Partition& partition) {
+  std::vector<int> all(static_cast<std::size_t>(platform.size()));
+  std::iota(all.begin(), all.end(), 0);
+  return RoundRobinScheduler(
+      "ORROML", std::move(all),
+      ChunkSource(platform, partition, Layout::kDoubleBuffered));
+}
+
+}  // namespace hmxp::sched

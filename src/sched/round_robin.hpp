@@ -1,0 +1,44 @@
+// Round-robin chunk service over a set of workers.
+//
+// This is both the communication order of the homogeneous Algorithm 1
+// (when restricted to the P selected workers with the virtual mu) and
+// the ORROML baseline of section 6.2 (all workers, per-worker mu_i, no
+// resource selection). The master cycles through the enrolled workers;
+// on a worker's turn it performs that worker's next required
+// communication (new C chunk, operand batch, or result collection),
+// waiting on the port if the worker is not ready yet -- exactly the
+// lockstep behaviour of Algorithms 1 and 2.
+#pragma once
+
+#include <vector>
+
+#include "sched/chunk_source.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+
+class RoundRobinScheduler : public sim::Scheduler {
+ public:
+  /// Serves `enrolled` (indices into the platform) in the given cyclic
+  /// order, carving chunks from `source`.
+  RoundRobinScheduler(std::string name, std::vector<int> enrolled,
+                      ChunkSource source);
+
+  std::string name() const override { return name_; }
+  sim::Decision next(const sim::Engine& engine) override;
+
+  const std::vector<int>& enrolled() const { return enrolled_; }
+
+ private:
+  std::string name_;
+  std::vector<int> enrolled_;
+  ChunkSource source_;
+  std::size_t cursor_ = 0;
+};
+
+/// ORROML: overlapped round-robin over every worker with the paper's
+/// memory layout, no resource selection.
+RoundRobinScheduler make_orroml(const platform::Platform& platform,
+                                const matrix::Partition& partition);
+
+}  // namespace hmxp::sched

@@ -1,0 +1,77 @@
+#include "sim/chunk.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmxp::sim {
+
+model::BlockCount ChunkPlan::total_updates() const {
+  model::BlockCount total = 0;
+  for (const StepPlan& step : steps) total += step.updates;
+  return total;
+}
+
+model::BlockCount ChunkPlan::total_operand_blocks() const {
+  model::BlockCount total = 0;
+  for (const StepPlan& step : steps) total += step.operand_blocks;
+  return total;
+}
+
+model::BlockCount ChunkPlan::max_operand_blocks() const {
+  model::BlockCount worst = 0;
+  for (const StepPlan& step : steps)
+    worst = std::max(worst, step.operand_blocks);
+  return worst;
+}
+
+model::BlockCount ChunkPlan::peak_buffers() const {
+  if (peak_override > 0) return peak_override;
+  return static_cast<model::BlockCount>(rect.count()) +
+         (1 + prefetch_depth) * max_operand_blocks();
+}
+
+ChunkPlan make_double_buffered_chunk(const matrix::BlockRect& rect,
+                                     std::size_t t) {
+  HMXP_REQUIRE(!rect.empty(), "chunk rectangle must be non-empty");
+  HMXP_REQUIRE(t >= 1, "inner dimension must be positive");
+  ChunkPlan plan;
+  plan.rect = rect;
+  plan.prefetch_depth = 1;
+  plan.steps.reserve(t);
+  const auto rows = static_cast<model::BlockCount>(rect.rows());
+  const auto cols = static_cast<model::BlockCount>(rect.cols());
+  for (std::size_t k = 0; k < t; ++k)
+    plan.steps.push_back(StepPlan{rows + cols, rows * cols, k, k + 1});
+  return plan;
+}
+
+ChunkPlan make_toledo_chunk(const matrix::BlockRect& rect, std::size_t t,
+                            model::BlockCount beta) {
+  HMXP_REQUIRE(!rect.empty(), "chunk rectangle must be non-empty");
+  HMXP_REQUIRE(t >= 1, "inner dimension must be positive");
+  HMXP_REQUIRE(beta >= 1, "beta must be positive");
+  ChunkPlan plan;
+  plan.rect = rect;
+  plan.prefetch_depth = 0;
+  const auto rows = static_cast<model::BlockCount>(rect.rows());
+  const auto cols = static_cast<model::BlockCount>(rect.cols());
+  const auto width = static_cast<std::size_t>(beta);
+  for (std::size_t k0 = 0; k0 < t; k0 += width) {
+    const std::size_t k1 = std::min(k0 + width, t);
+    const auto kk = static_cast<model::BlockCount>(k1 - k0);
+    plan.steps.push_back(
+        StepPlan{rows * kk + kk * cols, rows * cols * kk, k0, k1});
+  }
+  return plan;
+}
+
+ChunkPlan make_max_reuse_chunk(const matrix::BlockRect& rect, std::size_t t) {
+  ChunkPlan plan = make_double_buffered_chunk(rect, t);
+  plan.prefetch_depth = 0;
+  plan.peak_override = static_cast<model::BlockCount>(rect.count()) +
+                       static_cast<model::BlockCount>(rect.cols()) + 1;
+  return plan;
+}
+
+}  // namespace hmxp::sim

@@ -1,0 +1,279 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "util/check.hpp"
+
+namespace hmxp::sim {
+
+namespace {
+constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
+}
+
+Decision Decision::done() { return Decision{}; }
+
+Decision Decision::send_chunk(int worker, ChunkPlan plan) {
+  Decision decision;
+  decision.kind = Kind::kComm;
+  decision.comm = CommKind::kSendC;
+  decision.worker = worker;
+  decision.chunk = std::move(plan);
+  return decision;
+}
+
+Decision Decision::send_operands(int worker) {
+  Decision decision;
+  decision.kind = Kind::kComm;
+  decision.comm = CommKind::kSendAB;
+  decision.worker = worker;
+  return decision;
+}
+
+Decision Decision::recv_result(int worker) {
+  Decision decision;
+  decision.kind = Kind::kComm;
+  decision.comm = CommKind::kRecvC;
+  decision.worker = worker;
+  return decision;
+}
+
+bool WorkerProgress::chunk_computed(model::Time at) const {
+  return all_steps_received() && !compute_end.empty() &&
+         compute_end.back() <= at;
+}
+
+model::Time WorkerProgress::chunk_compute_finish() const {
+  if (!all_steps_received()) return kNever;
+  return compute_end.empty() ? chunk_arrival : compute_end.back();
+}
+
+Engine::Engine(const platform::Platform& platform,
+               const matrix::Partition& part, bool record_trace)
+    : platform_(platform),
+      partition_(part),
+      record_trace_(record_trace),
+      workers_(static_cast<std::size_t>(platform.size())),
+      assigned_(part.c_blocks(), false),
+      unassigned_blocks_(static_cast<model::BlockCount>(part.c_blocks())) {}
+
+int Engine::worker_count() const { return platform_.size(); }
+
+const WorkerProgress& Engine::progress(int worker) const {
+  HMXP_REQUIRE(worker >= 0 && worker < worker_count(),
+               "worker index out of range");
+  return workers_[static_cast<std::size_t>(worker)];
+}
+
+WorkerProgress& Engine::progress_mut(int worker) {
+  HMXP_REQUIRE(worker >= 0 && worker < worker_count(),
+               "worker index out of range");
+  return workers_[static_cast<std::size_t>(worker)];
+}
+
+model::Time Engine::earliest_start(int worker, CommKind kind) const {
+  const WorkerProgress& state = progress(worker);
+  switch (kind) {
+    case CommKind::kSendC:
+      if (state.has_chunk) return kNever;
+      return std::max(port_free_, state.ready_for_chunk);
+    case CommKind::kSendAB: {
+      if (!state.has_chunk) return kNever;
+      const std::size_t n = state.steps_received;
+      if (n >= state.chunk.steps.size()) return kNever;
+      // Buffer for step n frees when the compute consuming the batch
+      // that lives in its slot ends: step n - 1 - prefetch_depth.
+      const std::size_t depth =
+          static_cast<std::size_t>(state.chunk.prefetch_depth) + 1;
+      model::Time buffer_free = 0.0;
+      if (n >= depth) buffer_free = state.compute_end[n - depth];
+      return std::max(port_free_, buffer_free);
+    }
+    case CommKind::kRecvC: {
+      if (!state.has_chunk || !state.all_steps_received()) return kNever;
+      return std::max(port_free_, state.chunk_compute_finish());
+    }
+  }
+  return kNever;
+}
+
+model::Time Engine::comm_duration(int worker, CommKind kind) const {
+  const WorkerProgress& state = progress(worker);
+  const platform::WorkerSpec& spec = platform_.worker(worker);
+  switch (kind) {
+    case CommKind::kSendC:
+      HMXP_REQUIRE(false, "SendC duration needs the chunk plan");
+      return kNever;
+    case CommKind::kSendAB: {
+      HMXP_REQUIRE(state.has_chunk, "no active chunk");
+      const std::size_t n = state.steps_received;
+      HMXP_REQUIRE(n < state.chunk.steps.size(), "all steps already sent");
+      return static_cast<double>(state.chunk.steps[n].operand_blocks) * spec.c;
+    }
+    case CommKind::kRecvC:
+      HMXP_REQUIRE(state.has_chunk, "no active chunk");
+      return static_cast<double>(state.chunk.rect.count()) * spec.c;
+  }
+  return kNever;
+}
+
+model::Time Engine::chunk_comm_duration(int worker,
+                                        const ChunkPlan& plan) const {
+  return static_cast<double>(plan.rect.count()) * platform_.worker(worker).c;
+}
+
+model::Time Engine::execute(const Decision& decision) {
+  HMXP_REQUIRE(decision.kind == Decision::Kind::kComm,
+               "only communications can be executed");
+  switch (decision.comm) {
+    case CommKind::kSendC:
+      return execute_send_chunk(decision.worker, decision.chunk);
+    case CommKind::kSendAB:
+      return execute_send_operands(decision.worker);
+    case CommKind::kRecvC:
+      return execute_recv_result(decision.worker);
+  }
+  HMXP_CHECK(false, "unreachable");
+  return kNever;
+}
+
+model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
+  WorkerProgress& state = progress_mut(worker);
+  const platform::WorkerSpec& spec = platform_.worker(worker);
+
+  HMXP_CHECK(!state.has_chunk, "worker already has an active chunk");
+  HMXP_CHECK(!plan.rect.empty(), "empty chunk");
+  HMXP_CHECK(plan.rect.i1 <= partition_.r() && plan.rect.j1 <= partition_.s(),
+             "chunk exceeds matrix bounds");
+  HMXP_CHECK(plan.peak_buffers() <= spec.m,
+             "chunk would exceed worker memory");
+  HMXP_CHECK(plan.total_updates() ==
+                 static_cast<model::BlockCount>(plan.rect.count()) *
+                     static_cast<model::BlockCount>(partition_.t()),
+             "chunk steps do not cover all t updates of every block");
+
+  // Coverage bookkeeping: every block must be assigned exactly once.
+  for (std::size_t i = plan.rect.i0; i < plan.rect.i1; ++i) {
+    for (std::size_t j = plan.rect.j0; j < plan.rect.j1; ++j) {
+      const std::size_t index = i * partition_.s() + j;
+      HMXP_CHECK(!assigned_[index], "C block assigned twice");
+      assigned_[index] = true;
+    }
+  }
+  unassigned_blocks_ -= static_cast<model::BlockCount>(plan.rect.count());
+
+  const model::Time start = std::max(port_free_, state.ready_for_chunk);
+  const model::Time duration =
+      static_cast<double>(plan.rect.count()) * spec.c;
+  const model::Time end = start + duration;
+
+  state.has_chunk = true;
+  state.chunk = plan;
+  state.steps_received = 0;
+  state.recv_end.clear();
+  state.compute_end.clear();
+  state.chunk_arrival = end;
+  state.chunks_assigned += 1;
+  state.updates_assigned += plan.total_updates();
+
+  port_free_ = end;
+  comm_blocks_ += static_cast<model::BlockCount>(plan.rect.count());
+  ++chunks_outstanding_;
+  if (record_trace_)
+    trace_.record_comm(CommEvent{
+        worker, CommKind::kSendC, start, end,
+        static_cast<model::BlockCount>(plan.rect.count())});
+  return end;
+}
+
+model::Time Engine::execute_send_operands(int worker) {
+  WorkerProgress& state = progress_mut(worker);
+  const platform::WorkerSpec& spec = platform_.worker(worker);
+
+  HMXP_CHECK(state.has_chunk, "operands sent to a worker with no chunk");
+  const std::size_t n = state.steps_received;
+  HMXP_CHECK(n < state.chunk.steps.size(), "operands sent past last step");
+  const StepPlan& step = state.chunk.steps[n];
+
+  const model::Time start = earliest_start(worker, CommKind::kSendAB);
+  HMXP_CHECK(start < kNever, "SendAB infeasible");
+  const model::Time end =
+      start + static_cast<double>(step.operand_blocks) * spec.c;
+
+  // Project the induced computation: starts when the batch has arrived,
+  // the previous step finished, and the C chunk is resident.
+  const model::Time previous_done =
+      n == 0 ? state.chunk_arrival : state.compute_end[n - 1];
+  const model::Time compute_start = std::max(end, previous_done);
+  const model::Time compute_duration =
+      static_cast<double>(step.updates) * spec.w;
+  const model::Time compute_done = compute_start + compute_duration;
+
+  state.recv_end.push_back(end);
+  state.compute_end.push_back(compute_done);
+  state.steps_received = n + 1;
+  state.busy_compute += compute_duration;
+
+  port_free_ = end;
+  comm_blocks_ += step.operand_blocks;
+  updates_done_ += step.updates;
+  if (record_trace_) {
+    trace_.record_comm(
+        CommEvent{worker, CommKind::kSendAB, start, end, step.operand_blocks});
+    trace_.record_compute(
+        ComputeEvent{worker, n, compute_start, compute_done, step.updates});
+  }
+  return end;
+}
+
+model::Time Engine::execute_recv_result(int worker) {
+  WorkerProgress& state = progress_mut(worker);
+  const platform::WorkerSpec& spec = platform_.worker(worker);
+
+  HMXP_CHECK(state.has_chunk, "result requested from a worker with no chunk");
+  HMXP_CHECK(state.all_steps_received(),
+             "result requested before all operand steps were sent");
+
+  const model::Time start = earliest_start(worker, CommKind::kRecvC);
+  HMXP_CHECK(start < kNever, "RecvC infeasible");
+  const auto blocks = static_cast<model::BlockCount>(state.chunk.rect.count());
+  const model::Time end = start + static_cast<double>(blocks) * spec.c;
+
+  state.has_chunk = false;
+  state.ready_for_chunk = end;
+  state.steps_received = 0;
+  state.recv_end.clear();
+  state.compute_end.clear();
+
+  port_free_ = end;
+  comm_blocks_ += blocks;
+  blocks_returned_ += blocks;
+  --chunks_outstanding_;
+  if (record_trace_)
+    trace_.record_comm(CommEvent{worker, CommKind::kRecvC, start, end, blocks});
+  return end;
+}
+
+bool Engine::all_work_done() const {
+  return unassigned_blocks_ == 0 && chunks_outstanding_ == 0;
+}
+
+model::Time Engine::makespan_so_far() const {
+  model::Time latest = port_free_;
+  for (const WorkerProgress& state : workers_) {
+    if (state.has_chunk && !state.compute_end.empty())
+      latest = std::max(latest, state.compute_end.back());
+  }
+  return latest;
+}
+
+model::Time Engine::finalize() {
+  HMXP_CHECK(unassigned_blocks_ == 0, "schedule left C blocks unassigned");
+  HMXP_CHECK(chunks_outstanding_ == 0, "chunks never returned to the master");
+  HMXP_CHECK(blocks_returned_ ==
+                 static_cast<model::BlockCount>(partition_.c_blocks()),
+             "returned block count mismatch");
+  return port_free_;
+}
+
+}  // namespace hmxp::sim

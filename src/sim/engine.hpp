@@ -1,0 +1,142 @@
+// Discrete-event engine for the one-port star platform of section 2.
+//
+// The master owns a single port: communications (C chunks out, operand
+// batches out, C chunks back in) execute strictly one at a time, in the
+// order a Scheduler decides. Worker timing follows the paper's rules:
+//   * a worker cannot start computing a step before its operand batch
+//     has fully arrived (and its previous step finished -- one CPU);
+//   * it cannot return a chunk before all steps are computed;
+//   * it CAN receive the next operand batch while computing, but only
+//     into a free prefetch buffer (depth 1 for the paper's layout, 0 for
+//     Toledo's), never exceeding its memory capacity;
+//   * C I/O is sequentialized with compute, per section 4: a new chunk
+//     may only be sent after the previous chunk left the worker.
+//
+// Because the model is deterministic and the port serializes decisions,
+// the engine advances greedily: each executed decision fixes its own
+// start/end and the induced compute completions arithmetically. A
+// decision whose precondition is not yet met simply blocks the port (the
+// master waits) -- exactly the behaviour of the paper's master programs.
+//
+// The engine is a value type: schedulers that look ahead (the Het
+// variants) copy it, execute hypothetical decisions on the copy, and
+// throw the copy away.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "matrix/partition.hpp"
+#include "platform/platform.hpp"
+#include "sim/chunk.hpp"
+#include "sim/trace.hpp"
+
+namespace hmxp::sim {
+
+/// What the scheduler tells the engine to do next.
+struct Decision {
+  enum class Kind { kComm, kDone };
+  Kind kind = Kind::kDone;
+  CommKind comm = CommKind::kSendC;
+  int worker = -1;
+  ChunkPlan chunk;  // payload for kSendC only
+
+  static Decision done();
+  static Decision send_chunk(int worker, ChunkPlan plan);
+  static Decision send_operands(int worker);
+  static Decision recv_result(int worker);
+};
+
+/// Dynamic state of one worker, exposed read-only to schedulers.
+struct WorkerProgress {
+  bool has_chunk = false;
+  ChunkPlan chunk;                      // valid while has_chunk
+  std::size_t steps_received = 0;
+  std::vector<model::Time> recv_end;    // per received step
+  std::vector<model::Time> compute_end; // per received step (projected)
+  model::Time chunk_arrival = 0.0;      // end of the SendC
+  model::Time ready_for_chunk = 0.0;    // end of the last RecvC
+  // Lifetime statistics.
+  model::BlockCount chunks_assigned = 0;
+  model::BlockCount updates_assigned = 0;
+  model::Time busy_compute = 0.0;
+
+  bool all_steps_received() const {
+    return has_chunk && steps_received == chunk.steps.size();
+  }
+  bool chunk_computed(model::Time at) const;
+  /// Projected completion of the whole active chunk (+inf if steps are
+  /// still missing operands).
+  model::Time chunk_compute_finish() const;
+};
+
+class Engine {
+ public:
+  Engine(const platform::Platform& platform, const matrix::Partition& part,
+         bool record_trace = true);
+
+  // ----- state queries (schedulers decide from these) -----
+  model::Time now() const { return port_free_; }
+  int worker_count() const;
+  const platform::Platform& platform() const { return platform_; }
+  const matrix::Partition& partition() const { return partition_; }
+  const WorkerProgress& progress(int worker) const;
+
+  /// Earliest time the given communication could START given port and
+  /// worker-side constraints; +inf if its precondition can never be met
+  /// in the current state (e.g. SendAB with no active chunk).
+  model::Time earliest_start(int worker, CommKind kind) const;
+  /// Duration the communication would occupy the port (SendC duration
+  /// requires the plan, hence the chunk overload).
+  model::Time comm_duration(int worker, CommKind kind) const;
+  model::Time chunk_comm_duration(int worker, const ChunkPlan& plan) const;
+
+  /// Blocks of C not yet covered by any assigned chunk.
+  model::BlockCount unassigned_blocks() const { return unassigned_blocks_; }
+  /// True when every C block was assigned, computed, and returned.
+  bool all_work_done() const;
+
+  // ----- execution -----
+  /// Executes one communication; returns its end time. Throws
+  /// std::logic_error on any protocol violation (wrong order, chunk
+  /// overlap, memory overflow), which tests rely on.
+  model::Time execute(const Decision& decision);
+
+  /// Validates global completion (exact coverage of C). Throws if the
+  /// schedule was incomplete or inconsistent. Returns the makespan.
+  model::Time finalize();
+
+  const Trace& trace() const { return trace_; }
+  Trace take_trace() { return std::move(trace_); }
+  bool recording() const { return record_trace_; }
+
+  // Aggregate counters.
+  model::BlockCount comm_blocks_total() const { return comm_blocks_; }
+  model::BlockCount updates_total() const { return updates_done_; }
+  model::Time makespan_so_far() const;
+
+ private:
+  platform::Platform platform_;
+  matrix::Partition partition_;
+  bool record_trace_;
+
+  model::Time port_free_ = 0.0;
+  std::vector<WorkerProgress> workers_;
+  // Coverage bitmap over r x s C blocks; set when a chunk covering the
+  // block is assigned.
+  std::vector<bool> assigned_;
+  model::BlockCount unassigned_blocks_ = 0;
+  model::BlockCount comm_blocks_ = 0;
+  model::BlockCount updates_done_ = 0;
+  int chunks_outstanding_ = 0;
+  model::BlockCount blocks_returned_ = 0;
+  Trace trace_;
+
+  model::Time execute_send_chunk(int worker, const ChunkPlan& plan);
+  model::Time execute_send_operands(int worker);
+  model::Time execute_recv_result(int worker);
+  WorkerProgress& progress_mut(int worker);
+};
+
+}  // namespace hmxp::sim

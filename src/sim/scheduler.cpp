@@ -1,0 +1,75 @@
+#include "sim/scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace hmxp::sim {
+
+double RunResult::ccr() const {
+  if (updates == 0) return 0.0;
+  return static_cast<double>(comm_blocks) / static_cast<double>(updates);
+}
+
+double RunResult::throughput() const {
+  if (makespan <= 0.0) return 0.0;
+  return static_cast<double>(updates) / makespan;
+}
+
+double RunResult::work() const {
+  return makespan * static_cast<double>(workers_enrolled);
+}
+
+RunResult run(Scheduler& scheduler, Engine& engine,
+              std::vector<Decision>* decision_log) {
+  // Generous bound: every chunk needs 2 + steps communications; anything
+  // beyond (with slack) indicates a scheduler livelock.
+  const auto c_blocks = static_cast<std::size_t>(engine.partition().c_blocks());
+  const std::size_t max_decisions =
+      16 + 8 * c_blocks * (2 + engine.partition().t());
+  std::size_t executed = 0;
+
+  while (true) {
+    Decision decision = scheduler.next(engine);
+    if (decision.kind == Decision::Kind::kDone) break;
+    engine.execute(decision);
+    if (decision_log != nullptr) decision_log->push_back(decision);
+    ++executed;
+    HMXP_CHECK(executed <= max_decisions,
+               "scheduler exceeded decision budget (livelock?)");
+  }
+
+  RunResult result;
+  result.scheduler_name = scheduler.name();
+  result.makespan = engine.finalize();
+  result.comm_blocks = engine.comm_blocks_total();
+  result.updates = engine.updates_total();
+  result.decisions = executed;
+  for (int i = 0; i < engine.worker_count(); ++i) {
+    const WorkerProgress& state = engine.progress(i);
+    if (state.chunks_assigned > 0) ++result.workers_enrolled;
+    result.worker_busy.push_back(state.busy_compute);
+  }
+  if (engine.recording()) {
+    result.trace = engine.take_trace();
+    result.port_busy = result.trace.port_busy_time();
+  }
+  return result;
+}
+
+RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
+                   const matrix::Partition& partition, bool record_trace,
+                   std::vector<Decision>* decision_log) {
+  Engine engine(platform, partition, record_trace);
+  return run(scheduler, engine, decision_log);
+}
+
+ReplayScheduler::ReplayScheduler(std::string name,
+                                 std::vector<Decision> decisions)
+    : name_(std::move(name)), decisions_(std::move(decisions)) {}
+
+Decision ReplayScheduler::next(const Engine& engine) {
+  (void)engine;
+  if (cursor_ >= decisions_.size()) return Decision::done();
+  return decisions_[cursor_++];
+}
+
+}  // namespace hmxp::sim

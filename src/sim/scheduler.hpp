@@ -1,0 +1,70 @@
+// The Scheduler interface: the master's decision procedure.
+//
+// Whenever the port frees, the engine asks the scheduler for the next
+// communication. Schedulers read the engine state (they never mutate
+// it) and keep their own bookkeeping (chunk carving, ratios, orders).
+// Returning kDone ends the run; the engine then validates completion.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+
+namespace hmxp::sim {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+  virtual std::string name() const = 0;
+  /// Next master action given the current engine state.
+  virtual Decision next(const Engine& engine) = 0;
+};
+
+/// Summary of one simulated run.
+struct RunResult {
+  std::string scheduler_name;
+  model::Time makespan = 0.0;
+  int workers_enrolled = 0;           // workers that received >= 1 chunk
+  model::BlockCount comm_blocks = 0;  // total blocks through the port
+  model::BlockCount updates = 0;      // total block updates performed
+  std::size_t decisions = 0;
+  model::Time port_busy = 0.0;
+  std::vector<model::Time> worker_busy;  // per worker compute time
+  Trace trace;                           // populated iff recording was on
+
+  /// Communication-to-computation ratio actually achieved (block units).
+  double ccr() const;
+  /// Block updates per second.
+  double throughput() const;
+  /// makespan * workers_enrolled: the paper's "work" metric.
+  double work() const;
+};
+
+/// Drives `scheduler` against `engine` to completion; optionally records
+/// every decision into `decision_log` (used by Het's two-phase replay
+/// and by the threaded runtime).
+RunResult run(Scheduler& scheduler, Engine& engine,
+              std::vector<Decision>* decision_log = nullptr);
+
+/// Convenience: fresh engine over (platform, partition).
+RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
+                   const matrix::Partition& partition,
+                   bool record_trace = false,
+                   std::vector<Decision>* decision_log = nullptr);
+
+/// Replays a prerecorded decision sequence (phase 2 of Het).
+class ReplayScheduler final : public Scheduler {
+ public:
+  ReplayScheduler(std::string name, std::vector<Decision> decisions);
+  std::string name() const override { return name_; }
+  Decision next(const Engine& engine) override;
+
+ private:
+  std::string name_;
+  std::vector<Decision> decisions_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace hmxp::sim

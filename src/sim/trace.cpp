@@ -1,0 +1,97 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+namespace hmxp::sim {
+
+namespace {
+constexpr double kTimeSlack = 1e-9;
+}
+
+const char* comm_kind_name(CommKind kind) {
+  switch (kind) {
+    case CommKind::kSendC: return "send-C";
+    case CommKind::kSendAB: return "send-AB";
+    case CommKind::kRecvC: return "recv-C";
+  }
+  return "?";
+}
+
+bool Trace::one_port_respected() const {
+  std::vector<std::pair<model::Time, model::Time>> intervals;
+  intervals.reserve(comms_.size());
+  for (const CommEvent& event : comms_)
+    intervals.emplace_back(event.start, event.end);
+  std::sort(intervals.begin(), intervals.end());
+  for (std::size_t i = 1; i < intervals.size(); ++i) {
+    if (intervals[i].first < intervals[i - 1].second - kTimeSlack)
+      return false;
+  }
+  return true;
+}
+
+bool Trace::compute_serialized() const {
+  // Group compute events per worker preserving order of record (which is
+  // execution order), then check serialization and operand availability.
+  std::map<int, std::vector<const ComputeEvent*>> by_worker;
+  for (const ComputeEvent& event : computes_)
+    by_worker[event.worker].push_back(&event);
+
+  // Operand arrival per worker: list of SendAB end times in order.
+  std::map<int, std::vector<model::Time>> arrivals;
+  for (const CommEvent& event : comms_) {
+    if (event.kind == CommKind::kSendAB)
+      arrivals[event.worker].push_back(event.end);
+  }
+
+  for (const auto& [worker, events] : by_worker) {
+    model::Time previous_end = 0.0;
+    std::size_t batch = 0;
+    const auto& worker_arrivals = arrivals[worker];
+    for (const ComputeEvent* event : events) {
+      if (event->start < previous_end - kTimeSlack) return false;
+      if (batch >= worker_arrivals.size()) return false;  // computed unsent data
+      if (event->start < worker_arrivals[batch] - kTimeSlack) return false;
+      previous_end = event->end;
+      ++batch;
+    }
+  }
+  return true;
+}
+
+model::Time Trace::port_busy_time() const {
+  model::Time total = 0.0;
+  for (const CommEvent& event : comms_) total += event.end - event.start;
+  return total;
+}
+
+model::Time Trace::worker_busy_time(int worker) const {
+  model::Time total = 0.0;
+  for (const ComputeEvent& event : computes_) {
+    if (event.worker == worker) total += event.end - event.start;
+  }
+  return total;
+}
+
+void Trace::write_gantt_csv(std::ostream& os) const {
+  os << "resource,kind,start,end,detail\n";
+  for (const CommEvent& event : comms_) {
+    os << "master," << comm_kind_name(event.kind) << ',' << event.start << ','
+       << event.end << ",P" << (event.worker + 1) << ':' << event.blocks
+       << "blk\n";
+  }
+  for (const ComputeEvent& event : computes_) {
+    os << 'P' << (event.worker + 1) << ",compute," << event.start << ','
+       << event.end << ",step" << event.step << ':' << event.updates
+       << "upd\n";
+  }
+}
+
+void Trace::clear() {
+  comms_.clear();
+  computes_.clear();
+}
+
+}  // namespace hmxp::sim

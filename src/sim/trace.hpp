@@ -1,0 +1,69 @@
+// Event trace of a run: every port operation and every per-step worker
+// computation, with start/end times. Powers the Gantt export, the run
+// statistics, and the one-port / overlap invariant checks in tests.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "model/costs.hpp"
+#include "model/layout.hpp"
+
+namespace hmxp::sim {
+
+enum class CommKind { kSendC, kSendAB, kRecvC };
+
+const char* comm_kind_name(CommKind kind);
+
+struct CommEvent {
+  int worker = -1;
+  CommKind kind = CommKind::kSendC;
+  model::Time start = 0.0;
+  model::Time end = 0.0;
+  model::BlockCount blocks = 0;
+};
+
+struct ComputeEvent {
+  int worker = -1;
+  std::size_t step = 0;           // step index within the worker's chunk
+  model::Time start = 0.0;
+  model::Time end = 0.0;
+  model::BlockCount updates = 0;
+};
+
+class Trace {
+ public:
+  void record_comm(const CommEvent& event) { comms_.push_back(event); }
+  void record_compute(const ComputeEvent& event) { computes_.push_back(event); }
+
+  const std::vector<CommEvent>& comms() const { return comms_; }
+  const std::vector<ComputeEvent>& computes() const { return computes_; }
+
+  /// True iff no two port operations overlap (one-port model).
+  bool one_port_respected() const;
+
+  /// True iff per worker, compute intervals are serialized and each
+  /// compute starts no earlier than its operand batch arrived.
+  bool compute_serialized() const;
+
+  /// Total port busy time; master idle = makespan - this.
+  model::Time port_busy_time() const;
+
+  /// Busy compute time of one worker.
+  model::Time worker_busy_time(int worker) const;
+
+  /// Gantt chart as CSV rows: resource,kind,start,end,detail. The
+  /// "resource" column is `master` for port events and `P<i>` for
+  /// computes, directly loadable into a plotting tool.
+  void write_gantt_csv(std::ostream& os) const;
+
+  void clear();
+
+ private:
+  std::vector<CommEvent> comms_;
+  std::vector<ComputeEvent> computes_;
+};
+
+}  // namespace hmxp::sim

@@ -1,0 +1,48 @@
+// Contract-checking macros used across hmxp.
+//
+// HMXP_REQUIRE  -- precondition on a public API: always on, throws
+//                  std::invalid_argument so callers can recover/test.
+// HMXP_CHECK    -- internal invariant: always on, throws std::logic_error.
+//                  These guard scheduler/engine state machines whose
+//                  corruption would silently produce wrong schedules.
+//
+// Both evaluate their condition exactly once and cost one branch on the
+// hot path; the simulator processes O(10^5) events per run, for which
+// this is negligible next to the heap operations it performs.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace hmxp::util {
+
+[[noreturn]] inline void throw_requirement(const char* expr, const char* file,
+                                           int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "requirement violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::invalid_argument(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(const char* expr, const char* file,
+                                         int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "invariant violated: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " -- " << msg;
+  throw std::logic_error(os.str());
+}
+
+}  // namespace hmxp::util
+
+#define HMXP_REQUIRE(cond, msg)                                         \
+  do {                                                                  \
+    if (!(cond))                                                        \
+      ::hmxp::util::throw_requirement(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)
+
+#define HMXP_CHECK(cond, msg)                                          \
+  do {                                                                 \
+    if (!(cond))                                                       \
+      ::hmxp::util::throw_invariant(#cond, __FILE__, __LINE__, (msg)); \
+  } while (false)

@@ -1,0 +1,78 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hmxp::util {
+
+CsvWriter::CsvWriter(const std::string& path) : out_(path), path_(path) {
+  if (!out_) throw std::runtime_error("cannot open CSV file for writing: " + path);
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes = cell.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string escaped = "\"";
+  for (char ch : cell) {
+    if (ch == '"') escaped += '"';
+    escaped += ch;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+void CsvWriter::write_raw(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i > 0) out_ << ',';
+    out_ << escape(cells[i]);
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  HMXP_REQUIRE(rows_ == 0 && columns_ == 0, "CSV header must come first");
+  HMXP_REQUIRE(!columns.empty(), "CSV header needs at least one column");
+  columns_ = columns.size();
+  write_raw(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  if (columns_ != 0)
+    HMXP_REQUIRE(cells.size() == columns_, "CSV row width differs from header");
+  write_raw(cells);
+  ++rows_;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(double value) {
+  char buffer[64];
+  if (std::isfinite(value) && value == std::floor(value) &&
+      std::fabs(value) < 1e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.6g", value);
+  }
+  cells_.emplace_back(buffer);
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+CsvWriter::RowBuilder& CsvWriter::RowBuilder::cell(std::size_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void CsvWriter::RowBuilder::done() { writer_.row(cells_); }
+
+}  // namespace hmxp::util

@@ -1,0 +1,54 @@
+// CSV writer for benchmark/experiment output. Each bench can optionally
+// dump its series as CSV (one file per figure) so the paper's plots can be
+// regenerated with any plotting tool.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace hmxp::util {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+
+  /// Writes a header row. Must be the first row written.
+  void header(const std::vector<std::string>& columns);
+
+  /// Appends one row; cells are quoted/escaped per RFC 4180 as needed.
+  void row(const std::vector<std::string>& cells);
+
+  /// Convenience mixed row builder: formats doubles with 6 significant
+  /// digits unless they are integral.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(CsvWriter& writer) : writer_(writer) {}
+    RowBuilder& cell(const std::string& value);
+    RowBuilder& cell(double value);
+    RowBuilder& cell(long long value);
+    RowBuilder& cell(std::size_t value);
+    void done();
+
+   private:
+    CsvWriter& writer_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder build_row() { return RowBuilder(*this); }
+
+  std::size_t rows_written() const { return rows_; }
+  const std::string& path() const { return path_; }
+
+  /// Escapes one cell per RFC 4180 (exposed for testing).
+  static std::string escape(const std::string& cell);
+
+ private:
+  std::ofstream out_;
+  std::string path_;
+  std::size_t rows_ = 0;
+  std::size_t columns_ = 0;
+  void write_raw(const std::vector<std::string>& cells);
+};
+
+}  // namespace hmxp::util

@@ -1,0 +1,50 @@
+#include "util/log.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <stdexcept>
+
+namespace hmxp::util {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO ";
+    case LogLevel::kWarn: return "WARN ";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF  ";
+  }
+  return "?????";
+}
+}  // namespace
+
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
+
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+LogLevel parse_log_level(const std::string& name) {
+  std::string lower(name);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char ch) { return static_cast<char>(std::tolower(ch)); });
+  if (lower == "debug") return LogLevel::kDebug;
+  if (lower == "info") return LogLevel::kInfo;
+  if (lower == "warn" || lower == "warning") return LogLevel::kWarn;
+  if (lower == "error") return LogLevel::kError;
+  if (lower == "off" || lower == "none") return LogLevel::kOff;
+  throw std::invalid_argument("unknown log level: " + name);
+}
+
+namespace detail {
+void emit(LogLevel level, const std::string& message) {
+  std::ostream& os = (level >= LogLevel::kWarn) ? std::cerr : std::clog;
+  os << "[hmxp " << level_tag(level) << "] " << message << '\n';
+}
+}  // namespace detail
+
+}  // namespace hmxp::util

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Not thread-safe per message interleaving beyond
+// the atomicity of a single ostream insertion; the runtime serializes its
+// logging through the master thread.
+#pragma once
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace hmxp::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+/// Parses "debug"/"info"/"warn"/"error"/"off" (case-insensitive).
+/// Throws std::invalid_argument on anything else.
+LogLevel parse_log_level(const std::string& name);
+
+namespace detail {
+void emit(LogLevel level, const std::string& message);
+}
+
+// Stream-style logging: HMXP_LOG(kInfo) << "x = " << x;
+// The temporary collects the message and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() {
+    if (level_ >= log_level()) detail::emit(level_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    if (level_ >= log_level()) os_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace hmxp::util
+
+#define HMXP_LOG(level) ::hmxp::util::LogLine(::hmxp::util::LogLevel::level)

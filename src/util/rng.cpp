@@ -1,0 +1,8 @@
+#include "util/rng.hpp"
+
+// Rng is header-only; this translation unit anchors the library target and
+// provides a home for future out-of-line additions.
+namespace hmxp::util {
+static_assert(Rng::min() == 0);
+static_assert(Rng::max() == ~0ULL);
+}  // namespace hmxp::util

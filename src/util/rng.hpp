@@ -1,0 +1,114 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of hmxp (random platform generation, random
+// matrix fill, shuffles in tests) draws from an explicitly seeded Rng so
+// each experiment is reproducible from the seed its bench prints.
+//
+// The generator is xoshiro256** seeded through SplitMix64, the standard
+// recommendation of Blackman & Vigna; both are implemented here from the
+// public-domain reference algorithms (no third-party code).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace hmxp::util {
+
+/// SplitMix64 step: used to expand a single 64-bit seed into a full
+/// xoshiro state and useful on its own for hash-like seeding.
+constexpr std::uint64_t splitmix64(std::uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x853c49e6748fea9bULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed) {
+    seed_ = seed;
+    std::uint64_t sm = seed;
+    for (auto& word : state_) word = splitmix64(sm);
+  }
+
+  /// The seed this generator was (re)constructed with.
+  std::uint64_t seed() const { return seed_; }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi). Requires lo < hi.
+  double uniform(double lo, double hi) {
+    HMXP_REQUIRE(lo < hi, "uniform(lo,hi) needs lo < hi");
+    return lo + (hi - lo) * uniform();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  /// Unbiased via rejection sampling (Lemire-style bound).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    HMXP_REQUIRE(lo <= hi, "uniform_int(lo,hi) needs lo <= hi");
+    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+    if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+    const std::uint64_t limit = max() - max() % span;
+    std::uint64_t draw = (*this)();
+    while (draw >= limit) draw = (*this)();
+    return lo + static_cast<std::int64_t>(draw % span);
+  }
+
+  /// Picks one element index of a non-empty container size.
+  std::size_t index(std::size_t size) {
+    HMXP_REQUIRE(size > 0, "index() over empty range");
+    return static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(size) - 1));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::size_t j = index(i);
+      std::swap(values[i - 1], values[j]);
+    }
+  }
+
+  /// Derives an independent child generator (for per-run substreams).
+  Rng fork() {
+    const std::uint64_t child_seed = (*this)() ^ 0xd1b54a32d192ed03ULL;
+    return Rng(child_seed);
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace hmxp::util

@@ -1,0 +1,121 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/check.hpp"
+
+namespace hmxp::util {
+
+void StreamingStats::add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double StreamingStats::mean() const {
+  HMXP_REQUIRE(count_ > 0, "mean of empty accumulator");
+  return mean_;
+}
+
+double StreamingStats::variance() const {
+  HMXP_REQUIRE(count_ > 1, "variance needs >= 2 samples");
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double StreamingStats::stddev() const { return std::sqrt(variance()); }
+
+double StreamingStats::min() const {
+  HMXP_REQUIRE(count_ > 0, "min of empty accumulator");
+  return min_;
+}
+
+double StreamingStats::max() const {
+  HMXP_REQUIRE(count_ > 0, "max of empty accumulator");
+  return max_;
+}
+
+void Samples::add(double x) {
+  values_.push_back(x);
+  sorted_valid_ = false;
+}
+
+void Samples::add_all(const std::vector<double>& xs) {
+  values_.insert(values_.end(), xs.begin(), xs.end());
+  sorted_valid_ = false;
+}
+
+const std::vector<double>& Samples::sorted() const {
+  if (!sorted_valid_) {
+    sorted_ = values_;
+    std::sort(sorted_.begin(), sorted_.end());
+    sorted_valid_ = true;
+  }
+  return sorted_;
+}
+
+double Samples::mean() const {
+  HMXP_REQUIRE(!values_.empty(), "mean of empty sample set");
+  double total = 0.0;
+  for (double v : values_) total += v;
+  return total / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  HMXP_REQUIRE(values_.size() > 1, "stddev needs >= 2 samples");
+  const double m = mean();
+  double m2 = 0.0;
+  for (double v : values_) m2 += (v - m) * (v - m);
+  return std::sqrt(m2 / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::min() const {
+  HMXP_REQUIRE(!values_.empty(), "min of empty sample set");
+  return sorted().front();
+}
+
+double Samples::max() const {
+  HMXP_REQUIRE(!values_.empty(), "max of empty sample set");
+  return sorted().back();
+}
+
+double Samples::median() const { return quantile(0.5); }
+
+double Samples::quantile(double p) const {
+  HMXP_REQUIRE(!values_.empty(), "quantile of empty sample set");
+  HMXP_REQUIRE(p >= 0.0 && p <= 1.0, "quantile fraction outside [0,1]");
+  const auto& s = sorted();
+  if (s.size() == 1) return s.front();
+  const double pos = p * static_cast<double>(s.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, s.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return s[lo] * (1.0 - frac) + s[hi] * frac;
+}
+
+double Samples::geomean() const {
+  HMXP_REQUIRE(!values_.empty(), "geomean of empty sample set");
+  double log_sum = 0.0;
+  for (double v : values_) {
+    HMXP_REQUIRE(v > 0.0, "geomean needs positive samples");
+    log_sum += std::log(v);
+  }
+  return std::exp(log_sum / static_cast<double>(values_.size()));
+}
+
+std::string format_fixed(double x, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, x);
+  return buffer;
+}
+
+}  // namespace hmxp::util

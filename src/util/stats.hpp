@@ -1,0 +1,68 @@
+// Streaming and exact summary statistics used by the experiment harness
+// (relative cost / relative work aggregation) and by the calibration code
+// (median of repeated timings, as in the paper's benchmark phase).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace hmxp::util {
+
+/// Welford streaming accumulator: O(1) memory, numerically stable
+/// mean/variance, plus min/max. Suitable when samples need not be kept.
+class StreamingStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  /// Mean of the added samples. Requires count() > 0.
+  double mean() const;
+  /// Unbiased sample variance (n-1 denominator). Requires count() > 1.
+  double variance() const;
+  /// Sample standard deviation. Requires count() > 1.
+  double stddev() const;
+  double min() const;
+  double max() const;
+  double sum() const { return sum_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Keeps all samples; offers exact order statistics in addition to the
+/// moments. Used where the paper reports medians and worst cases.
+class Samples {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+  double mean() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+  /// Median (average of middle two for even counts). Requires non-empty.
+  double median() const;
+  /// Linear-interpolated p-quantile, p in [0,1]. Requires non-empty.
+  double quantile(double p) const;
+  /// Geometric mean; requires all samples > 0.
+  double geomean() const;
+  const std::vector<double>& values() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+  mutable std::vector<double> sorted_;
+  mutable bool sorted_valid_ = false;
+  const std::vector<double>& sorted() const;
+};
+
+/// Formats a double with the given precision (fixed notation).
+std::string format_fixed(double x, int precision);
+
+}  // namespace hmxp::util

@@ -1,0 +1,121 @@
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hmxp::util {
+
+std::vector<std::string> split(std::string_view text, char sep) {
+  std::vector<std::string> parts;
+  std::size_t begin = 0;
+  while (true) {
+    const std::size_t pos = text.find(sep, begin);
+    if (pos == std::string_view::npos) {
+      parts.emplace_back(text.substr(begin));
+      return parts;
+    }
+    parts.emplace_back(text.substr(begin, pos - begin));
+    begin = pos + 1;
+  }
+}
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string trim(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin]))) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1]))) --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::tolower(ch));
+  });
+  return out;
+}
+
+double parse_double(const std::string& text) {
+  const std::string trimmed = trim(text);
+  if (trimmed.empty()) throw std::invalid_argument("empty number");
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(trimmed.c_str(), &end);
+  if (end != trimmed.c_str() + trimmed.size())
+    throw std::invalid_argument("not a number: '" + text + "'");
+  if (errno == ERANGE) throw std::invalid_argument("number out of range: '" + text + "'");
+  return value;
+}
+
+long long parse_int(const std::string& text) {
+  const std::string trimmed = trim(text);
+  if (trimmed.empty()) throw std::invalid_argument("empty integer");
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(trimmed.c_str(), &end, 10);
+  if (end != trimmed.c_str() + trimmed.size())
+    throw std::invalid_argument("not an integer: '" + text + "'");
+  if (errno == ERANGE) throw std::invalid_argument("integer out of range: '" + text + "'");
+  return value;
+}
+
+bool parse_bool(const std::string& text) {
+  const std::string lower = to_lower(trim(text));
+  if (lower == "1" || lower == "true" || lower == "yes" || lower == "on") return true;
+  if (lower == "0" || lower == "false" || lower == "no" || lower == "off") return false;
+  throw std::invalid_argument("not a boolean: '" + text + "'");
+}
+
+std::string format_duration(double seconds) {
+  char buffer[64];
+  const double magnitude = std::fabs(seconds);
+  if (magnitude < 1e-6) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f ns", seconds * 1e9);
+  } else if (magnitude < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f us", seconds * 1e6);
+  } else if (magnitude < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f ms", seconds * 1e3);
+  } else if (magnitude < 120.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2f s", seconds);
+  } else if (magnitude < 7200.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.1f min", seconds / 60.0);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.2f h", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+std::string pad_left(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text.substr(0, width));
+  return std::string(width - text.size(), ' ') + std::string(text);
+}
+
+std::string pad_right(std::string_view text, std::size_t width) {
+  if (text.size() >= width) return std::string(text.substr(0, width));
+  return std::string(text) + std::string(width - text.size(), ' ');
+}
+
+}  // namespace hmxp::util

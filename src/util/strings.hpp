@@ -1,0 +1,41 @@
+// Small string helpers shared by the CLI parser, CSV writer and table
+// printer. libstdc++ 12 lacks <format>, so formatting goes through
+// snprintf-based helpers.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hmxp::util {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string> split(std::string_view text, char sep);
+
+/// Joins with a separator.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Strips ASCII whitespace from both ends.
+std::string trim(std::string_view text);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII.
+std::string to_lower(std::string_view text);
+
+/// Parses a double/int with full-string validation; throws
+/// std::invalid_argument on trailing garbage or overflow.
+double parse_double(const std::string& text);
+long long parse_int(const std::string& text);
+bool parse_bool(const std::string& text);
+
+/// Human-readable duration: "1.23 s", "45.6 ms", "2h03m". Used by run
+/// reports; keeps bench output legible across 5 orders of magnitude.
+std::string format_duration(double seconds);
+
+/// Pads/truncates to an exact width (left- or right-aligned).
+std::string pad_left(std::string_view text, std::size_t width);
+std::string pad_right(std::string_view text, std::size_t width);
+
+}  // namespace hmxp::util

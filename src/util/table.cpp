@@ -1,0 +1,105 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace hmxp::util {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)), aligns_(headers_.size(), Align::kRight) {
+  HMXP_REQUIRE(!headers_.empty(), "table needs at least one column");
+}
+
+void Table::set_align(std::size_t column, Align align) {
+  HMXP_REQUIRE(column < aligns_.size(), "column index out of range");
+  aligns_[column] = align;
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  HMXP_REQUIRE(cells.size() == headers_.size(),
+               "row width differs from header width");
+  Row row;
+  row.cells = std::move(cells);
+  row.rule_before = pending_rule_;
+  pending_rule_ = false;
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_rule() { pending_rule_ = true; }
+
+Table::RowBuilder& Table::RowBuilder::cell(const std::string& value) {
+  cells_.push_back(value);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(const char* value) {
+  cells_.emplace_back(value);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  cells_.emplace_back(buffer);
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(long long value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+Table::RowBuilder& Table::RowBuilder::cell(std::size_t value) {
+  cells_.push_back(std::to_string(value));
+  return *this;
+}
+
+void Table::RowBuilder::done() { table_.add_row(std::move(cells_)); }
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const Row& row : rows_)
+    for (std::size_t i = 0; i < row.cells.size(); ++i)
+      widths[i] = std::max(widths[i], row.cells[i].size());
+
+  const auto rule = [&] {
+    std::string line = "+";
+    for (std::size_t w : widths) {
+      line += std::string(w + 2, '-');
+      line += '+';
+    }
+    line += '\n';
+    return line;
+  }();
+
+  const auto format_row = [&](const std::vector<std::string>& cells) {
+    std::string line = "|";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      line += ' ';
+      line += (aligns_[i] == Align::kRight) ? pad_left(cells[i], widths[i])
+                                            : pad_right(cells[i], widths[i]);
+      line += " |";
+    }
+    line += '\n';
+    return line;
+  };
+
+  std::ostringstream os;
+  os << rule << format_row(headers_) << rule;
+  for (const Row& row : rows_) {
+    if (row.rule_before) os << rule;
+    os << format_row(row.cells);
+  }
+  os << rule;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const { os << render(); }
+
+}  // namespace hmxp::util

@@ -1,0 +1,60 @@
+// ASCII table printer. The figure-reproduction benches print the same
+// rows/series the paper plots; this formats them readably on a terminal.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hmxp::util {
+
+enum class Align { kLeft, kRight };
+
+class Table {
+ public:
+  /// Column headers fix the column count for all subsequent rows.
+  explicit Table(std::vector<std::string> headers);
+
+  /// Per-column alignment; default is right-aligned for every column.
+  void set_align(std::size_t column, Align align);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience builder mirroring CsvWriter::RowBuilder.
+  class RowBuilder {
+   public:
+    explicit RowBuilder(Table& table) : table_(table) {}
+    RowBuilder& cell(const std::string& value);
+    RowBuilder& cell(const char* value);
+    RowBuilder& cell(double value, int precision = 3);
+    RowBuilder& cell(long long value);
+    RowBuilder& cell(std::size_t value);
+    void done();
+
+   private:
+    Table& table_;
+    std::vector<std::string> cells_;
+  };
+  RowBuilder build_row() { return RowBuilder(*this); }
+
+  /// Inserts a horizontal rule before the next row.
+  void add_rule();
+
+  std::size_t row_count() const { return rows_.size(); }
+
+  /// Renders with box-drawing done in plain ASCII ('+', '-', '|').
+  std::string render() const;
+  void print(std::ostream& os) const;
+
+ private:
+  struct Row {
+    std::vector<std::string> cells;
+    bool rule_before = false;
+  };
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<Row> rows_;
+  bool pending_rule_ = false;
+};
+
+}  // namespace hmxp::util

@@ -1,0 +1,80 @@
+// Tests for chunk plans: step structure, operand counts, peak buffers.
+#include <gtest/gtest.h>
+
+#include "sim/chunk.hpp"
+
+namespace hmxp::sim {
+namespace {
+
+TEST(DoubleBufferedChunk, FullSquareStructure) {
+  const matrix::BlockRect rect{0, 4, 0, 4};  // mu = 4
+  const ChunkPlan plan = make_double_buffered_chunk(rect, 10);
+  ASSERT_EQ(plan.steps.size(), 10u);
+  for (std::size_t k = 0; k < 10; ++k) {
+    EXPECT_EQ(plan.steps[k].operand_blocks, 8);   // mu A + mu B
+    EXPECT_EQ(plan.steps[k].updates, 16);          // mu^2
+    EXPECT_EQ(plan.steps[k].k_begin, k);
+    EXPECT_EQ(plan.steps[k].k_end, k + 1);
+  }
+  EXPECT_EQ(plan.prefetch_depth, 1);
+  EXPECT_EQ(plan.total_updates(), 160);
+  EXPECT_EQ(plan.total_operand_blocks(), 80);
+  EXPECT_EQ(plan.max_operand_blocks(), 8);
+  // Peak: mu^2 C + 2 batches of 2mu = mu^2 + 4mu.
+  EXPECT_EQ(plan.peak_buffers(), 16 + 16);
+}
+
+TEST(DoubleBufferedChunk, RectangularClippedChunk) {
+  const matrix::BlockRect rect{10, 13, 4, 9};  // 3 x 5
+  const ChunkPlan plan = make_double_buffered_chunk(rect, 7);
+  EXPECT_EQ(plan.steps.front().operand_blocks, 8);  // 3 A + 5 B
+  EXPECT_EQ(plan.steps.front().updates, 15);
+  EXPECT_EQ(plan.total_updates(), 105);
+  EXPECT_EQ(plan.peak_buffers(), 15 + 2 * 8);
+}
+
+TEST(ToledoChunk, StepsCoverInnerDimension) {
+  const matrix::BlockRect rect{0, 3, 0, 3};  // beta = 3
+  const ChunkPlan plan = make_toledo_chunk(rect, 10, 3);
+  // ceil(10 / 3) = 4 steps covering 3+3+3+1 inner blocks.
+  ASSERT_EQ(plan.steps.size(), 4u);
+  EXPECT_EQ(plan.steps[0].operand_blocks, 18);  // 3x3 A + 3x3 B
+  EXPECT_EQ(plan.steps[0].updates, 27);         // 3x3x3
+  EXPECT_EQ(plan.steps[3].operand_blocks, 6);   // 3x1 + 1x3
+  EXPECT_EQ(plan.steps[3].updates, 9);
+  EXPECT_EQ(plan.steps[3].k_begin, 9u);
+  EXPECT_EQ(plan.steps[3].k_end, 10u);
+  EXPECT_EQ(plan.prefetch_depth, 0);
+  // Every C block updated exactly t times in total.
+  EXPECT_EQ(plan.total_updates(), 9 * 10);
+  // Peak: beta^2 C + one step's 2 beta^2 operands = 3 beta^2.
+  EXPECT_EQ(plan.peak_buffers(), 27);
+}
+
+TEST(ToledoChunk, BetaLargerThanT) {
+  const matrix::BlockRect rect{0, 2, 0, 2};
+  const ChunkPlan plan = make_toledo_chunk(rect, 3, 5);
+  ASSERT_EQ(plan.steps.size(), 1u);
+  EXPECT_EQ(plan.steps[0].operand_blocks, 2 * 3 + 3 * 2);
+  EXPECT_EQ(plan.total_updates(), 4 * 3);
+}
+
+TEST(MaxReuseChunk, StreamingPeakOverride) {
+  const matrix::BlockRect rect{0, 4, 0, 4};
+  const ChunkPlan plan = make_max_reuse_chunk(rect, 10);
+  EXPECT_EQ(plan.prefetch_depth, 0);
+  // 1 + mu + mu^2 for a square mu-chunk.
+  EXPECT_EQ(plan.peak_buffers(), 1 + 4 + 16);
+  EXPECT_EQ(plan.total_updates(), 160);
+}
+
+TEST(ChunkPlan, RejectsDegenerateInput) {
+  const matrix::BlockRect empty{2, 2, 0, 4};
+  EXPECT_THROW(make_double_buffered_chunk(empty, 5), std::invalid_argument);
+  const matrix::BlockRect rect{0, 1, 0, 1};
+  EXPECT_THROW(make_double_buffered_chunk(rect, 0), std::invalid_argument);
+  EXPECT_THROW(make_toledo_chunk(rect, 5, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmxp::sim

@@ -1,0 +1,167 @@
+// Tests for the column-group carver shared by every scheduler.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/chunk_source.hpp"
+
+namespace hmxp::sched {
+namespace {
+
+matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
+  return matrix::Partition::from_blocks(r, t, s, 80);
+}
+
+TEST(ChunkSource, SingleWorkerCoversEverythingExactlyOnce) {
+  const auto plat = platform::Platform::homogeneous(1, 0.01, 0.001, 45);
+  // m = 45 -> mu = 5 (25 + 20 = 45).
+  const auto part = blocks(12, 4, 17);
+  ChunkSource source(plat, part, Layout::kDoubleBuffered);
+  EXPECT_EQ(source.width(0), 5);
+
+  std::vector<std::vector<int>> covered(12, std::vector<int>(17, 0));
+  std::size_t total = 0;
+  while (auto plan = source.next_chunk(0)) {
+    for (std::size_t i = plan->rect.i0; i < plan->rect.i1; ++i)
+      for (std::size_t j = plan->rect.j0; j < plan->rect.j1; ++j)
+        covered[i][j] += 1;
+    total += plan->rect.count();
+    EXPECT_LE(plan->rect.rows(), 5u);
+    EXPECT_LE(plan->rect.cols(), 5u);
+  }
+  EXPECT_EQ(total, 12u * 17u);
+  EXPECT_FALSE(source.has_work());
+  for (const auto& row : covered)
+    for (const int count : row) EXPECT_EQ(count, 1);
+}
+
+TEST(ChunkSource, BalancedRowSlicing) {
+  // r = 100, mu = 89: two balanced slices of 50, never 89 + 11.
+  const auto plat = platform::Platform::homogeneous(1, 0.01, 0.001,
+                                                    89 * 89 + 4 * 89);
+  const auto part = blocks(100, 4, 89);
+  ChunkSource source(plat, part, Layout::kDoubleBuffered);
+  auto first = source.next_chunk(0);
+  auto second = source.next_chunk(0);
+  ASSERT_TRUE(first && second);
+  EXPECT_EQ(first->rect.rows(), 50u);
+  EXPECT_EQ(second->rect.rows(), 50u);
+  EXPECT_EQ(second->rect.i0, 50u);
+  EXPECT_FALSE(source.has_work());
+}
+
+TEST(ChunkSource, BalancedSlicesDifferByAtMostOne) {
+  const auto plat = platform::Platform::homogeneous(1, 0.01, 0.001, 45);
+  const auto part = blocks(13, 4, 5);  // mu = 5: slices of 13 -> 5,4,4
+  ChunkSource source(plat, part, Layout::kDoubleBuffered);
+  std::vector<std::size_t> heights;
+  while (auto plan = source.next_chunk(0)) heights.push_back(plan->rect.rows());
+  ASSERT_EQ(heights.size(), 3u);
+  EXPECT_EQ(heights[0] + heights[1] + heights[2], 13u);
+  for (const std::size_t h : heights) {
+    EXPECT_GE(h, 4u);
+    EXPECT_LE(h, 5u);
+  }
+}
+
+TEST(ChunkSource, PerWorkerColumnGroups) {
+  // Two workers with different mu must own disjoint column groups.
+  std::vector<platform::WorkerSpec> specs = {
+      {0.01, 0.001, 3 * 3 + 4 * 3, "small"},   // mu = 3
+      {0.01, 0.001, 5 * 5 + 4 * 5, "large"}};  // mu = 5
+  const platform::Platform plat("duo", specs);
+  const auto part = blocks(6, 4, 11);
+  ChunkSource source(plat, part, Layout::kDoubleBuffered);
+
+  auto c0 = source.next_chunk(0);  // worker 0 claims columns [0, 3)
+  auto c1 = source.next_chunk(1);  // worker 1 claims columns [3, 8)
+  ASSERT_TRUE(c0 && c1);
+  EXPECT_EQ(c0->rect.j0, 0u);
+  EXPECT_EQ(c0->rect.j1, 3u);
+  EXPECT_EQ(c1->rect.j0, 3u);
+  EXPECT_EQ(c1->rect.j1, 8u);
+  // Worker 0 finishes its group (6 rows / mu 3 = 2 slices) before moving.
+  auto c0b = source.next_chunk(0);
+  ASSERT_TRUE(c0b);
+  EXPECT_EQ(c0b->rect.j0, 0u);
+  EXPECT_EQ(c0b->rect.i0, 3u);
+  auto c0c = source.next_chunk(0);  // new group: columns [8, 11)
+  ASSERT_TRUE(c0c);
+  EXPECT_EQ(c0c->rect.j0, 8u);
+  EXPECT_EQ(c0c->rect.j1, 11u);
+}
+
+TEST(ChunkSource, PeekDoesNotCommit) {
+  const auto plat = platform::Platform::homogeneous(2, 0.01, 0.001, 60);
+  const auto part = blocks(5, 4, 10);
+  ChunkSource source(plat, part, Layout::kDoubleBuffered);
+  const auto peeked = source.peek_chunk(0);
+  const auto peeked_again = source.peek_chunk(0);
+  ASSERT_TRUE(peeked && peeked_again);
+  EXPECT_EQ(peeked->rect, peeked_again->rect);
+  const auto committed = source.next_chunk(0);
+  ASSERT_TRUE(committed);
+  EXPECT_EQ(committed->rect, peeked->rect);
+  const auto after = source.peek_chunk(0);
+  ASSERT_TRUE(after);
+  EXPECT_NE(after->rect, peeked->rect);
+}
+
+TEST(ChunkSource, ToledoLayoutUsesBeta) {
+  const auto plat = platform::Platform::homogeneous(1, 0.01, 0.001, 75);
+  // beta = 5 (3 * 25 = 75); mu would be 6 (36 + 24 = 60 <= 75).
+  const auto part = blocks(10, 7, 10);
+  ChunkSource source(plat, part, Layout::kToledo);
+  EXPECT_EQ(source.width(0), 5);
+  const auto plan = source.next_chunk(0);
+  ASSERT_TRUE(plan);
+  EXPECT_EQ(plan->prefetch_depth, 0);
+  EXPECT_EQ(plan->steps.size(), 2u);  // ceil(7/5)
+}
+
+TEST(ChunkSource, MaxReuseLayoutWidth) {
+  const auto plat = platform::Platform::homogeneous(1, 0.01, 0.001, 21);
+  const auto part = blocks(8, 3, 8);
+  ChunkSource source(plat, part, Layout::kMaxReuse);
+  EXPECT_EQ(source.width(0), 4);  // 1 + 4 + 16 = 21
+  const auto plan = source.next_chunk(0);
+  ASSERT_TRUE(plan);
+  EXPECT_EQ(plan->peak_buffers(), 21);
+}
+
+TEST(ChunkSource, UniformWidthOverride) {
+  const auto plat = platform::Platform::homogeneous(2, 0.01, 0.001, 1000);
+  const auto part = blocks(9, 4, 9);
+  ChunkSource source(plat, part, Layout::kDoubleBuffered, 3);
+  EXPECT_EQ(source.width(0), 3);
+  EXPECT_EQ(source.width(1), 3);
+  const auto plan = source.next_chunk(1);
+  ASSERT_TRUE(plan);
+  EXPECT_EQ(plan->rect.cols(), 3u);
+  EXPECT_EQ(plan->rect.rows(), 3u);
+}
+
+TEST(ChunkSource, HasWorkForTracksGroups) {
+  const auto plat = platform::Platform::homogeneous(2, 0.01, 0.001, 60);
+  const auto part = blocks(5, 4, 5);  // a single 5-wide group
+  ChunkSource source(plat, part, Layout::kDoubleBuffered);
+  EXPECT_TRUE(source.has_work_for(0));
+  EXPECT_TRUE(source.has_work_for(1));
+  ASSERT_TRUE(source.next_chunk(0));
+  // Worker 0 consumed the only group entirely (5 rows <= mu).
+  EXPECT_FALSE(source.has_work());
+  EXPECT_FALSE(source.has_work_for(1));
+}
+
+TEST(ChunkSource, RemainingBlocksAccounting) {
+  const auto plat = platform::Platform::homogeneous(1, 0.01, 0.001, 60);
+  const auto part = blocks(10, 4, 10);
+  ChunkSource source(plat, part, Layout::kDoubleBuffered);
+  EXPECT_EQ(source.remaining_blocks(), 100u);
+  const auto plan = source.next_chunk(0);
+  ASSERT_TRUE(plan);
+  EXPECT_EQ(source.remaining_blocks(), 100u - plan->rect.count());
+}
+
+}  // namespace
+}  // namespace hmxp::sched

@@ -1,0 +1,258 @@
+// Engine semantics tests: hand-computed timelines for the one-port
+// model, buffer-limited prefetch, sequentialized C I/O, and the protocol
+// violations the engine must reject.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/engine.hpp"
+
+namespace hmxp::sim {
+namespace {
+
+matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
+  return matrix::Partition::from_blocks(r, t, s, 80);
+}
+
+matrix::BlockRect rect(std::size_t i0, std::size_t i1, std::size_t j0,
+                       std::size_t j1) {
+  return matrix::BlockRect{i0, i1, j0, j1};
+}
+
+// One worker, c = 1 s/block, w = 1 s/update, one 2x2 chunk, t = 2.
+// Timeline (double-buffered, prefetch 1):
+//   SendC   [0, 4)                         (4 blocks)
+//   SendAB0 [4, 8)   compute0 [8, 12)      (4 operand blocks, 4 updates)
+//   SendAB1 [8, 12)  compute1 [12, 16)     (prefetch overlaps compute0)
+//   RecvC   [16, 20)                       (waits for compute1)
+TEST(Engine, HandComputedDoubleBufferedTimeline) {
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 12);
+  const auto part = blocks(2, 2, 2);
+  Engine engine(plat, part);
+
+  const ChunkPlan plan = make_double_buffered_chunk(rect(0, 2, 0, 2), 2);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::send_chunk(0, plan)), 4.0);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::send_operands(0)), 8.0);
+  EXPECT_DOUBLE_EQ(engine.progress(0).compute_end[0], 12.0);
+  // Prefetch slot free: second batch transfers during compute 0.
+  EXPECT_DOUBLE_EQ(engine.earliest_start(0, CommKind::kSendAB), 8.0);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::send_operands(0)), 12.0);
+  EXPECT_DOUBLE_EQ(engine.progress(0).compute_end[1], 16.0);
+  // Result waits for the last compute.
+  EXPECT_DOUBLE_EQ(engine.earliest_start(0, CommKind::kRecvC), 16.0);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::recv_result(0)), 20.0);
+  EXPECT_DOUBLE_EQ(engine.finalize(), 20.0);
+  EXPECT_TRUE(engine.all_work_done());
+}
+
+// Same scenario with prefetch 0 (Toledo-style): batch k+1 may only be
+// received after compute k finished.
+TEST(Engine, NoPrefetchSerializesCommAndCompute) {
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 12);
+  const auto part = blocks(2, 2, 2);
+  Engine engine(plat, part);
+
+  ChunkPlan plan = make_double_buffered_chunk(rect(0, 2, 0, 2), 2);
+  plan.prefetch_depth = 0;
+  engine.execute(Decision::send_chunk(0, plan));        // [0, 4)
+  engine.execute(Decision::send_operands(0));           // [4, 8), compute [8,12)
+  EXPECT_DOUBLE_EQ(engine.earliest_start(0, CommKind::kSendAB), 12.0);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::send_operands(0)), 16.0);
+  EXPECT_DOUBLE_EQ(engine.progress(0).compute_end[1], 20.0);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::recv_result(0)), 24.0);
+  EXPECT_DOUBLE_EQ(engine.finalize(), 24.0);
+}
+
+// Deep prefetch pressure: with t = 4 and prefetch 1, batch k + 2 waits
+// for compute k to end. Batches pile up against the compute pipeline.
+TEST(Engine, PrefetchDepthLimitsBatchLead) {
+  const auto plat = platform::Platform::homogeneous(1, 0.25, 1.0, 12);
+  const auto part = blocks(2, 4, 2);
+  Engine engine(plat, part);
+  const ChunkPlan plan = make_double_buffered_chunk(rect(0, 2, 0, 2), 4);
+  engine.execute(Decision::send_chunk(0, plan));   // [0, 1)
+  engine.execute(Decision::send_operands(0));      // [1, 2) compute [2, 6)
+  engine.execute(Decision::send_operands(0));      // [2, 3) compute [6, 10)
+  // Batch 2 needs compute 0's buffer: starts at 6, not 3.
+  EXPECT_DOUBLE_EQ(engine.earliest_start(0, CommKind::kSendAB), 6.0);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::send_operands(0)), 7.0);
+  EXPECT_DOUBLE_EQ(engine.progress(0).compute_end[2], 14.0);
+  // Batch 3 waits for compute 1 (ends at 10).
+  EXPECT_DOUBLE_EQ(engine.earliest_start(0, CommKind::kSendAB), 10.0);
+}
+
+// Two workers share the port: the second SendC starts when the first
+// ends, and a later send to a busy worker blocks the port.
+TEST(Engine, OnePortSerializesWorkers) {
+  const auto plat = platform::Platform::homogeneous(2, 1.0, 10.0, 12);
+  const auto part = blocks(2, 1, 4);
+  Engine engine(plat, part);
+
+  engine.execute(
+      Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 0, 2), 1)));
+  EXPECT_DOUBLE_EQ(engine.now(), 4.0);
+  engine.execute(
+      Decision::send_chunk(1, make_double_buffered_chunk(rect(0, 2, 2, 4), 1)));
+  EXPECT_DOUBLE_EQ(engine.now(), 8.0);  // port was busy until 4
+  engine.execute(Decision::send_operands(0));  // [8, 12), compute [12, 52)
+  engine.execute(Decision::send_operands(1));  // [12, 16), compute [16, 56)
+  // Results: worker 0 finishes compute at 52; port idles 16 -> 52.
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::recv_result(0)), 56.0);
+  EXPECT_DOUBLE_EQ(engine.execute(Decision::recv_result(1)), 60.0);
+  EXPECT_DOUBLE_EQ(engine.finalize(), 60.0);
+
+  // The trace agrees with the one-port and serialization invariants.
+  EXPECT_TRUE(engine.trace().one_port_respected());
+  EXPECT_TRUE(engine.trace().compute_serialized());
+}
+
+TEST(Engine, SequentializedChunkIO) {
+  // A worker's next chunk may not be sent before its previous result
+  // left; the engine starts the send at the worker's ready time.
+  const auto plat = platform::Platform::homogeneous(2, 1.0, 1.0, 12);
+  const auto part = blocks(2, 1, 4);
+  Engine engine(plat, part);
+
+  engine.execute(
+      Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 0, 2), 1)));
+  engine.execute(Decision::send_operands(0));  // [4, 8) compute [8, 12)
+  engine.execute(Decision::recv_result(0));    // [12, 16)
+  EXPECT_DOUBLE_EQ(engine.progress(0).ready_for_chunk, 16.0);
+  // Next chunk to the same worker: starts immediately (port free at 16).
+  engine.execute(
+      Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 2, 4), 1)));
+  EXPECT_DOUBLE_EQ(engine.now(), 20.0);
+  engine.execute(Decision::send_operands(0));
+  engine.execute(Decision::recv_result(0));
+  EXPECT_DOUBLE_EQ(engine.finalize(), 32.0);  // 24 recv start + compute wait
+}
+
+TEST(Engine, RejectsProtocolViolations) {
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 12);
+  const auto part = blocks(2, 2, 2);
+  Engine engine(plat, part);
+
+  // Operands before any chunk.
+  EXPECT_THROW(engine.execute(Decision::send_operands(0)), std::logic_error);
+  // Result before any chunk.
+  EXPECT_THROW(engine.execute(Decision::recv_result(0)), std::logic_error);
+
+  const ChunkPlan plan = make_double_buffered_chunk(rect(0, 2, 0, 2), 2);
+  engine.execute(Decision::send_chunk(0, plan));
+  // Second chunk while one is outstanding.
+  EXPECT_THROW(engine.execute(Decision::send_chunk(0, plan)),
+               std::logic_error);
+  // Result before all steps sent.
+  EXPECT_THROW(engine.execute(Decision::recv_result(0)), std::logic_error);
+  engine.execute(Decision::send_operands(0));
+  engine.execute(Decision::send_operands(0));
+  // Operands past the last step.
+  EXPECT_THROW(engine.execute(Decision::send_operands(0)), std::logic_error);
+}
+
+TEST(Engine, RejectsMemoryOverflowAndDoubleCoverage) {
+  const auto plat = platform::Platform::homogeneous(2, 1.0, 1.0, 12);
+  const auto part = blocks(4, 2, 4);
+  Engine engine(plat, part);
+
+  // 3x3 chunk peak = 9 + 4*3 = 21 > 12 buffers.
+  EXPECT_THROW(
+      engine.execute(
+          Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 3, 0, 3), 2))),
+      std::logic_error);
+
+  engine.execute(
+      Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 0, 2), 2)));
+  // Overlapping assignment to another worker.
+  EXPECT_THROW(
+      engine.execute(
+          Decision::send_chunk(1, make_double_buffered_chunk(rect(1, 3, 1, 3), 2))),
+      std::logic_error);
+}
+
+TEST(Engine, RejectsWrongStepCount) {
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 12);
+  const auto part = blocks(2, 3, 2);  // t = 3
+  Engine engine(plat, part);
+  // Chunk built for t = 2 cannot cover t = 3 updates per block.
+  EXPECT_THROW(
+      engine.execute(
+          Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 0, 2), 2))),
+      std::logic_error);
+}
+
+TEST(Engine, FinalizeRejectsIncompleteRuns) {
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 12);
+  const auto part = blocks(2, 1, 2);
+  {
+    Engine engine(plat, part);
+    EXPECT_THROW(engine.finalize(), std::logic_error);  // nothing assigned
+  }
+  {
+    Engine engine(plat, part);
+    engine.execute(Decision::send_chunk(
+        0, make_double_buffered_chunk(rect(0, 2, 0, 2), 1)));
+    engine.execute(Decision::send_operands(0));
+    EXPECT_THROW(engine.finalize(), std::logic_error);  // never returned
+  }
+}
+
+TEST(Engine, CountersAndEnrollment) {
+  const auto plat = platform::Platform::homogeneous(2, 1.0, 1.0, 12);
+  const auto part = blocks(2, 2, 2);
+  Engine engine(plat, part);
+  engine.execute(
+      Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 0, 2), 2)));
+  engine.execute(Decision::send_operands(0));
+  engine.execute(Decision::send_operands(0));
+  engine.execute(Decision::recv_result(0));
+  engine.finalize();
+  // Comm blocks: 4 (C in) + 4 + 4 (operands) + 4 (C out).
+  EXPECT_EQ(engine.comm_blocks_total(), 16);
+  EXPECT_EQ(engine.updates_total(), 8);
+  EXPECT_EQ(engine.progress(0).chunks_assigned, 1);
+  EXPECT_EQ(engine.progress(1).chunks_assigned, 0);
+}
+
+TEST(Engine, HeterogeneousSpeedsRespected) {
+  // Worker 1 is half the speed in both c and w.
+  std::vector<platform::WorkerSpec> specs = {{1.0, 1.0, 12, "fast"},
+                                             {2.0, 2.0, 12, "slow"}};
+  const platform::Platform plat("duo", specs);
+  const auto part = blocks(2, 1, 4);
+  Engine engine(plat, part);
+  engine.execute(
+      Decision::send_chunk(1, make_double_buffered_chunk(rect(0, 2, 0, 2), 1)));
+  EXPECT_DOUBLE_EQ(engine.now(), 8.0);  // 4 blocks * 2 s
+  engine.execute(Decision::send_operands(1));  // 4 blocks * 2 = [8, 16)
+  EXPECT_DOUBLE_EQ(engine.progress(1).compute_end[0], 16.0 + 8.0);
+  engine.execute(
+      Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 2, 4), 1)));
+  EXPECT_DOUBLE_EQ(engine.now(), 20.0);  // 16 + 4 * 1
+  engine.execute(Decision::send_operands(0));
+  engine.execute(Decision::recv_result(0));
+  engine.execute(Decision::recv_result(1));
+  engine.finalize();
+}
+
+TEST(Trace, GanttExportContainsAllResources) {
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 12);
+  const auto part = blocks(2, 1, 2);
+  Engine engine(plat, part);
+  engine.execute(
+      Decision::send_chunk(0, make_double_buffered_chunk(rect(0, 2, 0, 2), 1)));
+  engine.execute(Decision::send_operands(0));
+  engine.execute(Decision::recv_result(0));
+  engine.finalize();
+  std::ostringstream os;
+  engine.trace().write_gantt_csv(os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("resource,kind,start,end,detail"), std::string::npos);
+  EXPECT_NE(csv.find("master,send-C"), std::string::npos);
+  EXPECT_NE(csv.find("master,send-AB"), std::string::npos);
+  EXPECT_NE(csv.find("master,recv-C"), std::string::npos);
+  EXPECT_NE(csv.find("P1,compute"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmxp::sim

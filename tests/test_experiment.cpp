@@ -1,0 +1,97 @@
+// Tests for the core facade: registry, run reports, experiment harness.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "platform/generator.hpp"
+
+namespace hmxp::core {
+namespace {
+
+matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
+  return matrix::Partition::from_blocks(r, t, s, 80);
+}
+
+TEST(Registry, SevenAlgorithmsRoundTripNames) {
+  const auto& algorithms = all_algorithms();
+  ASSERT_EQ(algorithms.size(), 7u);
+  for (const Algorithm algorithm : algorithms) {
+    EXPECT_EQ(algorithm_from_name(algorithm_name(algorithm)), algorithm);
+  }
+  EXPECT_THROW(algorithm_from_name("NotAnAlgorithm"), std::invalid_argument);
+}
+
+TEST(RunReport, BoundsAndMetadata) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(15, 8, 40);
+  const RunReport report = run_algorithm(Algorithm::kHet, plat, part);
+  EXPECT_EQ(report.algorithm_label, "Het");
+  ASSERT_TRUE(report.het_variant.has_value());
+  // The steady-state LP is an upper bound on achieved throughput.
+  EXPECT_GT(report.steady_state_bound, 0.0);
+  EXPECT_GE(report.bound_over_achieved, 1.0);
+  EXPECT_GE(report.selection_wall_seconds, 0.0);
+}
+
+TEST(RunReport, NonHetHasNoVariant) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(10, 5, 25);
+  const RunReport report = run_algorithm(Algorithm::kBmm, plat, part);
+  EXPECT_FALSE(report.het_variant.has_value());
+}
+
+TEST(Experiment, RelativeMetricsNormalized) {
+  const auto part = blocks(15, 8, 40);
+  const Instance instance{"test", platform::hetero_memory(), part};
+  const auto algorithms = all_algorithms();
+  const InstanceResults results = run_instance(instance, algorithms);
+
+  ASSERT_EQ(results.reports.size(), algorithms.size());
+  double min_cost = 1e18, min_work = 1e18;
+  for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    EXPECT_GE(results.relative_cost[i], 1.0 - 1e-12);
+    EXPECT_GE(results.relative_work[i], 1.0 - 1e-12);
+    min_cost = std::min(min_cost, results.relative_cost[i]);
+    min_work = std::min(min_work, results.relative_work[i]);
+  }
+  EXPECT_NEAR(min_cost, 1.0, 1e-12);  // someone achieves the best
+  EXPECT_NEAR(min_work, 1.0, 1e-12);
+}
+
+TEST(Experiment, SummaryAggregatesAcrossInstances) {
+  const auto part = blocks(10, 5, 25);
+  std::vector<Instance> instances;
+  instances.push_back({"a", platform::hetero_memory(), part});
+  instances.push_back({"b", platform::hetero_compute(), part});
+  const std::vector<Algorithm> algorithms = {Algorithm::kHet,
+                                             Algorithm::kBmm};
+  const auto results = run_experiment(instances, algorithms);
+  const auto summaries = summarize(results, algorithms);
+  ASSERT_EQ(summaries.size(), 2u);
+  EXPECT_EQ(summaries[0].label, "Het");
+  EXPECT_EQ(summaries[0].relative_cost.count(), 2u);
+  EXPECT_EQ(summaries[1].relative_work.count(), 2u);
+  EXPECT_GE(summaries[1].relative_cost.mean(), 1.0);
+}
+
+TEST(Experiment, TablesHaveOneRowPerInstance) {
+  const auto part = blocks(10, 5, 25);
+  std::vector<Instance> instances;
+  instances.push_back({"row-one", platform::hetero_memory(), part});
+  instances.push_back({"row-two", platform::hetero_links(), part});
+  const std::vector<Algorithm> algorithms = {Algorithm::kHet,
+                                             Algorithm::kOddoml};
+  const auto results = run_experiment(instances, algorithms);
+
+  const auto cost = relative_cost_table(results, algorithms);
+  const auto work = relative_work_table(results, algorithms);
+  const auto enrolled = enrolled_table(results, algorithms);
+  EXPECT_EQ(cost.row_count(), 2u);
+  EXPECT_EQ(work.row_count(), 2u);
+  EXPECT_EQ(enrolled.row_count(), 2u);
+  const std::string rendered = cost.render();
+  EXPECT_NE(rendered.find("row-one"), std::string::npos);
+  EXPECT_NE(rendered.find("ODDOML"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmxp::core

@@ -1,0 +1,132 @@
+// GEMM kernel tests: the tiled and parallel kernels must agree with the
+// naive oracle on arbitrary (including degenerate) shapes, and all
+// kernels must accumulate rather than overwrite.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "matrix/gemm.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp::matrix {
+namespace {
+
+Matrix reference_product(const Matrix& a, const Matrix& b, const Matrix& c0) {
+  Matrix c = c0;
+  gemm_naive(a.view(), b.view(), c.view());
+  return c;
+}
+
+class GemmShapes
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(GemmShapes, TiledMatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  util::Rng rng(static_cast<std::uint64_t>(m * 73856093 ^ k * 19349663 ^
+                                           n * 83492791));
+  const Matrix a = Matrix::random(static_cast<std::size_t>(m),
+                                  static_cast<std::size_t>(k), rng);
+  const Matrix b = Matrix::random(static_cast<std::size_t>(k),
+                                  static_cast<std::size_t>(n), rng);
+  const Matrix c0 = Matrix::random(static_cast<std::size_t>(m),
+                                   static_cast<std::size_t>(n), rng);
+  const Matrix expected = reference_product(a, b, c0);
+
+  Matrix tiled = c0;
+  gemm_tiled(a.view(), b.view(), tiled.view());
+  EXPECT_LT(Matrix::max_abs_diff(tiled, expected), 1e-11);
+
+  Matrix parallel = c0;
+  gemm_parallel(a.view(), b.view(), parallel.view(), 3);
+  EXPECT_LT(Matrix::max_abs_diff(parallel, expected), 1e-11);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapeSweep, GemmShapes,
+    ::testing::Values(std::make_tuple(1, 1, 1), std::make_tuple(1, 7, 1),
+                      std::make_tuple(3, 1, 5), std::make_tuple(4, 4, 4),
+                      std::make_tuple(5, 3, 2), std::make_tuple(16, 16, 16),
+                      std::make_tuple(17, 13, 11), std::make_tuple(64, 64, 64),
+                      std::make_tuple(65, 64, 63), std::make_tuple(80, 80, 80),
+                      std::make_tuple(100, 128, 96),
+                      std::make_tuple(33, 129, 65)));
+
+TEST(Gemm, AccumulatesIntoC) {
+  // C starts at identity * 10; product adds on top.
+  const Matrix a = Matrix::identity(3);
+  Matrix b(3, 3, 1.0);
+  Matrix c(3, 3, 10.0);
+  gemm_tiled(a.view(), b.view(), c.view());
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(c.at(i, j), 11.0);
+}
+
+TEST(Gemm, IdentityLeavesOperandIntact) {
+  util::Rng rng(3);
+  const Matrix b = Matrix::random(5, 4, rng);
+  Matrix c(5, 4, 0.0);
+  gemm_tiled(Matrix::identity(5).view(), b.view(), c.view());
+  EXPECT_LT(Matrix::max_abs_diff(c, b), 1e-14);
+}
+
+TEST(Gemm, ViewsWithStride) {
+  // Multiply windows of larger matrices: strides != cols.
+  util::Rng rng(17);
+  Matrix big_a = Matrix::random(10, 10, rng);
+  Matrix big_b = Matrix::random(10, 10, rng);
+  Matrix big_c(10, 10, 0.0);
+
+  Matrix small_a(4, 3), small_b(3, 5), small_c(4, 5, 0.0);
+  copy_into(big_a.window(2, 1, 4, 3), small_a.view());
+  copy_into(big_b.window(0, 4, 3, 5), small_b.view());
+
+  gemm_tiled(big_a.window(2, 1, 4, 3), big_b.window(0, 4, 3, 5),
+             big_c.window(5, 5, 4, 5));
+  gemm_naive(small_a.view(), small_b.view(), small_c.view());
+
+  Matrix extracted(4, 5);
+  copy_into(big_c.window(5, 5, 4, 5), extracted.view());
+  EXPECT_LT(Matrix::max_abs_diff(extracted, small_c), 1e-12);
+}
+
+TEST(Gemm, ShapeMismatchThrows) {
+  Matrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(gemm_tiled(a.view(), b.view(), c.view()),
+               std::invalid_argument);
+  Matrix b2(3, 2), c_bad(3, 2);
+  EXPECT_THROW(gemm_tiled(a.view(), b2.view(), c_bad.view()),
+               std::invalid_argument);
+}
+
+TEST(Gemm, ParallelThreadCountVariants) {
+  util::Rng rng(23);
+  const Matrix a = Matrix::random(37, 29, rng);
+  const Matrix b = Matrix::random(29, 41, rng);
+  Matrix expected(37, 41, 0.0);
+  gemm_naive(a.view(), b.view(), expected.view());
+  for (const int threads : {0, 1, 2, 7, 64}) {
+    Matrix c(37, 41, 0.0);
+    gemm_parallel(a.view(), b.view(), c.view(), threads);
+    EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-11) << threads;
+  }
+}
+
+TEST(Gemm, WholeMatrixConvenience) {
+  util::Rng rng(31);
+  const Matrix a = Matrix::random(6, 7, rng);
+  const Matrix b = Matrix::random(7, 8, rng);
+  Matrix c(6, 8, 0.0);
+  Matrix expected = c;
+  gemm(a, b, c);
+  gemm_naive(a.view(), b.view(), expected.view());
+  EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-12);
+}
+
+TEST(Gemm, FlopCount) {
+  EXPECT_DOUBLE_EQ(gemm_flops(80, 80, 80), 2.0 * 80 * 80 * 80);
+  EXPECT_DOUBLE_EQ(gemm_flops(0, 5, 5), 0.0);
+}
+
+}  // namespace
+}  // namespace hmxp::matrix

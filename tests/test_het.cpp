@@ -1,0 +1,108 @@
+// Tests for the incremental selection variants and the Het
+// meta-algorithm (section 5).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "platform/generator.hpp"
+#include "sched/het.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+namespace {
+
+matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
+  return matrix::Partition::from_blocks(r, t, s, 80);
+}
+
+TEST(HetVariants, ExactlyEightDistinct) {
+  const auto variants = all_het_variants();
+  ASSERT_EQ(variants.size(), 8u);
+  std::set<std::string> names;
+  for (const HetVariant& variant : variants) names.insert(variant.name());
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(HetVariants, NamesEncodeOptions) {
+  EXPECT_EQ((HetVariant{true, false, false}).name(), "het-global");
+  EXPECT_EQ((HetVariant{false, true, true}).name(), "het-local+la+ccost");
+}
+
+// Every variant must produce a complete, invariant-respecting schedule.
+class EveryVariant : public ::testing::TestWithParam<int> {};
+
+TEST_P(EveryVariant, CompletesWithValidTrace) {
+  const HetVariant variant =
+      all_het_variants()[static_cast<std::size_t>(GetParam())];
+  const platform::Platform plat = platform::fully_hetero(3.0);
+  const auto part = blocks(15, 6, 40);
+  IncrementalScheduler scheduler(plat, part, variant);
+  const sim::RunResult result = sim::simulate(scheduler, plat, part, true);
+  EXPECT_EQ(result.updates, 15 * 40 * 6);
+  EXPECT_TRUE(result.trace.one_port_respected());
+  EXPECT_TRUE(result.trace.compute_serialized());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllEight, EveryVariant, ::testing::Range(0, 8));
+
+TEST(Het, SelectionPicksTheBestVariant) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(20, 8, 50);
+  const HetSelection selection = select_het(plat, part);
+  ASSERT_EQ(selection.variant_makespans.size(), 8u);
+  double best = selection.variant_makespans.front();
+  for (const double makespan : selection.variant_makespans)
+    best = std::min(best, makespan);
+  EXPECT_DOUBLE_EQ(selection.predicted_makespan, best);
+}
+
+TEST(Het, ReplayMatchesPrediction) {
+  // Phase 2 replays phase 1's winner: simulated makespans must agree
+  // exactly (the engine is deterministic).
+  const platform::Platform plat = platform::hetero_links();
+  const auto part = blocks(15, 8, 40);
+  HetSelection selection;
+  auto replay = make_het(plat, part, &selection);
+  const sim::RunResult result = sim::simulate(replay, plat, part);
+  EXPECT_DOUBLE_EQ(result.makespan, selection.predicted_makespan);
+}
+
+TEST(Het, NeverWorseThanAnyOwnVariant) {
+  for (const auto& plat :
+       {platform::hetero_memory(), platform::hetero_compute()}) {
+    const auto part = blocks(12, 6, 30);
+    const HetSelection selection = select_het(plat, part);
+    for (const double makespan : selection.variant_makespans)
+      EXPECT_LE(selection.predicted_makespan, makespan + 1e-9);
+  }
+}
+
+TEST(Het, LookaheadVariantsDifferFromGreedy) {
+  // On a sufficiently heterogeneous platform the eight variants should
+  // not all collapse to one schedule; at least two distinct makespans.
+  const platform::Platform plat = platform::fully_hetero(4.0);
+  const auto part = blocks(100, 10, 300);
+  const HetSelection selection = select_het(plat, part);
+  std::set<double> distinct(selection.variant_makespans.begin(),
+                            selection.variant_makespans.end());
+  EXPECT_GE(distinct.size(), 2u);
+}
+
+TEST(Het, RespectsPerWorkerMemoryInChunks) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(20, 8, 50);
+  HetSelection selection;
+  make_het(plat, part, &selection);
+  for (const sim::Decision& decision : selection.decisions) {
+    if (decision.comm == sim::CommKind::kSendC) {
+      const auto& worker =
+          plat.worker(decision.worker);
+      EXPECT_LE(decision.chunk.peak_buffers(), worker.m);
+      EXPECT_LE(decision.chunk.rect.cols(),
+                static_cast<std::size_t>(worker.mu()));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hmxp::sched

@@ -1,0 +1,194 @@
+// Integration tests: the qualitative claims of the paper's section 6,
+// checked end-to-end on reduced-size instances of the experimental
+// platforms. These guard the reproduction's "shape": who wins, who
+// over-enrolls, and the steady-state bound's validity.
+#include <gtest/gtest.h>
+
+#include "core/experiment.hpp"
+#include "model/steady_state.hpp"
+#include "platform/generator.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp {
+namespace {
+
+matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
+  return matrix::Partition::from_blocks(r, t, s, 80);
+}
+
+core::InstanceResults run_all(const platform::Platform& plat,
+                              const matrix::Partition& part) {
+  const core::Instance instance{plat.name(), plat, part};
+  return core::run_instance(instance, core::all_algorithms());
+}
+
+double metric_for(const core::InstanceResults& results,
+                  core::Algorithm algorithm,
+                  const std::vector<double> core::InstanceResults::* metric) {
+  const auto& algorithms = core::all_algorithms();
+  for (std::size_t i = 0; i < algorithms.size(); ++i)
+    if (algorithms[i] == algorithm) return (results.*metric)[i];
+  ADD_FAILURE() << "algorithm not found";
+  return 0.0;
+}
+
+const core::RunReport& report_for(const core::InstanceResults& results,
+                                  core::Algorithm algorithm) {
+  const auto& algorithms = core::all_algorithms();
+  for (std::size_t i = 0; i < algorithms.size(); ++i)
+    if (algorithms[i] == algorithm) return results.reports[i];
+  throw std::logic_error("algorithm not found");
+}
+
+// Reduced-size versions of the paper's three one-parameter platforms.
+class PaperPlatforms : public ::testing::TestWithParam<const char*> {
+ protected:
+  platform::Platform make() const {
+    const std::string name = GetParam();
+    if (name == "mem") return platform::hetero_memory();
+    if (name == "links") return platform::hetero_links();
+    return platform::hetero_compute();
+  }
+};
+
+TEST_P(PaperPlatforms, HetIsNearBest) {
+  // The paper's headline: Het achieves the best makespan on 10 of 12
+  // platforms and stays within 9% otherwise (14% across everything).
+  // We allow 25% at this reduced scale, where single-chunk effects are
+  // proportionally larger.
+  const auto results = run_all(make(), blocks(100, 100, 800));
+  EXPECT_LE(metric_for(results, core::Algorithm::kHet,
+                       &core::InstanceResults::relative_cost),
+            1.25);
+}
+
+TEST_P(PaperPlatforms, HetWorkNoWorseThanNonSelectingAlgorithms) {
+  // Het spares resources: its makespan * enrolled never exceeds the
+  // non-selecting ODDOML's and ORROML's.
+  const auto results = run_all(make(), blocks(100, 100, 800));
+  const double het = metric_for(results, core::Algorithm::kHet,
+                                &core::InstanceResults::relative_work);
+  EXPECT_LE(het, 1.05 * metric_for(results, core::Algorithm::kOrroml,
+                                   &core::InstanceResults::relative_work));
+  EXPECT_LE(het, 1.05 * metric_for(results, core::Algorithm::kOddoml,
+                                   &core::InstanceResults::relative_work));
+}
+
+TEST_P(PaperPlatforms, SteadyStateBoundHolds) {
+  // Table 1's LP ignores C traffic and transients: it must upper-bound
+  // every algorithm's achieved throughput.
+  const auto results = run_all(make(), blocks(100, 20, 400));
+  for (const core::RunReport& report : results.reports) {
+    EXPECT_GE(report.bound_over_achieved, 1.0 - 1e-9)
+        << report.algorithm_label;
+  }
+}
+
+TEST_P(PaperPlatforms, OmmomlIsThrifty) {
+  // OMMOML under-enrolls (paper fig. 4: "very thrifty ... at the expense
+  // of its absolute cost").
+  const auto results = run_all(make(), blocks(100, 100, 800));
+  const auto& ommoml = report_for(results, core::Algorithm::kOmmoml);
+  const auto& oddoml = report_for(results, core::Algorithm::kOddoml);
+  EXPECT_LT(ommoml.result.workers_enrolled,
+            oddoml.result.workers_enrolled);
+}
+
+INSTANTIATE_TEST_SUITE_P(Families, PaperPlatforms,
+                         ::testing::Values("mem", "links", "comp"));
+
+TEST(PaperShape, LayoutAdvantageOverToledo) {
+  // Section 6.3 summary: the optimized memory layout (ODDOML) beats
+  // Toledo's (BMM) on average across the experiment families.
+  double oddoml_sum = 0.0, bmm_sum = 0.0;
+  for (const auto& plat :
+       {platform::hetero_memory(), platform::hetero_links(),
+        platform::hetero_compute()}) {
+    const auto results = run_all(plat, blocks(100, 100, 800));
+    oddoml_sum += metric_for(results, core::Algorithm::kOddoml,
+                             &core::InstanceResults::relative_cost);
+    bmm_sum += metric_for(results, core::Algorithm::kBmm,
+                          &core::InstanceResults::relative_cost);
+  }
+  EXPECT_LT(oddoml_sum, bmm_sum);
+}
+
+TEST(PaperShape, HetBeatsBmmEverywhere) {
+  // "27% against Toledo's running time" on average; at this scale we
+  // assert strict dominance per family.
+  for (const auto& plat :
+       {platform::hetero_memory(), platform::hetero_links(),
+        platform::hetero_compute(), platform::fully_hetero(2.0),
+        platform::fully_hetero(4.0)}) {
+    const auto results = run_all(plat, blocks(100, 100, 800));
+    EXPECT_LT(metric_for(results, core::Algorithm::kHet,
+                         &core::InstanceResults::relative_cost),
+              metric_for(results, core::Algorithm::kBmm,
+                         &core::InstanceResults::relative_cost))
+        << plat.name();
+  }
+}
+
+TEST(PaperShape, RandomPlatformsHetStaysClose) {
+  // Fig. 7: on random platforms Het is never catastrophically off.
+  util::Rng rng(20080220);  // PPoPP'08 conference date as seed
+  for (int round = 0; round < 3; ++round) {
+    platform::Platform plat = platform::random_platform(rng);
+    const auto results = run_all(plat, blocks(100, 30, 400));
+    EXPECT_LE(metric_for(results, core::Algorithm::kHet,
+                         &core::InstanceResults::relative_cost),
+              1.35)
+        << plat.name();
+  }
+}
+
+TEST(PaperShape, RealPlatformEnrollment) {
+  // Section 6.3 "Real platform": algorithms with resource selection use
+  // roughly half of the twenty workers (the paper reports eleven).
+  const platform::Platform plat = platform::real_platform_aug2007();
+  const auto part = blocks(100, 25, 1000);
+  const auto results = run_all(plat, part);
+  const auto& het = report_for(results, core::Algorithm::kHet);
+  EXPECT_GE(het.result.workers_enrolled, 5);
+  EXPECT_LE(het.result.workers_enrolled, 16);
+  // Demand-driven uses (almost) everything it can reach.
+  const auto& oddoml = report_for(results, core::Algorithm::kOddoml);
+  EXPECT_GE(oddoml.result.workers_enrolled, het.result.workers_enrolled);
+}
+
+TEST(PaperShape, Nov2006MemoryHeterogeneityChangesSelection) {
+  // On the pre-upgrade cluster, Het concentrates on the 1 GiB workers
+  // (the paper: "Het uses only the ten workers which have 1 GB").
+  const platform::Platform plat = platform::real_platform_nov2006();
+  const auto part = blocks(100, 25, 1000);
+  sched::HetSelection selection;
+  auto replay = sched::make_het(plat, part, &selection);
+  // Count chunk area assigned to small-memory workers.
+  double small_area = 0.0, total_area = 0.0;
+  for (const sim::Decision& decision : selection.decisions) {
+    if (decision.comm != sim::CommKind::kSendC) continue;
+    const double area = static_cast<double>(decision.chunk.rect.count());
+    total_area += area;
+    if (plat.worker(decision.worker).m < 10000) small_area += area;
+  }
+  EXPECT_LT(small_area, 0.5 * total_area);
+}
+
+TEST(PaperShape, SteadyStateBoundModeratelyTight) {
+  // The paper: the upper bound averages 2.29x Het's throughput, at
+  // worst 3.42x. Guard a generous band at reduced scale.
+  util::Samples ratios;
+  for (const auto& plat :
+       {platform::hetero_memory(), platform::hetero_links(),
+        platform::hetero_compute()}) {
+    const auto part = blocks(100, 100, 800);
+    const auto report =
+        core::run_algorithm(core::Algorithm::kHet, plat, part);
+    ratios.add(report.bound_over_achieved);
+  }
+  EXPECT_GE(ratios.min(), 1.0);
+  EXPECT_LE(ratios.mean(), 5.0);
+}
+
+}  // namespace
+}  // namespace hmxp

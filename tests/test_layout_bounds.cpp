@@ -1,0 +1,147 @@
+// Tests for the section 3 theory: memory layouts and CCR bounds.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/bounds.hpp"
+#include "model/layout.hpp"
+
+namespace hmxp::model {
+namespace {
+
+TEST(Layout, MaxReuseMuKnownValues) {
+  // Paper's running example: m = 21 -> mu = 4 (1 + 4 + 16 = 21).
+  EXPECT_EQ(max_reuse_mu(21), 4);
+  EXPECT_EQ(max_reuse_mu(3), 1);   // 1 + 1 + 1 = 3
+  EXPECT_EQ(max_reuse_mu(6), 1);   // 1 + 2 + 4 = 7 > 6
+  EXPECT_EQ(max_reuse_mu(7), 2);
+  EXPECT_THROW(max_reuse_mu(2), std::invalid_argument);
+}
+
+TEST(Layout, DoubleBufferedMuKnownValues) {
+  EXPECT_EQ(double_buffered_mu(5), 1);    // 1 + 4 = 5
+  EXPECT_EQ(double_buffered_mu(11), 1);   // 4 + 8 = 12 > 11
+  EXPECT_EQ(double_buffered_mu(12), 2);
+  EXPECT_EQ(double_buffered_mu(21), 3);   // 9 + 12 = 21
+  EXPECT_THROW(double_buffered_mu(4), std::invalid_argument);
+}
+
+TEST(Layout, ToledoBetaKnownValues) {
+  EXPECT_EQ(toledo_beta(3), 1);
+  EXPECT_EQ(toledo_beta(11), 1);
+  EXPECT_EQ(toledo_beta(12), 2);
+  EXPECT_EQ(toledo_beta(27), 3);
+  EXPECT_THROW(toledo_beta(2), std::invalid_argument);
+}
+
+TEST(Layout, Footprints) {
+  EXPECT_EQ(max_reuse_footprint(4), 21);
+  EXPECT_EQ(double_buffered_footprint(3), 21);
+  EXPECT_THROW(max_reuse_footprint(0), std::invalid_argument);
+}
+
+// Property sweep: the chosen mu is feasible and maximal for a wide range
+// of memory sizes, including values around perfect squares where
+// off-by-one bugs live.
+class LayoutProperty : public ::testing::TestWithParam<BlockCount> {};
+
+TEST_P(LayoutProperty, MaxReuseMuIsMaximalFeasible) {
+  const BlockCount m = GetParam();
+  const BlockCount mu = max_reuse_mu(m);
+  EXPECT_LE(1 + mu + mu * mu, m);
+  EXPECT_GT(1 + (mu + 1) + (mu + 1) * (mu + 1), m);
+}
+
+TEST_P(LayoutProperty, DoubleBufferedMuIsMaximalFeasible) {
+  const BlockCount m = GetParam();
+  if (m < 5) return;
+  const BlockCount mu = double_buffered_mu(m);
+  EXPECT_LE(mu * mu + 4 * mu, m);
+  EXPECT_GT((mu + 1) * (mu + 1) + 4 * (mu + 1), m);
+}
+
+TEST_P(LayoutProperty, ToledoBetaIsMaximalFeasible) {
+  const BlockCount m = GetParam();
+  const BlockCount beta = toledo_beta(m);
+  EXPECT_LE(3 * beta * beta, m);
+  EXPECT_GT(3 * (beta + 1) * (beta + 1), m);
+}
+
+TEST_P(LayoutProperty, MaxReuseBeatsToledoChunkSide) {
+  // The maximum re-use layout always supports at least as large a chunk
+  // side as the thirds layout -- the sqrt(3) advantage in the limit.
+  const BlockCount m = GetParam();
+  EXPECT_GE(max_reuse_mu(m), toledo_beta(m));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MemorySweep, LayoutProperty,
+    ::testing::Values<BlockCount>(3, 4, 5, 6, 7, 8, 9, 12, 13, 20, 21, 22, 48,
+                                  49, 50, 99, 100, 101, 440, 441, 442, 1000,
+                                  4095, 4096, 4097, 10000, 123456, 1000000));
+
+TEST(Bounds, LoomisWhitney) {
+  EXPECT_DOUBLE_EQ(loomis_whitney(4, 9, 16), 24.0);
+  EXPECT_DOUBLE_EQ(loomis_whitney(0, 9, 16), 0.0);
+  EXPECT_THROW(loomis_whitney(-1, 1, 1), std::invalid_argument);
+}
+
+TEST(Bounds, PaperBoundTightensToledoBound) {
+  // sqrt(27/8m) improves on sqrt(1/8m) by a factor sqrt(27).
+  for (const BlockCount m : {8, 21, 100, 10000}) {
+    EXPECT_NEAR(ccr_lower_bound(m) / ccr_lower_bound_itt(m), std::sqrt(27.0),
+                1e-12);
+  }
+}
+
+TEST(Bounds, MaxReuseWithinSqrt32Over27OfLowerBound) {
+  // CCR_maxreuse(asymptotic, closed form) / CCR_opt = sqrt(32/27): the
+  // algorithm is within ~8.8% of the bound.
+  for (const BlockCount m : {100, 1024, 65536, 1000000}) {
+    const double ratio = max_reuse_ccr_closed_form(m) / ccr_lower_bound(m);
+    EXPECT_NEAR(ratio, std::sqrt(32.0 / 27.0), 1e-12);
+  }
+}
+
+TEST(Bounds, AlgorithmCCRNeverBeatsLowerBound) {
+  for (const BlockCount m : {3, 7, 21, 100, 441, 10007, 250000}) {
+    for (const BlockCount t : {1, 10, 100, 100000}) {
+      EXPECT_GE(max_reuse_ccr(m, t), ccr_lower_bound(m))
+          << "m=" << m << " t=" << t;
+      EXPECT_GE(toledo_ccr(m, t), ccr_lower_bound(m)) << "m=" << m;
+    }
+  }
+}
+
+TEST(Bounds, ToledoAsymptoticallySqrt3Worse) {
+  // beta ~ sqrt(m/3), mu ~ sqrt(m): ratio of asymptotic CCRs -> sqrt(3).
+  const BlockCount m = 3000000;
+  EXPECT_NEAR(toledo_ccr_asymptotic(m) / max_reuse_ccr_asymptotic(m),
+              std::sqrt(3.0), 0.01);
+}
+
+TEST(Bounds, CCRDecreasesWithMemory) {
+  double previous = max_reuse_ccr(10, 100);
+  for (const BlockCount m : {50, 200, 1000, 5000, 25000}) {
+    const double ccr = max_reuse_ccr(m, 100);
+    EXPECT_LT(ccr, previous);
+    previous = ccr;
+  }
+}
+
+TEST(Bounds, FiniteTTermMatchesFormula) {
+  // CCR = 2/t + 2/mu exactly.
+  const BlockCount m = 21;  // mu = 4
+  EXPECT_DOUBLE_EQ(max_reuse_ccr(m, 10), 2.0 / 10 + 2.0 / 4);
+  EXPECT_DOUBLE_EQ(toledo_ccr(27, 10), 2.0 / 10 + 2.0 / 3);
+}
+
+TEST(Bounds, MaxUpdatesPerMCommunications) {
+  // K = sqrt((2m/3)^3) at the balanced optimum.
+  const BlockCount m = 24;
+  EXPECT_NEAR(max_updates_per_m_communications(m), std::pow(16.0, 1.5),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace hmxp::model

@@ -1,0 +1,103 @@
+// Tests for the dense matrix container and views.
+#include <gtest/gtest.h>
+
+#include "matrix/matrix.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp::matrix {
+namespace {
+
+TEST(Matrix, ConstructionAndIndexing) {
+  Matrix m(3, 4, 1.5);
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 4u);
+  EXPECT_EQ(m.size(), 12u);
+  EXPECT_DOUBLE_EQ(m.at(2, 3), 1.5);
+  m.at(1, 2) = -2.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), -2.0);
+  EXPECT_DOUBLE_EQ(m.data()[1 * 4 + 2], -2.0);  // row-major layout
+}
+
+TEST(Matrix, IndexOutOfRangeThrows) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::logic_error);
+  EXPECT_THROW(m.at(0, 2), std::logic_error);
+}
+
+TEST(Matrix, Identity) {
+  const Matrix eye = Matrix::identity(3);
+  for (std::size_t i = 0; i < 3; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(eye.at(i, j), i == j ? 1.0 : 0.0);
+}
+
+TEST(Matrix, RandomIsDeterministicPerSeed) {
+  util::Rng rng1(7), rng2(7);
+  const Matrix a = Matrix::random(4, 5, rng1);
+  const Matrix b = Matrix::random(4, 5, rng2);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 0; i < 4; ++i)
+    for (std::size_t j = 0; j < 5; ++j) {
+      EXPECT_GE(a.at(i, j), -1.0);
+      EXPECT_LT(a.at(i, j), 1.0);
+    }
+}
+
+TEST(Matrix, MaxAbsDiffAndNorm) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  b.at(1, 1) = 4.0;
+  EXPECT_DOUBLE_EQ(Matrix::max_abs_diff(a, b), 3.0);
+  EXPECT_DOUBLE_EQ(a.frobenius_norm(), 2.0);
+  Matrix c(2, 3);
+  EXPECT_THROW(Matrix::max_abs_diff(a, c), std::invalid_argument);
+}
+
+TEST(Views, WindowReflectsParent) {
+  Matrix m(4, 6, 0.0);
+  View window = m.window(1, 2, 2, 3);
+  EXPECT_EQ(window.rows(), 2u);
+  EXPECT_EQ(window.cols(), 3u);
+  EXPECT_EQ(window.stride(), 6u);
+  window.at(0, 0) = 9.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 9.0);
+  window.at(1, 2) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(2, 4), 7.0);
+}
+
+TEST(Views, WindowBoundsChecked) {
+  Matrix m(4, 6);
+  EXPECT_THROW(m.window(3, 0, 2, 1), std::invalid_argument);
+  EXPECT_THROW(m.window(0, 5, 1, 2), std::invalid_argument);
+  EXPECT_THROW(View(m.data(), 2, 4, 3), std::invalid_argument);  // stride<cols
+}
+
+TEST(Views, ConstViewFromMutable) {
+  Matrix m(2, 2, 3.0);
+  View mutable_view = m.view();
+  ConstView const_view = mutable_view;  // implicit conversion
+  EXPECT_DOUBLE_EQ(const_view.at(0, 0), 3.0);
+}
+
+TEST(Views, CopyIntoAndAccumulate) {
+  Matrix src(2, 2, 2.0);
+  Matrix dst(4, 4, 1.0);
+  copy_into(src.view(), dst.window(1, 1, 2, 2));
+  EXPECT_DOUBLE_EQ(dst.at(1, 1), 2.0);
+  EXPECT_DOUBLE_EQ(dst.at(0, 0), 1.0);
+  accumulate(src.view(), dst.window(1, 1, 2, 2));
+  EXPECT_DOUBLE_EQ(dst.at(2, 2), 4.0);
+  Matrix wrong(3, 3);
+  EXPECT_THROW(copy_into(wrong.view(), dst.window(0, 0, 2, 2)),
+               std::invalid_argument);
+}
+
+TEST(Matrix, FillResets) {
+  Matrix m(2, 2, 5.0);
+  m.fill(0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 0.5);
+}
+
+}  // namespace
+}  // namespace hmxp::matrix

@@ -1,0 +1,88 @@
+// Tests for the Figure 1 block decomposition.
+#include <gtest/gtest.h>
+
+#include "matrix/partition.hpp"
+
+namespace hmxp::matrix {
+namespace {
+
+TEST(Partition, PaperDimensions) {
+  // A 8000x8000, B 8000x80000, q = 80: r = t = 100, s = 1000.
+  const Partition part(8000, 8000, 80000, 80);
+  EXPECT_EQ(part.r(), 100u);
+  EXPECT_EQ(part.t(), 100u);
+  EXPECT_EQ(part.s(), 1000u);
+  EXPECT_EQ(part.c_blocks(), 100000u);
+  EXPECT_EQ(part.total_updates(), 10000000u);
+}
+
+TEST(Partition, EdgeBlocksAreShort) {
+  const Partition part(50, 70, 100, 8);  // r=7, t=9, s=13
+  EXPECT_EQ(part.r(), 7u);
+  EXPECT_EQ(part.t(), 9u);
+  EXPECT_EQ(part.s(), 13u);
+  EXPECT_EQ(part.row_size(0), 8u);
+  EXPECT_EQ(part.row_size(6), 2u);   // 50 - 48
+  EXPECT_EQ(part.inner_size(8), 6u); // 70 - 64
+  EXPECT_EQ(part.col_size(12), 4u);  // 100 - 96
+  EXPECT_EQ(part.row_begin(6), 48u);
+  EXPECT_EQ(part.inner_begin(8), 64u);
+  EXPECT_EQ(part.col_begin(12), 96u);
+}
+
+TEST(Partition, ExactlyDivisible) {
+  const Partition part(64, 32, 16, 8);
+  for (std::size_t i = 0; i < part.r(); ++i) EXPECT_EQ(part.row_size(i), 8u);
+  for (std::size_t k = 0; k < part.t(); ++k) EXPECT_EQ(part.inner_size(k), 8u);
+  for (std::size_t j = 0; j < part.s(); ++j) EXPECT_EQ(part.col_size(j), 8u);
+}
+
+TEST(Partition, FromBlocks) {
+  const Partition part = Partition::from_blocks(10, 20, 30, 80);
+  EXPECT_EQ(part.r(), 10u);
+  EXPECT_EQ(part.t(), 20u);
+  EXPECT_EQ(part.s(), 30u);
+  EXPECT_EQ(part.n_a(), 800u);
+  EXPECT_EQ(part.n_ab(), 1600u);
+  EXPECT_EQ(part.n_b(), 2400u);
+  EXPECT_EQ(part.row_size(9), 80u);
+}
+
+TEST(Partition, RejectsDegenerateInput) {
+  EXPECT_THROW(Partition(0, 8, 8, 8), std::invalid_argument);
+  EXPECT_THROW(Partition(8, 8, 8, 0), std::invalid_argument);
+  EXPECT_THROW(Partition::from_blocks(0, 1, 1, 8), std::invalid_argument);
+}
+
+TEST(Partition, IndexGuards) {
+  const Partition part(16, 16, 16, 8);
+  EXPECT_THROW(part.row_size(2), std::invalid_argument);
+  EXPECT_THROW(part.col_begin(2), std::invalid_argument);
+  EXPECT_THROW(part.inner_size(2), std::invalid_argument);
+}
+
+TEST(BlockRect, GeometryHelpers) {
+  const BlockRect rect{2, 5, 1, 4};
+  EXPECT_EQ(rect.rows(), 3u);
+  EXPECT_EQ(rect.cols(), 3u);
+  EXPECT_EQ(rect.count(), 9u);
+  EXPECT_FALSE(rect.empty());
+  EXPECT_TRUE(rect.contains({2, 1}));
+  EXPECT_TRUE(rect.contains({4, 3}));
+  EXPECT_FALSE(rect.contains({5, 1}));
+  EXPECT_FALSE(rect.contains({2, 4}));
+  EXPECT_TRUE(rect.overlaps(BlockRect{4, 6, 3, 5}));
+  EXPECT_FALSE(rect.overlaps(BlockRect{5, 6, 1, 4}));
+  EXPECT_EQ(rect.to_string(), "[2,5)x[1,4)");
+  EXPECT_TRUE((BlockRect{3, 3, 0, 2}).empty());
+}
+
+TEST(ChunkCount, CountsCeilDivision) {
+  EXPECT_EQ(chunk_count(100, 800, 89), 2u * 9u);
+  EXPECT_EQ(chunk_count(10, 10, 10), 1u);
+  EXPECT_EQ(chunk_count(11, 10, 10), 2u);
+  EXPECT_THROW(chunk_count(10, 10, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmxp::matrix

@@ -1,0 +1,244 @@
+// Scheduler behaviour tests: every algorithm completes correct schedules
+// whose traces satisfy the platform invariants, and algorithm-specific
+// properties (enrollment formulas, CCR, determinism) hold.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/algorithms.hpp"
+#include "model/costs.hpp"
+#include "platform/generator.hpp"
+#include "sched/demand_driven.hpp"
+#include "sched/homogeneous.hpp"
+#include "sched/maxreuse.hpp"
+#include "sched/min_min.hpp"
+#include "sched/round_robin.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp {
+namespace {
+
+matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
+  return matrix::Partition::from_blocks(r, t, s, 80);
+}
+
+// ---- cross-algorithm invariants -----------------------------------------
+
+struct AlgorithmCase {
+  core::Algorithm algorithm;
+  const char* platform;  // "mem", "links", "comp", "homog"
+};
+
+platform::Platform named_platform(const std::string& name) {
+  if (name == "mem") return platform::hetero_memory();
+  if (name == "links") return platform::hetero_links();
+  if (name == "comp") return platform::hetero_compute();
+  return platform::Platform::homogeneous(6, 0.004, 0.0007, 800);
+}
+
+class AllAlgorithms
+    : public ::testing::TestWithParam<std::tuple<core::Algorithm, const char*>> {
+};
+
+TEST_P(AllAlgorithms, CompletesWithValidTrace) {
+  const auto [algorithm, platform_name] = GetParam();
+  const platform::Platform plat = named_platform(platform_name);
+  const auto part = blocks(20, 10, 50);
+
+  auto scheduler = core::make_scheduler(algorithm, plat, part);
+  const sim::RunResult result =
+      sim::simulate(*scheduler, plat, part, /*record_trace=*/true);
+
+  EXPECT_GT(result.makespan, 0.0);
+  EXPECT_GE(result.workers_enrolled, 1);
+  EXPECT_LE(result.workers_enrolled, plat.size());
+  // Every block updated t times: updates = r * s * t.
+  EXPECT_EQ(result.updates, 20 * 50 * 10);
+  // Platform model invariants on the full event trace.
+  EXPECT_TRUE(result.trace.one_port_respected());
+  EXPECT_TRUE(result.trace.compute_serialized());
+  // Port is busy at most the makespan.
+  EXPECT_LE(result.port_busy, result.makespan + 1e-9);
+}
+
+TEST_P(AllAlgorithms, DeterministicAcrossRuns) {
+  const auto [algorithm, platform_name] = GetParam();
+  const platform::Platform plat = named_platform(platform_name);
+  const auto part = blocks(10, 5, 25);
+  auto first = core::make_scheduler(algorithm, plat, part);
+  auto second = core::make_scheduler(algorithm, plat, part);
+  const double makespan1 = sim::simulate(*first, plat, part).makespan;
+  const double makespan2 = sim::simulate(*second, plat, part).makespan;
+  EXPECT_DOUBLE_EQ(makespan1, makespan2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, AllAlgorithms,
+    ::testing::Combine(::testing::ValuesIn(core::all_algorithms()),
+                       ::testing::Values("mem", "links", "comp", "homog")),
+    [](const auto& info) {
+      return core::algorithm_name(std::get<0>(info.param)) + "_" +
+             std::get<1>(info.param);
+    });
+
+// ---- maximum re-use (section 3) ------------------------------------------
+
+TEST(MaxReuse, AchievesPaperCCROnDivisibleInstance) {
+  // m = 21 -> mu = 4; r = s = 8, t = 6 all divisible by mu where needed.
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 21);
+  const auto part = blocks(8, 6, 8);
+  sched::MaxReuseScheduler scheduler(plat, part);
+  EXPECT_EQ(scheduler.mu(), 4);
+  const sim::RunResult result = sim::simulate(scheduler, plat, part);
+  // CCR = 2/t + 2/mu exactly on divisible instances.
+  EXPECT_NEAR(result.ccr(), 2.0 / 6 + 2.0 / 4, 1e-12);
+  EXPECT_EQ(result.workers_enrolled, 1);
+}
+
+TEST(MaxReuse, CCRApproachesAsymptoteWithLargeT) {
+  const auto plat = platform::Platform::homogeneous(1, 1.0, 1.0, 21);
+  const auto part = blocks(4, 200, 4);
+  sched::MaxReuseScheduler scheduler(plat, part);
+  const sim::RunResult result = sim::simulate(scheduler, plat, part);
+  EXPECT_NEAR(result.ccr(), 2.0 / 4, 0.02);
+}
+
+TEST(MaxReuse, TargetsChosenWorkerOnly) {
+  const auto plat = platform::Platform::homogeneous(3, 1.0, 1.0, 21);
+  const auto part = blocks(4, 3, 4);
+  sched::MaxReuseScheduler scheduler(plat, part, 2);
+  sim::Engine engine(plat, part);
+  sim::run(scheduler, engine);
+  EXPECT_EQ(engine.progress(2).chunks_assigned, 1);
+  EXPECT_EQ(engine.progress(0).chunks_assigned, 0);
+  EXPECT_EQ(engine.progress(1).chunks_assigned, 0);
+}
+
+// ---- homogeneous algorithm (section 4) ------------------------------------
+
+TEST(Homogeneous, EnrollmentFormula) {
+  EXPECT_EQ(model::homogeneous_enrollment(10, 4, 2.0, 4.5), 5);  // paper's ex.
+  EXPECT_EQ(model::homogeneous_enrollment(3, 4, 2.0, 4.5), 3);   // clamped
+  EXPECT_EQ(model::homogeneous_enrollment(10, 10, 100.0, 0.001), 1);
+}
+
+TEST(Homogeneous, EnrollsPWorkersExactly) {
+  // mu(800) = 26; P = ceil(26 * 0.0007 / 0.008) = ceil(2.275) = 3.
+  const auto plat = platform::Platform::homogeneous(6, 0.004, 0.0007, 800);
+  const auto part = blocks(26, 5, 78);
+  auto scheduler = sched::make_homogeneous(plat, part);
+  sim::Engine engine(plat, part);
+  const sim::RunResult result = sim::run(scheduler, engine);
+  EXPECT_EQ(result.workers_enrolled, 3);
+  // Enrolled workers are the first three.
+  EXPECT_GT(engine.progress(0).chunks_assigned, 0);
+  EXPECT_GT(engine.progress(2).chunks_assigned, 0);
+  EXPECT_EQ(engine.progress(3).chunks_assigned, 0);
+}
+
+TEST(Homogeneous, RequiresHomogeneousPlatform) {
+  const auto part = blocks(8, 4, 8);
+  EXPECT_THROW(sched::make_homogeneous(platform::hetero_memory(), part),
+               std::invalid_argument);
+}
+
+TEST(Homogeneous, VirtualParamsRejectUndersizedCandidates) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(8, 4, 8);
+  sched::HomogeneousParams params{plat.worker(7).c, plat.worker(7).w,
+                                  plat.worker(7).m};  // 1 GiB virtual
+  // Worker 0 only has 256 MiB: cannot host 1 GiB chunks.
+  EXPECT_THROW(
+      sched::make_homogeneous_on("X", plat, part, params, {0, 7}),
+      std::invalid_argument);
+}
+
+// ---- round-robin / ORROML --------------------------------------------------
+
+TEST(RoundRobin, ServesWorkersInCyclicOrder) {
+  const auto plat = platform::Platform::homogeneous(3, 1.0, 1.0, 60);
+  const auto part = blocks(5, 3, 15);
+  auto scheduler = sched::make_orroml(plat, part);
+  sim::Engine engine(plat, part);
+  std::vector<sim::Decision> log;
+  sim::run(scheduler, engine, &log);
+  // First three decisions are the three initial chunk sends, in order.
+  ASSERT_GE(log.size(), 3u);
+  EXPECT_EQ(log[0].comm, sim::CommKind::kSendC);
+  EXPECT_EQ(log[0].worker, 0);
+  EXPECT_EQ(log[1].worker, 1);
+  EXPECT_EQ(log[2].worker, 2);
+  // All three enrolled (no resource selection).
+  EXPECT_GT(engine.progress(2).chunks_assigned, 0);
+}
+
+// ---- min-min / OMMOML -------------------------------------------------------
+
+TEST(MinMin, EnrollsNoMoreThanDemandDriven) {
+  for (const char* name : {"mem", "links", "comp"}) {
+    const platform::Platform plat = named_platform(name);
+    const auto part = blocks(20, 10, 50);
+    auto minmin = sched::make_ommoml(plat, part);
+    auto oddoml = sched::make_oddoml(plat, part);
+    const int minmin_enrolled =
+        sim::simulate(minmin, plat, part).workers_enrolled;
+    const int oddoml_enrolled =
+        sim::simulate(oddoml, plat, part).workers_enrolled;
+    EXPECT_LE(minmin_enrolled, oddoml_enrolled) << name;
+  }
+}
+
+// ---- demand-driven / ODDOML and BMM ----------------------------------------
+
+TEST(DemandDriven, EnrollsEveryWorkerWhenWorkAbounds) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(100, 10, 800);  // plenty of column groups
+  auto scheduler = sched::make_oddoml(plat, part);
+  const sim::RunResult result = sim::simulate(scheduler, plat, part);
+  EXPECT_EQ(result.workers_enrolled, plat.size());
+}
+
+TEST(Bmm, UsesThirdsLayoutChunks) {
+  const auto plat = platform::Platform::homogeneous(2, 1.0, 1.0, 75);
+  const auto part = blocks(10, 7, 10);
+  auto scheduler = sched::make_bmm(plat, part);
+  sim::Engine engine(plat, part);
+  std::vector<sim::Decision> log;
+  sim::run(scheduler, engine, &log);
+  for (const sim::Decision& decision : log) {
+    if (decision.comm == sim::CommKind::kSendC) {
+      EXPECT_LE(decision.chunk.rect.cols(), 5u);  // beta = 5
+      EXPECT_EQ(decision.chunk.prefetch_depth, 0);
+    }
+  }
+}
+
+TEST(Bmm, MovesMoreDataThanOurLayout) {
+  // The sqrt(3) layout advantage: on the same platform and matrix, BMM's
+  // total communication volume strictly exceeds ODDOML's.
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(20, 20, 60);
+  auto bmm = sched::make_bmm(plat, part);
+  auto oddoml = sched::make_oddoml(plat, part);
+  const auto bmm_result = sim::simulate(bmm, plat, part);
+  const auto oddoml_result = sim::simulate(oddoml, plat, part);
+  EXPECT_GT(bmm_result.comm_blocks, oddoml_result.comm_blocks);
+  EXPECT_GT(bmm_result.ccr(), oddoml_result.ccr());
+}
+
+// ---- replay ----------------------------------------------------------------
+
+TEST(Replay, ReproducesOriginalMakespan) {
+  const platform::Platform plat = platform::hetero_compute();
+  const auto part = blocks(15, 8, 40);
+  auto scheduler = sched::make_oddoml(plat, part);
+  std::vector<sim::Decision> log;
+  const double original =
+      sim::simulate(scheduler, plat, part, false, &log).makespan;
+  sim::ReplayScheduler replay("replay", std::move(log));
+  const double replayed = sim::simulate(replay, plat, part).makespan;
+  EXPECT_DOUBLE_EQ(original, replayed);
+}
+
+}  // namespace
+}  // namespace hmxp

@@ -1,0 +1,136 @@
+// Tests for the dense simplex LP solver, including a brute-force
+// cross-check on random small programs.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/simplex.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp::model {
+namespace {
+
+TEST(Simplex, TextbookTwoVariable) {
+  // max 3x + 5y  s.t. x <= 4; 2y <= 12; 3x + 2y <= 18  -> opt 36 at (2,6).
+  SimplexSolver solver({3.0, 5.0});
+  solver.add_constraint_le({1.0, 0.0}, 4.0);
+  solver.add_constraint_le({0.0, 2.0}, 12.0);
+  solver.add_constraint_le({3.0, 2.0}, 18.0);
+  const LpSolution solution = solver.solve();
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 36.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+  EXPECT_NEAR(solution.x[1], 6.0, 1e-9);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  SimplexSolver solver({1.0, 1.0});
+  solver.add_constraint_le({1.0, -1.0}, 1.0);  // x - y <= 1: y free upward
+  EXPECT_EQ(solver.solve().status, LpStatus::kUnbounded);
+}
+
+TEST(Simplex, NoConstraints) {
+  SimplexSolver positive({1.0});
+  EXPECT_EQ(positive.solve().status, LpStatus::kUnbounded);
+  SimplexSolver negative({-1.0});
+  const LpSolution solution = negative.solve();
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 0.0, 1e-12);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  // x <= -1 with x >= 0 is infeasible.
+  SimplexSolver solver({1.0});
+  solver.add_constraint_le({1.0}, -1.0);
+  EXPECT_EQ(solver.solve().status, LpStatus::kInfeasible);
+}
+
+TEST(Simplex, GreaterEqualConstraints) {
+  // max -x s.t. x >= 2  -> optimum -2 at x = 2 (phase 1 required).
+  SimplexSolver solver({-1.0});
+  solver.add_constraint_ge({1.0}, 2.0);
+  const LpSolution solution = solver.solve();
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -2.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-9);
+}
+
+TEST(Simplex, DegenerateVertexTerminates) {
+  // Multiple constraints meet at the optimum; Bland's rule must not cycle.
+  SimplexSolver solver({1.0, 1.0});
+  solver.add_constraint_le({1.0, 0.0}, 1.0);
+  solver.add_constraint_le({0.0, 1.0}, 1.0);
+  solver.add_constraint_le({1.0, 1.0}, 2.0);
+  solver.add_constraint_le({2.0, 1.0}, 3.0);
+  const LpSolution solution = solver.solve();
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 2.0, 1e-9);
+}
+
+TEST(Simplex, ZeroRhsRows) {
+  // max x s.t. x - y <= 0; y <= 5  -> x = y = 5.
+  SimplexSolver solver({1.0, 0.0});
+  solver.add_constraint_le({1.0, -1.0}, 0.0);
+  solver.add_constraint_le({0.0, 1.0}, 5.0);
+  const LpSolution solution = solver.solve();
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, 5.0, 1e-9);
+}
+
+// Brute-force cross-check: random 2-variable LPs with bounded feasible
+// regions, solved by dense grid search. The simplex optimum must weakly
+// dominate every feasible grid point and itself be feasible.
+class SimplexRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SimplexRandom, DominatesGridSearch) {
+  util::Rng rng(GetParam());
+  const double c0 = rng.uniform(-2.0, 3.0);
+  const double c1 = rng.uniform(-2.0, 3.0);
+  SimplexSolver solver({c0, c1});
+  std::vector<std::pair<std::vector<double>, double>> rows;
+  // Box to keep it bounded, plus random cuts.
+  rows.push_back({{1.0, 0.0}, rng.uniform(1.0, 10.0)});
+  rows.push_back({{0.0, 1.0}, rng.uniform(1.0, 10.0)});
+  for (int k = 0; k < 3; ++k) {
+    rows.push_back({{rng.uniform(-1.0, 2.0), rng.uniform(-1.0, 2.0)},
+                    rng.uniform(0.5, 8.0)});
+  }
+  for (const auto& [coeffs, rhs] : rows) solver.add_constraint_le(coeffs, rhs);
+
+  const LpSolution solution = solver.solve();
+  ASSERT_EQ(solution.status, LpStatus::kOptimal);
+
+  // Feasibility of the reported optimum.
+  for (const auto& [coeffs, rhs] : rows) {
+    EXPECT_LE(coeffs[0] * solution.x[0] + coeffs[1] * solution.x[1],
+              rhs + 1e-6);
+  }
+  EXPECT_GE(solution.x[0], -1e-9);
+  EXPECT_GE(solution.x[1], -1e-9);
+
+  // Dominance over a fine grid of feasible points.
+  const int steps = 60;
+  for (int i = 0; i <= steps; ++i) {
+    for (int j = 0; j <= steps; ++j) {
+      const double x = 10.0 * i / steps;
+      const double y = 10.0 * j / steps;
+      bool feasible = true;
+      for (const auto& [coeffs, rhs] : rows) {
+        if (coeffs[0] * x + coeffs[1] * y > rhs) {
+          feasible = false;
+          break;
+        }
+      }
+      if (feasible)
+        EXPECT_GE(solution.objective, c0 * x + c1 * y - 1e-6)
+            << "grid point (" << x << "," << y << ") beats simplex";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SimplexRandom,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u, 21u, 34u,
+                                           55u, 89u));
+
+}  // namespace
+}  // namespace hmxp::model

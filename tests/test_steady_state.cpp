@@ -1,0 +1,146 @@
+// Tests for the Table 1 steady-state program and the Table 2
+// counterexample machinery.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/steady_state.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp::model {
+namespace {
+
+TEST(SteadyState, SingleWorkerComputeBound) {
+  // One worker that the port can overfeed: throughput = 1/w.
+  const std::vector<SteadyWorker> workers = {SteadyWorker{0.01, 1.0, 4}};
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_NEAR(solution.throughput, 1.0, 1e-12);
+  EXPECT_TRUE(solution.saturated[0]);
+  EXPECT_NEAR(solution.y[0], 2.0 * solution.x[0] / 4.0, 1e-12);
+}
+
+TEST(SteadyState, SingleWorkerPortBound) {
+  // Port-limited: y c = 1 -> y = 1/c, x = y mu / 2.
+  const std::vector<SteadyWorker> workers = {SteadyWorker{1.0, 0.001, 4}};
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_NEAR(solution.y[0], 1.0, 1e-12);
+  EXPECT_NEAR(solution.x[0], 2.0, 1e-12);
+  EXPECT_FALSE(solution.saturated[0]);
+  EXPECT_NEAR(solution.port_share[0], 1.0, 1e-12);
+}
+
+TEST(SteadyState, Table2PlatformSaturatesPortExactly) {
+  // c = {1, x}, w = {2, 2x}, mu = 2: sum 2c_i/(mu_i w_i) = 1 for all x.
+  for (const double x : {1.0, 2.0, 5.0, 100.0}) {
+    const auto workers = table2_platform(x);
+    const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+    EXPECT_TRUE(solution.saturated[0]);
+    EXPECT_TRUE(solution.saturated[1]);
+    const double port =
+        solution.port_share[0] + solution.port_share[1];
+    EXPECT_NEAR(port, 1.0, 1e-12) << "x=" << x;
+    EXPECT_NEAR(solution.throughput, 1.0 / 2.0 + 1.0 / (2.0 * x), 1e-12);
+  }
+}
+
+TEST(SteadyState, GreedyEnrollsByBandwidthCentricOrder) {
+  // Worker 2 has the better 2c/mu; worker 1 should only get leftovers.
+  const std::vector<SteadyWorker> workers = {
+      SteadyWorker{1.0, 0.1, 2},   // 2c/mu = 1.0, full share would be 20c
+      SteadyWorker{0.1, 0.2, 4},   // 2c/mu = 0.05
+  };
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_TRUE(solution.saturated[1]);
+  EXPECT_FALSE(solution.saturated[0]);
+  // Worker 2 saturated: x = 5, port share = 2*5/4*0.1 = 0.25; worker 1
+  // takes the leftover 0.75 of port: y = 0.75, x = 0.75.
+  EXPECT_NEAR(solution.x[1], 5.0, 1e-9);
+  EXPECT_NEAR(solution.x[0], 0.75, 1e-9);
+  EXPECT_NEAR(solution.throughput, 5.75, 1e-9);
+}
+
+// Property: the closed-form greedy and the simplex LP agree on random
+// heterogeneous platforms.
+class SteadyStateRandom : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SteadyStateRandom, GreedyMatchesSimplex) {
+  util::Rng rng(GetParam());
+  const int p = static_cast<int>(rng.uniform_int(1, 8));
+  std::vector<SteadyWorker> workers;
+  for (int i = 0; i < p; ++i) {
+    workers.push_back(SteadyWorker{rng.uniform(0.001, 0.1),
+                                   rng.uniform(0.0001, 0.01),
+                                   rng.uniform_int(1, 120)});
+  }
+  const SteadyStateSolution greedy = solve_bandwidth_centric(workers);
+  const SteadyStateSolution lp = solve_lp(workers);
+  EXPECT_NEAR(greedy.throughput, lp.throughput,
+              1e-6 * std::max(1.0, greedy.throughput));
+  // Both respect the port and compute constraints.
+  double greedy_port = 0.0;
+  for (std::size_t i = 0; i < workers.size(); ++i) {
+    greedy_port += greedy.y[i] * workers[i].c;
+    EXPECT_LE(greedy.x[i] * workers[i].w, 1.0 + 1e-9);
+    EXPECT_LE(greedy.x[i] / static_cast<double>(workers[i].mu * workers[i].mu),
+              greedy.y[i] / (2.0 * static_cast<double>(workers[i].mu)) + 1e-9);
+  }
+  EXPECT_LE(greedy_port, 1.0 + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SteadyStateRandom,
+                         ::testing::Values(11u, 22u, 33u, 44u, 55u, 66u, 77u,
+                                           88u, 99u, 110u, 121u, 132u));
+
+TEST(SteadyState, BufferDemandGrowsUnboundedOnTable2) {
+  // The heart of the Table 2 counterexample: sustaining the bandwidth-
+  // centric rates demands ever more buffers on P1 as x grows.
+  // Below x = 16 the layout minimum (12 buffers for mu = 2) dominates;
+  // past it, demand grows like sqrt(8x) without bound.
+  double previous = 0.0;
+  for (const double x : {16.0, 64.0, 256.0, 1024.0}) {
+    const auto demand = steady_state_buffer_demand(table2_platform(x));
+    EXPECT_GT(demand[0], previous) << "x=" << x;
+    previous = demand[0];
+  }
+  // And it eventually exceeds any fixed memory (mu = 2 needs 12 buffers
+  // under the double-buffered layout; demand blows far past that).
+  const auto demand = steady_state_buffer_demand(table2_platform(4096.0));
+  EXPECT_GT(demand[0], 100.0);
+}
+
+TEST(SteadyState, BufferDemandRespectsLayoutMinimum) {
+  const auto demand =
+      steady_state_buffer_demand({SteadyWorker{0.01, 1.0, 4}});
+  EXPECT_GE(demand[0],
+            static_cast<double>(double_buffered_footprint(4)));
+}
+
+TEST(SteadyState, EnrolledCount) {
+  const std::vector<SteadyWorker> workers = {
+      SteadyWorker{0.001, 0.1, 10},   // cheap, takes everything
+      SteadyWorker{100.0, 0.1, 10},   // port cost absurd, enrolled last
+  };
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_EQ(solution.enrolled_count(), 2u);  // leftover still assigned
+  EXPECT_TRUE(solution.saturated[0]);
+  EXPECT_FALSE(solution.saturated[1]);
+}
+
+TEST(SteadyState, ThroughputUpperBoundIsSumOfComputeRates) {
+  // With an infinitely fast port, throughput -> sum 1/w_i.
+  const std::vector<SteadyWorker> workers = {
+      SteadyWorker{1e-9, 0.5, 8}, SteadyWorker{1e-9, 0.25, 8}};
+  EXPECT_NEAR(steady_state_throughput(workers), 2.0 + 4.0, 1e-6);
+}
+
+TEST(SteadyState, RejectsInvalidWorkers) {
+  EXPECT_THROW(solve_bandwidth_centric({}), std::invalid_argument);
+  EXPECT_THROW(solve_bandwidth_centric({SteadyWorker{0.0, 1.0, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(solve_bandwidth_centric({SteadyWorker{1.0, -1.0, 2}}),
+               std::invalid_argument);
+  EXPECT_THROW(table2_platform(0.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmxp::model

@@ -1,0 +1,251 @@
+// Unit tests for the util layer: stats, rng, strings, csv, table, flags.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <set>
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/flags.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace hmxp::util {
+namespace {
+
+TEST(StreamingStats, MatchesExactMoments) {
+  StreamingStats stats;
+  const std::vector<double> xs = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+  double sum = 0.0;
+  for (double x : xs) {
+    stats.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double m2 = 0.0;
+  for (double x : xs) m2 += (x - mean) * (x - mean);
+  EXPECT_EQ(stats.count(), xs.size());
+  EXPECT_NEAR(stats.mean(), mean, 1e-12);
+  EXPECT_NEAR(stats.variance(), m2 / (static_cast<double>(xs.size()) - 1),
+              1e-12);
+  EXPECT_DOUBLE_EQ(stats.min(), -3.0);
+  EXPECT_DOUBLE_EQ(stats.max(), 7.25);
+  EXPECT_NEAR(stats.sum(), sum, 1e-12);
+}
+
+TEST(StreamingStats, EmptyAndSingletonContracts) {
+  StreamingStats stats;
+  EXPECT_TRUE(stats.empty());
+  EXPECT_THROW(stats.mean(), std::invalid_argument);
+  EXPECT_THROW(stats.min(), std::invalid_argument);
+  stats.add(3.0);
+  EXPECT_DOUBLE_EQ(stats.mean(), 3.0);
+  EXPECT_THROW(stats.variance(), std::invalid_argument);
+}
+
+TEST(Samples, MedianAndQuantiles) {
+  Samples samples;
+  samples.add_all({5.0, 1.0, 3.0, 2.0, 4.0});
+  EXPECT_DOUBLE_EQ(samples.median(), 3.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(1.0), 5.0);
+  EXPECT_DOUBLE_EQ(samples.quantile(0.25), 2.0);
+  samples.add(6.0);  // even count: median interpolates
+  EXPECT_DOUBLE_EQ(samples.median(), 3.5);
+}
+
+TEST(Samples, GeomeanAndGuards) {
+  Samples samples;
+  samples.add_all({1.0, 4.0, 16.0});
+  EXPECT_NEAR(samples.geomean(), 4.0, 1e-12);
+  samples.add(-1.0);
+  EXPECT_THROW(samples.geomean(), std::invalid_argument);
+  EXPECT_THROW(samples.quantile(1.5), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, SeedChangesStream) {
+  Rng a(1), b(2);
+  int differences = 0;
+  for (int i = 0; i < 16; ++i) differences += (a() != b());
+  EXPECT_GT(differences, 0);
+}
+
+TEST(Rng, UniformRanges) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    const double v = rng.uniform(2.0, 3.5);
+    EXPECT_GE(v, 2.0);
+    EXPECT_LT(v, 3.5);
+    const auto n = rng.uniform_int(-3, 3);
+    EXPECT_GE(n, -3);
+    EXPECT_LE(n, 3);
+  }
+  EXPECT_THROW(rng.uniform(3.0, 3.0), std::invalid_argument);
+  EXPECT_THROW(rng.uniform_int(3, 2), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntCoversRange) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(0, 7));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> values{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = values;
+  rng.shuffle(values);
+  auto resorted = values;
+  std::sort(resorted.begin(), resorted.end());
+  EXPECT_EQ(resorted, sorted);
+}
+
+TEST(Rng, ForkIndependence) {
+  Rng parent(99);
+  Rng child = parent.fork();
+  EXPECT_NE(parent(), child());
+}
+
+TEST(Strings, SplitJoinTrim) {
+  EXPECT_EQ(split("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(join({"x", "y", "z"}, "--"), "x--y--z");
+  EXPECT_EQ(trim("  hello\t\n"), "hello");
+  EXPECT_EQ(trim("   "), "");
+}
+
+TEST(Strings, PrefixSuffixCase) {
+  EXPECT_TRUE(starts_with("hmxp_core", "hmxp"));
+  EXPECT_FALSE(starts_with("hm", "hmxp"));
+  EXPECT_TRUE(ends_with("file.csv", ".csv"));
+  EXPECT_EQ(to_lower("MiXeD"), "mixed");
+}
+
+TEST(Strings, ParseValidation) {
+  EXPECT_DOUBLE_EQ(parse_double(" 2.5 "), 2.5);
+  EXPECT_EQ(parse_int("-42"), -42);
+  EXPECT_TRUE(parse_bool("Yes"));
+  EXPECT_FALSE(parse_bool("0"));
+  EXPECT_THROW(parse_double("1.5x"), std::invalid_argument);
+  EXPECT_THROW(parse_int("12.5"), std::invalid_argument);
+  EXPECT_THROW(parse_bool("maybe"), std::invalid_argument);
+  EXPECT_THROW(parse_double(""), std::invalid_argument);
+}
+
+TEST(Strings, DurationFormatting) {
+  EXPECT_EQ(format_duration(0.5e-9 * 3), "1.5 ns");
+  EXPECT_EQ(format_duration(2.5e-3), "2.50 ms");
+  EXPECT_EQ(format_duration(42.0), "42.00 s");
+  EXPECT_EQ(format_duration(600.0), "10.0 min");
+  EXPECT_EQ(format_duration(7201.0), "2.00 h");
+}
+
+TEST(Strings, Padding) {
+  EXPECT_EQ(pad_left("ab", 4), "  ab");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(pad_left("abcdef", 3), "abc");
+}
+
+TEST(Csv, EscapingRules) {
+  EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+  EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, WritesRowsWithWidthCheck) {
+  const std::string path = testing::TempDir() + "/hmxp_csv_test.csv";
+  {
+    CsvWriter csv(path);
+    csv.header({"a", "b"});
+    csv.build_row().cell(std::string("x")).cell(1.5).done();
+    csv.build_row().cell(2.0).cell(static_cast<long long>(7)).done();
+    EXPECT_EQ(csv.rows_written(), 2u);
+    EXPECT_THROW(csv.row({"only-one"}), std::invalid_argument);
+  }
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "a,b");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,1.5");
+  std::getline(in, line);
+  EXPECT_EQ(line, "2,7");
+}
+
+TEST(Table, RendersAlignedGrid) {
+  Table table({"name", "value"});
+  table.set_align(0, Align::kLeft);
+  table.build_row().cell(std::string("alpha")).cell(1.0, 2).done();
+  table.add_rule();
+  table.build_row().cell(std::string("b")).cell(12.5, 2).done();
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("| alpha |  1.00 |"), std::string::npos);
+  EXPECT_NE(rendered.find("| b     | 12.50 |"), std::string::npos);
+  // Header + rule between the two rows -> at least 4 '+---+' rules.
+  EXPECT_GE(std::count(rendered.begin(), rendered.end(), '+'), 12);
+}
+
+TEST(Table, RejectsMisshapenRows) {
+  Table table({"a", "b"});
+  EXPECT_THROW(table.add_row({"only-one"}), std::invalid_argument);
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Flags, ParsesAllForms) {
+  Flags flags;
+  flags.define("size", "10", "problem size");
+  flags.define_bool("fast", false, "fast mode");
+  flags.define("name", "default", "label");
+  const char* argv[] = {"prog", "--size=42", "--fast", "--name", "hello",
+                        "positional"};
+  flags.parse(6, argv);
+  EXPECT_EQ(flags.get_int("size"), 42);
+  EXPECT_TRUE(flags.get_bool("fast"));
+  EXPECT_EQ(flags.get_string("name"), "hello");
+  EXPECT_EQ(flags.positional(), (std::vector<std::string>{"positional"}));
+  EXPECT_TRUE(flags.provided("size"));
+}
+
+TEST(Flags, DefaultsAndErrors) {
+  Flags flags;
+  flags.define("x", "1.5", "x value");
+  const char* argv[] = {"prog"};
+  flags.parse(1, argv);
+  EXPECT_DOUBLE_EQ(flags.get_double("x"), 1.5);
+  EXPECT_FALSE(flags.provided("x"));
+
+  Flags bad;
+  bad.define("x", "1", "x");
+  const char* argv2[] = {"prog", "--unknown=3"};
+  EXPECT_THROW(bad.parse(2, argv2), std::invalid_argument);
+  const char* argv3[] = {"prog", "--x"};
+  EXPECT_THROW(bad.parse(2, argv3), std::invalid_argument);  // missing value
+  EXPECT_THROW(bad.get_string("never-defined"), std::invalid_argument);
+}
+
+TEST(Flags, HelpRequested) {
+  Flags flags;
+  flags.define("a", "1", "a flag");
+  const char* argv[] = {"prog", "--help"};
+  flags.parse(2, argv);
+  EXPECT_TRUE(flags.help_requested());
+  EXPECT_NE(flags.usage("desc").find("a flag"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmxp::util

@@ -1,0 +1,103 @@
+// Tests for Hom / HomI virtual-platform extraction (section 6.2).
+#include <gtest/gtest.h>
+
+#include "platform/generator.hpp"
+#include "sched/virtual_platform.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+namespace {
+
+matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
+  return matrix::Partition::from_blocks(r, t, s, 80);
+}
+
+TEST(VirtualPlatform, HomOnHomogeneousPlatformIsIdentity) {
+  const auto plat = platform::Platform::homogeneous(5, 0.004, 0.0007, 800);
+  const auto part = blocks(20, 8, 40);
+  const VirtualSelection selection = select_hom(plat, part);
+  EXPECT_EQ(selection.candidates.size(), 5u);
+  EXPECT_DOUBLE_EQ(selection.params.c, 0.004);
+  EXPECT_DOUBLE_EQ(selection.params.w, 0.0007);
+  EXPECT_EQ(selection.params.m, 800);
+}
+
+TEST(VirtualPlatform, HomChoosesAmongMemoryThresholds) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(20, 10, 60);
+  const VirtualSelection selection = select_hom(plat, part);
+  // The virtual memory must be one of the three platform memory sizes
+  // and the candidates exactly the workers at or above it.
+  std::set<model::BlockCount> memories;
+  for (const auto& worker : plat.workers()) memories.insert(worker.m);
+  EXPECT_TRUE(memories.count(selection.params.m) == 1);
+  for (const int index : selection.candidates)
+    EXPECT_GE(plat.worker(index).m, selection.params.m);
+  EXPECT_GT(selection.predicted_makespan, 0.0);
+}
+
+TEST(VirtualPlatform, HomUsesWorstSpeedAmongEligible) {
+  // On the links platform all memories are equal, so Hom sees a single
+  // candidate platform whose virtual c is the worst link.
+  const platform::Platform plat = platform::hetero_links();
+  const auto part = blocks(20, 10, 60);
+  const VirtualSelection selection = select_hom(plat, part);
+  EXPECT_EQ(selection.candidates.size(), 8u);
+  double worst_c = 0;
+  for (const auto& worker : plat.workers())
+    worst_c = std::max(worst_c, worker.c);
+  EXPECT_DOUBLE_EQ(selection.params.c, worst_c);
+}
+
+TEST(VirtualPlatform, HomIPredictionNeverWorseThanHom) {
+  // HomI's search space includes every Hom candidate (for a memory
+  // threshold M, HomI also evaluates (M, worst c, worst w)), so its
+  // predicted makespan is never worse.
+  for (const auto& plat :
+       {platform::hetero_memory(), platform::hetero_links(),
+        platform::hetero_compute(), platform::fully_hetero(4.0)}) {
+    const auto part = blocks(15, 8, 40);
+    const VirtualSelection hom = select_hom(plat, part);
+    const VirtualSelection homi = select_homi(plat, part);
+    EXPECT_LE(homi.predicted_makespan, hom.predicted_makespan + 1e-9)
+        << plat.name();
+  }
+}
+
+TEST(VirtualPlatform, HomISelectsFastLinksOnLinkHeterogeneousPlatform) {
+  const platform::Platform plat = platform::hetero_links();
+  const auto part = blocks(20, 10, 60);
+  const VirtualSelection selection = select_homi(plat, part);
+  // The chosen virtual bandwidth must beat the platform's worst link:
+  // the whole point of HomI on this platform (fig. 5).
+  double worst_c = 0;
+  for (const auto& worker : plat.workers())
+    worst_c = std::max(worst_c, worker.c);
+  EXPECT_LT(selection.params.c, worst_c);
+  for (const int index : selection.candidates)
+    EXPECT_LE(plat.worker(index).c, selection.params.c + 1e-15);
+}
+
+TEST(VirtualPlatform, SchedulersRunOnRealPlatform) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(20, 10, 60);
+  auto hom = make_hom(plat, part);
+  auto homi = make_homi(plat, part);
+  const auto hom_result = sim::simulate(hom, plat, part, true);
+  const auto homi_result = sim::simulate(homi, plat, part, true);
+  EXPECT_EQ(hom_result.updates, 20 * 60 * 10);
+  EXPECT_EQ(homi_result.updates, 20 * 60 * 10);
+  EXPECT_TRUE(hom_result.trace.one_port_respected());
+  EXPECT_TRUE(homi_result.trace.one_port_respected());
+}
+
+TEST(VirtualPlatform, DescriptionMentionsThresholds) {
+  const platform::Platform plat = platform::hetero_memory();
+  const auto part = blocks(10, 5, 30);
+  const VirtualSelection selection = select_homi(plat, part);
+  EXPECT_NE(selection.description.find("m>="), std::string::npos);
+  EXPECT_NE(selection.description.find("eligible"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hmxp::sched
