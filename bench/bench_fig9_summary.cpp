@@ -65,9 +65,9 @@ int main(int argc, char** argv) {
       if (summary.algorithm == algorithm) return summary;
     throw std::logic_error("missing summary");
   };
-  const auto& het = find(core::Algorithm::kHet);
-  const auto& oddoml = find(core::Algorithm::kOddoml);
-  const auto& bmm = find(core::Algorithm::kBmm);
+  const auto& het = find("Het");
+  const auto& oddoml = find("ODDOML");
+  const auto& bmm = find("BMM");
 
   std::cout << "\nHeadline comparisons (paper values in parentheses):\n";
   std::cout << "  layout gain, BMM vs ODDOML mean rel cost: "

@@ -1,7 +1,15 @@
 // google-benchmark microbenchmarks backing the calibration constants:
 // GEMM kernel rates (the w_i of the model), engine decision throughput
 // (the cost of Het's 8-variant simulation), and the simplex solver.
+//
+// Unless --benchmark_out is given, results are also written to
+// BENCH_kernels.json (google-benchmark's JSON schema) in the working
+// directory, so CI keeps a machine-readable perf trajectory across PRs.
 #include <benchmark/benchmark.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "matrix/gemm.hpp"
 #include "model/steady_state.hpp"
@@ -120,4 +128,27 @@ BENCHMARK(BM_BandwidthCentricGreedy);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv, argv + argc);
+  bool has_out = false;
+  for (const std::string& arg : args)
+    if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0)
+      has_out = true;
+  if (!has_out) {
+    args.push_back("--benchmark_out=BENCH_kernels.json");
+    args.push_back("--benchmark_out_format=json");
+  }
+
+  std::vector<char*> argv_patched;
+  argv_patched.reserve(args.size());
+  for (std::string& arg : args) argv_patched.push_back(arg.data());
+  int argc_patched = static_cast<int>(argv_patched.size());
+
+  benchmark::Initialize(&argc_patched, argv_patched.data());
+  if (benchmark::ReportUnrecognizedArguments(argc_patched,
+                                             argv_patched.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

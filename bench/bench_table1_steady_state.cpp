@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
       else if (greedy.x[i] > 1e-12) ++partial;
     }
     const auto het =
-        core::run_algorithm(core::Algorithm::kHet, entry.plat, part);
+        core::run_algorithm("Het", entry.plat, part);
     table.build_row()
         .cell(entry.name)
         .cell(lp.throughput, 2)

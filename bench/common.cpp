@@ -80,7 +80,7 @@ void report_experiment(const std::string& title,
   util::Table makespans(
       [&] {
         std::vector<std::string> headers{"instance"};
-        for (const auto algorithm : algorithms)
+        for (const auto& algorithm : algorithms)
           headers.push_back(core::algorithm_name(algorithm));
         return headers;
       }());

@@ -51,7 +51,7 @@ int main(int argc, char** argv) {
 
   const auto& algorithms = core::all_algorithms();
   std::vector<std::string> headers{"degradation"};
-  for (const auto algorithm : algorithms)
+  for (const auto& algorithm : algorithms)
     headers.push_back(core::algorithm_name(algorithm));
   util::Table cost(headers);
   util::Table enrolled(headers);

@@ -47,7 +47,7 @@ int main() {
   // resource selection and communication volume under the paper's
   // one-port model.
   const core::RunReport report =
-      core::run_algorithm(core::Algorithm::kHet, plat, part);
+      core::run_algorithm("Het", plat, part);
   std::cout << "Het chose variant '" << report.het_variant->name()
             << "'\n  predicted makespan  "
             << util::format_duration(report.result.makespan)

@@ -27,8 +27,13 @@ int main(int argc, char** argv) {
   const platform::Platform plat = platform::hetero_compute();
   const matrix::Partition part = matrix::Partition::from_blocks(
       100, 20, static_cast<std::size_t>(flags.get_int("s")), 80);
-  const auto algorithm =
-      core::algorithm_from_name(flags.get_string("algorithm"));
+  std::string algorithm;
+  try {
+    algorithm = core::algorithm_from_name(flags.get_string("algorithm"));
+  } catch (const std::invalid_argument& error) {
+    std::cerr << "error: " << error.what() << '\n';
+    return 1;
+  }
   auto scheduler = core::make_scheduler(algorithm, plat, part);
   const sim::RunResult result =
       sim::simulate(*scheduler, plat, part, /*record_trace=*/true);

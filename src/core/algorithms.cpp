@@ -1,70 +1,27 @@
 #include "core/algorithms.hpp"
 
-#include <stdexcept>
-
-#include "sched/demand_driven.hpp"
-#include "sched/min_min.hpp"
-#include "sched/round_robin.hpp"
-#include "sched/virtual_platform.hpp"
+#include "sched/registry.hpp"
 
 namespace hmxp::core {
 
-const std::vector<Algorithm>& all_algorithms() {
-  static const std::vector<Algorithm> algorithms = {
-      Algorithm::kHom,    Algorithm::kHomI,   Algorithm::kHet,
-      Algorithm::kOrroml, Algorithm::kOmmoml, Algorithm::kOddoml,
-      Algorithm::kBmm};
-  return algorithms;
+std::vector<Algorithm> all_algorithms() {
+  return sched::Registry::instance().names();
 }
 
-std::string algorithm_name(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kHom: return "Hom";
-    case Algorithm::kHomI: return "HomI";
-    case Algorithm::kHet: return "Het";
-    case Algorithm::kOrroml: return "ORROML";
-    case Algorithm::kOmmoml: return "OMMOML";
-    case Algorithm::kOddoml: return "ODDOML";
-    case Algorithm::kBmm: return "BMM";
-  }
-  return "?";
+std::string algorithm_name(const Algorithm& algorithm) {
+  return sched::Registry::instance().at(algorithm).name;
 }
 
 Algorithm algorithm_from_name(const std::string& name) {
-  for (const Algorithm algorithm : all_algorithms()) {
-    if (algorithm_name(algorithm) == name) return algorithm;
-  }
-  throw std::invalid_argument("unknown algorithm: " + name);
+  return sched::Registry::instance().at(name).name;
 }
 
 std::unique_ptr<sim::Scheduler> make_scheduler(
-    Algorithm algorithm, const platform::Platform& platform,
+    const Algorithm& algorithm, const platform::Platform& platform,
     const matrix::Partition& partition,
     sched::HetSelection* het_selection) {
-  switch (algorithm) {
-    case Algorithm::kHom:
-      return std::make_unique<sched::RoundRobinScheduler>(
-          sched::make_hom(platform, partition));
-    case Algorithm::kHomI:
-      return std::make_unique<sched::RoundRobinScheduler>(
-          sched::make_homi(platform, partition));
-    case Algorithm::kHet:
-      return std::make_unique<sim::ReplayScheduler>(
-          sched::make_het(platform, partition, het_selection));
-    case Algorithm::kOrroml:
-      return std::make_unique<sched::RoundRobinScheduler>(
-          sched::make_orroml(platform, partition));
-    case Algorithm::kOmmoml:
-      return std::make_unique<sched::MinMinScheduler>(
-          sched::make_ommoml(platform, partition));
-    case Algorithm::kOddoml:
-      return std::make_unique<sched::DemandDrivenScheduler>(
-          sched::make_oddoml(platform, partition));
-    case Algorithm::kBmm:
-      return std::make_unique<sched::DemandDrivenScheduler>(
-          sched::make_bmm(platform, partition));
-  }
-  throw std::invalid_argument("unknown algorithm id");
+  return sched::Registry::instance().make(algorithm, platform, partition,
+                                          het_selection);
 }
 
 }  // namespace hmxp::core

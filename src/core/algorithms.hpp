@@ -1,8 +1,11 @@
-// Registry of the seven algorithms compared in section 6.
+// Thin facade over sched::Registry, the self-registering algorithm
+// registry. Historically this file owned a hardcoded enum of the seven
+// section-6 algorithms; the registry replaced it so that new algorithms
+// plug in without touching core. An Algorithm is now simply the
+// canonical registry name ("Het", "ODDOML", ...).
 #pragma once
 
 #include <memory>
-#include <optional>
 #include <string>
 #include <vector>
 
@@ -13,28 +16,24 @@
 
 namespace hmxp::core {
 
-enum class Algorithm {
-  kHom,     // homogeneous algorithm on the best memory-threshold platform
-  kHomI,    // improved Hom: (m, c, w) threshold grid
-  kHet,     // the paper's heterogeneous algorithm (8-variant selection)
-  kOrroml,  // overlapped round-robin, our layout
-  kOmmoml,  // overlapped min-min, our layout
-  kOddoml,  // overlapped demand-driven, our layout
-  kBmm      // Toledo's block matrix multiply (thirds layout)
-};
+/// Canonical algorithm name, as registered in sched::Registry.
+using Algorithm = std::string;
 
-/// All seven, in the paper's presentation order.
-const std::vector<Algorithm>& all_algorithms();
+/// Every registered algorithm, in the paper's presentation order.
+std::vector<Algorithm> all_algorithms();
 
-std::string algorithm_name(Algorithm algorithm);
-/// Inverse of algorithm_name; throws std::invalid_argument on unknowns.
+/// Canonical spelling of (a possibly differently-cased) `algorithm`;
+/// throws std::invalid_argument listing the valid names on unknowns.
+std::string algorithm_name(const Algorithm& algorithm);
+/// Case-insensitive lookup returning the canonical name; throws
+/// std::invalid_argument listing the valid names on unknowns.
 Algorithm algorithm_from_name(const std::string& name);
 
 /// Instantiates the scheduler (running any selection phase the
-/// algorithm requires). For kHet, `het_selection` (if non-null)
-/// receives the phase-1 outcome.
+/// algorithm requires). `het_selection` (if non-null) receives the
+/// phase-1 outcome of algorithms that have one (Het).
 std::unique_ptr<sim::Scheduler> make_scheduler(
-    Algorithm algorithm, const platform::Platform& platform,
+    const Algorithm& algorithm, const platform::Platform& platform,
     const matrix::Partition& partition,
     sched::HetSelection* het_selection = nullptr);
 

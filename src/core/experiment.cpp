@@ -1,45 +1,128 @@
 #include "core/experiment.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <limits>
 
+#include "sched/registry.hpp"
 #include "util/check.hpp"
+#include "util/thread_pool.hpp"
 
 namespace hmxp::core {
 
-InstanceResults run_instance(const Instance& instance,
-                             const std::vector<Algorithm>& algorithms) {
-  HMXP_REQUIRE(!algorithms.empty(), "no algorithms to run");
-  InstanceResults results;
-  results.instance_name = instance.name;
-  results.reports.reserve(algorithms.size());
-  for (const Algorithm algorithm : algorithms) {
-    results.reports.push_back(
-        run_algorithm(algorithm, instance.platform, instance.partition));
-  }
+namespace {
 
-  results.best_makespan = std::numeric_limits<double>::infinity();
-  results.best_work = std::numeric_limits<double>::infinity();
-  for (const RunReport& report : results.reports) {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Canonical spelling for registered names, the raw spelling otherwise
+/// (so tables and summaries can still label a failed unknown-name cell).
+std::string display_name(const Algorithm& algorithm) {
+  return sched::Registry::instance().contains(algorithm)
+             ? algorithm_name(algorithm)
+             : algorithm;
+}
+
+/// Runs one grid cell, capturing any failure as text instead of letting
+/// it sink the whole grid.
+void run_cell(const Instance& instance, const Algorithm& algorithm,
+              RunReport& report, std::string& error) {
+  try {
+    report = run_algorithm(algorithm, instance.platform, instance.partition);
+  } catch (const std::exception& exception) {
+    report = RunReport{};
+    report.algorithm = algorithm;
+    report.algorithm_label = algorithm;
+    error = exception.what();
+    if (error.empty()) error = "unknown error";
+  }
+}
+
+/// Fills the relative metrics of one instance row from its reports,
+/// considering only cells that succeeded.
+void finalize_instance(InstanceResults& results) {
+  results.best_makespan = kInf;
+  results.best_work = kInf;
+  for (std::size_t i = 0; i < results.reports.size(); ++i) {
+    if (!results.cell_ok(i)) continue;
+    const RunReport& report = results.reports[i];
     results.best_makespan =
         std::min(results.best_makespan, report.result.makespan);
     results.best_work = std::min(results.best_work, report.result.work());
   }
-  for (const RunReport& report : results.reports) {
-    results.relative_cost.push_back(report.result.makespan /
-                                    results.best_makespan);
-    results.relative_work.push_back(report.result.work() / results.best_work);
+  for (std::size_t i = 0; i < results.reports.size(); ++i) {
+    if (results.cell_ok(i)) {
+      results.relative_cost.push_back(results.reports[i].result.makespan /
+                                      results.best_makespan);
+      results.relative_work.push_back(results.reports[i].result.work() /
+                                      results.best_work);
+    } else {
+      results.relative_cost.push_back(kInf);
+      results.relative_work.push_back(kInf);
+    }
   }
-  return results;
+}
+
+}  // namespace
+
+InstanceResults run_instance(const Instance& instance,
+                             const std::vector<Algorithm>& algorithms) {
+  ExperimentOptions serial;
+  serial.threads = 1;
+  return run_experiment({instance}, algorithms, serial).front();
 }
 
 std::vector<InstanceResults> run_experiment(
     const std::vector<Instance>& instances,
-    const std::vector<Algorithm>& algorithms) {
+    const std::vector<Algorithm>& algorithms,
+    const ExperimentOptions& options) {
+  HMXP_REQUIRE(!algorithms.empty(), "no algorithms to run");
+  HMXP_REQUIRE(options.threads >= 0, "thread count cannot be negative");
+
+  // Flat (instance x algorithm) grid: every cell owns a pre-assigned
+  // slot, so completion order -- the only nondeterminism threads add --
+  // cannot reorder results.
+  const std::size_t cells = instances.size() * algorithms.size();
+  std::vector<RunReport> reports(cells);
+  std::vector<std::string> errors(cells);
+  const auto run_one = [&](std::size_t cell) {
+    const Instance& instance = instances[cell / algorithms.size()];
+    const Algorithm& algorithm = algorithms[cell % algorithms.size()];
+    run_cell(instance, algorithm, reports[cell], errors[cell]);
+  };
+
+  int threads = options.threads;
+  if (threads == 0) {
+    // Operator override for the auto thread count (benches and examples
+    // pass 0), e.g. HMXP_THREADS=16 ./bench_fig9_summary.
+    if (const char* env = std::getenv("HMXP_THREADS"))
+      threads = std::max(0, std::atoi(env));
+    if (threads == 0) threads = util::ThreadPool::default_thread_count();
+  }
+  threads = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(threads), cells));
+  if (threads <= 1) {
+    for (std::size_t cell = 0; cell < cells; ++cell) run_one(cell);
+  } else {
+    util::ThreadPool pool(threads);
+    for (std::size_t cell = 0; cell < cells; ++cell)
+      pool.submit([&run_one, cell] { run_one(cell); });
+    pool.wait_idle();
+  }
+
   std::vector<InstanceResults> all;
   all.reserve(instances.size());
-  for (const Instance& instance : instances)
-    all.push_back(run_instance(instance, algorithms));
+  for (std::size_t i = 0; i < instances.size(); ++i) {
+    InstanceResults results;
+    results.instance_name = instances[i].name;
+    const std::size_t base = i * algorithms.size();
+    results.reports.assign(
+        std::make_move_iterator(reports.begin() + base),
+        std::make_move_iterator(reports.begin() + base + algorithms.size()));
+    results.errors.assign(errors.begin() + base,
+                          errors.begin() + base + algorithms.size());
+    finalize_instance(results);
+    all.push_back(std::move(results));
+  }
   return all;
 }
 
@@ -50,10 +133,11 @@ std::vector<AlgorithmSummary> summarize(
   for (std::size_t a = 0; a < algorithms.size(); ++a) {
     AlgorithmSummary summary;
     summary.algorithm = algorithms[a];
-    summary.label = algorithm_name(algorithms[a]);
+    summary.label = display_name(algorithms[a]);
     for (const InstanceResults& instance : results) {
       HMXP_CHECK(instance.reports.size() == algorithms.size(),
                  "results not aligned with algorithm list");
+      if (!instance.cell_ok(a)) continue;
       summary.relative_cost.add(instance.relative_cost[a]);
       summary.relative_work.add(instance.relative_work[a]);
       summary.bound_over_achieved.add(
@@ -72,8 +156,8 @@ util::Table metric_table(const std::vector<InstanceResults>& results,
                          const std::vector<double> InstanceResults::* metric,
                          int precision) {
   std::vector<std::string> headers{"instance"};
-  for (const Algorithm algorithm : algorithms)
-    headers.push_back(algorithm_name(algorithm));
+  for (const Algorithm& algorithm : algorithms)
+    headers.push_back(display_name(algorithm));
   util::Table table(std::move(headers));
   table.set_align(0, util::Align::kLeft);
   for (const InstanceResults& instance : results) {
@@ -99,8 +183,8 @@ util::Table relative_work_table(const std::vector<InstanceResults>& results,
 util::Table enrolled_table(const std::vector<InstanceResults>& results,
                            const std::vector<Algorithm>& algorithms) {
   std::vector<std::string> headers{"instance"};
-  for (const Algorithm algorithm : algorithms)
-    headers.push_back(algorithm_name(algorithm));
+  for (const Algorithm& algorithm : algorithms)
+    headers.push_back(display_name(algorithm));
   util::Table table(std::move(headers));
   table.set_align(0, util::Align::kLeft);
   for (const InstanceResults& instance : results) {

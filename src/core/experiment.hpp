@@ -6,9 +6,17 @@
 //
 // Section 6.3 presents every experiment as these two bar charts; the
 // benches print one table per chart with the same rows.
+//
+// run_experiment fans the (instance x algorithm) cells of the grid
+// across a util::ThreadPool. Every cell is independent and the engine is
+// deterministic, so results are written into index-addressed slots and
+// the produced tables are bit-identical to a serial run regardless of
+// thread count. A cell that throws does not sink the grid: its error
+// text is captured per-cell and the relative metrics are computed over
+// the surviving cells.
 #pragma once
 
-#include <map>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -27,20 +35,36 @@ struct Instance {
 struct InstanceResults {
   std::string instance_name;
   std::vector<RunReport> reports;       // aligned with the algorithm list
+  /// Per-cell error text, aligned with reports; empty string = success.
+  /// A failed cell carries a default-constructed report and +inf
+  /// relative metrics.
+  std::vector<std::string> errors;
   std::vector<double> relative_cost;    // aligned with reports
   std::vector<double> relative_work;
   double best_makespan = 0.0;
   double best_work = 0.0;
+
+  bool cell_ok(std::size_t index) const { return errors[index].empty(); }
+};
+
+struct ExperimentOptions {
+  /// Worker threads for the (instance x algorithm) grid; 0 = the
+  /// HMXP_THREADS environment variable if set, else one per hardware
+  /// thread; 1 = serial (no pool).
+  int threads = 0;
 };
 
 /// Runs every algorithm on the instance and fills the relative metrics.
 InstanceResults run_instance(const Instance& instance,
                              const std::vector<Algorithm>& algorithms);
 
-/// Runs a whole experiment (one per figure).
+/// Runs a whole experiment (one per figure), fanning cells across
+/// `options.threads` workers; results are deterministic and identical
+/// to the serial path for any thread count.
 std::vector<InstanceResults> run_experiment(
     const std::vector<Instance>& instances,
-    const std::vector<Algorithm>& algorithms);
+    const std::vector<Algorithm>& algorithms,
+    const ExperimentOptions& options = {});
 
 /// Per-algorithm aggregation across instances (fig. 9): mean and max of
 /// both relative metrics, plus the bound/achieved throughput ratio.

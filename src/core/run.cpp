@@ -6,23 +6,23 @@
 
 namespace hmxp::core {
 
-RunReport run_algorithm(Algorithm algorithm,
+RunReport run_algorithm(const Algorithm& algorithm,
                         const platform::Platform& platform,
                         const matrix::Partition& partition,
                         bool record_trace) {
   RunReport report;
-  report.algorithm = algorithm;
-  report.algorithm_label = algorithm_name(algorithm);
+  report.algorithm = algorithm_name(algorithm);
+  report.algorithm_label = report.algorithm;
 
   sched::HetSelection het_selection;
   const auto selection_begin = std::chrono::steady_clock::now();
-  std::unique_ptr<sim::Scheduler> scheduler = make_scheduler(
-      algorithm, platform, partition,
-      algorithm == Algorithm::kHet ? &het_selection : nullptr);
+  std::unique_ptr<sim::Scheduler> scheduler =
+      make_scheduler(algorithm, platform, partition, &het_selection);
   const auto selection_end = std::chrono::steady_clock::now();
   report.selection_wall_seconds =
       std::chrono::duration<double>(selection_end - selection_begin).count();
-  if (algorithm == Algorithm::kHet)
+  // Builders without a selection phase leave the outcome empty.
+  if (!het_selection.decisions.empty())
     report.het_variant = het_selection.variant;
 
   report.result = sim::simulate(*scheduler, platform, partition, record_trace);

@@ -11,8 +11,8 @@
 namespace hmxp::core {
 
 struct RunReport {
-  Algorithm algorithm = Algorithm::kHet;
-  std::string algorithm_label;
+  Algorithm algorithm;         // canonical registry name
+  std::string algorithm_label; // same spelling, for table columns
   sim::RunResult result;
 
   /// Steady-state upper bound on throughput (Table 1 LP) and the ratio
@@ -26,13 +26,14 @@ struct RunReport {
   /// separately since simulated and wall time differ by design.
   double selection_wall_seconds = 0.0;
 
-  /// Winning Het variant (set only for kHet).
+  /// Winning Het variant (set only for algorithms with a selection
+  /// phase, i.e. Het).
   std::optional<sched::HetVariant> het_variant;
 };
 
 /// Simulates `algorithm` on the instance. `record_trace` keeps the full
 /// event trace in the report (memory-heavy for big instances).
-RunReport run_algorithm(Algorithm algorithm,
+RunReport run_algorithm(const Algorithm& algorithm,
                         const platform::Platform& platform,
                         const matrix::Partition& partition,
                         bool record_trace = false);

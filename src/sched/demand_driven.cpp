@@ -1,4 +1,5 @@
 #include "sched/demand_driven.hpp"
+#include "sched/registry.hpp"
 
 #include <limits>
 
@@ -92,5 +93,21 @@ DemandDrivenScheduler make_bmm(const platform::Platform& platform,
   return DemandDrivenScheduler(
       "BMM", ChunkSource(platform, partition, Layout::kToledo));
 }
+
+HMXP_REGISTER_ALGORITHM(
+    oddoml, "ODDOML", "overlapped demand-driven, our layout", 5,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<DemandDrivenScheduler>(
+          make_oddoml(platform, partition));
+    });
+
+HMXP_REGISTER_ALGORITHM(
+    bmm, "BMM", "Toledo's block matrix multiply (thirds layout)", 6,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<DemandDrivenScheduler>(
+          make_bmm(platform, partition));
+    });
 
 }  // namespace hmxp::sched

@@ -1,4 +1,5 @@
 #include "sched/het.hpp"
+#include "sched/registry.hpp"
 
 #include <limits>
 
@@ -35,5 +36,13 @@ sim::ReplayScheduler make_het(const platform::Platform& platform,
   if (selection_out != nullptr) *selection_out = std::move(selection);
   return sim::ReplayScheduler("Het", std::move(decisions));
 }
+
+HMXP_REGISTER_ALGORITHM(
+    het, "Het", "the paper's heterogeneous algorithm (8-variant selection)", 2,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection* selection_out) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<sim::ReplayScheduler>(
+          make_het(platform, partition, selection_out));
+    });
 
 }  // namespace hmxp::sched

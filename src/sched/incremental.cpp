@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <memory>
 
 #include "util/check.hpp"
 
@@ -84,12 +85,24 @@ double IncrementalScheduler::score(const Candidate& candidate,
   return candidate.delta_updates / slice;
 }
 
+sim::Engine& IncrementalScheduler::scratch_for(
+    const sim::Engine& engine) const {
+  if (scratch_ == nullptr || scratch_->context() != engine.context()) {
+    scratch_ = std::make_unique<sim::Engine>(engine.context(),
+                                             /*record_trace=*/false);
+  }
+  return *scratch_;
+}
+
 double IncrementalScheduler::lookahead_score(const Candidate& candidate,
                                              const sim::Engine& engine,
+                                             const sim::EngineState& base,
                                              model::Time now) const {
-  // Hypothetically execute the candidate on copies, then score the best
-  // follow-up with the same one-step criterion.
-  sim::Engine hypothetical = engine;
+  // Hypothetically execute the candidate on a rewound scratch engine
+  // (and a copy of the chunk source), then score the best follow-up with
+  // the same one-step criterion.
+  sim::Engine& hypothetical = scratch_for(engine);
+  hypothetical.restore(base);
   ChunkSource source_copy = source_;
   if (candidate.kind == sim::CommKind::kSendC) {
     auto plan = source_copy.next_chunk(candidate.worker);
@@ -165,11 +178,15 @@ sim::Decision IncrementalScheduler::next(const sim::Engine& engine) {
   }
 
   const double total_updates = static_cast<double>(engine.updates_total());
+  // One snapshot serves every lookahead probe this round; each probe
+  // rewinds the scratch engine to it before executing hypotheticals.
+  sim::EngineState base;
+  if (variant_.lookahead) base = engine.snapshot();
   double best_score = -kNever;
   const Candidate* best = nullptr;
   for (const Candidate& candidate : candidates) {
     const double candidate_score =
-        variant_.lookahead ? lookahead_score(candidate, engine, now)
+        variant_.lookahead ? lookahead_score(candidate, engine, base, now)
                            : score(candidate, total_updates, now);
     if (candidate_score > best_score + 1e-15 ||
         (best != nullptr && candidate_score > best_score - 1e-15 &&

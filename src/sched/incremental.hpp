@@ -17,10 +17,12 @@
 //    occupies, idle wait included.
 //
 //  * LOOK-AHEAD option: each candidate is scored by the best two-step
-//    ratio -- the candidate is hypothetically executed on a copy of the
-//    engine and the best follow-up candidate completes the score. (The
-//    paper leaves the look-ahead depth unspecified; depth one is the
-//    natural reading and what we implement.)
+//    ratio -- the candidate is hypothetically executed on a scratch
+//    engine (sharing the real engine's InstanceContext, state restored
+//    from a snapshot per candidate) and the best follow-up candidate
+//    completes the score. (The paper leaves the look-ahead depth
+//    unspecified; depth one is the natural reading and what we
+//    implement.)
 //
 //  * C-COST option: when a candidate would enroll a worker on a new
 //    chunk, the mu_i^2-block C-chunk transfer is charged to the ratio's
@@ -69,13 +71,18 @@ class IncrementalScheduler : public sim::Scheduler {
 
   ChunkSource source_;
   HetVariant variant_;
+  // Scratch engine for hypothetical probes: shares the real engine's
+  // instance context, never records a trace, and is rewound with
+  // restore() before every probe instead of re-copying the engine.
+  mutable std::unique_ptr<sim::Engine> scratch_;
 
+  sim::Engine& scratch_for(const sim::Engine& engine) const;
   std::vector<Candidate> enumerate(const sim::Engine& engine,
                                    const ChunkSource& source) const;
   double score(const Candidate& candidate, double total_updates,
                model::Time now) const;
   double lookahead_score(const Candidate& candidate, const sim::Engine& engine,
-                         model::Time now) const;
+                         const sim::EngineState& base, model::Time now) const;
 };
 
 }  // namespace hmxp::sched

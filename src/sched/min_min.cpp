@@ -1,4 +1,5 @@
 #include "sched/min_min.hpp"
+#include "sched/registry.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -103,5 +104,13 @@ MinMinScheduler make_ommoml(const platform::Platform& platform,
                             const matrix::Partition& partition) {
   return MinMinScheduler(platform, partition);
 }
+
+HMXP_REGISTER_ALGORITHM(
+    ommoml, "OMMOML", "overlapped min-min, our layout", 4,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<MinMinScheduler>(
+          make_ommoml(platform, partition));
+    });
 
 }  // namespace hmxp::sched

@@ -1,0 +1,97 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+namespace {
+std::string ascii_lower(const std::string& text) {
+  std::string lowered = text;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char ch) {
+                   return static_cast<char>(std::tolower(ch));
+                 });
+  return lowered;
+}
+}  // namespace
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+void Registry::add(AlgorithmInfo info) {
+  HMXP_REQUIRE(!info.name.empty(), "algorithm needs a name");
+  HMXP_REQUIRE(info.build != nullptr,
+               "algorithm '" + info.name + "' needs a builder");
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (find_locked(info.name) != nullptr)
+    throw std::invalid_argument("algorithm '" + info.name +
+                                "' registered twice");
+  const auto before = [](const AlgorithmInfo& a, const AlgorithmInfo& b) {
+    if (a.paper_order != b.paper_order) return a.paper_order < b.paper_order;
+    return a.name < b.name;
+  };
+  infos_.insert(
+      std::upper_bound(infos_.begin(), infos_.end(), info, before),
+      std::move(info));
+}
+
+const AlgorithmInfo* Registry::find_locked(const std::string& name) const {
+  const std::string lowered = ascii_lower(name);
+  for (const AlgorithmInfo& info : infos_)
+    if (ascii_lower(info.name) == lowered) return &info;
+  return nullptr;
+}
+
+bool Registry::contains(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return find_locked(name) != nullptr;
+}
+
+AlgorithmInfo Registry::at(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  if (const AlgorithmInfo* info = find_locked(name)) return *info;
+  std::string valid;
+  for (const AlgorithmInfo& info : infos_) {
+    if (!valid.empty()) valid += ", ";
+    valid += info.name;
+  }
+  throw std::invalid_argument("unknown algorithm: " + name +
+                              " (valid names: " + valid + ")");
+}
+
+std::vector<std::string> Registry::names() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(infos_.size());
+  for (const AlgorithmInfo& info : infos_) names.push_back(info.name);
+  return names;
+}
+
+std::unique_ptr<sim::Scheduler> Registry::make(
+    const std::string& name, const platform::Platform& platform,
+    const matrix::Partition& partition, HetSelection* selection_out) const {
+  // Copy the builder out under the lock (a concurrent add() may move
+  // infos_), then run it unlocked: selection phases can be expensive and
+  // the parallel experiment pipeline calls make() from many threads.
+  std::function<std::unique_ptr<sim::Scheduler>(
+      const platform::Platform&, const matrix::Partition&, HetSelection*)>
+      build;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (const AlgorithmInfo* info = find_locked(name)) build = info->build;
+  }
+  if (build == nullptr) at(name);  // throws with the valid-name list
+  return build(platform, partition, selection_out);
+}
+
+Registration::Registration(AlgorithmInfo info) {
+  Registry::instance().add(std::move(info));
+}
+
+}  // namespace hmxp::sched

@@ -1,0 +1,87 @@
+// Self-registering algorithm registry: canonical name -> scheduler
+// builder + metadata.
+//
+// Every algorithm module registers itself (see HMXP_REGISTER_ALGORITHM
+// at the bottom of the sched/*.cpp files), so the registry is the single
+// source of truth the core facade, the experiment harness, the threaded
+// runtime, the benches and the examples all consult; adding an algorithm
+// never touches core. Lookup is case-insensitive and an unknown name
+// throws std::invalid_argument listing every valid name.
+//
+// Builders receive the instance (platform, partition) and an optional
+// HetSelection out-parameter; algorithms with no selection phase ignore
+// it. Presentation order (`paper_order`) fixes the column order of every
+// table to the paper's, independent of static-initialization order.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "matrix/partition.hpp"
+#include "platform/platform.hpp"
+#include "sched/het.hpp"
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+
+struct AlgorithmInfo {
+  std::string name;     // canonical spelling, e.g. "ODDOML"
+  std::string summary;  // one-line description for listings
+  int paper_order = 1000;  // presentation order (section 6); ties by name
+  std::function<std::unique_ptr<sim::Scheduler>(
+      const platform::Platform&, const matrix::Partition&, HetSelection*)>
+      build;
+};
+
+class Registry {
+ public:
+  /// The process-wide registry (built-ins register before main()).
+  static Registry& instance();
+
+  /// Registers an algorithm; throws std::invalid_argument on a
+  /// (case-insensitive) duplicate name or a missing builder.
+  void add(AlgorithmInfo info);
+
+  bool contains(const std::string& name) const;
+  /// Case-insensitive lookup; throws std::invalid_argument naming every
+  /// valid algorithm on an unknown name. Returns a copy: a reference
+  /// into the registry could dangle if a concurrent add() reallocates.
+  AlgorithmInfo at(const std::string& name) const;
+  /// Canonical names in presentation order.
+  std::vector<std::string> names() const;
+
+  /// Builds the scheduler (running any selection phase the algorithm
+  /// requires). `selection_out`, if non-null, receives the phase-1
+  /// outcome of algorithms that have one (Het).
+  std::unique_ptr<sim::Scheduler> make(
+      const std::string& name, const platform::Platform& platform,
+      const matrix::Partition& partition,
+      HetSelection* selection_out = nullptr) const;
+
+ private:
+  Registry() = default;
+  const AlgorithmInfo* find_locked(const std::string& name) const;
+
+  mutable std::mutex mutex_;
+  std::vector<AlgorithmInfo> infos_;  // kept sorted by (paper_order, name)
+};
+
+/// Static-initialization helper: constructing one registers `info`.
+struct Registration {
+  explicit Registration(AlgorithmInfo info);
+};
+
+}  // namespace hmxp::sched
+
+/// Registers an algorithm from any translation unit linked into the
+/// binary. `ident` must be a unique C identifier; the remaining
+/// arguments initialize AlgorithmInfo {name, summary, paper_order,
+/// build}.
+#define HMXP_REGISTER_ALGORITHM(ident, ...)                   \
+  static const ::hmxp::sched::Registration                    \
+      hmxp_algorithm_registration_##ident {                   \
+    ::hmxp::sched::AlgorithmInfo { __VA_ARGS__ }              \
+  }

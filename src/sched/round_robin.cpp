@@ -1,4 +1,5 @@
 #include "sched/round_robin.hpp"
+#include "sched/registry.hpp"
 
 #include <numeric>
 
@@ -48,5 +49,13 @@ RoundRobinScheduler make_orroml(const platform::Platform& platform,
       "ORROML", std::move(all),
       ChunkSource(platform, partition, Layout::kDoubleBuffered));
 }
+
+HMXP_REGISTER_ALGORITHM(
+    orroml, "ORROML", "overlapped round-robin, our layout", 3,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<RoundRobinScheduler>(
+          make_orroml(platform, partition));
+    });
 
 }  // namespace hmxp::sched

@@ -1,4 +1,5 @@
 #include "sched/virtual_platform.hpp"
+#include "sched/registry.hpp"
 
 #include <algorithm>
 #include <limits>
@@ -116,5 +117,22 @@ RoundRobinScheduler make_homi(const platform::Platform& platform,
   return make_homogeneous_on("HomI", platform, partition, selection.params,
                              selection.candidates);
 }
+
+HMXP_REGISTER_ALGORITHM(
+    hom, "Hom", "homogeneous algorithm on the best memory-threshold platform",
+    0,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<RoundRobinScheduler>(
+          make_hom(platform, partition));
+    });
+
+HMXP_REGISTER_ALGORITHM(
+    homi, "HomI", "improved Hom: (m, c, w) threshold grid", 1,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<RoundRobinScheduler>(
+          make_homi(platform, partition));
+    });
 
 }  // namespace hmxp::sched

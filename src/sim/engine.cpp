@@ -48,27 +48,59 @@ model::Time WorkerProgress::chunk_compute_finish() const {
   return compute_end.empty() ? chunk_arrival : compute_end.back();
 }
 
+InstanceContext::InstanceContext(platform::Platform platform,
+                                 matrix::Partition partition)
+    : platform_(std::move(platform)), partition_(std::move(partition)) {}
+
+std::shared_ptr<const InstanceContext> InstanceContext::make(
+    const platform::Platform& platform, const matrix::Partition& partition) {
+  return std::make_shared<const InstanceContext>(platform, partition);
+}
+
+Engine::Engine(std::shared_ptr<const InstanceContext> context,
+               bool record_trace)
+    : context_(std::move(context)), record_trace_(record_trace) {
+  HMXP_REQUIRE(context_ != nullptr, "engine needs an instance context");
+  const auto& part = context_->partition();
+  state_.workers.resize(
+      static_cast<std::size_t>(context_->platform().size()));
+  state_.assigned.assign(part.c_blocks(), false);
+  state_.unassigned_blocks = static_cast<model::BlockCount>(part.c_blocks());
+}
+
 Engine::Engine(const platform::Platform& platform,
                const matrix::Partition& part, bool record_trace)
-    : platform_(platform),
-      partition_(part),
-      record_trace_(record_trace),
-      workers_(static_cast<std::size_t>(platform.size())),
-      assigned_(part.c_blocks(), false),
-      unassigned_blocks_(static_cast<model::BlockCount>(part.c_blocks())) {}
+    : Engine(InstanceContext::make(platform, part), record_trace) {}
 
-int Engine::worker_count() const { return platform_.size(); }
+int Engine::worker_count() const { return context_->platform().size(); }
 
 const WorkerProgress& Engine::progress(int worker) const {
   HMXP_REQUIRE(worker >= 0 && worker < worker_count(),
                "worker index out of range");
-  return workers_[static_cast<std::size_t>(worker)];
+  return state_.workers[static_cast<std::size_t>(worker)];
 }
 
 WorkerProgress& Engine::progress_mut(int worker) {
   HMXP_REQUIRE(worker >= 0 && worker < worker_count(),
                "worker index out of range");
-  return workers_[static_cast<std::size_t>(worker)];
+  return state_.workers[static_cast<std::size_t>(worker)];
+}
+
+EngineState Engine::snapshot() const {
+  EngineState snapshot = state_;
+  snapshot.trace_comms = trace_.comms().size();
+  snapshot.trace_computes = trace_.computes().size();
+  return snapshot;
+}
+
+void Engine::restore(const EngineState& snapshot) {
+  HMXP_REQUIRE(snapshot.workers.size() == state_.workers.size(),
+               "snapshot from a different platform");
+  HMXP_REQUIRE(snapshot.assigned.size() == state_.assigned.size(),
+               "snapshot from a different partition");
+  if (record_trace_)
+    trace_.truncate(snapshot.trace_comms, snapshot.trace_computes);
+  state_ = snapshot;
 }
 
 model::Time Engine::earliest_start(int worker, CommKind kind) const {
@@ -76,7 +108,7 @@ model::Time Engine::earliest_start(int worker, CommKind kind) const {
   switch (kind) {
     case CommKind::kSendC:
       if (state.has_chunk) return kNever;
-      return std::max(port_free_, state.ready_for_chunk);
+      return std::max(state_.port_free, state.ready_for_chunk);
     case CommKind::kSendAB: {
       if (!state.has_chunk) return kNever;
       const std::size_t n = state.steps_received;
@@ -87,11 +119,11 @@ model::Time Engine::earliest_start(int worker, CommKind kind) const {
           static_cast<std::size_t>(state.chunk.prefetch_depth) + 1;
       model::Time buffer_free = 0.0;
       if (n >= depth) buffer_free = state.compute_end[n - depth];
-      return std::max(port_free_, buffer_free);
+      return std::max(state_.port_free, buffer_free);
     }
     case CommKind::kRecvC: {
       if (!state.has_chunk || !state.all_steps_received()) return kNever;
-      return std::max(port_free_, state.chunk_compute_finish());
+      return std::max(state_.port_free, state.chunk_compute_finish());
     }
   }
   return kNever;
@@ -99,7 +131,7 @@ model::Time Engine::earliest_start(int worker, CommKind kind) const {
 
 model::Time Engine::comm_duration(int worker, CommKind kind) const {
   const WorkerProgress& state = progress(worker);
-  const platform::WorkerSpec& spec = platform_.worker(worker);
+  const platform::WorkerSpec& spec = context_->platform().worker(worker);
   switch (kind) {
     case CommKind::kSendC:
       HMXP_REQUIRE(false, "SendC duration needs the chunk plan");
@@ -119,7 +151,8 @@ model::Time Engine::comm_duration(int worker, CommKind kind) const {
 
 model::Time Engine::chunk_comm_duration(int worker,
                                         const ChunkPlan& plan) const {
-  return static_cast<double>(plan.rect.count()) * platform_.worker(worker).c;
+  return static_cast<double>(plan.rect.count()) *
+         context_->platform().worker(worker).c;
 }
 
 model::Time Engine::execute(const Decision& decision) {
@@ -139,30 +172,31 @@ model::Time Engine::execute(const Decision& decision) {
 
 model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
   WorkerProgress& state = progress_mut(worker);
-  const platform::WorkerSpec& spec = platform_.worker(worker);
+  const platform::WorkerSpec& spec = context_->platform().worker(worker);
+  const matrix::Partition& partition = context_->partition();
 
   HMXP_CHECK(!state.has_chunk, "worker already has an active chunk");
   HMXP_CHECK(!plan.rect.empty(), "empty chunk");
-  HMXP_CHECK(plan.rect.i1 <= partition_.r() && plan.rect.j1 <= partition_.s(),
+  HMXP_CHECK(plan.rect.i1 <= partition.r() && plan.rect.j1 <= partition.s(),
              "chunk exceeds matrix bounds");
   HMXP_CHECK(plan.peak_buffers() <= spec.m,
              "chunk would exceed worker memory");
   HMXP_CHECK(plan.total_updates() ==
                  static_cast<model::BlockCount>(plan.rect.count()) *
-                     static_cast<model::BlockCount>(partition_.t()),
+                     static_cast<model::BlockCount>(partition.t()),
              "chunk steps do not cover all t updates of every block");
 
   // Coverage bookkeeping: every block must be assigned exactly once.
   for (std::size_t i = plan.rect.i0; i < plan.rect.i1; ++i) {
     for (std::size_t j = plan.rect.j0; j < plan.rect.j1; ++j) {
-      const std::size_t index = i * partition_.s() + j;
-      HMXP_CHECK(!assigned_[index], "C block assigned twice");
-      assigned_[index] = true;
+      const std::size_t index = i * partition.s() + j;
+      HMXP_CHECK(!state_.assigned[index], "C block assigned twice");
+      state_.assigned[index] = true;
     }
   }
-  unassigned_blocks_ -= static_cast<model::BlockCount>(plan.rect.count());
+  state_.unassigned_blocks -= static_cast<model::BlockCount>(plan.rect.count());
 
-  const model::Time start = std::max(port_free_, state.ready_for_chunk);
+  const model::Time start = std::max(state_.port_free, state.ready_for_chunk);
   const model::Time duration =
       static_cast<double>(plan.rect.count()) * spec.c;
   const model::Time end = start + duration;
@@ -176,9 +210,9 @@ model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
   state.chunks_assigned += 1;
   state.updates_assigned += plan.total_updates();
 
-  port_free_ = end;
-  comm_blocks_ += static_cast<model::BlockCount>(plan.rect.count());
-  ++chunks_outstanding_;
+  state_.port_free = end;
+  state_.comm_blocks += static_cast<model::BlockCount>(plan.rect.count());
+  ++state_.chunks_outstanding;
   if (record_trace_)
     trace_.record_comm(CommEvent{
         worker, CommKind::kSendC, start, end,
@@ -188,7 +222,7 @@ model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
 
 model::Time Engine::execute_send_operands(int worker) {
   WorkerProgress& state = progress_mut(worker);
-  const platform::WorkerSpec& spec = platform_.worker(worker);
+  const platform::WorkerSpec& spec = context_->platform().worker(worker);
 
   HMXP_CHECK(state.has_chunk, "operands sent to a worker with no chunk");
   const std::size_t n = state.steps_received;
@@ -214,9 +248,9 @@ model::Time Engine::execute_send_operands(int worker) {
   state.steps_received = n + 1;
   state.busy_compute += compute_duration;
 
-  port_free_ = end;
-  comm_blocks_ += step.operand_blocks;
-  updates_done_ += step.updates;
+  state_.port_free = end;
+  state_.comm_blocks += step.operand_blocks;
+  state_.updates_done += step.updates;
   if (record_trace_) {
     trace_.record_comm(
         CommEvent{worker, CommKind::kSendAB, start, end, step.operand_blocks});
@@ -228,7 +262,7 @@ model::Time Engine::execute_send_operands(int worker) {
 
 model::Time Engine::execute_recv_result(int worker) {
   WorkerProgress& state = progress_mut(worker);
-  const platform::WorkerSpec& spec = platform_.worker(worker);
+  const platform::WorkerSpec& spec = context_->platform().worker(worker);
 
   HMXP_CHECK(state.has_chunk, "result requested from a worker with no chunk");
   HMXP_CHECK(state.all_steps_received(),
@@ -245,22 +279,22 @@ model::Time Engine::execute_recv_result(int worker) {
   state.recv_end.clear();
   state.compute_end.clear();
 
-  port_free_ = end;
-  comm_blocks_ += blocks;
-  blocks_returned_ += blocks;
-  --chunks_outstanding_;
+  state_.port_free = end;
+  state_.comm_blocks += blocks;
+  state_.blocks_returned += blocks;
+  --state_.chunks_outstanding;
   if (record_trace_)
     trace_.record_comm(CommEvent{worker, CommKind::kRecvC, start, end, blocks});
   return end;
 }
 
 bool Engine::all_work_done() const {
-  return unassigned_blocks_ == 0 && chunks_outstanding_ == 0;
+  return state_.unassigned_blocks == 0 && state_.chunks_outstanding == 0;
 }
 
 model::Time Engine::makespan_so_far() const {
-  model::Time latest = port_free_;
-  for (const WorkerProgress& state : workers_) {
+  model::Time latest = state_.port_free;
+  for (const WorkerProgress& state : state_.workers) {
     if (state.has_chunk && !state.compute_end.empty())
       latest = std::max(latest, state.compute_end.back());
   }
@@ -268,12 +302,15 @@ model::Time Engine::makespan_so_far() const {
 }
 
 model::Time Engine::finalize() {
-  HMXP_CHECK(unassigned_blocks_ == 0, "schedule left C blocks unassigned");
-  HMXP_CHECK(chunks_outstanding_ == 0, "chunks never returned to the master");
-  HMXP_CHECK(blocks_returned_ ==
-                 static_cast<model::BlockCount>(partition_.c_blocks()),
+  HMXP_CHECK(state_.unassigned_blocks == 0,
+             "schedule left C blocks unassigned");
+  HMXP_CHECK(state_.chunks_outstanding == 0,
+             "chunks never returned to the master");
+  HMXP_CHECK(state_.blocks_returned ==
+                 static_cast<model::BlockCount>(
+                     context_->partition().c_blocks()),
              "returned block count mismatch");
-  return port_free_;
+  return state_.port_free;
 }
 
 }  // namespace hmxp::sim

@@ -18,11 +18,21 @@
 // decision whose precondition is not yet met simply blocks the port (the
 // master waits) -- exactly the behaviour of the paper's master programs.
 //
-// The engine is a value type: schedulers that look ahead (the Het
-// variants) copy it, execute hypothetical decisions on the copy, and
-// throw the copy away.
+// The engine is split in two layers:
+//   * InstanceContext -- the immutable problem instance (platform and
+//     partition), shared by reference among every engine probing the
+//     same instance; it is never copied per decision.
+//   * EngineState -- the small mutable simulation state (port clock,
+//     per-worker progress, coverage bitmap, counters), exposed through
+//     snapshot()/restore().
+// Schedulers that look ahead (the Het variants) no longer copy the whole
+// engine: they keep one scratch engine over the shared context, restore
+// the current state into it, execute hypothetical decisions, and restore
+// again for the next candidate. restore() also rolls back any trace
+// events recorded after the snapshot, so it is a true rewind.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -71,16 +81,63 @@ struct WorkerProgress {
   model::Time chunk_compute_finish() const;
 };
 
+/// The immutable problem instance an engine simulates: platform and
+/// partition (and everything derived from them). Engines over the same
+/// instance share one context by shared_ptr instead of carrying copies.
+class InstanceContext {
+ public:
+  InstanceContext(platform::Platform platform, matrix::Partition partition);
+
+  /// Convenience: heap-allocate a shared context from copies.
+  static std::shared_ptr<const InstanceContext> make(
+      const platform::Platform& platform, const matrix::Partition& partition);
+
+  const platform::Platform& platform() const { return platform_; }
+  const matrix::Partition& partition() const { return partition_; }
+
+ private:
+  platform::Platform platform_;
+  matrix::Partition partition_;
+};
+
+/// The mutable simulation state, cheap to copy relative to the context:
+/// no platform, no partition, no cost tables. snapshot() hands one out,
+/// restore() swaps one back in.
+struct EngineState {
+  model::Time port_free = 0.0;
+  std::vector<WorkerProgress> workers;
+  // Coverage bitmap over r x s C blocks; set when a chunk covering the
+  // block is assigned.
+  std::vector<bool> assigned;
+  model::BlockCount unassigned_blocks = 0;
+  model::BlockCount comm_blocks = 0;
+  model::BlockCount updates_done = 0;
+  int chunks_outstanding = 0;
+  model::BlockCount blocks_returned = 0;
+  // Trace lengths at snapshot time, so restore() can roll back events
+  // recorded by hypothetical decisions.
+  std::size_t trace_comms = 0;
+  std::size_t trace_computes = 0;
+};
+
 class Engine {
  public:
+  /// Shares `context` with other engines over the same instance (the
+  /// scratch-engine idiom of the lookahead schedulers).
+  explicit Engine(std::shared_ptr<const InstanceContext> context,
+                  bool record_trace = true);
+  /// Convenience: builds a private context from copies.
   Engine(const platform::Platform& platform, const matrix::Partition& part,
          bool record_trace = true);
 
   // ----- state queries (schedulers decide from these) -----
-  model::Time now() const { return port_free_; }
+  model::Time now() const { return state_.port_free; }
   int worker_count() const;
-  const platform::Platform& platform() const { return platform_; }
-  const matrix::Partition& partition() const { return partition_; }
+  const platform::Platform& platform() const { return context_->platform(); }
+  const matrix::Partition& partition() const { return context_->partition(); }
+  const std::shared_ptr<const InstanceContext>& context() const {
+    return context_;
+  }
   const WorkerProgress& progress(int worker) const;
 
   /// Earliest time the given communication could START given port and
@@ -93,9 +150,20 @@ class Engine {
   model::Time chunk_comm_duration(int worker, const ChunkPlan& plan) const;
 
   /// Blocks of C not yet covered by any assigned chunk.
-  model::BlockCount unassigned_blocks() const { return unassigned_blocks_; }
+  model::BlockCount unassigned_blocks() const {
+    return state_.unassigned_blocks;
+  }
   /// True when every C block was assigned, computed, and returned.
   bool all_work_done() const;
+
+  // ----- snapshot / restore -----
+  /// Copies the mutable state out. O(workers + r*s bits), no platform or
+  /// partition copy.
+  EngineState snapshot() const;
+  /// Rewinds to a snapshot taken from an engine over the same instance
+  /// (same worker count and block grid). Rolls the trace back to the
+  /// lengths captured by the snapshot.
+  void restore(const EngineState& snapshot);
 
   // ----- execution -----
   /// Executes one communication; returns its end time. Throws
@@ -112,25 +180,14 @@ class Engine {
   bool recording() const { return record_trace_; }
 
   // Aggregate counters.
-  model::BlockCount comm_blocks_total() const { return comm_blocks_; }
-  model::BlockCount updates_total() const { return updates_done_; }
+  model::BlockCount comm_blocks_total() const { return state_.comm_blocks; }
+  model::BlockCount updates_total() const { return state_.updates_done; }
   model::Time makespan_so_far() const;
 
  private:
-  platform::Platform platform_;
-  matrix::Partition partition_;
+  std::shared_ptr<const InstanceContext> context_;
   bool record_trace_;
-
-  model::Time port_free_ = 0.0;
-  std::vector<WorkerProgress> workers_;
-  // Coverage bitmap over r x s C blocks; set when a chunk covering the
-  // block is assigned.
-  std::vector<bool> assigned_;
-  model::BlockCount unassigned_blocks_ = 0;
-  model::BlockCount comm_blocks_ = 0;
-  model::BlockCount updates_done_ = 0;
-  int chunks_outstanding_ = 0;
-  model::BlockCount blocks_returned_ = 0;
+  EngineState state_;
   Trace trace_;
 
   model::Time execute_send_chunk(int worker, const ChunkPlan& plan);

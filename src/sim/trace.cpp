@@ -94,4 +94,9 @@ void Trace::clear() {
   computes_.clear();
 }
 
+void Trace::truncate(std::size_t comm_count, std::size_t compute_count) {
+  if (comm_count < comms_.size()) comms_.resize(comm_count);
+  if (compute_count < computes_.size()) computes_.resize(compute_count);
+}
+
 }  // namespace hmxp::sim

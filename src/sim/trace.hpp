@@ -61,6 +61,10 @@ class Trace {
 
   void clear();
 
+  /// Rolls the trace back to the given event counts (used by
+  /// Engine::restore to discard events recorded after a snapshot).
+  void truncate(std::size_t comm_count, std::size_t compute_count);
+
  private:
   std::vector<CommEvent> comms_;
   std::vector<ComputeEvent> computes_;

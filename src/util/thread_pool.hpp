@@ -1,0 +1,59 @@
+// A small fixed-size thread pool for fanning independent work items
+// (the experiment pipeline's instance x algorithm cells) across cores.
+//
+// Semantics are deliberately minimal: submit() enqueues a task, the
+// workers drain the queue FIFO, wait_idle() blocks until every submitted
+// task has finished. Tasks should capture their own output slots --
+// the pool imposes no ordering on completion, so deterministic results
+// come from writing into pre-sized vectors by index, never from
+// completion order. A task that throws is caught; the first exception is
+// stashed and rethrown from wait_idle() (or the destructor swallows it
+// if the caller never waits).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hmxp::util {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(int threads = 0);
+  /// Joins after the queue drains (pending tasks still run).
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  void submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks completed; rethrows the first
+  /// exception any task threw since the last wait_idle().
+  void wait_idle();
+
+  /// What a `threads = 0` request resolves to on this machine.
+  static int default_thread_count();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable task_ready_;
+  std::condition_variable all_done_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  std::size_t in_flight_ = 0;  // queued + currently running
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+}  // namespace hmxp::util

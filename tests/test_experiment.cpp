@@ -1,6 +1,8 @@
 // Tests for the core facade: registry, run reports, experiment harness.
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "core/experiment.hpp"
 #include "platform/generator.hpp"
 
@@ -14,16 +16,42 @@ matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
 TEST(Registry, SevenAlgorithmsRoundTripNames) {
   const auto& algorithms = all_algorithms();
   ASSERT_EQ(algorithms.size(), 7u);
-  for (const Algorithm algorithm : algorithms) {
+  for (const Algorithm& algorithm : algorithms) {
     EXPECT_EQ(algorithm_from_name(algorithm_name(algorithm)), algorithm);
   }
   EXPECT_THROW(algorithm_from_name("NotAnAlgorithm"), std::invalid_argument);
 }
 
+TEST(Registry, LookupIsCaseInsensitive) {
+  EXPECT_EQ(algorithm_from_name("oddoml"), "ODDOML");
+  EXPECT_EQ(algorithm_from_name("HET"), "Het");
+  EXPECT_EQ(algorithm_from_name("homi"), "HomI");
+  EXPECT_EQ(algorithm_name("bmm"), "BMM");
+}
+
+TEST(Registry, UnknownNameErrorListsValidNames) {
+  try {
+    algorithm_from_name("NotAnAlgorithm");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string message = error.what();
+    EXPECT_NE(message.find("NotAnAlgorithm"), std::string::npos);
+    for (const Algorithm& algorithm : all_algorithms())
+      EXPECT_NE(message.find(algorithm), std::string::npos) << algorithm;
+  }
+}
+
+TEST(Registry, PaperPresentationOrder) {
+  const std::vector<Algorithm> expected = {"Hom",    "HomI",   "Het",
+                                           "ORROML", "OMMOML", "ODDOML",
+                                           "BMM"};
+  EXPECT_EQ(all_algorithms(), expected);
+}
+
 TEST(RunReport, BoundsAndMetadata) {
   const platform::Platform plat = platform::hetero_memory();
   const auto part = blocks(15, 8, 40);
-  const RunReport report = run_algorithm(Algorithm::kHet, plat, part);
+  const RunReport report = run_algorithm("Het", plat, part);
   EXPECT_EQ(report.algorithm_label, "Het");
   ASSERT_TRUE(report.het_variant.has_value());
   // The steady-state LP is an upper bound on achieved throughput.
@@ -35,7 +63,7 @@ TEST(RunReport, BoundsAndMetadata) {
 TEST(RunReport, NonHetHasNoVariant) {
   const platform::Platform plat = platform::hetero_memory();
   const auto part = blocks(10, 5, 25);
-  const RunReport report = run_algorithm(Algorithm::kBmm, plat, part);
+  const RunReport report = run_algorithm("BMM", plat, part);
   EXPECT_FALSE(report.het_variant.has_value());
 }
 
@@ -62,8 +90,8 @@ TEST(Experiment, SummaryAggregatesAcrossInstances) {
   std::vector<Instance> instances;
   instances.push_back({"a", platform::hetero_memory(), part});
   instances.push_back({"b", platform::hetero_compute(), part});
-  const std::vector<Algorithm> algorithms = {Algorithm::kHet,
-                                             Algorithm::kBmm};
+  const std::vector<Algorithm> algorithms = {"Het",
+                                             "BMM"};
   const auto results = run_experiment(instances, algorithms);
   const auto summaries = summarize(results, algorithms);
   ASSERT_EQ(summaries.size(), 2u);
@@ -78,8 +106,8 @@ TEST(Experiment, TablesHaveOneRowPerInstance) {
   std::vector<Instance> instances;
   instances.push_back({"row-one", platform::hetero_memory(), part});
   instances.push_back({"row-two", platform::hetero_links(), part});
-  const std::vector<Algorithm> algorithms = {Algorithm::kHet,
-                                             Algorithm::kOddoml};
+  const std::vector<Algorithm> algorithms = {"Het",
+                                             "ODDOML"};
   const auto results = run_experiment(instances, algorithms);
 
   const auto cost = relative_cost_table(results, algorithms);
@@ -91,6 +119,83 @@ TEST(Experiment, TablesHaveOneRowPerInstance) {
   const std::string rendered = cost.render();
   EXPECT_NE(rendered.find("row-one"), std::string::npos);
   EXPECT_NE(rendered.find("ODDOML"), std::string::npos);
+}
+
+// The acceptance-critical determinism property of the parallel pipeline:
+// a >= 20-instance grid fanned across threads produces tables
+// bit-identical to the serial path.
+TEST(Experiment, ParallelMatchesSerialBitIdentical) {
+  std::vector<Instance> instances;
+  const std::vector<platform::Platform> platforms = {
+      platform::hetero_memory(), platform::hetero_links(),
+      platform::hetero_compute(), platform::fully_hetero(2.0),
+      platform::fully_hetero(4.0)};
+  for (std::size_t p = 0; p < platforms.size(); ++p) {
+    for (const std::size_t s : {16u, 20u, 24u, 28u}) {
+      std::string name = "p";
+      name += std::to_string(p);
+      name += "-s";
+      name += std::to_string(s);
+      instances.push_back({std::move(name), platforms[p], blocks(8, 4, s)});
+    }
+  }
+  ASSERT_GE(instances.size(), 20u);
+  const auto algorithms = all_algorithms();
+
+  ExperimentOptions serial;
+  serial.threads = 1;
+  ExperimentOptions parallel;
+  parallel.threads = 4;
+  const auto serial_results = run_experiment(instances, algorithms, serial);
+  const auto parallel_results =
+      run_experiment(instances, algorithms, parallel);
+
+  ASSERT_EQ(serial_results.size(), parallel_results.size());
+  for (std::size_t i = 0; i < serial_results.size(); ++i) {
+    const InstanceResults& a = serial_results[i];
+    const InstanceResults& b = parallel_results[i];
+    EXPECT_EQ(a.instance_name, b.instance_name);
+    ASSERT_EQ(a.reports.size(), b.reports.size());
+    EXPECT_EQ(a.best_makespan, b.best_makespan);  // bit-identical
+    EXPECT_EQ(a.best_work, b.best_work);
+    for (std::size_t j = 0; j < a.reports.size(); ++j) {
+      EXPECT_EQ(a.reports[j].result.makespan, b.reports[j].result.makespan);
+      EXPECT_EQ(a.reports[j].result.comm_blocks,
+                b.reports[j].result.comm_blocks);
+      EXPECT_EQ(a.relative_cost[j], b.relative_cost[j]);
+      EXPECT_EQ(a.relative_work[j], b.relative_work[j]);
+    }
+  }
+  // The rendered paper tables agree character for character.
+  EXPECT_EQ(relative_cost_table(serial_results, algorithms).render(),
+            relative_cost_table(parallel_results, algorithms).render());
+  EXPECT_EQ(relative_work_table(serial_results, algorithms).render(),
+            relative_work_table(parallel_results, algorithms).render());
+}
+
+TEST(Experiment, FailedCellIsCapturedNotFatal) {
+  const auto part = blocks(10, 5, 25);
+  std::vector<Instance> instances;
+  instances.push_back({"ok", platform::hetero_memory(), part});
+  // "NoSuchAlgorithm" fails inside its cell; the grid must survive with
+  // the error captured and the healthy cells normalized as usual.
+  const std::vector<Algorithm> algorithms = {"Het", "NoSuchAlgorithm",
+                                             "ODDOML"};
+  const auto results = run_experiment(instances, algorithms);
+  ASSERT_EQ(results.size(), 1u);
+  const InstanceResults& row = results.front();
+  ASSERT_EQ(row.reports.size(), 3u);
+  EXPECT_TRUE(row.cell_ok(0));
+  EXPECT_FALSE(row.cell_ok(1));
+  EXPECT_TRUE(row.cell_ok(2));
+  EXPECT_NE(row.errors[1].find("NoSuchAlgorithm"), std::string::npos);
+  EXPECT_TRUE(std::isinf(row.relative_cost[1]));
+  EXPECT_GE(row.relative_cost[0], 1.0 - 1e-12);
+  EXPECT_GE(row.relative_cost[2], 1.0 - 1e-12);
+  // Summaries skip the failed cell instead of averaging infinities.
+  const auto summaries = summarize(results, algorithms);
+  EXPECT_EQ(summaries[1].relative_cost.count(), 0u);
+  EXPECT_EQ(summaries[0].relative_cost.count(), 1u);
 }
 
 }  // namespace

@@ -57,7 +57,7 @@ TEST_P(PaperPlatforms, HetIsNearBest) {
   // We allow 25% at this reduced scale, where single-chunk effects are
   // proportionally larger.
   const auto results = run_all(make(), blocks(100, 100, 800));
-  EXPECT_LE(metric_for(results, core::Algorithm::kHet,
+  EXPECT_LE(metric_for(results, "Het",
                        &core::InstanceResults::relative_cost),
             1.25);
 }
@@ -66,11 +66,11 @@ TEST_P(PaperPlatforms, HetWorkNoWorseThanNonSelectingAlgorithms) {
   // Het spares resources: its makespan * enrolled never exceeds the
   // non-selecting ODDOML's and ORROML's.
   const auto results = run_all(make(), blocks(100, 100, 800));
-  const double het = metric_for(results, core::Algorithm::kHet,
+  const double het = metric_for(results, "Het",
                                 &core::InstanceResults::relative_work);
-  EXPECT_LE(het, 1.05 * metric_for(results, core::Algorithm::kOrroml,
+  EXPECT_LE(het, 1.05 * metric_for(results, "ORROML",
                                    &core::InstanceResults::relative_work));
-  EXPECT_LE(het, 1.05 * metric_for(results, core::Algorithm::kOddoml,
+  EXPECT_LE(het, 1.05 * metric_for(results, "ODDOML",
                                    &core::InstanceResults::relative_work));
 }
 
@@ -88,8 +88,8 @@ TEST_P(PaperPlatforms, OmmomlIsThrifty) {
   // OMMOML under-enrolls (paper fig. 4: "very thrifty ... at the expense
   // of its absolute cost").
   const auto results = run_all(make(), blocks(100, 100, 800));
-  const auto& ommoml = report_for(results, core::Algorithm::kOmmoml);
-  const auto& oddoml = report_for(results, core::Algorithm::kOddoml);
+  const auto& ommoml = report_for(results, "OMMOML");
+  const auto& oddoml = report_for(results, "ODDOML");
   EXPECT_LT(ommoml.result.workers_enrolled,
             oddoml.result.workers_enrolled);
 }
@@ -105,9 +105,9 @@ TEST(PaperShape, LayoutAdvantageOverToledo) {
        {platform::hetero_memory(), platform::hetero_links(),
         platform::hetero_compute()}) {
     const auto results = run_all(plat, blocks(100, 100, 800));
-    oddoml_sum += metric_for(results, core::Algorithm::kOddoml,
+    oddoml_sum += metric_for(results, "ODDOML",
                              &core::InstanceResults::relative_cost);
-    bmm_sum += metric_for(results, core::Algorithm::kBmm,
+    bmm_sum += metric_for(results, "BMM",
                           &core::InstanceResults::relative_cost);
   }
   EXPECT_LT(oddoml_sum, bmm_sum);
@@ -121,9 +121,9 @@ TEST(PaperShape, HetBeatsBmmEverywhere) {
         platform::hetero_compute(), platform::fully_hetero(2.0),
         platform::fully_hetero(4.0)}) {
     const auto results = run_all(plat, blocks(100, 100, 800));
-    EXPECT_LT(metric_for(results, core::Algorithm::kHet,
+    EXPECT_LT(metric_for(results, "Het",
                          &core::InstanceResults::relative_cost),
-              metric_for(results, core::Algorithm::kBmm,
+              metric_for(results, "BMM",
                          &core::InstanceResults::relative_cost))
         << plat.name();
   }
@@ -135,7 +135,7 @@ TEST(PaperShape, RandomPlatformsHetStaysClose) {
   for (int round = 0; round < 3; ++round) {
     platform::Platform plat = platform::random_platform(rng);
     const auto results = run_all(plat, blocks(100, 30, 400));
-    EXPECT_LE(metric_for(results, core::Algorithm::kHet,
+    EXPECT_LE(metric_for(results, "Het",
                          &core::InstanceResults::relative_cost),
               1.35)
         << plat.name();
@@ -148,11 +148,11 @@ TEST(PaperShape, RealPlatformEnrollment) {
   const platform::Platform plat = platform::real_platform_aug2007();
   const auto part = blocks(100, 25, 1000);
   const auto results = run_all(plat, part);
-  const auto& het = report_for(results, core::Algorithm::kHet);
+  const auto& het = report_for(results, "Het");
   EXPECT_GE(het.result.workers_enrolled, 5);
   EXPECT_LE(het.result.workers_enrolled, 16);
   // Demand-driven uses (almost) everything it can reach.
-  const auto& oddoml = report_for(results, core::Algorithm::kOddoml);
+  const auto& oddoml = report_for(results, "ODDOML");
   EXPECT_GE(oddoml.result.workers_enrolled, het.result.workers_enrolled);
 }
 
@@ -183,7 +183,7 @@ TEST(PaperShape, SteadyStateBoundModeratelyTight) {
         platform::hetero_compute()}) {
     const auto part = blocks(100, 100, 800);
     const auto report =
-        core::run_algorithm(core::Algorithm::kHet, plat, part);
+        core::run_algorithm("Het", plat, part);
     ratios.add(report.bound_over_achieved);
   }
   EXPECT_GE(ratios.min(), 1.0);

@@ -121,9 +121,10 @@ TEST_P(SimplexRandom, DominatesGridSearch) {
           break;
         }
       }
-      if (feasible)
+      if (feasible) {
         EXPECT_GE(solution.objective, c0 * x + c1 * y - 1e-6)
             << "grid point (" << x << "," << y << ") beats simplex";
+      }
     }
   }
 }

@@ -1,0 +1,73 @@
+// util::ThreadPool semantics: all submitted tasks run, wait_idle blocks
+// until completion and rethrows the first task exception, and index-slot
+// writes give deterministic results regardless of completion order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "util/thread_pool.hpp"
+
+namespace hmxp::util {
+namespace {
+
+TEST(ThreadPool, RunsEverySubmittedTask) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, IndexSlotsMakeResultsDeterministic) {
+  std::vector<int> serial(257), threaded(257);
+  const auto fill = [](std::vector<int>& out, int threads) {
+    ThreadPool pool(threads);
+    for (std::size_t i = 0; i < out.size(); ++i)
+      pool.submit([&out, i] { out[i] = static_cast<int>(i * i % 97); });
+    pool.wait_idle();
+  };
+  fill(serial, 1);
+  fill(threaded, 8);
+  EXPECT_EQ(serial, threaded);
+}
+
+TEST(ThreadPool, WaitIdleRethrowsFirstTaskError) {
+  ThreadPool pool(2);
+  pool.submit([] { throw std::runtime_error("cell exploded"); });
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  // The pool stays usable after the error was consumed.
+  std::atomic<int> counter{0};
+  pool.submit([&counter] { counter.fetch_add(1); });
+  pool.wait_idle();
+  EXPECT_EQ(counter.load(), 1);
+}
+
+TEST(ThreadPool, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.size(), ThreadPool::default_thread_count());
+  EXPECT_GE(pool.size(), 1);
+}
+
+TEST(ThreadPool, ReusableAcrossWaves) {
+  ThreadPool pool(3);
+  std::atomic<int> counter{0};
+  for (int wave = 0; wave < 3; ++wave) {
+    for (int i = 0; i < 10; ++i)
+      pool.submit([&counter] { counter.fetch_add(1); });
+    pool.wait_idle();
+    EXPECT_EQ(counter.load(), (wave + 1) * 10);
+  }
+}
+
+TEST(ThreadPool, RejectsInvalidArguments) {
+  EXPECT_THROW(ThreadPool(-1), std::invalid_argument);
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(nullptr), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmxp::util
