@@ -14,6 +14,7 @@
 #include "matrix/gemm.hpp"
 #include "model/steady_state.hpp"
 #include "platform/generator.hpp"
+#include "runtime/executor.hpp"
 #include "sched/demand_driven.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
@@ -105,6 +106,38 @@ void BM_EngineDecisionThroughput(benchmark::State& state) {
       static_cast<double>(decisions), benchmark::Counter::kIsRate);
 }
 BENCHMARK(BM_EngineDecisionThroughput)->Arg(400)->Arg(800);
+
+void BM_OnlineRuntime(benchmark::State& state) {
+  // End-to-end online execution: live demand-driven scheduling through
+  // the threaded master loop on real matrices. Reports blocks moved
+  // through the executor per second -- the perf trajectory of the
+  // runtime path (channel hops, window copies, mirror bookkeeping),
+  // with verification off so the reference product does not dominate.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plat = platform::Platform::homogeneous(4, 0.01, 0.002, 40);
+  const matrix::Partition part(n, n, n, 16);
+  util::Rng rng(5);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  std::size_t blocks = 0;
+  std::size_t updates = 0;
+  for (auto _ : state) {
+    auto scheduler = sched::make_oddoml(plat, part);
+    runtime::ExecutorOptions options;
+    options.verify = false;
+    const runtime::ExecutorReport report =
+        runtime::execute_online(scheduler, plat, part, a, b, c, options);
+    blocks += static_cast<std::size_t>(report.result.comm_blocks);
+    updates += report.updates_performed;
+    benchmark::DoNotOptimize(report.wall_seconds);
+  }
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(blocks), benchmark::Counter::kIsRate);
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(updates), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_OnlineRuntime)->Arg(160)->Arg(320)->Unit(benchmark::kMillisecond);
 
 void BM_SteadyStateSimplex(benchmark::State& state) {
   const auto plat = platform::real_platform_aug2007();

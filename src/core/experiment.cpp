@@ -22,12 +22,17 @@ std::string display_name(const Algorithm& algorithm) {
              : algorithm;
 }
 
-/// Runs one grid cell, capturing any failure as text instead of letting
-/// it sink the whole grid.
+/// Runs one grid cell on the configured backend, capturing any failure
+/// as text instead of letting it sink the whole grid.
 void run_cell(const Instance& instance, const Algorithm& algorithm,
-              RunReport& report, std::string& error) {
+              const ExperimentOptions& options, RunReport& report,
+              std::string& error) {
   try {
-    report = run_algorithm(algorithm, instance.platform, instance.partition);
+    report = options.backend == Backend::kOnline
+                 ? run_algorithm_online(algorithm, instance.platform,
+                                        instance.partition, options.online)
+                 : run_algorithm(algorithm, instance.platform,
+                                 instance.partition);
   } catch (const std::exception& exception) {
     report = RunReport{};
     report.algorithm = algorithm;
@@ -87,7 +92,7 @@ std::vector<InstanceResults> run_experiment(
   const auto run_one = [&](std::size_t cell) {
     const Instance& instance = instances[cell / algorithms.size()];
     const Algorithm& algorithm = algorithms[cell % algorithms.size()];
-    run_cell(instance, algorithm, reports[cell], errors[cell]);
+    run_cell(instance, algorithm, options, reports[cell], errors[cell]);
   };
 
   int threads = options.threads;

@@ -52,6 +52,14 @@ struct ExperimentOptions {
   /// HMXP_THREADS environment variable if set, else one per hardware
   /// thread; 1 = serial (no pool).
   int threads = 0;
+  /// Execution backend for every cell: the simulator (default) or the
+  /// threaded online runtime (real matrices generated per cell; each
+  /// online cell spawns its own worker threads, so prefer threads = 1
+  /// for online grids).
+  Backend backend = Backend::kSim;
+  /// Knobs for Backend::kOnline cells (seed, verification, dynamic
+  /// perturbation).
+  OnlineOptions online;
 };
 
 /// Runs every algorithm on the instance and fills the relative metrics.

@@ -3,8 +3,42 @@
 #include <chrono>
 
 #include "model/steady_state.hpp"
+#include "runtime/executor.hpp"
+#include "util/rng.hpp"
 
 namespace hmxp::core {
+
+namespace {
+
+/// Shared tail of both backends: the steady-state bound and its ratio
+/// against the achieved (model-projected) throughput.
+void fill_bounds(RunReport& report, const platform::Platform& platform) {
+  report.steady_state_bound =
+      model::steady_state_throughput(platform.steady_workers());
+  const double achieved = report.result.throughput();
+  report.bound_over_achieved =
+      achieved > 0 ? report.steady_state_bound / achieved : 0.0;
+}
+
+/// Builds the scheduler, timing the selection phase (Het's 8-variant
+/// simulation, the virtual-platform search) as the paper does.
+std::unique_ptr<sim::Scheduler> timed_scheduler(
+    RunReport& report, const Algorithm& algorithm,
+    const platform::Platform& platform, const matrix::Partition& partition) {
+  sched::HetSelection het_selection;
+  const auto begin = std::chrono::steady_clock::now();
+  std::unique_ptr<sim::Scheduler> scheduler =
+      make_scheduler(algorithm, platform, partition, &het_selection);
+  const auto end = std::chrono::steady_clock::now();
+  report.selection_wall_seconds =
+      std::chrono::duration<double>(end - begin).count();
+  // Builders without a selection phase leave the outcome empty.
+  if (!het_selection.decisions.empty())
+    report.het_variant = het_selection.variant;
+  return scheduler;
+}
+
+}  // namespace
 
 RunReport run_algorithm(const Algorithm& algorithm,
                         const platform::Platform& platform,
@@ -13,25 +47,45 @@ RunReport run_algorithm(const Algorithm& algorithm,
   RunReport report;
   report.algorithm = algorithm_name(algorithm);
   report.algorithm_label = report.algorithm;
+  report.backend = Backend::kSim;
 
-  sched::HetSelection het_selection;
-  const auto selection_begin = std::chrono::steady_clock::now();
   std::unique_ptr<sim::Scheduler> scheduler =
-      make_scheduler(algorithm, platform, partition, &het_selection);
-  const auto selection_end = std::chrono::steady_clock::now();
-  report.selection_wall_seconds =
-      std::chrono::duration<double>(selection_end - selection_begin).count();
-  // Builders without a selection phase leave the outcome empty.
-  if (!het_selection.decisions.empty())
-    report.het_variant = het_selection.variant;
-
+      timed_scheduler(report, algorithm, platform, partition);
   report.result = sim::simulate(*scheduler, platform, partition, record_trace);
+  fill_bounds(report, platform);
+  return report;
+}
 
-  report.steady_state_bound =
-      model::steady_state_throughput(platform.steady_workers());
-  const double achieved = report.result.throughput();
-  report.bound_over_achieved =
-      achieved > 0 ? report.steady_state_bound / achieved : 0.0;
+RunReport run_algorithm_online(const Algorithm& algorithm,
+                               const platform::Platform& platform,
+                               const matrix::Partition& partition,
+                               const OnlineOptions& options,
+                               bool record_trace) {
+  RunReport report;
+  report.algorithm = algorithm_name(algorithm);
+  report.algorithm_label = report.algorithm;
+  report.backend = Backend::kOnline;
+
+  std::unique_ptr<sim::Scheduler> scheduler =
+      timed_scheduler(report, algorithm, platform, partition);
+
+  util::Rng rng(options.data_seed);
+  const auto a = matrix::Matrix::random(partition.n_a(), partition.n_ab(), rng);
+  const auto b = matrix::Matrix::random(partition.n_ab(), partition.n_b(), rng);
+  matrix::Matrix c = matrix::Matrix::random(partition.n_a(), partition.n_b(),
+                                            rng);
+
+  runtime::ExecutorOptions executor_options;
+  executor_options.verify = options.verify;
+  executor_options.perturbation = options.perturbation;
+  executor_options.record_trace = record_trace;
+  const runtime::ExecutorReport executed = runtime::execute_online(
+      *scheduler, platform, partition, a, b, c, executor_options);
+
+  report.result = executed.result;
+  report.online_wall_seconds = executed.wall_seconds;
+  report.online_verified = executed.verified;
+  fill_bounds(report, platform);
   return report;
 }
 

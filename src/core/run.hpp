@@ -1,18 +1,40 @@
 // One-call execution of an algorithm on a platform instance, with the
-// derived metrics the paper reports.
+// derived metrics the paper reports. Every (instance x algorithm) cell
+// can run on either execution backend:
+//   * Backend::kSim    -- the discrete-event simulator (default);
+//   * Backend::kOnline -- the threaded runtime: the scheduler runs live
+//     against worker threads computing a real product on generated
+//     matrices, and the report carries the model-projected RunResult its
+//     mirror emits (same shape as the simulator) plus wall-clock and
+//     verification facts.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "core/algorithms.hpp"
+#include "platform/perturbation.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hmxp::core {
 
+enum class Backend { kSim, kOnline };
+
+/// Knobs for Backend::kOnline cells.
+struct OnlineOptions {
+  /// Seed for the deterministically generated A, B, C matrices.
+  std::uint64_t data_seed = 42;
+  /// Verify C against a reference product (throws on mismatch).
+  bool verify = true;
+  /// Dynamic per-worker slowdown, keyed on wall seconds since run start.
+  platform::SlowdownSchedule perturbation;
+};
+
 struct RunReport {
   Algorithm algorithm;         // canonical registry name
   std::string algorithm_label; // same spelling, for table columns
+  Backend backend = Backend::kSim;
   sim::RunResult result;
 
   /// Steady-state upper bound on throughput (Table 1 LP) and the ratio
@@ -29,6 +51,10 @@ struct RunReport {
   /// Winning Het variant (set only for algorithms with a selection
   /// phase, i.e. Het).
   std::optional<sched::HetVariant> het_variant;
+
+  /// Online-backend facts (Backend::kOnline only).
+  double online_wall_seconds = 0.0;
+  bool online_verified = false;
 };
 
 /// Simulates `algorithm` on the instance. `record_trace` keeps the full
@@ -37,5 +63,14 @@ RunReport run_algorithm(const Algorithm& algorithm,
                         const platform::Platform& platform,
                         const matrix::Partition& partition,
                         bool record_trace = false);
+
+/// Runs `algorithm` live on the threaded runtime: random matrices are
+/// generated to the partition's shape, the scheduler drives real worker
+/// threads, and C is verified unless options say otherwise.
+RunReport run_algorithm_online(const Algorithm& algorithm,
+                               const platform::Platform& platform,
+                               const matrix::Partition& partition,
+                               const OnlineOptions& options = {},
+                               bool record_trace = false);
 
 }  // namespace hmxp::core

@@ -1,0 +1,31 @@
+#include "platform/perturbation.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace hmxp::platform {
+
+void SlowdownSchedule::add(int worker, model::Time at, double factor) {
+  HMXP_REQUIRE(worker >= 0, "slowdown event needs a worker index");
+  HMXP_REQUIRE(at >= 0.0, "slowdown event time cannot be negative");
+  HMXP_REQUIRE(factor > 1e-9, "slowdown factor must be positive");
+  SlowdownEvent event{at, worker, factor};
+  // Keep events sorted by time; equal times keep insertion order so the
+  // last add() wins, which is what factor() relies on.
+  const auto after = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const SlowdownEvent& a, const SlowdownEvent& b) { return a.at < b.at; });
+  events_.insert(after, event);
+}
+
+double SlowdownSchedule::factor(int worker, model::Time at) const {
+  double current = 1.0;
+  for (const SlowdownEvent& event : events_) {
+    if (event.at > at) break;
+    if (event.worker == worker) current = event.factor;
+  }
+  return current;
+}
+
+}  // namespace hmxp::platform

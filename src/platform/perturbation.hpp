@@ -1,0 +1,52 @@
+// Dynamic platform perturbation: per-worker compute slowdown that
+// changes mid-run, the hook that opens the adaptive / time-varying
+// scenario class ("Adaptive Private Distributed Matrix Multiplication",
+// Bitar et al. 2021: worker speeds drift while the product runs).
+//
+// A SlowdownSchedule is a piecewise-constant multiplier on a worker's
+// per-update compute cost: factor(i, t) is the multiplier in force for
+// worker i at time t (1.0 before any event). Both execution backends
+// consume the same schedule, each against its own clock:
+//   * the simulator reads it in model seconds -- the engine scales the
+//     projected compute duration of every step by the factor in force at
+//     the step's compute start, so time-varying platforms are first-class
+//     simulation instances;
+//   * the threaded runtime reads it in wall seconds since the run began
+//     -- each worker re-reads its factor before every step and repeats
+//     the block product accordingly (the paper's deceleration trick),
+//     so an online scheduler faces a platform that really does change
+//     under it mid-run.
+#pragma once
+
+#include <vector>
+
+#include "model/costs.hpp"
+
+namespace hmxp::platform {
+
+struct SlowdownEvent {
+  model::Time at = 0.0;  // backend clock: model secs (sim) / wall secs (rt)
+  int worker = -1;
+  double factor = 1.0;   // multiplier on the worker's per-update cost
+};
+
+class SlowdownSchedule {
+ public:
+  SlowdownSchedule() = default;
+
+  /// From `at` on, worker `worker` computes `factor` times slower (>= a
+  /// small positive bound; a later event for the same worker replaces
+  /// the factor, it does not compose).
+  void add(int worker, model::Time at, double factor);
+
+  /// Multiplier in force for `worker` at time `at` (1.0 with no event).
+  double factor(int worker, model::Time at) const;
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<SlowdownEvent>& events() const { return events_; }
+
+ private:
+  std::vector<SlowdownEvent> events_;  // sorted by (at, insertion order)
+};
+
+}  // namespace hmxp::platform

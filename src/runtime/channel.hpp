@@ -30,6 +30,18 @@ class Channel {
     not_empty_.notify_one();
   }
 
+  /// Non-blocking pop: a value if one is queued, nullopt otherwise
+  /// (empty or closed-and-drained). The online master uses this to
+  /// drain actual completion messages between scheduler decisions.
+  std::optional<T> try_pop() {
+    std::lock_guard lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    T value = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
   /// Blocks until a value or close; nullopt means closed-and-drained.
   std::optional<T> pop() {
     std::unique_lock lock(mutex_);

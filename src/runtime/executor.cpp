@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
+#include <exception>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -14,6 +17,8 @@
 namespace hmxp::runtime {
 
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 /// Element window of a block rectangle under a partition (edge blocks
 /// may be short, so the window is clipped to the matrix extents).
@@ -42,15 +47,25 @@ std::vector<double> copy_window(const matrix::Matrix& source, std::size_t row0,
 }
 
 /// Per-worker thread: consumes chunk and operand messages, performs the
-/// real block updates, returns finished chunks.
+/// real block updates, returns finished chunks. On any internal error it
+/// records the exception and closes BOTH its channels, so a master
+/// blocked pushing or popping wakes up, unwinds through its cleanup
+/// path, and rethrows the worker's exception after joining.
 class WorkerThread {
  public:
-  WorkerThread(int index, std::size_t operand_capacity, int slowdown,
+  WorkerThread(int index, std::size_t operand_capacity,
+               const ExecutorOptions& options, Clock::time_point run_begin,
                std::size_t* updates_slot)
       : index_(index),
         inbox_(operand_capacity),
         outbox_(1),
-        slowdown_(slowdown),
+        base_slowdown_(options.compute_slowdown.empty()
+                           ? 1
+                           : options.compute_slowdown[static_cast<std::size_t>(
+                                 index)]),
+        perturbation_(&options.perturbation),
+        fault_hook_(options.fault_hook),
+        run_begin_(run_begin),
         updates_slot_(updates_slot) {}
 
   Channel<WorkerMessage>& inbox() { return inbox_; }
@@ -59,17 +74,16 @@ class WorkerThread {
   void start() {
     thread_ = std::thread([this] { run(); });
   }
+  /// Signals the worker to exit once its inbox drains.
+  void request_stop() { inbox_.close(); }
   void join() {
-    inbox_.close();
     if (thread_.joinable()) thread_.join();
   }
+  /// Valid only after join().
+  const std::exception_ptr& error() const { return error_; }
 
  private:
   void run() {
-    // A worker never propagates: on an internal error it closes its
-    // outbox so the master's next pop fails its own invariant check and
-    // unwinds through the cleanup path. Validated decision logs cannot
-    // reach this.
     try {
       while (auto message = inbox_.pop()) {
         if (std::holds_alternative<ChunkMessage>(*message)) {
@@ -81,14 +95,29 @@ class WorkerThread {
         }
       }
     } catch (...) {
+      error_ = std::current_exception();
+      inbox_.close();
       outbox_.close();
     }
+  }
+
+  /// Compute repetitions in force right now: the static per-worker
+  /// factor times the dynamic perturbation factor at the current wall
+  /// offset -- the platform really changes under the master mid-run.
+  int current_reps() const {
+    if (perturbation_->empty()) return base_slowdown_;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - run_begin_).count();
+    const double factor = perturbation_->factor(index_, elapsed);
+    return std::max(1, static_cast<int>(std::lround(
+                           static_cast<double>(base_slowdown_) * factor)));
   }
 
   void process(OperandMessage&& operands) {
     HMXP_CHECK(chunk_.has_value(), "operands before chunk");
     ChunkMessage& chunk = *chunk_;
     HMXP_CHECK(operands.step == steps_done_, "operand step out of order");
+    if (fault_hook_) fault_hook_(index_, operands.step);
 
     const std::size_t rows = chunk.element_rows;
     const std::size_t cols = chunk.element_cols;
@@ -100,11 +129,11 @@ class WorkerThread {
 
     // Emulated slowdown: redo the same product into scratch, discarding
     // the result, exactly like the paper's artificial deceleration.
-    if (slowdown_ > 1) {
+    const int reps = current_reps();
+    if (reps > 1) {
       std::vector<double> scratch(rows * cols, 0.0);
       matrix::View sink(scratch.data(), rows, cols, cols);
-      for (int rep = 1; rep < slowdown_; ++rep)
-        matrix::gemm_tiled(a, b, sink);
+      for (int rep = 1; rep < reps; ++rep) matrix::gemm_tiled(a, b, sink);
     }
 
     *updates_slot_ += static_cast<std::size_t>(
@@ -125,20 +154,271 @@ class WorkerThread {
   int index_;
   Channel<WorkerMessage> inbox_;
   Channel<ResultMessage> outbox_;
-  int slowdown_;
+  int base_slowdown_;
+  const platform::SlowdownSchedule* perturbation_;
+  std::function<void(int, std::size_t)> fault_hook_;
+  Clock::time_point run_begin_;
   std::size_t* updates_slot_;
   std::optional<ChunkMessage> chunk_;
   std::size_t steps_done_ = 0;
+  std::exception_ptr error_;
   std::thread thread_;
 };
 
-}  // namespace
+/// The event-driven master: implements ExecutionView over real worker
+/// threads. Scheduler-visible bookkeeping (port clock, WorkerProgress,
+/// coverage) lives in a model mirror -- a sim::Engine over the same
+/// instance that executes every decision the master really performs --
+/// while readiness is overridden with ACTUAL completions: a worker whose
+/// result message has arrived is collectable *now*, whatever the cost
+/// model predicted. Blocking semantics come from the real channels: a
+/// decision whose real precondition is unmet blocks the master, exactly
+/// like a decision blocks the simulated port.
+class OnlineExecutor final : public sim::ExecutionView {
+ public:
+  OnlineExecutor(const platform::Platform& platform,
+                 const matrix::Partition& partition, const matrix::Matrix& a,
+                 const matrix::Matrix& b, matrix::Matrix& c,
+                 const ExecutorOptions& options)
+      : mirror_(sim::InstanceContext::make(platform, partition),
+                options.record_trace),
+        a_(a),
+        b_(b),
+        c_(c),
+        options_(options),
+        worker_count_(static_cast<std::size_t>(platform.size())),
+        views_(worker_count_),
+        pending_(worker_count_),
+        updates_per_worker_(worker_count_, 0) {}
 
-ExecutorReport execute(const platform::Platform& platform,
-                       const matrix::Partition& partition,
-                       const std::vector<sim::Decision>& decisions,
-                       const matrix::Matrix& a, const matrix::Matrix& b,
-                       matrix::Matrix& c, const ExecutorOptions& options) {
+  ~OnlineExecutor() override { shutdown(); }
+
+  // ----- ExecutionView: the state the live scheduler decides from -----
+  model::Time now() const override { return mirror_.now(); }
+  int worker_count() const override { return mirror_.worker_count(); }
+  const platform::Platform& platform() const override {
+    return mirror_.platform();
+  }
+  const matrix::Partition& partition() const override {
+    return mirror_.partition();
+  }
+  const sim::WorkerProgress& progress(int worker) const override {
+    return mirror_.progress(worker);
+  }
+  model::Time earliest_start(int worker, sim::CommKind kind) const override {
+    // The online edge over the pure model: a result that has ACTUALLY
+    // arrived is collectable immediately, so policies ranking actions by
+    // start time react to real worker speeds (including mid-run
+    // perturbations the model knows nothing about).
+    if (kind == sim::CommKind::kRecvC &&
+        pending_[static_cast<std::size_t>(worker)].has_value() &&
+        mirror_.progress(worker).all_steps_received())
+      return mirror_.now();
+    return mirror_.earliest_start(worker, kind);
+  }
+  model::Time comm_duration(int worker, sim::CommKind kind) const override {
+    return mirror_.comm_duration(worker, kind);
+  }
+  model::BlockCount unassigned_blocks() const override {
+    return mirror_.unassigned_blocks();
+  }
+  model::BlockCount updates_total() const override {
+    return mirror_.updates_total();
+  }
+  bool all_work_done() const override { return mirror_.all_work_done(); }
+  const std::shared_ptr<const sim::InstanceContext>& context() const override {
+    return mirror_.context();
+  }
+  sim::EngineState model_state() const override { return mirror_.snapshot(); }
+
+  // ----- the master loop -----
+  ExecutorReport run(sim::Scheduler& scheduler,
+                     std::vector<sim::Decision>* decision_log) {
+    const auto wall_begin = Clock::now();
+    matrix::Matrix reference;
+    if (options_.verify) reference = c_;  // C_initial; product added at end
+
+    start_workers(wall_begin);
+    const std::size_t max_decisions =
+        sim::decision_budget(mirror_.partition());
+    std::size_t executed = 0;
+    try {
+      while (true) {
+        drain_completions();
+        sim::Decision decision = scheduler.next(*this);
+        if (decision.kind == sim::Decision::Kind::kDone) break;
+        // The mirror validates the protocol (throws std::logic_error on
+        // violations) and advances the model clock; only then does the
+        // decision touch real data.
+        mirror_.execute(decision);
+        execute_real(decision);
+        if (decision_log != nullptr) decision_log->push_back(decision);
+        ++executed;
+        HMXP_CHECK(executed <= max_decisions,
+                   "scheduler exceeded decision budget (livelock?)");
+      }
+    } catch (...) {
+      shutdown();
+      rethrow_worker_error();  // a dead worker is the root cause
+      throw;
+    }
+    shutdown();
+    rethrow_worker_error();
+
+    ExecutorReport report;
+    report.chunks_processed = chunks_processed_;
+    report.updates_per_worker = updates_per_worker_;
+    for (const std::size_t updates : updates_per_worker_)
+      report.updates_performed += updates;
+    report.result =
+        sim::collect_result(scheduler.name(), mirror_, executed);
+    report.wall_seconds =
+        std::chrono::duration<double>(Clock::now() - wall_begin).count();
+
+    if (options_.verify) {
+      matrix::gemm_parallel(a_.view(), b_.view(), reference.view());
+      report.max_abs_error = matrix::Matrix::max_abs_diff(c_, reference);
+      if (report.max_abs_error > options_.tolerance)
+        throw std::runtime_error("runtime verification failed: max |error| = " +
+                                 std::to_string(report.max_abs_error));
+      report.verified = true;
+    }
+    return report;
+  }
+
+ private:
+  /// Master replica of each worker's data-plane state: which plan it
+  /// holds, its element window in C, and how many steps went out.
+  struct MasterView {
+    std::optional<sim::ChunkPlan> plan;
+    Window window;
+    std::size_t steps_sent = 0;
+  };
+
+  void start_workers(Clock::time_point run_begin) {
+    // Inbox capacity: the chunk message plus (prefetch + 1) operand
+    // slots for the deepest layout (double buffering, depth 1). The
+    // bound makes a master that overruns a worker's buffers block for
+    // real; per-chunk depths below the bound are enforced in model time
+    // by the mirror's SendAB timing.
+    const std::size_t capacity = 3;
+    workers_.reserve(worker_count_);
+    for (std::size_t i = 0; i < worker_count_; ++i) {
+      workers_.push_back(std::make_unique<WorkerThread>(
+          static_cast<int>(i), capacity, options_, run_begin,
+          &updates_per_worker_[i]));
+      workers_.back()->start();
+    }
+  }
+
+  /// Non-blocking sweep of every worker's outbox: results that actually
+  /// arrived become visible to the scheduler (earliest_start above)
+  /// before the next decision.
+  void drain_completions() {
+    for (std::size_t w = 0; w < worker_count_; ++w)
+      if (!pending_[w].has_value())
+        pending_[w] = workers_[w]->outbox().try_pop();
+  }
+
+  void execute_real(const sim::Decision& decision) {
+    const auto w = static_cast<std::size_t>(decision.worker);
+    MasterView& view = views_[w];
+    const matrix::Partition& part = mirror_.partition();
+    const std::size_t q = part.q();
+
+    switch (decision.comm) {
+      case sim::CommKind::kSendC: {
+        const Window window = c_window(part, decision.chunk.rect);
+        ChunkMessage message;
+        message.plan = decision.chunk;
+        message.element_rows = window.rows();
+        message.element_cols = window.cols();
+        message.c = copy_window(c_, window.row0, window.row1, window.col0,
+                                window.col1);
+        workers_[w]->inbox().push(std::move(message));
+        view.plan = decision.chunk;
+        view.window = window;
+        view.steps_sent = 0;
+        break;
+      }
+      case sim::CommKind::kSendAB: {
+        HMXP_CHECK(view.plan.has_value(), "SendAB without a chunk");
+        const sim::StepPlan& step = view.plan->steps[view.steps_sent];
+        const std::size_t ek0 = step.k_begin * q;
+        const std::size_t ek1 =
+            step.k_end == part.t() ? part.n_ab() : step.k_end * q;
+        OperandMessage message;
+        message.step = view.steps_sent;
+        message.k_elem_begin = ek0;
+        message.k_elems = ek1 - ek0;
+        message.a =
+            copy_window(a_, view.window.row0, view.window.row1, ek0, ek1);
+        message.b =
+            copy_window(b_, ek0, ek1, view.window.col0, view.window.col1);
+        workers_[w]->inbox().push(std::move(message));
+        ++view.steps_sent;
+        break;
+      }
+      case sim::CommKind::kRecvC: {
+        HMXP_CHECK(view.plan.has_value(), "RecvC without a chunk");
+        std::optional<ResultMessage> result = std::move(pending_[w]);
+        pending_[w].reset();
+        // Not drained yet: block until the worker really finishes (the
+        // master waiting on the port, as in the model).
+        if (!result.has_value()) result = workers_[w]->outbox().pop();
+        HMXP_CHECK(result.has_value(), "worker closed before returning C");
+        HMXP_CHECK(result->element_rows == view.window.rows() &&
+                       result->element_cols == view.window.cols(),
+                   "returned chunk shape mismatch");
+        matrix::ConstView src(result->c.data(), result->element_rows,
+                              result->element_cols, result->element_cols);
+        matrix::View dst =
+            c_.window(view.window.row0, view.window.col0, view.window.rows(),
+                      view.window.cols());
+        matrix::copy_into(src, dst);
+        ++chunks_processed_;
+        view.plan.reset();
+        break;
+      }
+    }
+  }
+
+  /// Stops and joins every worker. Closing the inboxes lets workers
+  /// drain out; popping one pending result per outbox unblocks a worker
+  /// stuck handing a result back. Idempotent, safe on error paths.
+  void shutdown() noexcept {
+    for (auto& worker : workers_) worker->request_stop();
+    for (auto& worker : workers_) {
+      (void)worker->outbox().try_pop();
+      worker->join();
+    }
+  }
+
+  /// After shutdown: if any worker thread failed, its exception is the
+  /// root cause -- rethrow it (the master's own failure, e.g. a closed
+  /// channel, is secondary).
+  void rethrow_worker_error() {
+    for (auto& worker : workers_)
+      if (worker->error()) std::rethrow_exception(worker->error());
+  }
+
+  sim::Engine mirror_;
+  const matrix::Matrix& a_;
+  const matrix::Matrix& b_;
+  matrix::Matrix& c_;
+  ExecutorOptions options_;
+  std::size_t worker_count_;
+  std::vector<std::unique_ptr<WorkerThread>> workers_;
+  std::vector<MasterView> views_;
+  std::vector<std::optional<ResultMessage>> pending_;
+  std::vector<std::size_t> updates_per_worker_;
+  std::size_t chunks_processed_ = 0;
+};
+
+void check_shapes(const matrix::Partition& partition, const matrix::Matrix& a,
+                  const matrix::Matrix& b, const matrix::Matrix& c,
+                  const platform::Platform& platform,
+                  const ExecutorOptions& options) {
   HMXP_REQUIRE(a.rows() == partition.n_a() && a.cols() == partition.n_ab(),
                "A shape does not match the partition");
   HMXP_REQUIRE(b.rows() == partition.n_ab() && b.cols() == partition.n_b(),
@@ -149,148 +429,30 @@ ExecutorReport execute(const platform::Platform& platform,
                    options.compute_slowdown.size() ==
                        static_cast<std::size_t>(platform.size()),
                "slowdown vector must cover every worker");
-
-  const auto wall_begin = std::chrono::steady_clock::now();
-  matrix::Matrix reference;
-  if (options.verify) {
-    reference = c;  // C_initial; reference product computed at the end
-  }
-
-  // Channel capacity per worker: chunk message + (prefetch + 1) operand
-  // batches, from the largest prefetch any of its chunks uses.
-  const auto worker_count = static_cast<std::size_t>(platform.size());
-  std::vector<int> prefetch(worker_count, 0);
-  for (const sim::Decision& decision : decisions) {
-    if (decision.kind == sim::Decision::Kind::kComm &&
-        decision.comm == sim::CommKind::kSendC) {
-      auto& slot = prefetch[static_cast<std::size_t>(decision.worker)];
-      slot = std::max(slot, decision.chunk.prefetch_depth);
-    }
-  }
-
-  ExecutorReport report;
-  report.updates_per_worker.assign(worker_count, 0);
-
-  std::vector<std::unique_ptr<WorkerThread>> workers;
-  workers.reserve(worker_count);
-  for (std::size_t i = 0; i < worker_count; ++i) {
-    const int slowdown = options.compute_slowdown.empty()
-                             ? 1
-                             : options.compute_slowdown[i];
+  for (const int slowdown : options.compute_slowdown)
     HMXP_REQUIRE(slowdown >= 1, "slowdown factors must be >= 1");
-    const std::size_t capacity =
-        1 + static_cast<std::size_t>(prefetch[i]) + 1;
-    workers.push_back(std::make_unique<WorkerThread>(
-        static_cast<int>(i), capacity, slowdown,
-        &report.updates_per_worker[i]));
-    workers.back()->start();
-  }
+}
 
-  // Master replica of each worker's plan progression, to know which step
-  // an operand decision refers to.
-  struct MasterView {
-    std::optional<sim::ChunkPlan> plan;
-    Window window;
-    std::size_t steps_sent = 0;
-  };
-  std::vector<MasterView> views(worker_count);
+}  // namespace
 
-  // Any protocol violation below must still join the worker threads
-  // before propagating, or thread destructors terminate the process.
-  const auto join_all = [&workers] {
-    for (auto& worker : workers) worker->join();
-  };
+ExecutorReport execute_online(sim::Scheduler& scheduler,
+                              const platform::Platform& platform,
+                              const matrix::Partition& partition,
+                              const matrix::Matrix& a, const matrix::Matrix& b,
+                              matrix::Matrix& c, const ExecutorOptions& options,
+                              std::vector<sim::Decision>* decision_log) {
+  check_shapes(partition, a, b, c, platform, options);
+  OnlineExecutor executor(platform, partition, a, b, c, options);
+  return executor.run(scheduler, decision_log);
+}
 
-  const std::size_t q = partition.q();
-  try {
-  for (const sim::Decision& decision : decisions) {
-    HMXP_CHECK(decision.kind == sim::Decision::Kind::kComm,
-               "decision log may only contain communications");
-    const auto w = static_cast<std::size_t>(decision.worker);
-    HMXP_CHECK(w < worker_count, "decision for unknown worker");
-    MasterView& view = views[w];
-
-    switch (decision.comm) {
-      case sim::CommKind::kSendC: {
-        HMXP_CHECK(!view.plan.has_value(), "SendC while chunk outstanding");
-        const Window window = c_window(partition, decision.chunk.rect);
-        ChunkMessage message;
-        message.plan = decision.chunk;
-        message.element_rows = window.rows();
-        message.element_cols = window.cols();
-        message.c = copy_window(c, window.row0, window.row1, window.col0,
-                                window.col1);
-        workers[w]->inbox().push(std::move(message));
-        view.plan = decision.chunk;
-        view.window = window;
-        view.steps_sent = 0;
-        break;
-      }
-      case sim::CommKind::kSendAB: {
-        HMXP_CHECK(view.plan.has_value(), "SendAB without a chunk");
-        HMXP_CHECK(view.steps_sent < view.plan->steps.size(),
-                   "SendAB past the last step");
-        const sim::StepPlan& step = view.plan->steps[view.steps_sent];
-        const std::size_t ek0 = step.k_begin * q;
-        const std::size_t ek1 =
-            step.k_end == partition.t() ? partition.n_ab() : step.k_end * q;
-        OperandMessage message;
-        message.step = view.steps_sent;
-        message.k_elem_begin = ek0;
-        message.k_elems = ek1 - ek0;
-        message.a =
-            copy_window(a, view.window.row0, view.window.row1, ek0, ek1);
-        message.b =
-            copy_window(b, ek0, ek1, view.window.col0, view.window.col1);
-        workers[w]->inbox().push(std::move(message));
-        ++view.steps_sent;
-        break;
-      }
-      case sim::CommKind::kRecvC: {
-        HMXP_CHECK(view.plan.has_value(), "RecvC without a chunk");
-        HMXP_CHECK(view.steps_sent == view.plan->steps.size(),
-                   "RecvC before all steps were sent");
-        auto result = workers[w]->outbox().pop();
-        HMXP_CHECK(result.has_value(), "worker closed before returning C");
-        HMXP_CHECK(result->element_rows == view.window.rows() &&
-                       result->element_cols == view.window.cols(),
-                   "returned chunk shape mismatch");
-        matrix::ConstView src(result->c.data(), result->element_rows,
-                              result->element_cols, result->element_cols);
-        matrix::View dst =
-            c.window(view.window.row0, view.window.col0, view.window.rows(),
-                     view.window.cols());
-        matrix::copy_into(src, dst);
-        ++report.chunks_processed;
-        view.plan.reset();
-        break;
-      }
-    }
-  }
-
-  } catch (...) {
-    join_all();
-    throw;
-  }
-
-  join_all();
-  for (const std::size_t updates : report.updates_per_worker)
-    report.updates_performed += updates;
-
-  const auto wall_end = std::chrono::steady_clock::now();
-  report.wall_seconds =
-      std::chrono::duration<double>(wall_end - wall_begin).count();
-
-  if (options.verify) {
-    matrix::gemm_parallel(a.view(), b.view(), reference.view());
-    report.max_abs_error = matrix::Matrix::max_abs_diff(c, reference);
-    if (report.max_abs_error > options.tolerance)
-      throw std::runtime_error(
-          "runtime verification failed: max |error| = " +
-          std::to_string(report.max_abs_error));
-    report.verified = true;
-  }
-  return report;
+ExecutorReport execute(const platform::Platform& platform,
+                       const matrix::Partition& partition,
+                       const std::vector<sim::Decision>& decisions,
+                       const matrix::Matrix& a, const matrix::Matrix& b,
+                       matrix::Matrix& c, const ExecutorOptions& options) {
+  sim::ReplayScheduler replay("replay", decisions);
+  return execute_online(replay, platform, partition, a, b, c, options);
 }
 
 ExecutorReport run_on_data(const std::string& algorithm_name,
@@ -301,10 +463,7 @@ ExecutorReport run_on_data(const std::string& algorithm_name,
   const core::Algorithm algorithm = core::algorithm_from_name(algorithm_name);
   std::unique_ptr<sim::Scheduler> scheduler =
       core::make_scheduler(algorithm, platform, partition);
-  std::vector<sim::Decision> decisions;
-  sim::simulate(*scheduler, platform, partition, /*record_trace=*/false,
-                &decisions);
-  return execute(platform, partition, decisions, a, b, c, options);
+  return execute_online(*scheduler, platform, partition, a, b, c, options);
 }
 
 }  // namespace hmxp::runtime

@@ -1,31 +1,44 @@
-// Threaded master-worker runtime: executes a scheduler's communication
-// sequence on real matrices, one std::thread per worker plus the calling
-// thread as the master.
+// Threaded master-worker runtime: a first-class *online* execution
+// backend. One std::thread per worker plus the calling thread as the
+// master, which runs an event-driven loop: it consults the scheduler
+// live (through sim::ExecutionView), moves real block panels through
+// bounded channels, and reacts to actual completion messages -- workers
+// that really finish early get collected early, regardless of what the
+// cost model predicted.
 //
 // This is the in-process stand-in for the paper's MPI deployment:
-//  * the decision sequence comes from the same Scheduler code the
-//    simulator runs (for Het, the phase-2 replay log -- the paper's own
-//    two-phase structure);
+//  * any Scheduler drives it directly (execute_online); demand-driven
+//    policies make their decisions on real data, not on a pre-recorded
+//    log. Het keeps its two-phase structure: its builder still simulates
+//    the eight variants and hands the runtime a ReplayScheduler;
 //  * the master owns A, B and C, extracts block panels into messages and
 //    folds returned C chunks back in (the "centralized data" hypothesis);
-//  * bounded channels enforce the worker-side buffer limits;
+//  * bounded channels enforce the worker-side buffer limits for real
+//    (a master pushing past a worker's buffers blocks), while a model
+//    mirror keeps the ExecutionView bookkeeping schedulers read;
 //  * heterogeneity can be emulated as in the paper's experiments -- a
-//    worker computes each update `slowdown` times ("we ask a worker to
-//    compute a given matrix-product several times in order to slow down
-//    its computation capability").
+//    worker computes each update `slowdown` times -- and can change
+//    mid-run through a wall-clock SlowdownSchedule (the adaptive,
+//    time-varying-platform scenario);
+//  * a worker thread that throws is propagated: channels shut down, all
+//    threads are joined, and the worker's exception rethrows from the
+//    master (never std::terminate).
 //
-// The runtime targets correctness demonstration and examples, not
-// timing experiments (wall time on one shared machine says nothing
-// about a star network; the simulator owns makespans).
+// The runtime targets correctness demonstration and online-scheduling
+// experiments, not makespan measurement (wall time on one shared machine
+// says nothing about a star network; model-projected times live in the
+// RunResult its mirror emits -- the same shape the simulator produces).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "matrix/matrix.hpp"
 #include "matrix/partition.hpp"
+#include "platform/perturbation.hpp"
 #include "platform/platform.hpp"
-#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
 
 namespace hmxp::runtime {
 
@@ -33,15 +46,30 @@ struct ExecutorOptions {
   /// Per-worker compute repetition factors (>= 1); empty means all 1.
   /// Entry i applies to worker i, mirroring the paper's slowdown trick.
   std::vector<int> compute_slowdown;
+  /// Dynamic perturbation: per-worker slowdown factors that change
+  /// mid-run, keyed on WALL seconds since the run began. Multiplies
+  /// compute_slowdown; workers re-read their factor before every step.
+  platform::SlowdownSchedule perturbation;
   /// Verify C against a reference product on completion (costly for
   /// large matrices; on by default since the runtime exists to prove
   /// schedules correct).
   bool verify = true;
   /// Numerical tolerance for verification (absolute, per element).
   double tolerance = 1e-9;
+  /// Record the model mirror's event trace into the report's RunResult.
+  bool record_trace = false;
+  /// Fault-injection hook, called by worker threads before computing
+  /// each step (worker index, step index). An exception thrown here
+  /// fails the run through the clean propagation path -- used by tests
+  /// and fault-tolerance experiments.
+  std::function<void(int worker, std::size_t step)> fault_hook;
 };
 
 struct ExecutorReport {
+  /// Model-projected run summary from the master's mirror -- the same
+  /// shape (makespan, decisions, CCR, trace, ...) the simulator emits,
+  /// so experiment tables work identically on either backend.
+  sim::RunResult result;
   double wall_seconds = 0.0;
   std::size_t chunks_processed = 0;
   std::size_t updates_performed = 0;   // block updates across workers
@@ -50,18 +78,34 @@ struct ExecutorReport {
   double max_abs_error = 0.0;          // vs reference (when verify on)
 };
 
-/// Runs `decisions` (a log from sim::run) against real data:
-/// C += A * B with A (n_a x n_ab), B (n_ab x n_b), C (n_a x n_b) under
-/// `partition`. Throws std::logic_error on protocol violations and
-/// std::runtime_error if verification fails.
+/// Online execution: drives `scheduler` live against real worker
+/// threads computing C += A * B with A (n_a x n_ab), B (n_ab x n_b),
+/// C (n_a x n_b) under `partition`. The scheduler sees an ExecutionView
+/// whose RecvC readiness reflects actual worker completions. Throws
+/// std::logic_error on protocol violations, std::runtime_error if
+/// verification fails or a worker thread failed. `decision_log`, if
+/// non-null, receives every executed decision (for parity checks and
+/// replay).
+ExecutorReport execute_online(sim::Scheduler& scheduler,
+                              const platform::Platform& platform,
+                              const matrix::Partition& partition,
+                              const matrix::Matrix& a, const matrix::Matrix& b,
+                              matrix::Matrix& c,
+                              const ExecutorOptions& options = {},
+                              std::vector<sim::Decision>* decision_log =
+                                  nullptr);
+
+/// Replay backend: executes a prerecorded decision log (e.g. from
+/// sim::run) against real data, through the same online master loop.
 ExecutorReport execute(const platform::Platform& platform,
                        const matrix::Partition& partition,
                        const std::vector<sim::Decision>& decisions,
                        const matrix::Matrix& a, const matrix::Matrix& b,
                        matrix::Matrix& c, const ExecutorOptions& options = {});
 
-/// Convenience: build the scheduler for `algorithm`, capture its
-/// decision log via simulation, then execute it on real data.
+/// Convenience: build the scheduler for `algorithm` and run it ONLINE on
+/// real data (no pre-simulation; algorithms with a selection phase, like
+/// Het, still run it inside their builder).
 ExecutorReport run_on_data(const std::string& algorithm_name,
                            const platform::Platform& platform,
                            const matrix::Partition& partition,

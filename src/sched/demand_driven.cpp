@@ -29,26 +29,26 @@ DemandDrivenScheduler::DemandDrivenScheduler(std::string name,
                                              ChunkSource source)
     : name_(std::move(name)), source_(std::move(source)) {}
 
-sim::Decision DemandDrivenScheduler::next(const sim::Engine& engine) {
+sim::Decision DemandDrivenScheduler::next(const sim::ExecutionView& view) {
   model::Time best_start = kNever;
   int best_rank = 4;
   int best_worker = -1;
   sim::CommKind best_kind = sim::CommKind::kSendC;
 
-  for (int worker = 0; worker < engine.worker_count(); ++worker) {
-    const sim::WorkerProgress& state = engine.progress(worker);
+  for (int worker = 0; worker < view.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = view.progress(worker);
     sim::CommKind kind;
     model::Time start;
     if (!state.has_chunk) {
       if (!source_.has_work_for(worker)) continue;
       kind = sim::CommKind::kSendC;
-      start = engine.earliest_start(worker, kind);
+      start = view.earliest_start(worker, kind);
     } else if (state.steps_received < state.chunk.steps.size()) {
       kind = sim::CommKind::kSendAB;
-      start = engine.earliest_start(worker, kind);
+      start = view.earliest_start(worker, kind);
     } else {
       kind = sim::CommKind::kRecvC;
-      start = engine.earliest_start(worker, kind);
+      start = view.earliest_start(worker, kind);
     }
     const int rank = kind_rank(kind);
     if (start < best_start - 1e-12 ||
@@ -63,7 +63,7 @@ sim::Decision DemandDrivenScheduler::next(const sim::Engine& engine) {
   }
 
   if (best_worker < 0) {
-    HMXP_CHECK(engine.all_work_done(),
+    HMXP_CHECK(view.all_work_done(),
                "demand-driven found no action but work remains");
     return sim::Decision::done();
   }

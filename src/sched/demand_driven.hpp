@@ -24,7 +24,7 @@ class DemandDrivenScheduler : public sim::Scheduler {
   DemandDrivenScheduler(std::string name, ChunkSource source);
 
   std::string name() const override { return name_; }
-  sim::Decision next(const sim::Engine& engine) override;
+  sim::Decision next(const sim::ExecutionView& view) override;
 
  private:
   std::string name_;

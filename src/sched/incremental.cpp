@@ -35,10 +35,10 @@ IncrementalScheduler::IncrementalScheduler(const platform::Platform& platform,
       variant_(variant) {}
 
 std::vector<IncrementalScheduler::Candidate> IncrementalScheduler::enumerate(
-    const sim::Engine& engine, const ChunkSource& source) const {
+    const sim::ExecutionView& view, const ChunkSource& source) const {
   std::vector<Candidate> candidates;
-  for (int worker = 0; worker < engine.worker_count(); ++worker) {
-    const sim::WorkerProgress& state = engine.progress(worker);
+  for (int worker = 0; worker < view.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = view.progress(worker);
     if (state.has_chunk) {
       if (state.steps_received >= state.chunk.steps.size()) continue;
       Candidate candidate;
@@ -47,9 +47,9 @@ std::vector<IncrementalScheduler::Candidate> IncrementalScheduler::enumerate(
       candidate.delta_updates = static_cast<double>(
           state.chunk.steps[state.steps_received].updates);
       const model::Time start =
-          engine.earliest_start(worker, sim::CommKind::kSendAB);
+          view.earliest_start(worker, sim::CommKind::kSendAB);
       candidate.end_eval =
-          start + engine.comm_duration(worker, sim::CommKind::kSendAB);
+          start + view.comm_duration(worker, sim::CommKind::kSendAB);
       candidates.push_back(candidate);
     } else {
       const auto plan = source.peek_chunk(worker);
@@ -60,8 +60,8 @@ std::vector<IncrementalScheduler::Candidate> IncrementalScheduler::enumerate(
       candidate.delta_updates =
           static_cast<double>(plan->steps.front().updates);
       const model::Time start =
-          engine.earliest_start(worker, sim::CommKind::kSendC);
-      const platform::WorkerSpec& spec = engine.platform().worker(worker);
+          view.earliest_start(worker, sim::CommKind::kSendC);
+      const platform::WorkerSpec& spec = view.platform().worker(worker);
       model::Time duration =
           static_cast<double>(plan->steps.front().operand_blocks) * spec.c;
       if (variant_.count_c_cost)
@@ -86,22 +86,22 @@ double IncrementalScheduler::score(const Candidate& candidate,
 }
 
 sim::Engine& IncrementalScheduler::scratch_for(
-    const sim::Engine& engine) const {
-  if (scratch_ == nullptr || scratch_->context() != engine.context()) {
-    scratch_ = std::make_unique<sim::Engine>(engine.context(),
+    const sim::ExecutionView& view) const {
+  if (scratch_ == nullptr || scratch_->context() != view.context()) {
+    scratch_ = std::make_unique<sim::Engine>(view.context(),
                                              /*record_trace=*/false);
   }
   return *scratch_;
 }
 
 double IncrementalScheduler::lookahead_score(const Candidate& candidate,
-                                             const sim::Engine& engine,
+                                             const sim::ExecutionView& view,
                                              const sim::EngineState& base,
                                              model::Time now) const {
   // Hypothetically execute the candidate on a rewound scratch engine
   // (and a copy of the chunk source), then score the best follow-up with
   // the same one-step criterion.
-  sim::Engine& hypothetical = scratch_for(engine);
+  sim::Engine& hypothetical = scratch_for(view);
   hypothetical.restore(base);
   ChunkSource source_copy = source_;
   if (candidate.kind == sim::CommKind::kSendC) {
@@ -120,7 +120,7 @@ double IncrementalScheduler::lookahead_score(const Candidate& candidate,
       enumerate(hypothetical, source_copy);
   if (seconds.empty()) {
     // Drained future: fall back to the one-step score.
-    return score(candidate, static_cast<double>(engine.updates_total()), now);
+    return score(candidate, static_cast<double>(view.updates_total()), now);
   }
   double best = -kNever;
   for (const Candidate& second : seconds) {
@@ -137,15 +137,15 @@ double IncrementalScheduler::lookahead_score(const Candidate& candidate,
   return best;
 }
 
-sim::Decision IncrementalScheduler::next(const sim::Engine& engine) {
-  const model::Time now = engine.now();
+sim::Decision IncrementalScheduler::next(const sim::ExecutionView& view) {
+  const model::Time now = view.now();
 
   // Collect any chunk already computed: the port loses nothing and the
   // worker frees up for re-enrollment.
   int ready_result = -1;
   model::Time earliest_finish = kNever;
-  for (int worker = 0; worker < engine.worker_count(); ++worker) {
-    const sim::WorkerProgress& state = engine.progress(worker);
+  for (int worker = 0; worker < view.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = view.progress(worker);
     if (state.has_chunk && state.chunk_computed(now)) {
       const model::Time finish = state.chunk_compute_finish();
       if (finish < earliest_finish) {
@@ -156,13 +156,13 @@ sim::Decision IncrementalScheduler::next(const sim::Engine& engine) {
   }
   if (ready_result >= 0) return sim::Decision::recv_result(ready_result);
 
-  const std::vector<Candidate> candidates = enumerate(engine, source_);
+  const std::vector<Candidate> candidates = enumerate(view, source_);
   if (candidates.empty()) {
     // Drain: collect outstanding results in compute-completion order.
     int pending = -1;
     model::Time pending_finish = kNever;
-    for (int worker = 0; worker < engine.worker_count(); ++worker) {
-      const sim::WorkerProgress& state = engine.progress(worker);
+    for (int worker = 0; worker < view.worker_count(); ++worker) {
+      const sim::WorkerProgress& state = view.progress(worker);
       if (state.has_chunk && state.all_steps_received()) {
         const model::Time finish = state.chunk_compute_finish();
         if (finish < pending_finish) {
@@ -172,21 +172,21 @@ sim::Decision IncrementalScheduler::next(const sim::Engine& engine) {
       }
     }
     if (pending >= 0) return sim::Decision::recv_result(pending);
-    HMXP_CHECK(engine.all_work_done(),
+    HMXP_CHECK(view.all_work_done(),
                "incremental scheduler stalled with work remaining");
     return sim::Decision::done();
   }
 
-  const double total_updates = static_cast<double>(engine.updates_total());
+  const double total_updates = static_cast<double>(view.updates_total());
   // One snapshot serves every lookahead probe this round; each probe
   // rewinds the scratch engine to it before executing hypotheticals.
   sim::EngineState base;
-  if (variant_.lookahead) base = engine.snapshot();
+  if (variant_.lookahead) base = view.model_state();
   double best_score = -kNever;
   const Candidate* best = nullptr;
   for (const Candidate& candidate : candidates) {
     const double candidate_score =
-        variant_.lookahead ? lookahead_score(candidate, engine, base, now)
+        variant_.lookahead ? lookahead_score(candidate, view, base, now)
                            : score(candidate, total_updates, now);
     if (candidate_score > best_score + 1e-15 ||
         (best != nullptr && candidate_score > best_score - 1e-15 &&

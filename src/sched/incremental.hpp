@@ -59,7 +59,7 @@ class IncrementalScheduler : public sim::Scheduler {
                        const HetVariant& variant);
 
   std::string name() const override { return variant_.name(); }
-  sim::Decision next(const sim::Engine& engine) override;
+  sim::Decision next(const sim::ExecutionView& view) override;
 
  private:
   struct Candidate {
@@ -73,15 +73,16 @@ class IncrementalScheduler : public sim::Scheduler {
   HetVariant variant_;
   // Scratch engine for hypothetical probes: shares the real engine's
   // instance context, never records a trace, and is rewound with
-  // restore() before every probe instead of re-copying the engine.
+  // restore() before every probe instead of re-copying an engine.
   mutable std::unique_ptr<sim::Engine> scratch_;
 
-  sim::Engine& scratch_for(const sim::Engine& engine) const;
-  std::vector<Candidate> enumerate(const sim::Engine& engine,
+  sim::Engine& scratch_for(const sim::ExecutionView& view) const;
+  std::vector<Candidate> enumerate(const sim::ExecutionView& view,
                                    const ChunkSource& source) const;
   double score(const Candidate& candidate, double total_updates,
                model::Time now) const;
-  double lookahead_score(const Candidate& candidate, const sim::Engine& engine,
+  double lookahead_score(const Candidate& candidate,
+                         const sim::ExecutionView& view,
                          const sim::EngineState& base, model::Time now) const;
 };
 

@@ -12,8 +12,8 @@ MaxReuseScheduler::MaxReuseScheduler(const platform::Platform& platform,
                "worker index out of range");
 }
 
-sim::Decision MaxReuseScheduler::next(const sim::Engine& engine) {
-  const sim::WorkerProgress& state = engine.progress(worker_);
+sim::Decision MaxReuseScheduler::next(const sim::ExecutionView& view) {
+  const sim::WorkerProgress& state = view.progress(worker_);
   if (!state.has_chunk) {
     auto plan = source_.next_chunk(worker_);
     if (!plan) return sim::Decision::done();

@@ -21,7 +21,7 @@ class MaxReuseScheduler final : public sim::Scheduler {
                     const matrix::Partition& partition, int worker = 0);
 
   std::string name() const override { return "MaxReuse"; }
-  sim::Decision next(const sim::Engine& engine) override;
+  sim::Decision next(const sim::ExecutionView& view) override;
 
   model::BlockCount mu() const { return source_.width(worker_); }
 

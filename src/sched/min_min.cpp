@@ -17,9 +17,9 @@ MinMinScheduler::MinMinScheduler(const platform::Platform& platform,
     : source_(platform, partition, Layout::kDoubleBuffered) {}
 
 model::Time MinMinScheduler::estimate_chunk_finish(
-    const sim::Engine& engine, int worker, const sim::ChunkPlan& plan,
+    const sim::ExecutionView& view, int worker, const sim::ChunkPlan& plan,
     model::Time start) const {
-  const platform::WorkerSpec& spec = engine.platform().worker(worker);
+  const platform::WorkerSpec& spec = view.platform().worker(worker);
   const double chunk_blocks = static_cast<double>(plan.rect.count());
   model::Time time = start + chunk_blocks * spec.c;  // C in
   model::Time compute_done = time;
@@ -34,14 +34,14 @@ model::Time MinMinScheduler::estimate_chunk_finish(
   return std::max(time, compute_done) + chunk_blocks * spec.c;  // C out
 }
 
-sim::Decision MinMinScheduler::next(const sim::Engine& engine) {
+sim::Decision MinMinScheduler::next(const sim::ExecutionView& view) {
   model::Time best_finish = kNever;
   int best_worker = -1;
   sim::CommKind best_kind = sim::CommKind::kSendC;
 
-  for (int worker = 0; worker < engine.worker_count(); ++worker) {
-    const sim::WorkerProgress& state = engine.progress(worker);
-    const platform::WorkerSpec& spec = engine.platform().worker(worker);
+  for (int worker = 0; worker < view.worker_count(); ++worker) {
+    const sim::WorkerProgress& state = view.progress(worker);
+    const platform::WorkerSpec& spec = view.platform().worker(worker);
     sim::CommKind kind;
     model::Time finish;
 
@@ -54,13 +54,13 @@ sim::Decision MinMinScheduler::next(const sim::Engine& engine) {
       // horizons of busy workers and never enroll anyone.)
       kind = sim::CommKind::kSendC;
       const auto plan = source_.peek_chunk(worker);
-      const model::Time start = engine.earliest_start(worker, kind);
+      const model::Time start = view.earliest_start(worker, kind);
       finish = start + static_cast<double>(plan->rect.count()) * spec.c;
     } else if (state.steps_received < state.chunk.steps.size()) {
       kind = sim::CommKind::kSendAB;
       const std::size_t n = state.steps_received;
       const sim::StepPlan& step = state.chunk.steps[n];
-      const model::Time start = engine.earliest_start(worker, kind);
+      const model::Time start = view.earliest_start(worker, kind);
       const model::Time arrival =
           start + static_cast<double>(step.operand_blocks) * spec.c;
       const model::Time cpu_free =
@@ -69,8 +69,8 @@ sim::Decision MinMinScheduler::next(const sim::Engine& engine) {
                static_cast<double>(step.updates) * spec.w;
     } else {
       kind = sim::CommKind::kRecvC;
-      finish = engine.earliest_start(worker, kind) +
-               engine.comm_duration(worker, kind);
+      finish = view.earliest_start(worker, kind) +
+               view.comm_duration(worker, kind);
     }
 
     if (finish < best_finish - 1e-12) {
@@ -81,7 +81,7 @@ sim::Decision MinMinScheduler::next(const sim::Engine& engine) {
   }
 
   if (best_worker < 0) {
-    HMXP_CHECK(engine.all_work_done(),
+    HMXP_CHECK(view.all_work_done(),
                "min-min found no action but work remains");
     return sim::Decision::done();
   }

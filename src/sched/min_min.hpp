@@ -24,7 +24,7 @@ class MinMinScheduler : public sim::Scheduler {
                   const matrix::Partition& partition);
 
   std::string name() const override { return "OMMOML"; }
-  sim::Decision next(const sim::Engine& engine) override;
+  sim::Decision next(const sim::ExecutionView& view) override;
 
  private:
   ChunkSource source_;
@@ -32,7 +32,7 @@ class MinMinScheduler : public sim::Scheduler {
   /// Optimistic single-worker estimate of a whole chunk's completion if
   /// its SendC starts at `start` (ignores future port contention, as
   /// min-min estimates do).
-  model::Time estimate_chunk_finish(const sim::Engine& engine, int worker,
+  model::Time estimate_chunk_finish(const sim::ExecutionView& view, int worker,
                                     const sim::ChunkPlan& plan,
                                     model::Time start) const;
 };

@@ -16,12 +16,12 @@ RoundRobinScheduler::RoundRobinScheduler(std::string name,
   HMXP_REQUIRE(!enrolled_.empty(), "round robin needs at least one worker");
 }
 
-sim::Decision RoundRobinScheduler::next(const sim::Engine& engine) {
+sim::Decision RoundRobinScheduler::next(const sim::ExecutionView& view) {
   // One full cycle looking for a worker with an outstanding action.
   for (std::size_t offset = 0; offset < enrolled_.size(); ++offset) {
     const std::size_t slot = (cursor_ + offset) % enrolled_.size();
     const int worker = enrolled_[slot];
-    const sim::WorkerProgress& state = engine.progress(worker);
+    const sim::WorkerProgress& state = view.progress(worker);
 
     if (!state.has_chunk) {
       auto plan = source_.next_chunk(worker);
@@ -36,7 +36,7 @@ sim::Decision RoundRobinScheduler::next(const sim::Engine& engine) {
     cursor_ = slot + 1;
     return sim::Decision::recv_result(worker);
   }
-  HMXP_CHECK(engine.all_work_done(),
+  HMXP_CHECK(view.all_work_done(),
              "round robin found no action but work remains");
   return sim::Decision::done();
 }

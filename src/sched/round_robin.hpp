@@ -25,7 +25,7 @@ class RoundRobinScheduler : public sim::Scheduler {
                       ChunkSource source);
 
   std::string name() const override { return name_; }
-  sim::Decision next(const sim::Engine& engine) override;
+  sim::Decision next(const sim::ExecutionView& view) override;
 
   const std::vector<int>& enrolled() const { return enrolled_; }
 

@@ -11,52 +11,6 @@ namespace {
 constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
 }
 
-Decision Decision::done() { return Decision{}; }
-
-Decision Decision::send_chunk(int worker, ChunkPlan plan) {
-  Decision decision;
-  decision.kind = Kind::kComm;
-  decision.comm = CommKind::kSendC;
-  decision.worker = worker;
-  decision.chunk = std::move(plan);
-  return decision;
-}
-
-Decision Decision::send_operands(int worker) {
-  Decision decision;
-  decision.kind = Kind::kComm;
-  decision.comm = CommKind::kSendAB;
-  decision.worker = worker;
-  return decision;
-}
-
-Decision Decision::recv_result(int worker) {
-  Decision decision;
-  decision.kind = Kind::kComm;
-  decision.comm = CommKind::kRecvC;
-  decision.worker = worker;
-  return decision;
-}
-
-bool WorkerProgress::chunk_computed(model::Time at) const {
-  return all_steps_received() && !compute_end.empty() &&
-         compute_end.back() <= at;
-}
-
-model::Time WorkerProgress::chunk_compute_finish() const {
-  if (!all_steps_received()) return kNever;
-  return compute_end.empty() ? chunk_arrival : compute_end.back();
-}
-
-InstanceContext::InstanceContext(platform::Platform platform,
-                                 matrix::Partition partition)
-    : platform_(std::move(platform)), partition_(std::move(partition)) {}
-
-std::shared_ptr<const InstanceContext> InstanceContext::make(
-    const platform::Platform& platform, const matrix::Partition& partition) {
-  return std::make_shared<const InstanceContext>(platform, partition);
-}
-
 Engine::Engine(std::shared_ptr<const InstanceContext> context,
                bool record_trace)
     : context_(std::move(context)), record_trace_(record_trace) {
@@ -235,12 +189,16 @@ model::Time Engine::execute_send_operands(int worker) {
       start + static_cast<double>(step.operand_blocks) * spec.c;
 
   // Project the induced computation: starts when the batch has arrived,
-  // the previous step finished, and the C chunk is resident.
+  // the previous step finished, and the C chunk is resident. The
+  // instance's slowdown schedule scales the duration by the factor in
+  // force at compute start -- a time-varying platform, known exactly to
+  // the engine (the engine IS that platform's ground truth).
   const model::Time previous_done =
       n == 0 ? state.chunk_arrival : state.compute_end[n - 1];
   const model::Time compute_start = std::max(end, previous_done);
   const model::Time compute_duration =
-      static_cast<double>(step.updates) * spec.w;
+      static_cast<double>(step.updates) * spec.w *
+      context_->slowdown().factor(worker, compute_start);
   const model::Time compute_done = compute_start + compute_duration;
 
   state.recv_end.push_back(end);

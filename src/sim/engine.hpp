@@ -18,109 +18,32 @@
 // decision whose precondition is not yet met simply blocks the port (the
 // master waits) -- exactly the behaviour of the paper's master programs.
 //
-// The engine is split in two layers:
-//   * InstanceContext -- the immutable problem instance (platform and
-//     partition), shared by reference among every engine probing the
-//     same instance; it is never copied per decision.
+// The engine is one of the two ExecutionView backends (the other is the
+// threaded runtime's OnlineExecutor) and is split in two layers:
+//   * InstanceContext -- the immutable problem instance (platform,
+//     partition, dynamic-slowdown schedule), shared by reference among
+//     every engine probing the same instance; it is never copied per
+//     decision. A non-empty slowdown schedule makes the instance a
+//     time-varying platform: projected compute durations are scaled by
+//     the factor in force at each step's compute start.
 //   * EngineState -- the small mutable simulation state (port clock,
 //     per-worker progress, coverage bitmap, counters), exposed through
 //     snapshot()/restore().
 // Schedulers that look ahead (the Het variants) no longer copy the whole
 // engine: they keep one scratch engine over the shared context, restore
-// the current state into it, execute hypothetical decisions, and restore
-// again for the next candidate. restore() also rolls back any trace
-// events recorded after the snapshot, so it is a true rewind.
+// the current state into it (ExecutionView::model_state), execute
+// hypothetical decisions, and restore again for the next candidate.
+// restore() also rolls back any trace events recorded after the
+// snapshot, so it is a true rewind.
 #pragma once
 
 #include <memory>
-#include <optional>
-#include <string>
-#include <vector>
 
-#include "matrix/partition.hpp"
-#include "platform/platform.hpp"
-#include "sim/chunk.hpp"
-#include "sim/trace.hpp"
+#include "sim/execution_view.hpp"
 
 namespace hmxp::sim {
 
-/// What the scheduler tells the engine to do next.
-struct Decision {
-  enum class Kind { kComm, kDone };
-  Kind kind = Kind::kDone;
-  CommKind comm = CommKind::kSendC;
-  int worker = -1;
-  ChunkPlan chunk;  // payload for kSendC only
-
-  static Decision done();
-  static Decision send_chunk(int worker, ChunkPlan plan);
-  static Decision send_operands(int worker);
-  static Decision recv_result(int worker);
-};
-
-/// Dynamic state of one worker, exposed read-only to schedulers.
-struct WorkerProgress {
-  bool has_chunk = false;
-  ChunkPlan chunk;                      // valid while has_chunk
-  std::size_t steps_received = 0;
-  std::vector<model::Time> recv_end;    // per received step
-  std::vector<model::Time> compute_end; // per received step (projected)
-  model::Time chunk_arrival = 0.0;      // end of the SendC
-  model::Time ready_for_chunk = 0.0;    // end of the last RecvC
-  // Lifetime statistics.
-  model::BlockCount chunks_assigned = 0;
-  model::BlockCount updates_assigned = 0;
-  model::Time busy_compute = 0.0;
-
-  bool all_steps_received() const {
-    return has_chunk && steps_received == chunk.steps.size();
-  }
-  bool chunk_computed(model::Time at) const;
-  /// Projected completion of the whole active chunk (+inf if steps are
-  /// still missing operands).
-  model::Time chunk_compute_finish() const;
-};
-
-/// The immutable problem instance an engine simulates: platform and
-/// partition (and everything derived from them). Engines over the same
-/// instance share one context by shared_ptr instead of carrying copies.
-class InstanceContext {
- public:
-  InstanceContext(platform::Platform platform, matrix::Partition partition);
-
-  /// Convenience: heap-allocate a shared context from copies.
-  static std::shared_ptr<const InstanceContext> make(
-      const platform::Platform& platform, const matrix::Partition& partition);
-
-  const platform::Platform& platform() const { return platform_; }
-  const matrix::Partition& partition() const { return partition_; }
-
- private:
-  platform::Platform platform_;
-  matrix::Partition partition_;
-};
-
-/// The mutable simulation state, cheap to copy relative to the context:
-/// no platform, no partition, no cost tables. snapshot() hands one out,
-/// restore() swaps one back in.
-struct EngineState {
-  model::Time port_free = 0.0;
-  std::vector<WorkerProgress> workers;
-  // Coverage bitmap over r x s C blocks; set when a chunk covering the
-  // block is assigned.
-  std::vector<bool> assigned;
-  model::BlockCount unassigned_blocks = 0;
-  model::BlockCount comm_blocks = 0;
-  model::BlockCount updates_done = 0;
-  int chunks_outstanding = 0;
-  model::BlockCount blocks_returned = 0;
-  // Trace lengths at snapshot time, so restore() can roll back events
-  // recorded by hypothetical decisions.
-  std::size_t trace_comms = 0;
-  std::size_t trace_computes = 0;
-};
-
-class Engine {
+class Engine final : public ExecutionView {
  public:
   /// Shares `context` with other engines over the same instance (the
   /// scratch-engine idiom of the lookahead schedulers).
@@ -130,31 +53,36 @@ class Engine {
   Engine(const platform::Platform& platform, const matrix::Partition& part,
          bool record_trace = true);
 
-  // ----- state queries (schedulers decide from these) -----
-  model::Time now() const { return state_.port_free; }
-  int worker_count() const;
-  const platform::Platform& platform() const { return context_->platform(); }
-  const matrix::Partition& partition() const { return context_->partition(); }
-  const std::shared_ptr<const InstanceContext>& context() const {
+  // ----- ExecutionView (schedulers decide from these) -----
+  model::Time now() const override { return state_.port_free; }
+  int worker_count() const override;
+  const platform::Platform& platform() const override {
+    return context_->platform();
+  }
+  const matrix::Partition& partition() const override {
+    return context_->partition();
+  }
+  const std::shared_ptr<const InstanceContext>& context() const override {
     return context_;
   }
-  const WorkerProgress& progress(int worker) const;
+  const WorkerProgress& progress(int worker) const override;
 
-  /// Earliest time the given communication could START given port and
-  /// worker-side constraints; +inf if its precondition can never be met
-  /// in the current state (e.g. SendAB with no active chunk).
-  model::Time earliest_start(int worker, CommKind kind) const;
-  /// Duration the communication would occupy the port (SendC duration
-  /// requires the plan, hence the chunk overload).
-  model::Time comm_duration(int worker, CommKind kind) const;
-  model::Time chunk_comm_duration(int worker, const ChunkPlan& plan) const;
+  model::Time earliest_start(int worker, CommKind kind) const override;
+  model::Time comm_duration(int worker, CommKind kind) const override;
 
-  /// Blocks of C not yet covered by any assigned chunk.
-  model::BlockCount unassigned_blocks() const {
+  model::BlockCount unassigned_blocks() const override {
     return state_.unassigned_blocks;
   }
-  /// True when every C block was assigned, computed, and returned.
-  bool all_work_done() const;
+  model::BlockCount updates_total() const override {
+    return state_.updates_done;
+  }
+  bool all_work_done() const override;
+  /// Identical to snapshot(); the view-level name for scratch rewinds.
+  EngineState model_state() const override { return snapshot(); }
+
+  /// Duration of a SendC for a specific plan (not part of the view:
+  /// CommKind::kSendC durations need the plan).
+  model::Time chunk_comm_duration(int worker, const ChunkPlan& plan) const;
 
   // ----- snapshot / restore -----
   /// Copies the mutable state out. O(workers + r*s bits), no platform or
@@ -181,7 +109,6 @@ class Engine {
 
   // Aggregate counters.
   model::BlockCount comm_blocks_total() const { return state_.comm_blocks; }
-  model::BlockCount updates_total() const { return state_.updates_done; }
   model::Time makespan_so_far() const;
 
  private:

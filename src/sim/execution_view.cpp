@@ -1,0 +1,62 @@
+#include "sim/execution_view.hpp"
+
+#include <limits>
+
+namespace hmxp::sim {
+
+namespace {
+constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
+}
+
+Decision Decision::done() { return Decision{}; }
+
+Decision Decision::send_chunk(int worker, ChunkPlan plan) {
+  Decision decision;
+  decision.kind = Kind::kComm;
+  decision.comm = CommKind::kSendC;
+  decision.worker = worker;
+  decision.chunk = std::move(plan);
+  return decision;
+}
+
+Decision Decision::send_operands(int worker) {
+  Decision decision;
+  decision.kind = Kind::kComm;
+  decision.comm = CommKind::kSendAB;
+  decision.worker = worker;
+  return decision;
+}
+
+Decision Decision::recv_result(int worker) {
+  Decision decision;
+  decision.kind = Kind::kComm;
+  decision.comm = CommKind::kRecvC;
+  decision.worker = worker;
+  return decision;
+}
+
+bool WorkerProgress::chunk_computed(model::Time at) const {
+  return all_steps_received() && !compute_end.empty() &&
+         compute_end.back() <= at;
+}
+
+model::Time WorkerProgress::chunk_compute_finish() const {
+  if (!all_steps_received()) return kNever;
+  return compute_end.empty() ? chunk_arrival : compute_end.back();
+}
+
+InstanceContext::InstanceContext(platform::Platform platform,
+                                 matrix::Partition partition,
+                                 platform::SlowdownSchedule slowdown)
+    : platform_(std::move(platform)),
+      partition_(std::move(partition)),
+      slowdown_(std::move(slowdown)) {}
+
+std::shared_ptr<const InstanceContext> InstanceContext::make(
+    const platform::Platform& platform, const matrix::Partition& partition,
+    const platform::SlowdownSchedule& slowdown) {
+  return std::make_shared<const InstanceContext>(platform, partition,
+                                                 slowdown);
+}
+
+}  // namespace hmxp::sim

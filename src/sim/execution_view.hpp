@@ -1,0 +1,158 @@
+// ExecutionView: the master-state interface schedulers decide from.
+//
+// The paper's schedulers are decision procedures for a master reacting
+// to port and worker events; nothing in them is specific to simulation.
+// This header holds everything a policy may read -- the port clock,
+// per-worker progress, coverage/assignment state, the platform and
+// partition -- behind an abstract interface with two implementations:
+//
+//   * sim::Engine -- the discrete-event simulator (engine.hpp);
+//   * the threaded runtime's online master loop (runtime/executor.cpp),
+//     which projects its state through a model mirror and overrides
+//     readiness with *actual* worker completions.
+//
+// The shared value types (Decision, WorkerProgress, InstanceContext,
+// EngineState) live here too so the view interface, the engine and the
+// online master all speak the same vocabulary.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "matrix/partition.hpp"
+#include "platform/perturbation.hpp"
+#include "platform/platform.hpp"
+#include "sim/chunk.hpp"
+#include "sim/trace.hpp"
+
+namespace hmxp::sim {
+
+/// What the scheduler tells the master to do next.
+struct Decision {
+  enum class Kind { kComm, kDone };
+  Kind kind = Kind::kDone;
+  CommKind comm = CommKind::kSendC;
+  int worker = -1;
+  ChunkPlan chunk;  // payload for kSendC only
+
+  static Decision done();
+  static Decision send_chunk(int worker, ChunkPlan plan);
+  static Decision send_operands(int worker);
+  static Decision recv_result(int worker);
+};
+
+/// Dynamic state of one worker, exposed read-only to schedulers. Times
+/// are in the backend's clock: model seconds under the simulator,
+/// model-projected seconds under the online runtime (whose mirror keeps
+/// the same bookkeeping while real threads do the work).
+struct WorkerProgress {
+  bool has_chunk = false;
+  ChunkPlan chunk;                      // valid while has_chunk
+  std::size_t steps_received = 0;
+  std::vector<model::Time> recv_end;    // per received step
+  std::vector<model::Time> compute_end; // per received step (projected)
+  model::Time chunk_arrival = 0.0;      // end of the SendC
+  model::Time ready_for_chunk = 0.0;    // end of the last RecvC
+  // Lifetime statistics.
+  model::BlockCount chunks_assigned = 0;
+  model::BlockCount updates_assigned = 0;
+  model::Time busy_compute = 0.0;
+
+  bool all_steps_received() const {
+    return has_chunk && steps_received == chunk.steps.size();
+  }
+  bool chunk_computed(model::Time at) const;
+  /// Projected completion of the whole active chunk (+inf if steps are
+  /// still missing operands).
+  model::Time chunk_compute_finish() const;
+};
+
+/// The immutable problem instance a backend executes: platform,
+/// partition, and the (possibly empty) dynamic-slowdown schedule --
+/// time-varying platforms are part of the instance, not of the engine.
+/// Backends over the same instance share one context by shared_ptr
+/// instead of carrying copies.
+class InstanceContext {
+ public:
+  InstanceContext(platform::Platform platform, matrix::Partition partition,
+                  platform::SlowdownSchedule slowdown = {});
+
+  /// Convenience: heap-allocate a shared context from copies.
+  static std::shared_ptr<const InstanceContext> make(
+      const platform::Platform& platform, const matrix::Partition& partition,
+      const platform::SlowdownSchedule& slowdown = {});
+
+  const platform::Platform& platform() const { return platform_; }
+  const matrix::Partition& partition() const { return partition_; }
+  const platform::SlowdownSchedule& slowdown() const { return slowdown_; }
+
+ private:
+  platform::Platform platform_;
+  matrix::Partition partition_;
+  platform::SlowdownSchedule slowdown_;
+};
+
+/// The mutable simulation/model state, cheap to copy relative to the
+/// context: no platform, no partition, no cost tables. Engine::snapshot()
+/// hands one out, Engine::restore() swaps one back in; the online
+/// backend exposes its mirror's state through ExecutionView::model_state.
+struct EngineState {
+  model::Time port_free = 0.0;
+  std::vector<WorkerProgress> workers;
+  // Coverage bitmap over r x s C blocks; set when a chunk covering the
+  // block is assigned.
+  std::vector<bool> assigned;
+  model::BlockCount unassigned_blocks = 0;
+  model::BlockCount comm_blocks = 0;
+  model::BlockCount updates_done = 0;
+  int chunks_outstanding = 0;
+  model::BlockCount blocks_returned = 0;
+  // Trace lengths at snapshot time, so restore() can roll back events
+  // recorded by hypothetical decisions.
+  std::size_t trace_comms = 0;
+  std::size_t trace_computes = 0;
+};
+
+/// Read-only master state, the full vocabulary of Scheduler::next().
+/// Implemented by the simulator's Engine and by the threaded runtime's
+/// OnlineExecutor; policies written against it run on either backend.
+class ExecutionView {
+ public:
+  virtual ~ExecutionView() = default;
+
+  /// Current port clock (the end of the last executed communication).
+  virtual model::Time now() const = 0;
+  virtual int worker_count() const = 0;
+  virtual const platform::Platform& platform() const = 0;
+  virtual const matrix::Partition& partition() const = 0;
+  virtual const WorkerProgress& progress(int worker) const = 0;
+
+  /// Earliest time the given communication could START given port and
+  /// worker-side constraints; +inf if its precondition can never be met
+  /// in the current state (e.g. SendAB with no active chunk). The online
+  /// backend additionally returns now() for a RecvC whose result has
+  /// actually arrived, so policies react to real completions.
+  virtual model::Time earliest_start(int worker, CommKind kind) const = 0;
+  /// Duration the communication would occupy the port (SendC duration
+  /// requires the plan; see Engine::chunk_comm_duration).
+  virtual model::Time comm_duration(int worker, CommKind kind) const = 0;
+
+  /// Blocks of C not yet covered by any assigned chunk.
+  virtual model::BlockCount unassigned_blocks() const = 0;
+  /// Block updates enabled by the operand batches delivered so far.
+  virtual model::BlockCount updates_total() const = 0;
+  /// True when every C block was assigned, computed, and returned.
+  virtual bool all_work_done() const = 0;
+
+  // ----- lookahead support -----
+  /// The instance this view executes; lookahead schedulers build their
+  /// scratch engine over it.
+  virtual const std::shared_ptr<const InstanceContext>& context() const = 0;
+  /// The current state expressed as simulator state, restorable into a
+  /// scratch engine for hypothetical probes (Engine::snapshot(); the
+  /// online backend hands out its mirror's snapshot).
+  virtual EngineState model_state() const = 0;
+};
+
+}  // namespace hmxp::sim

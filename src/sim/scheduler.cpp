@@ -18,31 +18,19 @@ double RunResult::work() const {
   return makespan * static_cast<double>(workers_enrolled);
 }
 
-RunResult run(Scheduler& scheduler, Engine& engine,
-              std::vector<Decision>* decision_log) {
-  // Generous bound: every chunk needs 2 + steps communications; anything
-  // beyond (with slack) indicates a scheduler livelock.
-  const auto c_blocks = static_cast<std::size_t>(engine.partition().c_blocks());
-  const std::size_t max_decisions =
-      16 + 8 * c_blocks * (2 + engine.partition().t());
-  std::size_t executed = 0;
+std::size_t decision_budget(const matrix::Partition& partition) {
+  const auto c_blocks = static_cast<std::size_t>(partition.c_blocks());
+  return 16 + 8 * c_blocks * (2 + partition.t());
+}
 
-  while (true) {
-    Decision decision = scheduler.next(engine);
-    if (decision.kind == Decision::Kind::kDone) break;
-    engine.execute(decision);
-    if (decision_log != nullptr) decision_log->push_back(decision);
-    ++executed;
-    HMXP_CHECK(executed <= max_decisions,
-               "scheduler exceeded decision budget (livelock?)");
-  }
-
+RunResult collect_result(const std::string& scheduler_name, Engine& engine,
+                         std::size_t decisions) {
   RunResult result;
-  result.scheduler_name = scheduler.name();
+  result.scheduler_name = scheduler_name;
   result.makespan = engine.finalize();
   result.comm_blocks = engine.comm_blocks_total();
   result.updates = engine.updates_total();
-  result.decisions = executed;
+  result.decisions = decisions;
   for (int i = 0; i < engine.worker_count(); ++i) {
     const WorkerProgress& state = engine.progress(i);
     if (state.chunks_assigned > 0) ++result.workers_enrolled;
@@ -55,6 +43,23 @@ RunResult run(Scheduler& scheduler, Engine& engine,
   return result;
 }
 
+RunResult run(Scheduler& scheduler, Engine& engine,
+              std::vector<Decision>* decision_log) {
+  const std::size_t max_decisions = decision_budget(engine.partition());
+  std::size_t executed = 0;
+
+  while (true) {
+    Decision decision = scheduler.next(engine);
+    if (decision.kind == Decision::Kind::kDone) break;
+    engine.execute(decision);
+    if (decision_log != nullptr) decision_log->push_back(decision);
+    ++executed;
+    HMXP_CHECK(executed <= max_decisions,
+               "scheduler exceeded decision budget (livelock?)");
+  }
+  return collect_result(scheduler.name(), engine, executed);
+}
+
 RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
                    const matrix::Partition& partition, bool record_trace,
                    std::vector<Decision>* decision_log) {
@@ -62,12 +67,21 @@ RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
   return run(scheduler, engine, decision_log);
 }
 
+RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
+                   const matrix::Partition& partition,
+                   const platform::SlowdownSchedule& slowdown,
+                   bool record_trace, std::vector<Decision>* decision_log) {
+  Engine engine(InstanceContext::make(platform, partition, slowdown),
+                record_trace);
+  return run(scheduler, engine, decision_log);
+}
+
 ReplayScheduler::ReplayScheduler(std::string name,
                                  std::vector<Decision> decisions)
     : name_(std::move(name)), decisions_(std::move(decisions)) {}
 
-Decision ReplayScheduler::next(const Engine& engine) {
-  (void)engine;
+Decision ReplayScheduler::next(const ExecutionView& view) {
+  (void)view;
   if (cursor_ >= decisions_.size()) return Decision::done();
   return decisions_[cursor_++];
 }

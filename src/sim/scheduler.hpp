@@ -1,9 +1,15 @@
 // The Scheduler interface: the master's decision procedure.
 //
-// Whenever the port frees, the engine asks the scheduler for the next
-// communication. Schedulers read the engine state (they never mutate
+// Whenever the port frees, the backend asks the scheduler for the next
+// communication. Schedulers read the ExecutionView (they never mutate
 // it) and keep their own bookkeeping (chunk carving, ratios, orders).
-// Returning kDone ends the run; the engine then validates completion.
+// Returning kDone ends the run; the backend then validates completion.
+//
+// The view is backend-agnostic: the same scheduler object drives the
+// discrete-event simulator (sim::run / sim::simulate below) or the
+// threaded runtime's live master loop (runtime::execute_online), which
+// feeds it real completion events. Both backends emit the same
+// RunResult + Trace shape, collected by collect_result().
 #pragma once
 
 #include <memory>
@@ -18,11 +24,14 @@ class Scheduler {
  public:
   virtual ~Scheduler() = default;
   virtual std::string name() const = 0;
-  /// Next master action given the current engine state.
-  virtual Decision next(const Engine& engine) = 0;
+  /// Next master action given the current execution state.
+  virtual Decision next(const ExecutionView& view) = 0;
 };
 
-/// Summary of one simulated run.
+/// Summary of one run, identical in shape for both backends: the
+/// simulator fills it from its engine, the online runtime from its
+/// model mirror (so makespan etc. are model-projected there, while the
+/// wall clock lives in runtime::ExecutorReport).
 struct RunResult {
   std::string scheduler_name;
   model::Time makespan = 0.0;
@@ -42,9 +51,19 @@ struct RunResult {
   double work() const;
 };
 
+/// Decision-count ceiling for a run over `partition`: every chunk needs
+/// 2 + steps communications; anything beyond (with slack) indicates a
+/// scheduler livelock. Shared by both backends' master loops.
+std::size_t decision_budget(const matrix::Partition& partition);
+
+/// Finalizes `engine` (validating completion) and assembles the common
+/// RunResult. Both backends call this at the end of their master loop.
+RunResult collect_result(const std::string& scheduler_name, Engine& engine,
+                         std::size_t decisions);
+
 /// Drives `scheduler` against `engine` to completion; optionally records
 /// every decision into `decision_log` (used by Het's two-phase replay
-/// and by the threaded runtime).
+/// and by the threaded runtime's replay path).
 RunResult run(Scheduler& scheduler, Engine& engine,
               std::vector<Decision>* decision_log = nullptr);
 
@@ -54,12 +73,21 @@ RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
                    bool record_trace = false,
                    std::vector<Decision>* decision_log = nullptr);
 
-/// Replays a prerecorded decision sequence (phase 2 of Het).
+/// Same, over a time-varying instance: `slowdown` scales each worker's
+/// per-update cost from its events' times on (model clock).
+RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
+                   const matrix::Partition& partition,
+                   const platform::SlowdownSchedule& slowdown,
+                   bool record_trace = false,
+                   std::vector<Decision>* decision_log = nullptr);
+
+/// Replays a prerecorded decision sequence (phase 2 of Het; also how the
+/// threaded runtime executes any pre-simulated schedule).
 class ReplayScheduler final : public Scheduler {
  public:
   ReplayScheduler(std::string name, std::vector<Decision> decisions);
   std::string name() const override { return name_; }
-  Decision next(const Engine& engine) override;
+  Decision next(const ExecutionView& view) override;
 
  private:
   std::string name_;

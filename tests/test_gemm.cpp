@@ -22,8 +22,11 @@ class GemmShapes
 
 TEST_P(GemmShapes, TiledMatchesNaive) {
   const auto [m, k, n] = GetParam();
-  util::Rng rng(static_cast<std::uint64_t>(m * 73856093 ^ k * 19349663 ^
-                                           n * 83492791));
+  // Mix the shape into a seed in 64-bit unsigned arithmetic (the int
+  // products overflow for the larger shapes, which UBSan rejects).
+  util::Rng rng(static_cast<std::uint64_t>(m) * 73856093u ^
+                static_cast<std::uint64_t>(k) * 19349663u ^
+                static_cast<std::uint64_t>(n) * 83492791u);
   const Matrix a = Matrix::random(static_cast<std::size_t>(m),
                                   static_cast<std::size_t>(k), rng);
   const Matrix b = Matrix::random(static_cast<std::size_t>(k),

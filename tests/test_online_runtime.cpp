@@ -1,0 +1,251 @@
+// Tests for the online execution backend: live demand-driven scheduling
+// on a heterogeneous (and mid-run-perturbed) platform, sim-vs-runtime
+// decision parity, worker-exception propagation, the verification
+// failure path, and the dynamic-perturbation hook on the simulator side.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "core/experiment.hpp"
+#include "core/run.hpp"
+#include "platform/perturbation.hpp"
+#include "runtime/executor.hpp"
+#include "sched/demand_driven.hpp"
+#include "sched/round_robin.hpp"
+#include "util/rng.hpp"
+
+namespace hmxp::runtime {
+namespace {
+
+matrix::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  return matrix::Matrix::random(rows, cols, rng);
+}
+
+// ---- live demand-driven on a heterogeneous, time-varying platform ----------
+
+TEST(OnlineRuntime, DemandDrivenHeterogeneousSlowdownVerifies) {
+  // Odd sizes exercise edge blocks; static slowdowns make the workers
+  // really heterogeneous and a perturbation flips the balance mid-run.
+  const matrix::Partition part(52, 70, 100, 8);  // q=8: r=7, t=9, s=13
+  std::vector<platform::WorkerSpec> specs = {
+      {0.01, 0.001, 30, "small"},
+      {0.01, 0.002, 60, "mid"},
+      {0.005, 0.001, 140, "big"},
+  };
+  const platform::Platform plat("hetero", specs);
+  const auto a = random_matrix(52, 70, 1);
+  const auto b = random_matrix(70, 100, 2);
+  matrix::Matrix c = random_matrix(52, 100, 3);
+
+  auto scheduler = sched::make_oddoml(plat, part);
+  ExecutorOptions options;
+  options.compute_slowdown = {1, 3, 2};
+  // Mid-run (wall clock) the big worker slows 8x and the small one
+  // recovers; the scheduler only sees this through actual completions.
+  options.perturbation.add(/*worker=*/2, /*at=*/0.002, /*factor=*/8.0);
+  options.perturbation.add(/*worker=*/1, /*at=*/0.004, /*factor=*/0.5);
+
+  const ExecutorReport report =
+      execute_online(scheduler, plat, part, a, b, c, options);
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_LT(report.max_abs_error, 1e-10);
+  EXPECT_EQ(report.updates_performed, 7u * 13u * 9u);
+  // The report carries the simulator-shaped RunResult.
+  EXPECT_EQ(report.result.scheduler_name, "ODDOML");
+  EXPECT_GT(report.result.makespan, 0.0);
+  EXPECT_GT(report.result.decisions, 0u);
+  EXPECT_EQ(report.result.updates,
+            static_cast<model::BlockCount>(7 * 13 * 9));
+  EXPECT_GE(report.result.workers_enrolled, 2);
+}
+
+// ---- sim vs runtime decision parity ----------------------------------------
+
+TEST(OnlineRuntime, DecisionSequenceParityForDeterministicPolicy) {
+  // Round-robin decides from progress structure only (never from
+  // times), so the live runtime must reproduce the simulator's decision
+  // sequence exactly -- even on a heterogeneous platform.
+  const matrix::Partition part(96, 64, 160, 8);
+  std::vector<platform::WorkerSpec> specs = {
+      {0.01, 0.001, 21, "tiny"},
+      {0.01, 0.001, 60, "small"},
+      {0.005, 0.002, 140, "big"},
+  };
+  const platform::Platform plat("hetero", specs);
+
+  auto sim_scheduler = sched::make_orroml(plat, part);
+  std::vector<sim::Decision> simulated;
+  const sim::RunResult sim_result =
+      sim::simulate(sim_scheduler, plat, part, false, &simulated);
+
+  const auto a = random_matrix(96, 64, 4);
+  const auto b = random_matrix(64, 160, 5);
+  matrix::Matrix c(96, 160, 0.25);
+  auto live_scheduler = sched::make_orroml(plat, part);
+  std::vector<sim::Decision> live;
+  const ExecutorReport report =
+      execute_online(live_scheduler, plat, part, a, b, c, {}, &live);
+
+  EXPECT_EQ(report.result.decisions, sim_result.decisions);
+  ASSERT_EQ(live.size(), simulated.size());
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    EXPECT_EQ(live[i].comm, simulated[i].comm) << "decision " << i;
+    EXPECT_EQ(live[i].worker, simulated[i].worker) << "decision " << i;
+  }
+  // Same decisions -> same model projection.
+  EXPECT_DOUBLE_EQ(report.result.makespan, sim_result.makespan);
+  EXPECT_EQ(report.result.comm_blocks, sim_result.comm_blocks);
+}
+
+TEST(OnlineRuntime, DecisionCountParityDemandDrivenHomogeneous) {
+  // Demand-driven may reorder online (actual completions beat model
+  // projections), but on a homogeneous platform every carve has the
+  // same width, so the decision COUNT is order-invariant.
+  const matrix::Partition part(52, 70, 100, 8);
+  const auto plat = platform::Platform::homogeneous(4, 0.01, 0.002, 40);
+
+  auto sim_scheduler = sched::make_oddoml(plat, part);
+  const sim::RunResult sim_result = sim::simulate(sim_scheduler, plat, part);
+
+  const auto a = random_matrix(52, 70, 6);
+  const auto b = random_matrix(70, 100, 7);
+  matrix::Matrix c(52, 100, 0.0);
+  auto live_scheduler = sched::make_oddoml(plat, part);
+  const ExecutorReport report =
+      execute_online(live_scheduler, plat, part, a, b, c);
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.result.decisions, sim_result.decisions);
+}
+
+// ---- failure paths ---------------------------------------------------------
+
+TEST(OnlineRuntime, WorkerExceptionPropagatesToMaster) {
+  const matrix::Partition part(40, 40, 40, 8);
+  const auto plat = platform::Platform::homogeneous(3, 0.01, 0.002, 40);
+  const auto a = random_matrix(40, 40, 8);
+  const auto b = random_matrix(40, 40, 9);
+  matrix::Matrix c(40, 40, 0.0);
+
+  auto scheduler = sched::make_oddoml(plat, part);
+  ExecutorOptions options;
+  options.fault_hook = [](int worker, std::size_t step) {
+    if (worker == 1 && step == 2)
+      throw std::runtime_error("injected worker fault");
+  };
+  try {
+    execute_online(scheduler, plat, part, a, b, c, options);
+    FAIL() << "expected the injected worker fault to propagate";
+  } catch (const std::runtime_error& error) {
+    EXPECT_NE(std::string(error.what()).find("injected worker fault"),
+              std::string::npos);
+  }
+  // The run failed cleanly: all threads joined, so a second run on the
+  // same data works.
+  auto retry = sched::make_oddoml(plat, part);
+  const ExecutorReport report = execute_online(retry, plat, part, a, b, c);
+  EXPECT_TRUE(report.verified);
+}
+
+TEST(OnlineRuntime, VerificationFailureThrowsAsDocumented) {
+  const matrix::Partition part(24, 24, 24, 8);
+  const auto plat = platform::Platform::homogeneous(2, 0.01, 0.002, 60);
+  const auto a = random_matrix(24, 24, 10);
+  const auto b = random_matrix(24, 24, 11);
+  matrix::Matrix c(24, 24, 1.0);
+
+  auto scheduler = sched::make_oddoml(plat, part);
+  ExecutorOptions options;
+  options.tolerance = -1.0;  // nothing can pass: |error| >= 0 > tolerance
+  EXPECT_THROW(execute_online(scheduler, plat, part, a, b, c, options),
+               std::runtime_error);
+}
+
+// ---- the same RunResult shape through core, on either backend --------------
+
+TEST(OnlineRuntime, CoreRunsCellsOnEitherBackend) {
+  const matrix::Partition part(40, 40, 56, 8);
+  const auto plat = platform::Platform::homogeneous(3, 0.01, 0.002, 40);
+
+  const core::RunReport simulated = core::run_algorithm("ORROML", plat, part);
+  core::OnlineOptions online;
+  online.data_seed = 7;
+  const core::RunReport executed =
+      core::run_algorithm_online("ORROML", plat, part, online);
+
+  EXPECT_EQ(simulated.backend, core::Backend::kSim);
+  EXPECT_EQ(executed.backend, core::Backend::kOnline);
+  EXPECT_TRUE(executed.online_verified);
+  EXPECT_GT(executed.online_wall_seconds, 0.0);
+  // Deterministic policy: identical decisions, identical projection.
+  EXPECT_DOUBLE_EQ(executed.result.makespan, simulated.result.makespan);
+  EXPECT_EQ(executed.result.decisions, simulated.result.decisions);
+
+  // The experiment grid accepts the backend switch.
+  core::ExperimentOptions grid;
+  grid.threads = 1;
+  grid.backend = core::Backend::kOnline;
+  grid.online.data_seed = 7;
+  const auto results = core::run_experiment(
+      {core::Instance{"cell", plat, part}}, {"ORROML", "ODDOML"}, grid);
+  ASSERT_EQ(results.size(), 1u);
+  EXPECT_TRUE(results[0].cell_ok(0));
+  EXPECT_TRUE(results[0].cell_ok(1));
+  EXPECT_DOUBLE_EQ(results[0].reports[0].result.makespan,
+                   simulated.result.makespan);
+}
+
+}  // namespace
+}  // namespace hmxp::runtime
+
+// ---- dynamic perturbation on the simulator backend -------------------------
+
+namespace hmxp::sim {
+namespace {
+
+TEST(SimPerturbation, SlowdownScheduleStretchesMakespan) {
+  // Compute-bound instance (w >> c), so a mid-run compute slowdown must
+  // show up in the makespan, not hide in the port's shadow.
+  const matrix::Partition part(96, 64, 160, 8);
+  const auto plat = platform::Platform::homogeneous(2, 0.001, 0.02, 40);
+
+  auto baseline_scheduler = sched::make_oddoml(plat, part);
+  const RunResult baseline = simulate(baseline_scheduler, plat, part);
+
+  platform::SlowdownSchedule schedule;
+  schedule.add(/*worker=*/0, /*at=*/baseline.makespan * 0.25, /*factor=*/10.0);
+  schedule.add(/*worker=*/1, /*at=*/baseline.makespan * 0.25, /*factor=*/10.0);
+  auto perturbed_scheduler = sched::make_oddoml(plat, part);
+  const RunResult perturbed =
+      simulate(perturbed_scheduler, plat, part, schedule,
+               /*record_trace=*/true);
+
+  EXPECT_GT(perturbed.makespan, baseline.makespan);
+  // The perturbed run is still a valid one-port schedule.
+  EXPECT_TRUE(perturbed.trace.one_port_respected());
+  EXPECT_TRUE(perturbed.trace.compute_serialized());
+}
+
+TEST(SimPerturbation, FactorLookupIsPiecewiseConstant) {
+  platform::SlowdownSchedule schedule;
+  schedule.add(0, 10.0, 4.0);
+  schedule.add(0, 20.0, 0.5);
+  schedule.add(1, 15.0, 2.0);
+  EXPECT_DOUBLE_EQ(schedule.factor(0, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.factor(0, 10.0), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.factor(0, 19.9), 4.0);
+  EXPECT_DOUBLE_EQ(schedule.factor(0, 25.0), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.factor(1, 14.0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.factor(1, 16.0), 2.0);
+  EXPECT_DOUBLE_EQ(schedule.factor(2, 100.0), 1.0);
+  EXPECT_THROW(schedule.add(0, -1.0, 2.0), std::invalid_argument);
+  EXPECT_THROW(schedule.add(0, 1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(schedule.add(-1, 1.0, 2.0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hmxp::sim
