@@ -1,6 +1,7 @@
 // google-benchmark microbenchmarks backing the calibration constants:
-// GEMM kernel rates (the w_i of the model), engine decision throughput
-// (the cost of Het's 8-variant simulation), and the simplex solver.
+// GEMM kernel rates per dispatch tier (the w_i of the model), engine
+// decision throughput (the cost of Het's 8-variant simulation), the
+// pooled online runtime, and the simplex solver.
 //
 // Unless --benchmark_out is given, results are also written to
 // BENCH_kernels.json (google-benchmark's JSON schema) in the working
@@ -12,6 +13,7 @@
 #include <vector>
 
 #include "matrix/gemm.hpp"
+#include "matrix/kernel_dispatch.hpp"
 #include "model/steady_state.hpp"
 #include "platform/generator.hpp"
 #include "runtime/executor.hpp"
@@ -23,6 +25,13 @@ namespace {
 
 using namespace hmxp;
 
+void report_gflops(benchmark::State& state, std::size_t n) {
+  state.counters["GFlop/s"] = benchmark::Counter(
+      matrix::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
+          1e9,
+      benchmark::Counter::kIsRate);
+}
+
 void BM_GemmNaive(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(1);
@@ -33,10 +42,7 @@ void BM_GemmNaive(benchmark::State& state) {
     matrix::gemm_naive(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      matrix::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
-          1e9,
-      benchmark::Counter::kIsRate);
+  report_gflops(state, n);
 }
 BENCHMARK(BM_GemmNaive)->Arg(80);
 
@@ -50,12 +56,46 @@ void BM_GemmTiled(benchmark::State& state) {
     matrix::gemm_tiled(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      matrix::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
-          1e9,
-      benchmark::Counter::kIsRate);
+  report_gflops(state, n);
 }
-BENCHMARK(BM_GemmTiled)->Arg(80)->Arg(160)->Arg(320);
+BENCHMARK(BM_GemmTiled)->Arg(80)->Arg(160)->Arg(320)->Arg(512)->Arg(1024);
+
+void BM_GemmSimd(benchmark::State& state) {
+  // The packed micro-kernel path with whatever micro-kernel the host
+  // dispatches (see the "avx2" counter: 1 = avx2+fma, 0 = portable).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    matrix::gemm_simd(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  report_gflops(state, n);
+  state.counters["avx2"] =
+      std::strcmp(matrix::packed_kernel_variant(), "avx2+fma") == 0 ? 1 : 0;
+}
+BENCHMARK(BM_GemmSimd)->Arg(80)->Arg(160)->Arg(320)->Arg(512)->Arg(1024);
+
+void BM_GemmSimdPortable(benchmark::State& state) {
+  // Same packed path pinned to the portable micro-kernel: what the
+  // "simd" tier delivers on a host without AVX2 (must be no slower
+  // than the tiled baseline).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  matrix::force_portable_micro_kernel(true);
+  for (auto _ : state) {
+    matrix::gemm_simd(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  matrix::force_portable_micro_kernel(false);
+  report_gflops(state, n);
+}
+BENCHMARK(BM_GemmSimdPortable)->Arg(320)->Arg(512);
 
 void BM_GemmParallel(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -67,12 +107,9 @@ void BM_GemmParallel(benchmark::State& state) {
     matrix::gemm_parallel(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
-  state.counters["GFlop/s"] = benchmark::Counter(
-      matrix::gemm_flops(n, n, n) * static_cast<double>(state.iterations()) /
-          1e9,
-      benchmark::Counter::kIsRate);
+  report_gflops(state, n);
 }
-BENCHMARK(BM_GemmParallel)->Arg(320);
+BENCHMARK(BM_GemmParallel)->Arg(320)->Arg(1024);
 
 void BM_BlockUpdate(benchmark::State& state) {
   // One q x q block update: the atom whose cost is w_i in the model.
@@ -82,7 +119,7 @@ void BM_BlockUpdate(benchmark::State& state) {
   const auto b = matrix::Matrix::random(q, q, rng);
   matrix::Matrix c(q, q, 0.0);
   for (auto _ : state) {
-    matrix::gemm_tiled(a.view(), b.view(), c.view());
+    matrix::gemm_auto(a.view(), b.view(), c.view());
     benchmark::DoNotOptimize(c.data());
   }
 }
@@ -122,6 +159,8 @@ void BM_OnlineRuntime(benchmark::State& state) {
   matrix::Matrix c(n, n, 0.0);
   std::size_t blocks = 0;
   std::size_t updates = 0;
+  std::size_t pool_allocations = 0;
+  std::size_t pool_acquires = 0;
   for (auto _ : state) {
     auto scheduler = sched::make_oddoml(plat, part);
     runtime::ExecutorOptions options;
@@ -130,12 +169,16 @@ void BM_OnlineRuntime(benchmark::State& state) {
         runtime::execute_online(scheduler, plat, part, a, b, c, options);
     blocks += static_cast<std::size_t>(report.result.comm_blocks);
     updates += report.updates_performed;
+    pool_allocations = report.buffer_pool.allocations;  // last run's counts
+    pool_acquires = report.buffer_pool.acquires;
     benchmark::DoNotOptimize(report.wall_seconds);
   }
   state.counters["blocks/s"] = benchmark::Counter(
       static_cast<double>(blocks), benchmark::Counter::kIsRate);
   state.counters["updates/s"] = benchmark::Counter(
       static_cast<double>(updates), benchmark::Counter::kIsRate);
+  state.counters["pool_allocs"] = static_cast<double>(pool_allocations);
+  state.counters["pool_acquires"] = static_cast<double>(pool_acquires);
 }
 BENCHMARK(BM_OnlineRuntime)->Arg(160)->Arg(320)->Unit(benchmark::kMillisecond);
 

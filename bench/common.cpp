@@ -1,5 +1,7 @@
 #include "common.hpp"
 
+#include "matrix/kernel_dispatch.hpp"
+#include "util/check.hpp"
 #include "util/csv.hpp"
 
 namespace hmxp::bench {
@@ -129,6 +131,9 @@ std::optional<BenchArgs> parse_bench_args(int argc, char** argv,
   util::Flags flags;
   flags.define("csv", "", "prefix for CSV output files (empty: no CSV)");
   flags.define_bool("quick", false, "reduced sweep for smoke runs");
+  flags.define("kernel", "",
+               "pin the GEMM dispatch tier: naive|tiled|simd (empty: "
+               "auto; equivalent to HMXP_FORCE_KERNEL)");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage(description);
@@ -138,6 +143,14 @@ std::optional<BenchArgs> parse_bench_args(int argc, char** argv,
   const std::string prefix = flags.get_string("csv");
   if (!prefix.empty()) args.csv_prefix = prefix;
   args.quick = flags.get_bool("quick");
+  const std::string kernel = flags.get_string("kernel");
+  if (!kernel.empty()) {
+    const auto tier = matrix::parse_kernel_tier(kernel);
+    HMXP_REQUIRE(tier.has_value(),
+                 "--kernel must be naive, tiled or simd, got \"" + kernel +
+                     '"');
+    matrix::force_kernel_tier(tier);
+  }
   return args;
 }
 

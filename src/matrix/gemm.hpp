@@ -3,11 +3,24 @@
 // The paper assumes ATLAS-generated Level-3 BLAS on each worker; hmxp is
 // dependency-free, so it carries its own kernels:
 //   * gemm_naive     -- reference i-j-k triple loop, the test oracle;
-//   * gemm_tiled     -- cache-tiled i-k-j with 4-wide register blocking,
-//                       the production kernel workers run;
-//   * gemm_parallel  -- row-partitioned std::thread wrapper over the
-//                       tiled kernel for large single-node products
-//                       (used by the verification oracle on big cases).
+//   * gemm_tiled     -- cache-tiled i-k-j with 4-wide register blocking;
+//                       the portable comparison baseline and the "tiled"
+//                       dispatch tier;
+//   * gemm_simd      -- the production kernel: BLIS-style packed path.
+//                       A is packed into MC x KC and B into KC x NC
+//                       contiguous 64-byte-aligned panels of MR/NR
+//                       slivers, driven through a register-tiled
+//                       micro-kernel (AVX2+FMA when the CPU has it,
+//                       auto-vectorized portable otherwise -- see
+//                       matrix/kernel_dispatch.hpp);
+//   * gemm_auto      -- dispatches to the active kernel tier (honours
+//                       HMXP_FORCE_KERNEL / force_kernel_tier);
+//   * gemm_parallel  -- 2-D tile decomposition of C fanned over the
+//                       shared persistent util::ThreadPool with
+//                       work-stealing (an atomic tile cursor); each tile
+//                       runs the active serial kernel on a disjoint C
+//                       region, so no synchronization beyond the final
+//                       join is needed.
 //
 // All kernels accumulate (C += A*B), matching the paper's kernel
 // C <- C + A B, and all accept rectangular shapes so edge blocks
@@ -16,6 +29,7 @@
 
 #include <cstddef>
 
+#include "matrix/kernel_dispatch.hpp"
 #include "matrix/matrix.hpp"
 
 namespace hmxp::matrix {
@@ -23,13 +37,25 @@ namespace hmxp::matrix {
 /// Reference kernel. Requires a.cols() == b.rows(), c is a.rows() x b.cols().
 void gemm_naive(ConstView a, ConstView b, View c);
 
-/// Cache-tiled kernel; same contract as gemm_naive.
+/// Cache-tiled scalar kernel; same contract as gemm_naive.
 void gemm_tiled(ConstView a, ConstView b, View c);
 
-/// Multi-threaded tiled kernel; `threads` <= 0 picks hardware_concurrency.
+/// Packed micro-kernel path (the "simd" tier); same contract.
+void gemm_simd(ConstView a, ConstView b, View c);
+
+/// Dispatches to the active kernel tier (see kernel_dispatch.hpp).
+void gemm_auto(ConstView a, ConstView b, View c);
+
+/// Multi-threaded kernel over the shared persistent thread pool;
+/// `threads` <= 0 picks hardware_concurrency, and any request is
+/// clamped to the pool size + the calling thread (oversubscribing a
+/// compute-bound kernel never helps; the count only bounds
+/// parallelism, never changes the result). Tiles of C are claimed
+/// work-stealing style, so any thread count is load-balanced --
+/// including tall-skinny and short-wide C.
 void gemm_parallel(ConstView a, ConstView b, View c, int threads = 0);
 
-/// Whole-matrix convenience: c += a * b.
+/// Whole-matrix convenience: c += a * b (through gemm_auto).
 void gemm(const Matrix& a, const Matrix& b, Matrix& c);
 
 /// Flop count of one such update (2 * m * n * k).

@@ -1,0 +1,92 @@
+#include "matrix/kernel_dispatch.hpp"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace hmxp::matrix {
+
+namespace {
+
+// Encodes optional<KernelTier> in an atomic int: -1 = no override.
+std::atomic<int> forced_tier{-1};
+
+KernelTier env_or_default_tier() {
+  // Read once: the environment cannot retarget a running process, and
+  // getenv is not safe against concurrent setenv.
+  static const KernelTier resolved = [] {
+    const char* forced = std::getenv("HMXP_FORCE_KERNEL");
+    if (forced == nullptr || *forced == '\0') return KernelTier::kPacked;
+    const std::optional<KernelTier> tier = parse_kernel_tier(forced);
+    HMXP_REQUIRE(tier.has_value(),
+                 "HMXP_FORCE_KERNEL must be naive, tiled or simd, got \"" +
+                     std::string(forced) + '"');
+    return *tier;
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+const char* kernel_tier_name(KernelTier tier) {
+  switch (tier) {
+    case KernelTier::kNaive:
+      return "naive";
+    case KernelTier::kTiled:
+      return "tiled";
+    case KernelTier::kPacked:
+      return "simd";
+  }
+  return "unknown";
+}
+
+std::optional<KernelTier> parse_kernel_tier(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "naive") return KernelTier::kNaive;
+  if (lower == "tiled") return KernelTier::kTiled;
+  if (lower == "simd" || lower == "packed") return KernelTier::kPacked;
+  return std::nullopt;
+}
+
+KernelTier active_kernel_tier() {
+  const int forced = forced_tier.load(std::memory_order_relaxed);
+  if (forced >= 0) return static_cast<KernelTier>(forced);
+  return env_or_default_tier();
+}
+
+void force_kernel_tier(std::optional<KernelTier> tier) {
+  forced_tier.store(tier.has_value() ? static_cast<int>(*tier) : -1,
+                    std::memory_order_relaxed);
+}
+
+bool cpu_supports_avx2_fma() {
+#if defined(__x86_64__) && defined(__GNUC__)
+  static const bool supported =
+      __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+namespace {
+std::atomic<bool> portable_forced{false};
+}  // namespace
+
+void force_portable_micro_kernel(bool force) {
+  portable_forced.store(force, std::memory_order_relaxed);
+}
+
+bool portable_micro_kernel_forced() {
+  return portable_forced.load(std::memory_order_relaxed);
+}
+
+const char* packed_kernel_variant() {
+  return cpu_supports_avx2_fma() && !portable_micro_kernel_forced()
+             ? "avx2+fma"
+             : "portable";
+}
+
+}  // namespace hmxp::matrix

@@ -1,0 +1,57 @@
+// Runtime kernel dispatch for the GEMM compute plane.
+//
+// Three tiers, slowest to fastest:
+//   kNaive -- the i-j-k oracle (tests only);
+//   kTiled -- the cache-tiled scalar kernel (the pre-packing production
+//             kernel, kept as the portable comparison baseline);
+//   kPacked -- the BLIS-style path: operands packed into aligned
+//             MR/NR slivers and driven through a register-tiled
+//             micro-kernel. The micro-kernel implementation (AVX2+FMA
+//             when the CPU has it, auto-vectorized portable otherwise)
+//             is selected once per process.
+//
+// The active tier is resolved once, in this order:
+//   1. a programmatic force_kernel_tier() override (tests/benches);
+//   2. the HMXP_FORCE_KERNEL environment variable (naive|tiled|simd),
+//      so any host -- including CI machines without AVX2 -- can pin a
+//      tier; an unrecognized value throws, typos must not silently
+//      change an experiment;
+//   3. kPacked (it beats kTiled on every host: packing alone wins even
+//      with the portable micro-kernel).
+#pragma once
+
+#include <optional>
+#include <string>
+
+namespace hmxp::matrix {
+
+enum class KernelTier { kNaive, kTiled, kPacked };
+
+/// "naive", "tiled" or "simd" (the user-facing name of kPacked).
+const char* kernel_tier_name(KernelTier tier);
+
+/// Parses a tier name (case-insensitive); nullopt if unrecognized.
+std::optional<KernelTier> parse_kernel_tier(const std::string& name);
+
+/// The tier gemm_auto/gemm_parallel dispatch to right now.
+KernelTier active_kernel_tier();
+
+/// Pins (or, with nullopt, unpins) the dispatch tier for this process.
+/// Takes precedence over HMXP_FORCE_KERNEL. Not thread-safe against
+/// concurrent GEMM calls; call from test/bench setup only.
+void force_kernel_tier(std::optional<KernelTier> tier);
+
+/// True when the running CPU can execute the AVX2+FMA micro-kernel.
+bool cpu_supports_avx2_fma();
+
+/// Test/bench hook: pin the packed tier's micro-kernel to the portable
+/// implementation even on an AVX2 host, so the fallback can be measured
+/// and tested anywhere. Not thread-safe against concurrent GEMM calls.
+void force_portable_micro_kernel(bool force);
+bool portable_micro_kernel_forced();
+
+/// Micro-kernel implementation the packed tier uses right now:
+/// "avx2+fma" or "portable".
+const char* packed_kernel_variant();
+
+}  // namespace hmxp::matrix

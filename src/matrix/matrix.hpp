@@ -1,11 +1,15 @@
 // Dense row-major double-precision matrix and lightweight mutable /
 // immutable views. This is the data substrate the threaded runtime
 // multiplies for real; the simulator never touches element data.
+// Storage is 64-byte aligned (util::AlignedVector) so the packed GEMM
+// path reads cache-line-aligned panels and adjacent matrices never
+// share a line across worker threads.
 #pragma once
 
 #include <cstddef>
 #include <vector>
 
+#include "util/aligned.hpp"
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
@@ -113,7 +117,7 @@ class Matrix {
 
  private:
   std::size_t rows_ = 0, cols_ = 0;
-  std::vector<double> data_;
+  util::AlignedVector<double> data_;
 };
 
 /// Copies a window of `src` into a dense buffer (used when the runtime

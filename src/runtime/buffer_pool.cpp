@@ -1,0 +1,56 @@
+#include "runtime/buffer_pool.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace hmxp::runtime {
+
+BufferPool::Buffer BufferPool::acquire(std::size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.acquires;
+  ++outstanding_;
+  stats_.peak_outstanding = std::max(stats_.peak_outstanding, outstanding_);
+
+  // Best fit: the smallest free buffer whose capacity suffices. When
+  // none does, evict the smallest free buffer (keeping the larger ones
+  // for later checkouts) and allocate fresh -- growing a recycled
+  // vector would pointlessly copy contents the caller overwrites.
+  std::size_t best = free_.size();
+  std::size_t smallest = 0;
+  for (std::size_t i = 0; i < free_.size(); ++i) {
+    const std::size_t cap = free_[i].capacity();
+    if (cap >= size && (best == free_.size() || cap < free_[best].capacity()))
+      best = i;
+    if (cap <= free_[smallest].capacity()) smallest = i;
+  }
+  if (best != free_.size()) {
+    Buffer buffer = std::move(free_[best]);
+    free_[best] = std::move(free_.back());
+    free_.pop_back();
+    ++stats_.reuses;
+    buffer.resize(size);
+    return buffer;
+  }
+  if (!free_.empty()) {
+    free_[smallest] = std::move(free_.back());
+    free_.pop_back();
+  }
+  ++stats_.allocations;
+  return Buffer(size);
+}
+
+void BufferPool::release(Buffer&& buffer) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Clamped so a foreign (never-acquired) release cannot push the
+  // in-flight count negative; acquired buffers always balance.
+  if (outstanding_ > 0) --outstanding_;
+  if (buffer.capacity() == 0) return;  // nothing worth recycling
+  free_.push_back(std::move(buffer));
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace hmxp::runtime

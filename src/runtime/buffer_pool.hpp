@@ -1,0 +1,50 @@
+// Recycling pool for message payload buffers, making the online data
+// plane allocation-free in steady state: the master reclaims returned-C
+// and operand buffers and reuses them for the next copy-out, workers
+// return operand buffers after each step. Buffers are plain
+// std::vector<double> so they move in and out of messages for free; the
+// pool recycles their heap storage, never their contents.
+//
+// Thread-safe: the master and every worker thread acquire/release
+// concurrently. Counters make "zero per-step heap allocation after
+// warm-up" an assertable property (tests) and a benchmark counter.
+#pragma once
+
+#include <cstddef>
+#include <mutex>
+#include <vector>
+
+namespace hmxp::runtime {
+
+class BufferPool {
+ public:
+  using Buffer = std::vector<double>;
+
+  struct Stats {
+    std::size_t acquires = 0;     // total checkout count
+    std::size_t allocations = 0;  // checkouts that had to grow heap storage
+    std::size_t reuses = 0;       // checkouts served entirely from recycling
+    std::size_t peak_outstanding = 0;  // max buffers checked out at once
+  };
+
+  /// Checks out a buffer of exactly `size` elements (contents
+  /// unspecified -- callers overwrite). Served from the free list
+  /// whenever a released buffer's capacity suffices; allocates (and
+  /// counts it) otherwise.
+  Buffer acquire(std::size_t size);
+
+  /// Returns a buffer to the pool for reuse. Accepts any vector --
+  /// including one that was never acquired -- so callers can simply
+  /// hand back whatever payload they are done with.
+  void release(Buffer&& buffer);
+
+  Stats stats() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<Buffer> free_;
+  std::size_t outstanding_ = 0;
+  Stats stats_;
+};
+
+}  // namespace hmxp::runtime

@@ -10,6 +10,7 @@
 
 #include "core/algorithms.hpp"
 #include "matrix/gemm.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/messages.hpp"
 #include "util/check.hpp"
@@ -37,10 +38,12 @@ Window c_window(const matrix::Partition& part, const matrix::BlockRect& rect) {
   return window;
 }
 
-std::vector<double> copy_window(const matrix::Matrix& source, std::size_t row0,
-                                std::size_t row1, std::size_t col0,
-                                std::size_t col1) {
-  std::vector<double> data((row1 - row0) * (col1 - col0));
+/// Copies an element window into a pool-recycled dense buffer: in
+/// steady state this is a pure copy, no heap allocation.
+std::vector<double> copy_window(BufferPool& pool, const matrix::Matrix& source,
+                                std::size_t row0, std::size_t row1,
+                                std::size_t col0, std::size_t col1) {
+  std::vector<double> data = pool.acquire((row1 - row0) * (col1 - col0));
   matrix::View dst(data.data(), row1 - row0, col1 - col0, col1 - col0);
   matrix::copy_into(source.window(row0, col0, row1 - row0, col1 - col0), dst);
   return data;
@@ -55,8 +58,9 @@ class WorkerThread {
  public:
   WorkerThread(int index, std::size_t operand_capacity,
                const ExecutorOptions& options, Clock::time_point run_begin,
-               std::size_t* updates_slot)
+               std::size_t* updates_slot, BufferPool* pool)
       : index_(index),
+        pool_(pool),
         inbox_(operand_capacity),
         outbox_(1),
         base_slowdown_(options.compute_slowdown.empty()
@@ -86,12 +90,12 @@ class WorkerThread {
   void run() {
     try {
       while (auto message = inbox_.pop()) {
-        if (std::holds_alternative<ChunkMessage>(*message)) {
+        if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
           HMXP_CHECK(!chunk_.has_value(), "worker received chunk mid-chunk");
-          chunk_ = std::get<ChunkMessage>(std::move(*message));
+          chunk_ = std::move(*chunk);
           steps_done_ = 0;
         } else {
-          process(std::get<OperandMessage>(std::move(*message)));
+          process(std::move(std::get<OperandMessage>(*message)));
         }
       }
     } catch (...) {
@@ -125,16 +129,22 @@ class WorkerThread {
     matrix::ConstView a(operands.a.data(), rows, kk, kk);
     matrix::ConstView b(operands.b.data(), kk, cols, cols);
     matrix::View c(chunk.c.data(), rows, cols, cols);
-    matrix::gemm_tiled(a, b, c);
+    matrix::gemm_auto(a, b, c);
 
     // Emulated slowdown: redo the same product into scratch, discarding
     // the result, exactly like the paper's artificial deceleration.
     const int reps = current_reps();
     if (reps > 1) {
-      std::vector<double> scratch(rows * cols, 0.0);
+      std::vector<double> scratch = pool_->acquire(rows * cols);
       matrix::View sink(scratch.data(), rows, cols, cols);
-      for (int rep = 1; rep < reps; ++rep) matrix::gemm_tiled(a, b, sink);
+      for (int rep = 1; rep < reps; ++rep) matrix::gemm_auto(a, b, sink);
+      pool_->release(std::move(scratch));
     }
+
+    // Operand buffers are consumed: hand their storage back for the
+    // master's next copy-out.
+    pool_->release(std::move(operands.a));
+    pool_->release(std::move(operands.b));
 
     *updates_slot_ += static_cast<std::size_t>(
         chunk.plan.steps[operands.step].updates);
@@ -152,6 +162,7 @@ class WorkerThread {
   }
 
   int index_;
+  BufferPool* pool_;
   Channel<WorkerMessage> inbox_;
   Channel<ResultMessage> outbox_;
   int base_slowdown_;
@@ -272,6 +283,7 @@ class OnlineExecutor final : public sim::ExecutionView {
       report.updates_performed += updates;
     report.result =
         sim::collect_result(scheduler.name(), mirror_, executed);
+    report.buffer_pool = pool_.stats();
     report.wall_seconds =
         std::chrono::duration<double>(Clock::now() - wall_begin).count();
 
@@ -306,7 +318,7 @@ class OnlineExecutor final : public sim::ExecutionView {
     for (std::size_t i = 0; i < worker_count_; ++i) {
       workers_.push_back(std::make_unique<WorkerThread>(
           static_cast<int>(i), capacity, options_, run_begin,
-          &updates_per_worker_[i]));
+          &updates_per_worker_[i], &pool_));
       workers_.back()->start();
     }
   }
@@ -333,8 +345,8 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.plan = decision.chunk;
         message.element_rows = window.rows();
         message.element_cols = window.cols();
-        message.c = copy_window(c_, window.row0, window.row1, window.col0,
-                                window.col1);
+        message.c = copy_window(pool_, c_, window.row0, window.row1,
+                                window.col0, window.col1);
         workers_[w]->inbox().push(std::move(message));
         view.plan = decision.chunk;
         view.window = window;
@@ -351,10 +363,10 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.step = view.steps_sent;
         message.k_elem_begin = ek0;
         message.k_elems = ek1 - ek0;
-        message.a =
-            copy_window(a_, view.window.row0, view.window.row1, ek0, ek1);
-        message.b =
-            copy_window(b_, ek0, ek1, view.window.col0, view.window.col1);
+        message.a = copy_window(pool_, a_, view.window.row0, view.window.row1,
+                                ek0, ek1);
+        message.b = copy_window(pool_, b_, ek0, ek1, view.window.col0,
+                                view.window.col1);
         workers_[w]->inbox().push(std::move(message));
         ++view.steps_sent;
         break;
@@ -376,6 +388,8 @@ class OnlineExecutor final : public sim::ExecutionView {
             c_.window(view.window.row0, view.window.col0, view.window.rows(),
                       view.window.cols());
         matrix::copy_into(src, dst);
+        // The chunk is folded in; recycle its buffer for the next send.
+        pool_.release(std::move(result->c));
         ++chunks_processed_;
         view.plan.reset();
         break;
@@ -406,6 +420,7 @@ class OnlineExecutor final : public sim::ExecutionView {
   const matrix::Matrix& a_;
   const matrix::Matrix& b_;
   matrix::Matrix& c_;
+  BufferPool pool_;  // shared with workers; outlives them (declared first)
   ExecutorOptions options_;
   std::size_t worker_count_;
   std::vector<std::unique_ptr<WorkerThread>> workers_;

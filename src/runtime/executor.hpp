@@ -38,6 +38,7 @@
 #include "matrix/partition.hpp"
 #include "platform/perturbation.hpp"
 #include "platform/platform.hpp"
+#include "runtime/buffer_pool.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hmxp::runtime {
@@ -76,6 +77,11 @@ struct ExecutorReport {
   std::vector<std::size_t> updates_per_worker;
   bool verified = false;               // true iff verify ran and passed
   double max_abs_error = 0.0;          // vs reference (when verify on)
+  /// Payload-buffer recycling counters for the run: in steady state
+  /// acquires grow while allocations stay at the warm-up count (the
+  /// "no per-step payload allocation" property; small per-step
+  /// bookkeeping like channel nodes is outside the pool's scope).
+  BufferPool::Stats buffer_pool;
 };
 
 /// Online execution: drives `scheduler` live against real worker

@@ -1,6 +1,13 @@
 // Messages exchanged between the master thread and worker threads.
 // Payloads are dense copies of the covered element windows -- the worker
 // owns its copy, exactly like an MPI rank owns its receive buffer.
+// Payload vectors are checked out of the run's runtime::BufferPool and
+// returned to it once consumed (workers release operand buffers after
+// each step, the master releases a returned C after folding it in), so
+// in steady state the data plane moves its element storage -- the
+// dominant, O(panel) allocations -- without allocating any; only
+// O(1)-sized bookkeeping (channel nodes, plan metadata) still touches
+// the heap per step.
 #pragma once
 
 #include <cstddef>

@@ -1,5 +1,8 @@
 // A small fixed-size thread pool for fanning independent work items
-// (the experiment pipeline's instance x algorithm cells) across cores.
+// across cores: the experiment pipeline's instance x algorithm cells,
+// and (through matrix::gemm_parallel's process-wide shared instance)
+// the 2-D C-tile work items of the parallel GEMM driver -- kernels no
+// longer spawn threads per call.
 //
 // Semantics are deliberately minimal: submit() enqueues a task, the
 // workers drain the queue FIFO, wait_idle() blocks until every submitted

@@ -1,11 +1,15 @@
-// GEMM kernel tests: the tiled and parallel kernels must agree with the
-// naive oracle on arbitrary (including degenerate) shapes, and all
-// kernels must accumulate rather than overwrite.
+// GEMM kernel tests: the tiled, packed-SIMD and parallel kernels must
+// agree with the naive oracle on arbitrary (including degenerate)
+// shapes -- randomized rectangular sweeps, unaligned sub-window views,
+// every dispatch tier -- and all kernels must accumulate rather than
+// overwrite.
 #include <gtest/gtest.h>
 
 #include <tuple>
+#include <vector>
 
 #include "matrix/gemm.hpp"
+#include "matrix/kernel_dispatch.hpp"
 #include "util/rng.hpp"
 
 namespace hmxp::matrix {
@@ -20,7 +24,7 @@ Matrix reference_product(const Matrix& a, const Matrix& b, const Matrix& c0) {
 class GemmShapes
     : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
 
-TEST_P(GemmShapes, TiledMatchesNaive) {
+TEST_P(GemmShapes, AllKernelsMatchNaive) {
   const auto [m, k, n] = GetParam();
   // Mix the shape into a seed in 64-bit unsigned arithmetic (the int
   // products overflow for the larger shapes, which UBSan rejects).
@@ -38,6 +42,10 @@ TEST_P(GemmShapes, TiledMatchesNaive) {
   Matrix tiled = c0;
   gemm_tiled(a.view(), b.view(), tiled.view());
   EXPECT_LT(Matrix::max_abs_diff(tiled, expected), 1e-11);
+
+  Matrix simd = c0;
+  gemm_simd(a.view(), b.view(), simd.view());
+  EXPECT_LT(Matrix::max_abs_diff(simd, expected), 1e-11);
 
   Matrix parallel = c0;
   gemm_parallel(a.view(), b.view(), parallel.view(), 3);
@@ -129,6 +137,167 @@ TEST(Gemm, WholeMatrixConvenience) {
 TEST(Gemm, FlopCount) {
   EXPECT_DOUBLE_EQ(gemm_flops(80, 80, 80), 2.0 * 80 * 80 * 80);
   EXPECT_DOUBLE_EQ(gemm_flops(0, 5, 5), 0.0);
+}
+
+// ---- randomized kernel-equivalence sweep ------------------------------------
+
+struct Shape {
+  std::size_t m, k, n;
+};
+
+/// ~50 rectangular shapes: forced degenerate rows (1 x n, n x 1, 1-deep
+/// inner dimension) plus random draws spanning micro-tile remainders.
+std::vector<Shape> sweep_shapes() {
+  std::vector<Shape> shapes = {
+      {1, 1, 1},   {1, 37, 1},  {1, 1, 129},  {129, 1, 1},  {1, 200, 9},
+      {200, 5, 1}, {2, 256, 2}, {131, 1, 67}, {1, 131, 67}, {67, 131, 1},
+  };
+  util::Rng rng(0xC0FFEE);
+  while (shapes.size() < 50) {
+    shapes.push_back({static_cast<std::size_t>(rng.uniform_int(1, 150)),
+                      static_cast<std::size_t>(rng.uniform_int(1, 300)),
+                      static_cast<std::size_t>(rng.uniform_int(1, 150))});
+  }
+  return shapes;
+}
+
+TEST(Gemm, RandomizedKernelEquivalenceSweep) {
+  util::Rng rng(99);
+  for (const Shape& shape : sweep_shapes()) {
+    const Matrix a = Matrix::random(shape.m, shape.k, rng);
+    const Matrix b = Matrix::random(shape.k, shape.n, rng);
+    const Matrix c0 = Matrix::random(shape.m, shape.n, rng);
+    const Matrix expected = reference_product(a, b, c0);
+    const std::string label = std::to_string(shape.m) + "x" +
+                              std::to_string(shape.k) + "x" +
+                              std::to_string(shape.n);
+
+    Matrix tiled = c0;
+    gemm_tiled(a.view(), b.view(), tiled.view());
+    EXPECT_LT(Matrix::max_abs_diff(tiled, expected), 1e-10) << label;
+
+    Matrix simd = c0;
+    gemm_simd(a.view(), b.view(), simd.view());
+    EXPECT_LT(Matrix::max_abs_diff(simd, expected), 1e-10) << label;
+
+    Matrix parallel = c0;
+    gemm_parallel(a.view(), b.view(), parallel.view(), 4);
+    EXPECT_LT(Matrix::max_abs_diff(parallel, expected), 1e-10) << label;
+  }
+}
+
+TEST(Gemm, RandomizedUnalignedSubWindowSweep) {
+  // Operands live at odd offsets inside larger matrices, so every view
+  // has stride != cols and deliberately misaligned row starts -- the
+  // packed path must not depend on operand alignment.
+  util::Rng rng(77);
+  for (int trial = 0; trial < 12; ++trial) {
+    const auto m = static_cast<std::size_t>(rng.uniform_int(1, 60));
+    const auto k = static_cast<std::size_t>(rng.uniform_int(1, 80));
+    const auto n = static_cast<std::size_t>(rng.uniform_int(1, 60));
+    Matrix big_a = Matrix::random(m + 5, k + 3, rng);
+    Matrix big_b = Matrix::random(k + 7, n + 9, rng);
+    Matrix big_c = Matrix::random(m + 3, n + 5, rng);
+    const ConstView a = big_a.window(3, 1, m, k);
+    const ConstView b = big_b.window(5, 3, k, n);
+
+    Matrix small_a(m, k), small_b(k, n), expected(m, n);
+    copy_into(a, small_a.view());
+    copy_into(b, small_b.view());
+    copy_into(big_c.window(1, 3, m, n), expected.view());
+    gemm_naive(small_a.view(), small_b.view(), expected.view());
+
+    Matrix c_simd = big_c;
+    gemm_simd(a, b, c_simd.window(1, 3, m, n));
+    Matrix got(m, n);
+    copy_into(c_simd.window(1, 3, m, n), got.view());
+    EXPECT_LT(Matrix::max_abs_diff(got, expected), 1e-10) << trial;
+
+    Matrix c_par = big_c;
+    gemm_parallel(a, b, c_par.window(1, 3, m, n), 3);
+    copy_into(c_par.window(1, 3, m, n), got.view());
+    EXPECT_LT(Matrix::max_abs_diff(got, expected), 1e-10) << trial;
+  }
+}
+
+// ---- dispatch tiers ---------------------------------------------------------
+
+TEST(Gemm, KernelTierNamesRoundTrip) {
+  EXPECT_EQ(parse_kernel_tier("naive"), KernelTier::kNaive);
+  EXPECT_EQ(parse_kernel_tier("Tiled"), KernelTier::kTiled);
+  EXPECT_EQ(parse_kernel_tier("SIMD"), KernelTier::kPacked);
+  EXPECT_EQ(parse_kernel_tier("atlas"), std::nullopt);
+  for (const KernelTier tier :
+       {KernelTier::kNaive, KernelTier::kTiled, KernelTier::kPacked})
+    EXPECT_EQ(parse_kernel_tier(kernel_tier_name(tier)), tier);
+}
+
+TEST(Gemm, ForcedTierDrivesAutoDispatch) {
+  util::Rng rng(41);
+  const Matrix a = Matrix::random(33, 21, rng);
+  const Matrix b = Matrix::random(21, 29, rng);
+  Matrix expected(33, 29, 0.0);
+  gemm_naive(a.view(), b.view(), expected.view());
+
+  for (const KernelTier tier :
+       {KernelTier::kNaive, KernelTier::kTiled, KernelTier::kPacked}) {
+    force_kernel_tier(tier);
+    EXPECT_EQ(active_kernel_tier(), tier);
+    Matrix c(33, 29, 0.0);
+    gemm_auto(a.view(), b.view(), c.view());
+    EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-11)
+        << kernel_tier_name(tier);
+    Matrix c_par(33, 29, 0.0);
+    gemm_parallel(a.view(), b.view(), c_par.view(), 2);
+    EXPECT_LT(Matrix::max_abs_diff(c_par, expected), 1e-11)
+        << kernel_tier_name(tier);
+  }
+  force_kernel_tier(std::nullopt);
+}
+
+TEST(Gemm, PortableMicroKernelMatchesAvx2Path) {
+  // On an AVX2 host this compares the two micro-kernel implementations;
+  // elsewhere both runs take the portable one and trivially agree.
+  util::Rng rng(43);
+  const Matrix a = Matrix::random(70, 90, rng);
+  const Matrix b = Matrix::random(90, 75, rng);
+  Matrix expected(70, 75, 0.0);
+  gemm_naive(a.view(), b.view(), expected.view());
+
+  force_portable_micro_kernel(true);
+  EXPECT_STREQ(packed_kernel_variant(), "portable");
+  Matrix portable(70, 75, 0.0);
+  gemm_simd(a.view(), b.view(), portable.view());
+  force_portable_micro_kernel(false);
+  EXPECT_LT(Matrix::max_abs_diff(portable, expected), 1e-10);
+
+  Matrix native(70, 75, 0.0);
+  gemm_simd(a.view(), b.view(), native.view());
+  EXPECT_LT(Matrix::max_abs_diff(native, expected), 1e-10);
+}
+
+// ---- parallel split degeneracies --------------------------------------------
+
+TEST(Gemm, ParallelTallSkinnyAndShortWide) {
+  // The old rows/threads split left trailing threads idle on tall-
+  // skinny C and serialized short-wide C entirely; tile work-stealing
+  // must both stay correct and split these shapes.
+  util::Rng rng(47);
+  const struct {
+    std::size_t m, k, n;
+  } cases[] = {{611, 13, 5}, {5, 13, 611}, {1024, 3, 3}, {2, 500, 2}};
+  for (const auto& shape : cases) {
+    const Matrix a = Matrix::random(shape.m, shape.k, rng);
+    const Matrix b = Matrix::random(shape.k, shape.n, rng);
+    Matrix expected(shape.m, shape.n, 0.0);
+    gemm_naive(a.view(), b.view(), expected.view());
+    for (const int threads : {2, 7, 64}) {
+      Matrix c(shape.m, shape.n, 0.0);
+      gemm_parallel(a.view(), b.view(), c.view(), threads);
+      EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-10)
+          << shape.m << "x" << shape.n << " threads=" << threads;
+    }
+  }
 }
 
 }  // namespace
