@@ -36,7 +36,7 @@ int main(int argc, char** argv) {
                                           // summary bench under a minute
   }
 
-  const auto& algorithms = core::all_algorithms();
+  const auto& algorithms = core::paper_algorithms();
   const auto results = core::run_experiment(instances, algorithms);
   const auto summaries = core::summarize(results, algorithms);
 

@@ -8,7 +8,11 @@
 // directory, so CI keeps a machine-readable perf trajectory across PRs.
 #include <benchmark/benchmark.h>
 
+#include <array>
+#include <atomic>
 #include <cstring>
+#include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -18,6 +22,7 @@
 #include "platform/generator.hpp"
 #include "runtime/executor.hpp"
 #include "sched/demand_driven.hpp"
+#include "sched/registry.hpp"
 #include "sim/scheduler.hpp"
 #include "util/rng.hpp"
 
@@ -181,6 +186,51 @@ void BM_OnlineRuntime(benchmark::State& state) {
   state.counters["pool_acquires"] = static_cast<double>(pool_acquires);
 }
 BENCHMARK(BM_OnlineRuntime)->Arg(160)->Arg(320)->Unit(benchmark::kMillisecond);
+
+void BM_OnlineRuntimeFaulty(benchmark::State& state) {
+  // The unreliable-platform path: one of four workers is killed partway
+  // through every run (its 4th operand step) and the fault-tolerant
+  // demand-driven policy re-assigns the lost chunk to the survivors.
+  // Blocks/sec here vs BM_OnlineRuntime is the price of recovery --
+  // failure detection, channel draining, mirror rollback, re-planning.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plat = platform::Platform::homogeneous(4, 0.01, 0.002, 40);
+  const matrix::Partition part(n, n, n, 16);
+  util::Rng rng(5);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  std::size_t blocks = 0;
+  std::size_t updates = 0;
+  std::size_t failures = 0;
+  for (auto _ : state) {
+    auto scheduler =
+        sched::Registry::instance().make("FT-ODDOML", plat, part);
+    runtime::ExecutorOptions options;
+    options.verify = false;
+    options.tolerate_faults = true;
+    auto steps = std::make_shared<std::array<std::atomic<int>, 4>>();
+    options.fault_hook = [steps](int worker, std::size_t) {
+      if (worker == 1 && 1 + (*steps)[1].fetch_add(1) == 4)
+        throw std::runtime_error("benchmark kill: worker 1");
+    };
+    const runtime::ExecutorReport report =
+        runtime::execute_online(*scheduler, plat, part, a, b, c, options);
+    blocks += static_cast<std::size_t>(report.result.comm_blocks);
+    updates += report.updates_performed;
+    failures += static_cast<std::size_t>(report.workers_failed);
+    benchmark::DoNotOptimize(report.wall_seconds);
+  }
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(blocks), benchmark::Counter::kIsRate);
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(updates), benchmark::Counter::kIsRate);
+  state.counters["failures"] = static_cast<double>(failures);
+}
+BENCHMARK(BM_OnlineRuntimeFaulty)
+    ->Arg(160)
+    ->Arg(320)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_SteadyStateSimplex(benchmark::State& state) {
   const auto plat = platform::real_platform_aug2007();

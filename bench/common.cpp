@@ -66,7 +66,7 @@ std::vector<core::Instance> fig8_instances(std::size_t s_blocks) {
 void report_experiment(const std::string& title,
                        const std::vector<core::Instance>& instances,
                        const std::optional<std::string>& csv_prefix) {
-  const auto& algorithms = core::all_algorithms();
+  const auto& algorithms = core::paper_algorithms();
   const auto results = core::run_experiment(instances, algorithms);
 
   std::cout << "== " << title << " ==\n\n";

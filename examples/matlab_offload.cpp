@@ -40,7 +40,7 @@ int main(int argc, char** argv) {
   const matrix::Partition plan_part =
       matrix::Partition::from_blocks(100, 100, s, 80);
   const core::Instance instance{"plan", plat, plan_part};
-  const auto results = core::run_instance(instance, core::all_algorithms());
+  const auto results = core::run_instance(instance, core::paper_algorithms());
 
   util::Table table({"algorithm", "makespan", "workers", "rel cost",
                      "rel work", "port blocks"});

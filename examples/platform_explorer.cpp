@@ -49,7 +49,7 @@ int main(int argc, char** argv) {
                               std::move(workers));
   };
 
-  const auto& algorithms = core::all_algorithms();
+  const auto& algorithms = core::paper_algorithms();
   std::vector<std::string> headers{"degradation"};
   for (const auto& algorithm : algorithms)
     headers.push_back(core::algorithm_name(algorithm));

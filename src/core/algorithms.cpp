@@ -8,6 +8,17 @@ std::vector<Algorithm> all_algorithms() {
   return sched::Registry::instance().names();
 }
 
+std::vector<Algorithm> paper_algorithms() {
+  // Presentation order puts the paper's seven first (orders 0-6); the
+  // unreliable-platform family registers at 10+.
+  std::vector<Algorithm> paper;
+  for (const Algorithm& name : sched::Registry::instance().names()) {
+    if (sched::Registry::instance().at(name).paper_order < 10)
+      paper.push_back(name);
+  }
+  return paper;
+}
+
 std::string algorithm_name(const Algorithm& algorithm) {
   return sched::Registry::instance().at(algorithm).name;
 }

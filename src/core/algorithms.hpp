@@ -19,8 +19,15 @@ namespace hmxp::core {
 /// Canonical algorithm name, as registered in sched::Registry.
 using Algorithm = std::string;
 
-/// Every registered algorithm, in the paper's presentation order.
+/// Every registered algorithm, in the paper's presentation order
+/// (paper columns first, then the unreliable-platform family: FT-*
+/// wrappers and the calibrated min-min).
 std::vector<Algorithm> all_algorithms();
+
+/// The paper's seven section-6 columns only -- what the figure/table
+/// reproduction benches iterate, so their output keeps the paper's
+/// shape as the registry grows scenario-specific variants.
+std::vector<Algorithm> paper_algorithms();
 
 /// Canonical spelling of (a possibly differently-cased) `algorithm`;
 /// throws std::invalid_argument listing the valid names on unknowns.

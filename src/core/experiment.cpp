@@ -32,7 +32,7 @@ void run_cell(const Instance& instance, const Algorithm& algorithm,
                  ? run_algorithm_online(algorithm, instance.platform,
                                         instance.partition, options.online)
                  : run_algorithm(algorithm, instance.platform,
-                                 instance.partition);
+                                 instance.partition, options.sim);
   } catch (const std::exception& exception) {
     report = RunReport{};
     report.algorithm = algorithm;

@@ -58,8 +58,12 @@ struct ExperimentOptions {
   /// for online grids).
   Backend backend = Backend::kSim;
   /// Knobs for Backend::kOnline cells (seed, verification, dynamic
-  /// perturbation).
+  /// perturbation, fault schedule, calibration, throttled channel).
   OnlineOptions online;
+  /// Knobs for Backend::kSim cells (model-clock slowdown + fault
+  /// schedules, calibration) -- any cell can run the unreliable-platform
+  /// scenario on either backend.
+  SimOptions sim;
 };
 
 /// Runs every algorithm on the instance and fills the relative metrics.

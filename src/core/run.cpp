@@ -44,6 +44,14 @@ RunReport run_algorithm(const Algorithm& algorithm,
                         const platform::Platform& platform,
                         const matrix::Partition& partition,
                         bool record_trace) {
+  return run_algorithm(algorithm, platform, partition, SimOptions{},
+                       record_trace);
+}
+
+RunReport run_algorithm(const Algorithm& algorithm,
+                        const platform::Platform& platform,
+                        const matrix::Partition& partition,
+                        const SimOptions& options, bool record_trace) {
   RunReport report;
   report.algorithm = algorithm_name(algorithm);
   report.algorithm_label = report.algorithm;
@@ -51,7 +59,11 @@ RunReport run_algorithm(const Algorithm& algorithm,
 
   std::unique_ptr<sim::Scheduler> scheduler =
       timed_scheduler(report, algorithm, platform, partition);
-  report.result = sim::simulate(*scheduler, platform, partition, record_trace);
+  report.result = sim::simulate(
+      *scheduler,
+      sim::InstanceContext::make(platform, partition, options.slowdown,
+                                 options.faults, options.calibration),
+      record_trace);
   fill_bounds(report, platform);
   return report;
 }
@@ -78,6 +90,10 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
   runtime::ExecutorOptions executor_options;
   executor_options.verify = options.verify;
   executor_options.perturbation = options.perturbation;
+  executor_options.faults = options.faults;
+  executor_options.tolerate_faults = options.tolerate_faults;
+  executor_options.calibration = options.calibration;
+  executor_options.throttle_block_seconds = options.throttle_block_seconds;
   executor_options.record_trace = record_trace;
   const runtime::ExecutorReport executed = runtime::execute_online(
       *scheduler, platform, partition, a, b, c, executor_options);

@@ -27,8 +27,28 @@ struct OnlineOptions {
   std::uint64_t data_seed = 42;
   /// Verify C against a reference product (throws on mismatch).
   bool verify = true;
-  /// Dynamic per-worker slowdown, keyed on wall seconds since run start.
+  /// Dynamic per-worker compute/bandwidth drift, keyed on wall seconds
+  /// since run start.
   platform::SlowdownSchedule perturbation;
+  /// Permanent worker kills, keyed on wall seconds since run start.
+  platform::FaultSchedule faults;
+  /// Recover from worker loss instead of aborting (pair with an FT-*
+  /// algorithm; a non-fault-tolerant policy cannot finish after one).
+  bool tolerate_faults = false;
+  /// EWMA knobs for the observed-speed feedback loop.
+  platform::CalibrationOptions calibration;
+  /// Port emulation: master-side wall seconds per block moved, scaled
+  /// by the perturbation's bandwidth factor (0 = no throttled channel).
+  double throttle_block_seconds = 0.0;
+};
+
+/// Knobs for Backend::kSim cells: the same unreliable-platform scenario
+/// on the model clock (the engine applies both schedules at decision
+/// boundaries and feeds the calibration from projected step costs).
+struct SimOptions {
+  platform::SlowdownSchedule slowdown;
+  platform::FaultSchedule faults;
+  platform::CalibrationOptions calibration;
 };
 
 struct RunReport {
@@ -63,6 +83,13 @@ RunReport run_algorithm(const Algorithm& algorithm,
                         const platform::Platform& platform,
                         const matrix::Partition& partition,
                         bool record_trace = false);
+
+/// Same, over a perturbed/unreliable instance (slowdown + fault
+/// schedules on the model clock, calibration knobs).
+RunReport run_algorithm(const Algorithm& algorithm,
+                        const platform::Platform& platform,
+                        const matrix::Partition& partition,
+                        const SimOptions& options, bool record_trace = false);
 
 /// Runs `algorithm` live on the threaded runtime: random matrices are
 /// generated to the partition's shape, the scheduler drives real worker

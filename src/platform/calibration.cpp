@@ -44,4 +44,26 @@ WorkerSpec calibrate(const PhysicalSpec& spec,
   return worker;
 }
 
+void SpeedEstimate::observe(double per_update_cost, double alpha) {
+  HMXP_REQUIRE(per_update_cost > 0, "observed cost must be positive");
+  HMXP_REQUIRE(alpha > 0 && alpha <= 1, "EWMA alpha must be in (0, 1]");
+  ++observations;
+  if (observations <= kWarmup) return;  // cold-start steps lie
+  if (observations == kWarmup + 1) {
+    ewma = per_update_cost;
+  } else {
+    ewma = alpha * per_update_cost + (1.0 - alpha) * ewma;
+  }
+  if (baseline_count < kBaselineWindow) {
+    baseline_sum += per_update_cost;
+    ++baseline_count;
+    baseline = baseline_sum / static_cast<double>(baseline_count);
+  }
+}
+
+double SpeedEstimate::drift() const {
+  if (!calibrated() || baseline <= 0.0) return 1.0;
+  return ewma / baseline;
+}
+
 }  // namespace hmxp::platform

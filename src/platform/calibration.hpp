@@ -52,4 +52,55 @@ model::BlockCount memory_blocks(double ram_mib, double usable_fraction,
 WorkerSpec calibrate(const PhysicalSpec& spec,
                      const CalibrationConstants& constants = {});
 
+// ---- online calibration -----------------------------------------------------
+
+/// EWMA tracker of one worker's observed per-update cost, the online
+/// counterpart of the physical calibration above: instead of deriving
+/// w_i from a datasheet it is re-estimated from what the worker actually
+/// did. Both execution backends fold their observations through this
+/// type -- the simulator in model seconds (the engine observes every
+/// projected step, so the estimate tracks the SlowdownSchedule's ground
+/// truth), the threaded runtime in wall seconds per update (each
+/// worker's measured step latencies). The first observation doubles as
+/// the baseline, so drift() is a clock-unit-free ratio ("this worker now
+/// runs 2.1x slower than when the run started") comparable across
+/// backends.
+struct SpeedEstimate {
+  /// Leading observations discarded outright: a worker's first real
+  /// step pays page faults and cold caches and can read 10-30x slow,
+  /// which would poison a first-observation baseline for the whole run.
+  static constexpr std::size_t kWarmup = 1;
+  /// Post-warmup observations averaged into the baseline.
+  static constexpr std::size_t kBaselineWindow = 4;
+
+  double ewma = 0.0;          // smoothed per-update cost, backend clock
+  double baseline = 0.0;      // mean of the first post-warmup window
+  double baseline_sum = 0.0;
+  std::size_t baseline_count = 0;
+  std::size_t observations = 0;  // total, warm-up included
+
+  /// Folds one observed per-update cost in. `alpha` in (0, 1]: weight of
+  /// the new observation (1.0 = always trust the latest step).
+  void observe(double per_update_cost, double alpha);
+
+  bool calibrated() const { return observations > kWarmup; }
+  /// The smoothed estimate, or `fallback` until warmed up.
+  double value_or(double fallback) const {
+    return calibrated() ? ewma : fallback;
+  }
+  /// Current-vs-initial speed ratio (> 1 = the worker slowed down);
+  /// exactly 1.0 until warmed up.
+  double drift() const;
+
+  bool operator==(const SpeedEstimate&) const = default;
+};
+
+/// Knobs for the EWMA calibration loop, shared by both backends.
+struct CalibrationOptions {
+  /// Weight of the newest observation. The default reaches ~95% of a
+  /// stepped speed change within 10 observations while smoothing
+  /// single-step jitter.
+  double alpha = 0.25;
+};
+
 }  // namespace hmxp::platform

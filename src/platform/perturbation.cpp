@@ -6,26 +6,71 @@
 
 namespace hmxp::platform {
 
-void SlowdownSchedule::add(int worker, model::Time at, double factor) {
-  HMXP_REQUIRE(worker >= 0, "slowdown event needs a worker index");
-  HMXP_REQUIRE(at >= 0.0, "slowdown event time cannot be negative");
-  HMXP_REQUIRE(factor > 1e-9, "slowdown factor must be positive");
-  SlowdownEvent event{at, worker, factor};
+void SlowdownSchedule::insert(SlowdownEvent event) {
+  HMXP_REQUIRE(event.worker >= 0, "slowdown event needs a worker index");
+  HMXP_REQUIRE(event.at >= 0.0, "slowdown event time cannot be negative");
+  HMXP_REQUIRE(event.factor > 1e-9, "slowdown factor must be positive");
   // Keep events sorted by time; equal times keep insertion order so the
-  // last add() wins, which is what factor() relies on.
+  // last add() wins, which is what lookup() relies on.
   const auto after = std::upper_bound(
       events_.begin(), events_.end(), event,
       [](const SlowdownEvent& a, const SlowdownEvent& b) { return a.at < b.at; });
   events_.insert(after, event);
 }
 
-double SlowdownSchedule::factor(int worker, model::Time at) const {
+void SlowdownSchedule::add(int worker, model::Time at, double factor) {
+  insert(SlowdownEvent{at, worker, factor, SlowdownEvent::Resource::kCompute});
+}
+
+void SlowdownSchedule::add_bandwidth(int worker, model::Time at,
+                                     double factor) {
+  insert(
+      SlowdownEvent{at, worker, factor, SlowdownEvent::Resource::kBandwidth});
+}
+
+double SlowdownSchedule::lookup(int worker, model::Time at,
+                                SlowdownEvent::Resource resource) const {
   double current = 1.0;
   for (const SlowdownEvent& event : events_) {
     if (event.at > at) break;
-    if (event.worker == worker) current = event.factor;
+    if (event.worker == worker && event.resource == resource)
+      current = event.factor;
   }
   return current;
+}
+
+double SlowdownSchedule::factor(int worker, model::Time at) const {
+  return lookup(worker, at, SlowdownEvent::Resource::kCompute);
+}
+
+double SlowdownSchedule::bandwidth_factor(int worker, model::Time at) const {
+  return lookup(worker, at, SlowdownEvent::Resource::kBandwidth);
+}
+
+bool SlowdownSchedule::has_bandwidth_events() const {
+  return std::any_of(events_.begin(), events_.end(),
+                     [](const SlowdownEvent& event) {
+                       return event.resource ==
+                              SlowdownEvent::Resource::kBandwidth;
+                     });
+}
+
+void FaultSchedule::add(int worker, model::Time at) {
+  HMXP_REQUIRE(worker >= 0, "fault event needs a worker index");
+  HMXP_REQUIRE(at >= 0.0, "fault event time cannot be negative");
+  FaultEvent event{at, worker};
+  const auto after = std::upper_bound(
+      events_.begin(), events_.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) { return a.at < b.at; });
+  events_.insert(after, event);
+}
+
+bool FaultSchedule::dead(int worker, model::Time at) const {
+  for (const FaultEvent& event : events_) {
+    if (event.at > at) break;
+    if (event.worker == worker) return true;
+  }
+  return false;
 }
 
 }  // namespace hmxp::platform

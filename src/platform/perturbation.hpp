@@ -1,21 +1,30 @@
-// Dynamic platform perturbation: per-worker compute slowdown that
-// changes mid-run, the hook that opens the adaptive / time-varying
-// scenario class ("Adaptive Private Distributed Matrix Multiplication",
-// Bitar et al. 2021: worker speeds drift while the product runs).
+// Dynamic platform perturbation: per-worker resources that change
+// mid-run, the hooks that open the adaptive / time-varying / unreliable
+// scenario classes ("Adaptive Private Distributed Matrix
+// Multiplication", Bitar et al. 2021: worker speeds drift -- and workers
+// drop out -- while the product runs).
 //
 // A SlowdownSchedule is a piecewise-constant multiplier on a worker's
-// per-update compute cost: factor(i, t) is the multiplier in force for
+// per-update compute cost (w_i) or on its link cost (c_i):
+// factor(i, t) / bandwidth_factor(i, t) is the multiplier in force for
 // worker i at time t (1.0 before any event). Both execution backends
 // consume the same schedule, each against its own clock:
 //   * the simulator reads it in model seconds -- the engine scales the
-//     projected compute duration of every step by the factor in force at
-//     the step's compute start, so time-varying platforms are first-class
+//     projected compute duration of every step (and, for bandwidth
+//     events, every communication's port time) by the factor in force
+//     when it starts, so time-varying platforms are first-class
 //     simulation instances;
 //   * the threaded runtime reads it in wall seconds since the run began
-//     -- each worker re-reads its factor before every step and repeats
-//     the block product accordingly (the paper's deceleration trick),
-//     so an online scheduler faces a platform that really does change
-//     under it mid-run.
+//     -- each worker re-reads its compute factor before every step and
+//     repeats the block product accordingly (the paper's deceleration
+//     trick), and the master throttles its per-message port sleep by the
+//     bandwidth factor (ExecutorOptions::throttle_block_seconds), so an
+//     online scheduler faces links and CPUs that really change under it.
+//
+// A FaultSchedule is the unreliable-platform counterpart: worker i dies
+// for good at time t. The engine applies events at decision boundaries
+// of the model clock; runtime workers check the wall clock before every
+// message they process and kill themselves past their event.
 #pragma once
 
 #include <vector>
@@ -25,9 +34,11 @@
 namespace hmxp::platform {
 
 struct SlowdownEvent {
+  enum class Resource { kCompute, kBandwidth };
   model::Time at = 0.0;  // backend clock: model secs (sim) / wall secs (rt)
   int worker = -1;
-  double factor = 1.0;   // multiplier on the worker's per-update cost
+  double factor = 1.0;   // multiplier on the worker's per-update/link cost
+  Resource resource = Resource::kCompute;
 };
 
 class SlowdownSchedule {
@@ -38,15 +49,50 @@ class SlowdownSchedule {
   /// small positive bound; a later event for the same worker replaces
   /// the factor, it does not compose).
   void add(int worker, model::Time at, double factor);
+  /// Same, on the worker's link: every block it exchanges with the
+  /// master costs `factor` times the static c_i from `at` on.
+  void add_bandwidth(int worker, model::Time at, double factor);
 
-  /// Multiplier in force for `worker` at time `at` (1.0 with no event).
+  /// Compute multiplier in force for `worker` at `at` (1.0 w/o events).
   double factor(int worker, model::Time at) const;
+  /// Link multiplier in force for `worker` at `at` (1.0 w/o events).
+  double bandwidth_factor(int worker, model::Time at) const;
 
   bool empty() const { return events_.empty(); }
+  bool has_bandwidth_events() const;
   const std::vector<SlowdownEvent>& events() const { return events_; }
 
  private:
+  void insert(SlowdownEvent event);
+  double lookup(int worker, model::Time at,
+                SlowdownEvent::Resource resource) const;
+
   std::vector<SlowdownEvent> events_;  // sorted by (at, insertion order)
+};
+
+/// Permanent worker loss: worker `worker` fails at time `at` (same
+/// per-backend clock convention as SlowdownSchedule). A failed worker
+/// never recovers; its in-flight chunk returns to the pending set and a
+/// fault-tolerant scheduler re-assigns it to a survivor.
+struct FaultEvent {
+  model::Time at = 0.0;
+  int worker = -1;
+};
+
+class FaultSchedule {
+ public:
+  FaultSchedule() = default;
+
+  void add(int worker, model::Time at);
+
+  /// True if `worker` has an event at or before `at`.
+  bool dead(int worker, model::Time at) const;
+
+  bool empty() const { return events_.empty(); }
+  const std::vector<FaultEvent>& events() const { return events_; }
+
+ private:
+  std::vector<FaultEvent> events_;  // sorted by (at, insertion order)
 };
 
 }  // namespace hmxp::platform

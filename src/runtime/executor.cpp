@@ -1,6 +1,7 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -51,9 +52,10 @@ std::vector<double> copy_window(BufferPool& pool, const matrix::Matrix& source,
 
 /// Per-worker thread: consumes chunk and operand messages, performs the
 /// real block updates, returns finished chunks. On any internal error it
-/// records the exception and closes BOTH its channels, so a master
-/// blocked pushing or popping wakes up, unwinds through its cleanup
-/// path, and rethrows the worker's exception after joining.
+/// records the exception, raises its `failed` flag, and closes BOTH its
+/// channels, so a master blocked pushing or popping wakes up; the master
+/// notices the flag at its next completion sweep -- and either recovers
+/// (tolerate_faults) or unwinds and rethrows the worker's exception.
 class WorkerThread {
  public:
   WorkerThread(int index, std::size_t operand_capacity,
@@ -68,6 +70,7 @@ class WorkerThread {
                            : options.compute_slowdown[static_cast<std::size_t>(
                                  index)]),
         perturbation_(&options.perturbation),
+        faults_(&options.faults),
         fault_hook_(options.fault_hook),
         run_begin_(run_begin),
         updates_slot_(updates_slot) {}
@@ -80,29 +83,63 @@ class WorkerThread {
   }
   /// Signals the worker to exit once its inbox drains.
   void request_stop() { inbox_.close(); }
+  /// Master-initiated decommission: closes both channels so the worker
+  /// unblocks and exits; any error it raises on the way out (e.g. a
+  /// push on its now-closed outbox) is expected, not a failure.
+  void kill() {
+    killed_.store(true, std::memory_order_release);
+    inbox_.close();
+    outbox_.close();
+  }
   void join() {
     if (thread_.joinable()) thread_.join();
   }
-  /// Valid only after join().
+  /// True once the worker thread died on an exception. The release
+  /// store happens after error_ is recorded, so a master that observes
+  /// failed() may read error() without a race (even before join).
+  bool failed() const { return failed_.load(std::memory_order_acquire); }
+  bool killed() const { return killed_.load(std::memory_order_acquire); }
+  /// Valid once failed() is observed (or after join()).
   const std::exception_ptr& error() const { return error_; }
 
  private:
   void run() {
     try {
       while (auto message = inbox_.pop()) {
+        check_scheduled_fault();
         if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
           HMXP_CHECK(!chunk_.has_value(), "worker received chunk mid-chunk");
           chunk_ = std::move(*chunk);
           steps_done_ = 0;
+          step_seconds_.clear();
         } else {
           process(std::move(std::get<OperandMessage>(*message)));
         }
       }
     } catch (...) {
       error_ = std::current_exception();
+      // A dying worker hands the pool back what it can (its resident C
+      // copy); in-flight locals are freed by unwinding instead.
+      if (chunk_.has_value()) {
+        pool_->release(std::move(chunk_->c));
+        chunk_.reset();
+      }
+      failed_.store(true, std::memory_order_release);
       inbox_.close();
       outbox_.close();
     }
+  }
+
+  /// Wall-clock fault schedule: the worker dies for good once its event
+  /// time passes, whatever it was about to do.
+  void check_scheduled_fault() const {
+    if (faults_->empty()) return;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - run_begin_).count();
+    if (faults_->dead(index_, elapsed))
+      throw std::runtime_error("scheduled fault: worker " +
+                               std::to_string(index_) + " died at t=" +
+                               std::to_string(elapsed));
   }
 
   /// Compute repetitions in force right now: the static per-worker
@@ -123,6 +160,7 @@ class WorkerThread {
     HMXP_CHECK(operands.step == steps_done_, "operand step out of order");
     if (fault_hook_) fault_hook_(index_, operands.step);
 
+    const auto step_begin = Clock::now();
     const std::size_t rows = chunk.element_rows;
     const std::size_t cols = chunk.element_cols;
     const std::size_t kk = operands.k_elems;
@@ -140,6 +178,10 @@ class WorkerThread {
       for (int rep = 1; rep < reps; ++rep) matrix::gemm_auto(a, b, sink);
       pool_->release(std::move(scratch));
     }
+    // The step's measured latency (repetitions included): what the
+    // master's calibration loop gets to see.
+    step_seconds_.push_back(
+        std::chrono::duration<double>(Clock::now() - step_begin).count());
 
     // Operand buffers are consumed: hand their storage back for the
     // master's next copy-out.
@@ -156,6 +198,8 @@ class WorkerThread {
       result.element_cols = cols;
       result.c = std::move(chunk.c);
       result.updates_performed = steps_done_;
+      result.step_seconds = std::move(step_seconds_);
+      step_seconds_.clear();
       chunk_.reset();
       outbox_.push(std::move(result));
     }
@@ -167,12 +211,16 @@ class WorkerThread {
   Channel<ResultMessage> outbox_;
   int base_slowdown_;
   const platform::SlowdownSchedule* perturbation_;
+  const platform::FaultSchedule* faults_;
   std::function<void(int, std::size_t)> fault_hook_;
   Clock::time_point run_begin_;
   std::size_t* updates_slot_;
   std::optional<ChunkMessage> chunk_;
   std::size_t steps_done_ = 0;
+  std::vector<double> step_seconds_;
   std::exception_ptr error_;
+  std::atomic<bool> failed_{false};
+  std::atomic<bool> killed_{false};
   std::thread thread_;
 };
 
@@ -200,7 +248,9 @@ class OnlineExecutor final : public sim::ExecutionView {
         worker_count_(static_cast<std::size_t>(platform.size())),
         views_(worker_count_),
         pending_(worker_count_),
-        updates_per_worker_(worker_count_, 0) {}
+        updates_per_worker_(worker_count_, 0),
+        wall_speed_(worker_count_),
+        failure_handled_(worker_count_, 0) {}
 
   ~OnlineExecutor() override { shutdown(); }
 
@@ -242,14 +292,50 @@ class OnlineExecutor final : public sim::ExecutionView {
   }
   sim::EngineState model_state() const override { return mirror_.snapshot(); }
 
+  /// Marks the worker failed and reclaims everything it held: the
+  /// mirror returns its in-flight chunk to the pending set, queued
+  /// messages hand their payload buffers back to the pool, and a
+  /// still-running thread is decommissioned (channels closed; the exit
+  /// error that may cause is expected and never rethrown). Idempotent;
+  /// also the master's internal path when it detects a dead thread.
+  void fail_worker(int worker) override {
+    const auto w = static_cast<std::size_t>(worker);
+    HMXP_REQUIRE(worker >= 0 && w < worker_count_,
+                 "worker index out of range");
+    if (failure_handled_[w]) return;
+    failure_handled_[w] = 1;
+    ++workers_failed_;
+    if (w < workers_.size() && !workers_[w]->failed()) workers_[w]->kill();
+    reclaim_channels(w);
+    if (pending_[w].has_value()) {
+      pool_.release(std::move(pending_[w]->c));
+      pending_[w].reset();
+    }
+    views_[w].plan.reset();
+    mirror_.fail_worker(worker);
+  }
+
+  /// Static w_i scaled by the worker's observed wall-clock drift: the
+  /// EWMA of its measured per-update step latencies over its first
+  /// observation. Model units in, model units out, so policies mix it
+  /// freely with the platform's w_i -- and a worker that slowed down
+  /// 2x mid-run costs 2x in every lookahead that consults it.
+  model::Time calibrated_w(int worker) const override {
+    return mirror_.platform().worker(worker).w *
+           wall_speed_[static_cast<std::size_t>(worker)].drift();
+  }
+  double observed_drift(int worker) const override {
+    return wall_speed_[static_cast<std::size_t>(worker)].drift();
+  }
+
   // ----- the master loop -----
   ExecutorReport run(sim::Scheduler& scheduler,
                      std::vector<sim::Decision>* decision_log) {
-    const auto wall_begin = Clock::now();
+    run_begin_ = Clock::now();
     matrix::Matrix reference;
     if (options_.verify) reference = c_;  // C_initial; product added at end
 
-    start_workers(wall_begin);
+    start_workers(run_begin_);
     const std::size_t max_decisions =
         sim::decision_budget(mirror_.partition());
     std::size_t executed = 0;
@@ -258,11 +344,37 @@ class OnlineExecutor final : public sim::ExecutionView {
         drain_completions();
         sim::Decision decision = scheduler.next(*this);
         if (decision.kind == sim::Decision::Kind::kDone) break;
-        // The mirror validates the protocol (throws std::logic_error on
-        // violations) and advances the model clock; only then does the
-        // decision touch real data.
-        mirror_.execute(decision);
-        execute_real(decision);
+        if (options_.tolerate_faults) {
+          // A worker can die between the scheduler's decision and the
+          // real execution (or while the master blocks inside it). The
+          // mirror executes first, so an aborted real half leaves it
+          // ahead of reality: snapshot beforehand (into a reused
+          // scratch state, so the per-decision snapshot allocates
+          // nothing in steady state), and on a death mid-decision
+          // rewind the mirror, mark the worker failed, and let the
+          // scheduler re-decide against the updated view.
+          mirror_.snapshot_into(rollback_state_);
+          try {
+            mirror_.execute(decision);
+            execute_real(decision);
+          } catch (...) {
+            const auto w = static_cast<std::size_t>(decision.worker);
+            if (decision.worker >= 0 && w < workers_.size() &&
+                workers_[w]->failed() && !workers_[w]->killed() &&
+                !failure_handled_[w]) {
+              mirror_.restore(rollback_state_);
+              fail_worker(decision.worker);
+              continue;  // the decision never happened
+            }
+            throw;
+          }
+        } else {
+          // The mirror validates the protocol (throws std::logic_error
+          // on violations) and advances the model clock; only then does
+          // the decision touch real data.
+          mirror_.execute(decision);
+          execute_real(decision);
+        }
         if (decision_log != nullptr) decision_log->push_back(decision);
         ++executed;
         HMXP_CHECK(executed <= max_decisions,
@@ -281,11 +393,14 @@ class OnlineExecutor final : public sim::ExecutionView {
     report.updates_per_worker = updates_per_worker_;
     for (const std::size_t updates : updates_per_worker_)
       report.updates_performed += updates;
+    report.workers_failed = workers_failed_;
+    for (const platform::SpeedEstimate& speed : wall_speed_)
+      report.observed_drift.push_back(speed.drift());
     report.result =
         sim::collect_result(scheduler.name(), mirror_, executed);
     report.buffer_pool = pool_.stats();
     report.wall_seconds =
-        std::chrono::duration<double>(Clock::now() - wall_begin).count();
+        std::chrono::duration<double>(Clock::now() - run_begin_).count();
 
     if (options_.verify) {
       matrix::gemm_parallel(a_.view(), b_.view(), reference.view());
@@ -323,13 +438,69 @@ class OnlineExecutor final : public sim::ExecutionView {
     }
   }
 
-  /// Non-blocking sweep of every worker's outbox: results that actually
-  /// arrived become visible to the scheduler (earliest_start above)
-  /// before the next decision.
+  /// Non-blocking sweep of every worker: results that actually arrived
+  /// become visible to the scheduler (earliest_start above) before the
+  /// next decision, their measured step latencies feed the calibration,
+  /// and dead threads are detected EAGERLY -- a worker that dies
+  /// between steps surfaces here, not whenever the master next happens
+  /// to touch its channels (which could be never).
   void drain_completions() {
-    for (std::size_t w = 0; w < worker_count_; ++w)
-      if (!pending_[w].has_value())
+    for (std::size_t w = 0; w < worker_count_; ++w) {
+      if (failure_handled_[w]) continue;
+      if (workers_[w]->failed()) {
+        if (!options_.tolerate_faults)
+          throw std::runtime_error("worker thread failed");
+        fail_worker(static_cast<int>(w));
+        continue;
+      }
+      if (!pending_[w].has_value()) {
         pending_[w] = workers_[w]->outbox().try_pop();
+        if (pending_[w].has_value()) observe_speeds(w, *pending_[w]);
+      }
+    }
+  }
+
+  /// Folds a returned chunk's measured per-step latencies into the
+  /// worker's wall-clock speed estimate.
+  void observe_speeds(std::size_t w, const ResultMessage& result) {
+    const std::size_t steps =
+        std::min(result.step_seconds.size(), result.plan.steps.size());
+    for (std::size_t s = 0; s < steps; ++s) {
+      const auto updates =
+          static_cast<double>(result.plan.steps[s].updates);
+      const double seconds = result.step_seconds[s];
+      if (updates <= 0 || seconds <= 0) continue;  // below clock resolution
+      wall_speed_[w].observe(seconds / updates, options_.calibration.alpha);
+    }
+  }
+
+  /// Port emulation: occupy the master for `blocks` x the configured
+  /// per-block time, scaled by the link's drifting bandwidth factor.
+  void throttle(int worker, double blocks) {
+    if (options_.throttle_block_seconds <= 0.0) return;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - run_begin_).count();
+    const double factor =
+        options_.perturbation.bandwidth_factor(worker, elapsed);
+    std::this_thread::sleep_for(std::chrono::duration<double>(
+        blocks * options_.throttle_block_seconds * factor));
+  }
+
+  /// Hands every payload still queued on the worker's channels back to
+  /// the pool (the channels survive close() for draining).
+  void reclaim_channels(std::size_t w) {
+    if (w >= workers_.size()) return;
+    while (auto message = workers_[w]->inbox().try_pop()) {
+      if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
+        pool_.release(std::move(chunk->c));
+      } else {
+        auto& operands = std::get<OperandMessage>(*message);
+        pool_.release(std::move(operands.a));
+        pool_.release(std::move(operands.b));
+      }
+    }
+    while (auto result = workers_[w]->outbox().try_pop())
+      pool_.release(std::move(result->c));
   }
 
   void execute_real(const sim::Decision& decision) {
@@ -347,6 +518,8 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.element_cols = window.cols();
         message.c = copy_window(pool_, c_, window.row0, window.row1,
                                 window.col0, window.col1);
+        throttle(decision.worker,
+                 static_cast<double>(decision.chunk.rect.count()));
         workers_[w]->inbox().push(std::move(message));
         view.plan = decision.chunk;
         view.window = window;
@@ -367,6 +540,7 @@ class OnlineExecutor final : public sim::ExecutionView {
                                 ek0, ek1);
         message.b = copy_window(pool_, b_, ek0, ek1, view.window.col0,
                                 view.window.col1);
+        throttle(decision.worker, static_cast<double>(step.operand_blocks));
         workers_[w]->inbox().push(std::move(message));
         ++view.steps_sent;
         break;
@@ -377,8 +551,13 @@ class OnlineExecutor final : public sim::ExecutionView {
         pending_[w].reset();
         // Not drained yet: block until the worker really finishes (the
         // master waiting on the port, as in the model).
-        if (!result.has_value()) result = workers_[w]->outbox().pop();
+        if (!result.has_value()) {
+          result = workers_[w]->outbox().pop();
+          if (result.has_value()) observe_speeds(w, *result);
+        }
         HMXP_CHECK(result.has_value(), "worker closed before returning C");
+        throttle(decision.worker,
+                 static_cast<double>(view.plan->rect.count()));
         HMXP_CHECK(result->element_rows == view.window.rows() &&
                        result->element_cols == view.window.cols(),
                    "returned chunk shape mismatch");
@@ -410,10 +589,15 @@ class OnlineExecutor final : public sim::ExecutionView {
 
   /// After shutdown: if any worker thread failed, its exception is the
   /// root cause -- rethrow it (the master's own failure, e.g. a closed
-  /// channel, is secondary).
+  /// channel, is secondary). Exceptions of workers the master killed on
+  /// purpose, or whose failure was tolerated and recovered from, are
+  /// expected and stay buried.
   void rethrow_worker_error() {
-    for (auto& worker : workers_)
-      if (worker->error()) std::rethrow_exception(worker->error());
+    for (std::size_t w = 0; w < workers_.size(); ++w) {
+      if (!workers_[w]->error() || workers_[w]->killed()) continue;
+      if (options_.tolerate_faults && failure_handled_[w]) continue;
+      std::rethrow_exception(workers_[w]->error());
+    }
   }
 
   sim::Engine mirror_;
@@ -427,6 +611,11 @@ class OnlineExecutor final : public sim::ExecutionView {
   std::vector<MasterView> views_;
   std::vector<std::optional<ResultMessage>> pending_;
   std::vector<std::size_t> updates_per_worker_;
+  std::vector<platform::SpeedEstimate> wall_speed_;
+  std::vector<char> failure_handled_;  // fail_worker() already ran
+  sim::EngineState rollback_state_;    // reused pre-decision snapshot
+  int workers_failed_ = 0;
+  Clock::time_point run_begin_{};
   std::size_t chunks_processed_ = 0;
 };
 

@@ -22,7 +22,12 @@
 //    time-varying-platform scenario);
 //  * a worker thread that throws is propagated: channels shut down, all
 //    threads are joined, and the worker's exception rethrows from the
-//    master (never std::terminate).
+//    master (never std::terminate). With ExecutorOptions::
+//    tolerate_faults the master instead SURVIVES the loss: the dead
+//    worker's channels drain back into the buffer pool, the model
+//    mirror rolls back any decision the death interrupted, the worker
+//    is marked failed on the ExecutionView, and the live scheduler
+//    (an FT-* policy) re-assigns the lost chunk to the survivors.
 //
 // The runtime targets correctness demonstration and online-scheduling
 // experiments, not makespan measurement (wall time on one shared machine
@@ -61,9 +66,32 @@ struct ExecutorOptions {
   bool record_trace = false;
   /// Fault-injection hook, called by worker threads before computing
   /// each step (worker index, step index). An exception thrown here
-  /// fails the run through the clean propagation path -- used by tests
-  /// and fault-tolerance experiments.
+  /// kills the worker: with tolerate_faults the master recovers, without
+  /// it the run fails through the clean propagation path -- used by
+  /// tests and fault-tolerance experiments.
   std::function<void(int worker, std::size_t step)> fault_hook;
+  /// Wall-clock keyed permanent worker loss: each worker checks the
+  /// schedule before every message it processes and dies past its event
+  /// (the unreliable-platform counterpart of `perturbation`).
+  platform::FaultSchedule faults;
+  /// Survive worker loss: a dead worker (fault hook, internal
+  /// exception, or fault-schedule kill) is marked failed on the
+  /// ExecutionView instead of aborting the run -- its channels are
+  /// drained, its pooled buffers reclaimed, its in-flight chunk returns
+  /// to the pending set, and the live scheduler continues on survivors
+  /// (an FT-* policy re-assigns the lost work). Off by default: a
+  /// non-fault-tolerant scheduler cannot complete after a loss, so the
+  /// historical fail-fast behaviour remains.
+  bool tolerate_faults = false;
+  /// EWMA knobs for the observed-speed feedback: per-step wall
+  /// latencies fold into ExecutionView::calibrated_w / observed_drift.
+  platform::CalibrationOptions calibration;
+  /// Port emulation for bandwidth experiments: when > 0, the master
+  /// sleeps this many wall seconds per block for every message it
+  /// exchanges, scaled by the perturbation's bandwidth factor for that
+  /// worker -- a throttled channel whose link speeds drift mid-run
+  /// exactly like the simulator's c_i perturbation.
+  double throttle_block_seconds = 0.0;
 };
 
 struct ExecutorReport {
@@ -75,6 +103,10 @@ struct ExecutorReport {
   std::size_t chunks_processed = 0;
   std::size_t updates_performed = 0;   // block updates across workers
   std::vector<std::size_t> updates_per_worker;
+  int workers_failed = 0;              // workers lost (and tolerated) mid-run
+  /// Per-worker calibration outcome: EWMA-over-baseline ratio of the
+  /// measured per-update wall cost (1.0 = nominal / no observation).
+  std::vector<double> observed_drift;
   bool verified = false;               // true iff verify ran and passed
   double max_abs_error = 0.0;          // vs reference (when verify on)
   /// Payload-buffer recycling counters for the run: in steady state

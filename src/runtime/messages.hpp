@@ -45,6 +45,10 @@ struct ResultMessage {
   std::size_t element_cols = 0;
   std::vector<double> c;
   std::size_t updates_performed = 0;
+  /// Measured wall seconds of each step's compute (slowdown repetitions
+  /// included), aligned with plan.steps: the raw material of the
+  /// master's online speed calibration.
+  std::vector<double> step_seconds;
 };
 
 using WorkerMessage = std::variant<ChunkMessage, OperandMessage>;

@@ -56,42 +56,54 @@ model::BlockCount ChunkSource::width(int worker) const {
 }
 
 std::optional<matrix::BlockRect> ChunkSource::carve(
-    int worker, Group& group, std::size_t& next_col) const {
+    int worker, Group& group, std::size_t& next_col,
+    std::vector<FreeRange>& released) const {
   const auto mu = static_cast<std::size_t>(width(worker));
   if (!group.open() || group.next_row >= partition_.r()) {
-    // Claim a fresh column group.
-    if (next_col >= partition_.s()) return std::nullopt;
-    group.j0 = next_col;
-    group.j1 = std::min(next_col + mu, partition_.s());
-    group.next_row = 0;
-    next_col = group.j1;
+    if (!released.empty()) {
+      // Adopt territory a failed worker left behind, at most mu columns
+      // at a time (the adopter's memory rules its chunk side, not the
+      // previous owner's); any leftover span stays adoptable.
+      FreeRange& range = released.back();
+      group.j0 = range.j0;
+      group.j1 = std::min(range.j0 + mu, range.j1);
+      group.next_row = range.row0;
+      if (group.j1 == range.j1) {
+        released.pop_back();
+      } else {
+        range.j0 = group.j1;
+      }
+    } else {
+      // Claim a fresh column group.
+      if (next_col >= partition_.s()) return std::nullopt;
+      group.j0 = next_col;
+      group.j1 = std::min(next_col + mu, partition_.s());
+      group.next_row = 0;
+      next_col = group.j1;
+    }
   }
-  // Balanced row slicing: the group's r rows split into ceil(r/mu)
-  // nearly equal slices rather than mu-tall slices plus a sliver. A
-  // sliver chunk (e.g. 11 rows when r = 100, mu = 89) carries almost no
-  // work per operand batch, so every work-per-port-time heuristic
-  // starves it until the drain phase, where its t serialized batches
-  // extend the makespan; balanced slices keep every chunk's
+  // Balanced row slicing: the rows still to carve split into
+  // ceil(left/mu) nearly equal slices rather than mu-tall slices plus a
+  // sliver. A sliver chunk (e.g. 11 rows when r = 100, mu = 89) carries
+  // almost no work per operand batch, so every work-per-port-time
+  // heuristic starves it until the drain phase, where its t serialized
+  // batches extend the makespan; balanced slices keep every chunk's
   // work-to-communication ratio comparable. Each slice still fits the
-  // worker's memory (height <= mu).
+  // worker's memory (height <= mu). Slicing the REMAINDER (not the full
+  // r) yields the same boundaries for a group consumed from row 0 and
+  // additionally handles adopted groups that start mid-matrix.
   const std::size_t r = partition_.r();
-  const std::size_t slices = (r + mu - 1) / mu;
-  const std::size_t base = r / slices;
-  const std::size_t extra = r % slices;
-  const auto slice_begin = [&](std::size_t k) {
-    return k * base + std::min(k, extra);
-  };
-  std::size_t k = 0;
-  while (k < slices && slice_begin(k) < group.next_row) ++k;
-  HMXP_CHECK(k < slices && slice_begin(k) == group.next_row,
-             "row slicing misaligned");
+  const std::size_t left = r - group.next_row;
+  const std::size_t slices = (left + mu - 1) / mu;
+  const std::size_t height = slices == 0 ? 0 : (left + slices - 1) / slices;
 
   matrix::BlockRect rect;
   rect.i0 = group.next_row;
-  rect.i1 = std::min(slice_begin(k + 1), r);
+  rect.i1 = std::min(rect.i0 + height, r);
   rect.j0 = group.j0;
   rect.j1 = group.j1;
   group.next_row = rect.i1;
+  HMXP_CHECK(!rect.empty(), "carved an empty chunk");
   return rect;
 }
 
@@ -114,7 +126,7 @@ std::optional<sim::ChunkPlan> ChunkSource::next_chunk(int worker) {
   HMXP_REQUIRE(worker >= 0 && worker < platform_->size(),
                "worker index out of range");
   Group& group = groups_[static_cast<std::size_t>(worker)];
-  const auto rect = carve(worker, group, next_col_);
+  const auto rect = carve(worker, group, next_col_, released_);
   if (!rect) return std::nullopt;
   remaining_ -= rect->count();
   return to_plan(worker, *rect);
@@ -125,9 +137,19 @@ std::optional<sim::ChunkPlan> ChunkSource::peek_chunk(int worker) const {
                "worker index out of range");
   Group group = groups_[static_cast<std::size_t>(worker)];
   std::size_t next_col = next_col_;
-  const auto rect = carve(worker, group, next_col);
+  std::vector<FreeRange> released = released_;
+  const auto rect = carve(worker, group, next_col, released);
   if (!rect) return std::nullopt;
   return to_plan(worker, *rect);
+}
+
+void ChunkSource::release_worker(int worker) {
+  HMXP_REQUIRE(worker >= 0 && worker < platform_->size(),
+               "worker index out of range");
+  Group& group = groups_[static_cast<std::size_t>(worker)];
+  if (group.open() && group.next_row < partition_.r())
+    released_.push_back(FreeRange{group.j0, group.j1, group.next_row});
+  group = Group{};
 }
 
 bool ChunkSource::has_work() const { return remaining_ > 0; }

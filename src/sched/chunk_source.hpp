@@ -46,6 +46,14 @@ class ChunkSource {
   /// Same chunk without committing (for candidate evaluation).
   std::optional<sim::ChunkPlan> peek_chunk(int worker) const;
 
+  /// Returns a (dead) worker's unconsumed column-group territory to the
+  /// global pool: the uncarved rows of its open group become a free
+  /// range any other worker may adopt (in mu-wide column spans) before
+  /// claiming fresh columns. Without this, the exclusive column-group
+  /// rule would strand the remainder of a failed worker's group forever.
+  /// Idempotent; a no-op for workers with no open group.
+  void release_worker(int worker);
+
   /// True while any C block remains uncarved (globally or in an open
   /// column group).
   bool has_work() const;
@@ -63,17 +71,26 @@ class ChunkSource {
     std::size_t next_row = 0;    // rows [0, next_row) already carved
     bool open() const { return j1 > j0; }
   };
+  /// Column span a released group left behind; rows [0, row0) were
+  /// already carved by the previous owner.
+  struct FreeRange {
+    std::size_t j0 = 0, j1 = 0;
+    std::size_t row0 = 0;
+  };
 
   const platform::Platform* platform_;
   matrix::Partition partition_;
   Layout layout_;
   std::vector<model::BlockCount> widths_;  // carve width per worker
   std::vector<Group> groups_;              // active column group per worker
+  std::vector<FreeRange> released_;        // adoptable territory
   std::size_t next_col_ = 0;               // first unallocated column
   std::size_t remaining_ = 0;
 
   std::optional<matrix::BlockRect> carve(int worker, Group& group,
-                                         std::size_t& next_col) const;
+                                         std::size_t& next_col,
+                                         std::vector<FreeRange>& released)
+      const;
   sim::ChunkPlan to_plan(int worker, const matrix::BlockRect& rect) const;
 };
 

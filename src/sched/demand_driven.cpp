@@ -36,6 +36,12 @@ sim::Decision DemandDrivenScheduler::next(const sim::ExecutionView& view) {
   sim::CommKind best_kind = sim::CommKind::kSendC;
 
   for (int worker = 0; worker < view.worker_count(); ++worker) {
+    if (!view.alive(worker)) {
+      // Dead workers take no actions; their unclaimed column-group
+      // territory returns to the pool for survivors to adopt.
+      source_.release_worker(worker);
+      continue;
+    }
     const sim::WorkerProgress& state = view.progress(worker);
     sim::CommKind kind;
     model::Time start;

@@ -38,6 +38,7 @@ std::vector<IncrementalScheduler::Candidate> IncrementalScheduler::enumerate(
     const sim::ExecutionView& view, const ChunkSource& source) const {
   std::vector<Candidate> candidates;
   for (int worker = 0; worker < view.worker_count(); ++worker) {
+    if (!view.alive(worker)) continue;  // dead workers take no actions
     const sim::WorkerProgress& state = view.progress(worker);
     if (state.has_chunk) {
       if (state.steps_received >= state.chunk.steps.size()) continue;
@@ -140,11 +141,17 @@ double IncrementalScheduler::lookahead_score(const Candidate& candidate,
 sim::Decision IncrementalScheduler::next(const sim::ExecutionView& view) {
   const model::Time now = view.now();
 
+  // Dead workers take no actions; their unclaimed column-group
+  // territory returns to the pool for survivors to adopt.
+  for (int worker = 0; worker < view.worker_count(); ++worker)
+    if (!view.alive(worker)) source_.release_worker(worker);
+
   // Collect any chunk already computed: the port loses nothing and the
   // worker frees up for re-enrollment.
   int ready_result = -1;
   model::Time earliest_finish = kNever;
   for (int worker = 0; worker < view.worker_count(); ++worker) {
+    if (!view.alive(worker)) continue;
     const sim::WorkerProgress& state = view.progress(worker);
     if (state.has_chunk && state.chunk_computed(now)) {
       const model::Time finish = state.chunk_compute_finish();
@@ -162,6 +169,7 @@ sim::Decision IncrementalScheduler::next(const sim::ExecutionView& view) {
     int pending = -1;
     model::Time pending_finish = kNever;
     for (int worker = 0; worker < view.worker_count(); ++worker) {
+      if (!view.alive(worker)) continue;
       const sim::WorkerProgress& state = view.progress(worker);
       if (state.has_chunk && state.all_steps_received()) {
         const model::Time finish = state.chunk_compute_finish();

@@ -13,13 +13,22 @@ constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
 }
 
 MinMinScheduler::MinMinScheduler(const platform::Platform& platform,
-                                 const matrix::Partition& partition)
-    : source_(platform, partition, Layout::kDoubleBuffered) {}
+                                 const matrix::Partition& partition,
+                                 bool calibrated)
+    : source_(platform, partition, Layout::kDoubleBuffered),
+      calibrated_(calibrated) {}
+
+model::Time MinMinScheduler::cost_w(const sim::ExecutionView& view,
+                                    int worker) const {
+  return calibrated_ ? view.calibrated_w(worker)
+                     : view.platform().worker(worker).w;
+}
 
 model::Time MinMinScheduler::estimate_chunk_finish(
     const sim::ExecutionView& view, int worker, const sim::ChunkPlan& plan,
     model::Time start) const {
   const platform::WorkerSpec& spec = view.platform().worker(worker);
+  const model::Time w = cost_w(view, worker);
   const double chunk_blocks = static_cast<double>(plan.rect.count());
   model::Time time = start + chunk_blocks * spec.c;  // C in
   model::Time compute_done = time;
@@ -29,7 +38,7 @@ model::Time MinMinScheduler::estimate_chunk_finish(
     // availability plus the update time.
     time += static_cast<double>(step.operand_blocks) * spec.c;
     compute_done = std::max(compute_done, time) +
-                   static_cast<double>(step.updates) * spec.w;
+                   static_cast<double>(step.updates) * w;
   }
   return std::max(time, compute_done) + chunk_blocks * spec.c;  // C out
 }
@@ -40,6 +49,12 @@ sim::Decision MinMinScheduler::next(const sim::ExecutionView& view) {
   sim::CommKind best_kind = sim::CommKind::kSendC;
 
   for (int worker = 0; worker < view.worker_count(); ++worker) {
+    if (!view.alive(worker)) {
+      // Dead workers take no actions; their unclaimed column-group
+      // territory returns to the pool for survivors to adopt.
+      source_.release_worker(worker);
+      continue;
+    }
     const sim::WorkerProgress& state = view.progress(worker);
     const platform::WorkerSpec& spec = view.platform().worker(worker);
     sim::CommKind kind;
@@ -66,7 +81,7 @@ sim::Decision MinMinScheduler::next(const sim::ExecutionView& view) {
       const model::Time cpu_free =
           n == 0 ? state.chunk_arrival : state.compute_end[n - 1];
       finish = std::max(arrival, cpu_free) +
-               static_cast<double>(step.updates) * spec.w;
+               static_cast<double>(step.updates) * cost_w(view, worker);
     } else {
       kind = sim::CommKind::kRecvC;
       finish = view.earliest_start(worker, kind) +
@@ -105,12 +120,26 @@ MinMinScheduler make_ommoml(const platform::Platform& platform,
   return MinMinScheduler(platform, partition);
 }
 
+MinMinScheduler make_ommoml_calibrated(const platform::Platform& platform,
+                                       const matrix::Partition& partition) {
+  return MinMinScheduler(platform, partition, /*calibrated=*/true);
+}
+
 HMXP_REGISTER_ALGORITHM(
     ommoml, "OMMOML", "overlapped min-min, our layout", 4,
     [](const platform::Platform& platform, const matrix::Partition& partition,
        HetSelection*) -> std::unique_ptr<sim::Scheduler> {
       return std::make_unique<MinMinScheduler>(
           make_ommoml(platform, partition));
+    });
+
+HMXP_REGISTER_ALGORITHM(
+    ommoml_cal, "OMMOML-cal",
+    "min-min over EWMA-calibrated speeds (adapts to mid-run drift)", 14,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return std::make_unique<MinMinScheduler>(
+          make_ommoml_calibrated(platform, partition));
     });
 
 }  // namespace hmxp::sched

@@ -20,14 +20,24 @@ namespace hmxp::sched {
 
 class MinMinScheduler : public sim::Scheduler {
  public:
+  /// `calibrated` switches the finish-time estimates from the static
+  /// w_i to the view's calibrated per-update cost (EWMA over observed
+  /// speeds), so the heuristic adapts to mid-run speed drift.
   MinMinScheduler(const platform::Platform& platform,
-                  const matrix::Partition& partition);
+                  const matrix::Partition& partition, bool calibrated = false);
 
-  std::string name() const override { return "OMMOML"; }
+  std::string name() const override {
+    return calibrated_ ? "OMMOML-cal" : "OMMOML";
+  }
   sim::Decision next(const sim::ExecutionView& view) override;
 
  private:
   ChunkSource source_;
+  bool calibrated_;
+
+  /// Per-update cost the estimates use: static w_i, or the view's
+  /// calibrated estimate when adaptivity is on.
+  model::Time cost_w(const sim::ExecutionView& view, int worker) const;
 
   /// Optimistic single-worker estimate of a whole chunk's completion if
   /// its SendC starts at `start` (ignores future port contention, as
@@ -40,5 +50,9 @@ class MinMinScheduler : public sim::Scheduler {
 /// Factory matching the other algorithms' naming convention.
 MinMinScheduler make_ommoml(const platform::Platform& platform,
                             const matrix::Partition& partition);
+
+/// The calibrated (speed-adaptive) variant, registered as "OMMOML-cal".
+MinMinScheduler make_ommoml_calibrated(const platform::Platform& platform,
+                                       const matrix::Partition& partition);
 
 }  // namespace hmxp::sched

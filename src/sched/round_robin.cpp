@@ -21,6 +21,12 @@ sim::Decision RoundRobinScheduler::next(const sim::ExecutionView& view) {
   for (std::size_t offset = 0; offset < enrolled_.size(); ++offset) {
     const std::size_t slot = (cursor_ + offset) % enrolled_.size();
     const int worker = enrolled_[slot];
+    if (!view.alive(worker)) {
+      // Dead workers take no actions; their unclaimed column-group
+      // territory returns to the pool for survivors to adopt.
+      source_.release_worker(worker);
+      continue;
+    }
     const sim::WorkerProgress& state = view.progress(worker);
 
     if (!state.has_chunk) {

@@ -47,6 +47,12 @@ EngineState Engine::snapshot() const {
   return snapshot;
 }
 
+void Engine::snapshot_into(EngineState& out) const {
+  out = state_;
+  out.trace_comms = trace_.comms().size();
+  out.trace_computes = trace_.computes().size();
+}
+
 void Engine::restore(const EngineState& snapshot) {
   HMXP_REQUIRE(snapshot.workers.size() == state_.workers.size(),
                "snapshot from a different platform");
@@ -59,6 +65,7 @@ void Engine::restore(const EngineState& snapshot) {
 
 model::Time Engine::earliest_start(int worker, CommKind kind) const {
   const WorkerProgress& state = progress(worker);
+  if (!state.alive) return kNever;  // nothing is ever feasible again
   switch (kind) {
     case CommKind::kSendC:
       if (state.has_chunk) return kNever;
@@ -86,6 +93,10 @@ model::Time Engine::earliest_start(int worker, CommKind kind) const {
 model::Time Engine::comm_duration(int worker, CommKind kind) const {
   const WorkerProgress& state = progress(worker);
   const platform::WorkerSpec& spec = context_->platform().worker(worker);
+  // Estimate with the link factor in force now; execution re-reads it at
+  // the communication's actual start.
+  const double link =
+      spec.c * context_->slowdown().bandwidth_factor(worker, state_.port_free);
   switch (kind) {
     case CommKind::kSendC:
       HMXP_REQUIRE(false, "SendC duration needs the chunk plan");
@@ -94,11 +105,11 @@ model::Time Engine::comm_duration(int worker, CommKind kind) const {
       HMXP_REQUIRE(state.has_chunk, "no active chunk");
       const std::size_t n = state.steps_received;
       HMXP_REQUIRE(n < state.chunk.steps.size(), "all steps already sent");
-      return static_cast<double>(state.chunk.steps[n].operand_blocks) * spec.c;
+      return static_cast<double>(state.chunk.steps[n].operand_blocks) * link;
     }
     case CommKind::kRecvC:
       HMXP_REQUIRE(state.has_chunk, "no active chunk");
-      return static_cast<double>(state.chunk.rect.count()) * spec.c;
+      return static_cast<double>(state.chunk.rect.count()) * link;
   }
   return kNever;
 }
@@ -106,22 +117,78 @@ model::Time Engine::comm_duration(int worker, CommKind kind) const {
 model::Time Engine::chunk_comm_duration(int worker,
                                         const ChunkPlan& plan) const {
   return static_cast<double>(plan.rect.count()) *
-         context_->platform().worker(worker).c;
+         context_->platform().worker(worker).c *
+         context_->slowdown().bandwidth_factor(worker, state_.port_free);
 }
 
 model::Time Engine::execute(const Decision& decision) {
   HMXP_REQUIRE(decision.kind == Decision::Kind::kComm,
                "only communications can be executed");
+  HMXP_CHECK(progress(decision.worker).alive,
+             "communication with a failed worker");
+  model::Time end = kNever;
   switch (decision.comm) {
     case CommKind::kSendC:
-      return execute_send_chunk(decision.worker, decision.chunk);
+      end = execute_send_chunk(decision.worker, decision.chunk);
+      break;
     case CommKind::kSendAB:
-      return execute_send_operands(decision.worker);
+      end = execute_send_operands(decision.worker);
+      break;
     case CommKind::kRecvC:
-      return execute_recv_result(decision.worker);
+      end = execute_recv_result(decision.worker);
+      break;
   }
-  HMXP_CHECK(false, "unreachable");
-  return kNever;
+  // Failures surface at decision boundaries: every event the port clock
+  // has now passed applies before the scheduler decides again, so a
+  // policy never acts on a stale alive() answer.
+  apply_due_faults();
+  return end;
+}
+
+void Engine::apply_due_faults() {
+  const auto& events = context_->faults().events();
+  while (state_.fault_cursor < events.size() &&
+         events[state_.fault_cursor].at <= state_.port_free) {
+    const int worker = events[state_.fault_cursor].worker;
+    ++state_.fault_cursor;
+    if (worker >= 0 && worker < worker_count()) fail_worker(worker);
+  }
+}
+
+void Engine::fail_worker(int worker) {
+  WorkerProgress& state = progress_mut(worker);
+  if (!state.alive) return;
+  state.alive = false;
+  if (state.has_chunk) {
+    // The chunk returns to the pending set: clear its coverage so a
+    // fault-tolerant policy can re-assign the blocks, and roll back the
+    // updates its delivered batches enabled (they will be recomputed by
+    // the re-assignment; only returned results count). The port time
+    // already spent on it stays in comm_blocks -- lost work is not free.
+    const matrix::BlockRect& rect = state.chunk.rect;
+    const matrix::Partition& partition = context_->partition();
+    for (std::size_t i = rect.i0; i < rect.i1; ++i) {
+      for (std::size_t j = rect.j0; j < rect.j1; ++j) {
+        const std::size_t index = i * partition.s() + j;
+        HMXP_CHECK(state_.assigned[index], "failed chunk was not assigned");
+        state_.assigned[index] = false;
+      }
+    }
+    state_.unassigned_blocks += static_cast<model::BlockCount>(rect.count());
+    for (std::size_t n = 0; n < state.steps_received; ++n)
+      state_.updates_done -= state.chunk.steps[n].updates;
+    --state_.chunks_outstanding;
+    state.chunks_lost += 1;
+    state.has_chunk = false;
+    state.steps_received = 0;
+    state.recv_end.clear();
+    state.compute_end.clear();
+  }
+}
+
+model::Time Engine::calibrated_w(int worker) const {
+  const WorkerProgress& state = progress(worker);
+  return state.speed.value_or(context_->platform().worker(worker).w);
 }
 
 model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
@@ -151,8 +218,10 @@ model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
   state_.unassigned_blocks -= static_cast<model::BlockCount>(plan.rect.count());
 
   const model::Time start = std::max(state_.port_free, state.ready_for_chunk);
-  const model::Time duration =
-      static_cast<double>(plan.rect.count()) * spec.c;
+  const model::Time duration = static_cast<double>(plan.rect.count()) *
+                               spec.c *
+                               context_->slowdown().bandwidth_factor(worker,
+                                                                     start);
   const model::Time end = start + duration;
 
   state.has_chunk = true;
@@ -186,7 +255,8 @@ model::Time Engine::execute_send_operands(int worker) {
   const model::Time start = earliest_start(worker, CommKind::kSendAB);
   HMXP_CHECK(start < kNever, "SendAB infeasible");
   const model::Time end =
-      start + static_cast<double>(step.operand_blocks) * spec.c;
+      start + static_cast<double>(step.operand_blocks) * spec.c *
+                  context_->slowdown().bandwidth_factor(worker, start);
 
   // Project the induced computation: starts when the batch has arrived,
   // the previous step finished, and the C chunk is resident. The
@@ -200,6 +270,13 @@ model::Time Engine::execute_send_operands(int worker) {
       static_cast<double>(step.updates) * spec.w *
       context_->slowdown().factor(worker, compute_start);
   const model::Time compute_done = compute_start + compute_duration;
+
+  // Each projected step is a speed observation (the engine is the
+  // ground truth, so "observed" and projected agree): feed the EWMA the
+  // slowdown-scaled per-update cost so calibrated_w tracks the drift.
+  if (step.updates > 0)
+    state.speed.observe(compute_duration / static_cast<double>(step.updates),
+                        context_->calibration().alpha);
 
   state.recv_end.push_back(end);
   state.compute_end.push_back(compute_done);
@@ -229,13 +306,16 @@ model::Time Engine::execute_recv_result(int worker) {
   const model::Time start = earliest_start(worker, CommKind::kRecvC);
   HMXP_CHECK(start < kNever, "RecvC infeasible");
   const auto blocks = static_cast<model::BlockCount>(state.chunk.rect.count());
-  const model::Time end = start + static_cast<double>(blocks) * spec.c;
+  const model::Time end =
+      start + static_cast<double>(blocks) * spec.c *
+                  context_->slowdown().bandwidth_factor(worker, start);
 
   state.has_chunk = false;
   state.ready_for_chunk = end;
   state.steps_received = 0;
   state.recv_end.clear();
   state.compute_end.clear();
+  state.chunks_returned += 1;
 
   state_.port_free = end;
   state_.comm_blocks += blocks;

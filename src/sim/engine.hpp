@@ -80,6 +80,20 @@ class Engine final : public ExecutionView {
   /// Identical to snapshot(); the view-level name for scratch rewinds.
   EngineState model_state() const override { return snapshot(); }
 
+  /// Kills a worker at the current port clock: its in-flight chunk (if
+  /// any) returns to the pending set -- coverage bits cleared, enabled
+  /// updates rolled back -- while the communication already spent on it
+  /// stays counted (lost work costs port time for real). Idempotent.
+  /// Also driven automatically by the instance's FaultSchedule at
+  /// decision boundaries (see execute()).
+  void fail_worker(int worker) override;
+
+  /// EWMA of the observed per-update cost (model clock): the engine IS
+  /// the platform's ground truth, so each executed step's slowdown-
+  /// scaled duration is an observation. Falls back to the static w_i
+  /// until the worker computed a step.
+  model::Time calibrated_w(int worker) const override;
+
   /// Duration of a SendC for a specific plan (not part of the view:
   /// CommKind::kSendC durations need the plan).
   model::Time chunk_comm_duration(int worker, const ChunkPlan& plan) const;
@@ -88,6 +102,10 @@ class Engine final : public ExecutionView {
   /// Copies the mutable state out. O(workers + r*s bits), no platform or
   /// partition copy.
   EngineState snapshot() const;
+  /// Same, into an existing state: copy-assignment reuses the target's
+  /// vector capacities, so a caller snapshotting every step (the
+  /// fault-tolerant online master) stays allocation-free after warm-up.
+  void snapshot_into(EngineState& out) const;
   /// Rewinds to a snapshot taken from an engine over the same instance
   /// (same worker count and block grid). Rolls the trace back to the
   /// lengths captured by the snapshot.
@@ -121,6 +139,10 @@ class Engine final : public ExecutionView {
   model::Time execute_send_operands(int worker);
   model::Time execute_recv_result(int worker);
   WorkerProgress& progress_mut(int worker);
+  /// Applies every FaultSchedule event whose time has passed the port
+  /// clock (called at the end of each execute(), so failures surface at
+  /// decision boundaries -- deterministic for any scheduler).
+  void apply_due_faults();
 };
 
 }  // namespace hmxp::sim

@@ -47,16 +47,23 @@ model::Time WorkerProgress::chunk_compute_finish() const {
 
 InstanceContext::InstanceContext(platform::Platform platform,
                                  matrix::Partition partition,
-                                 platform::SlowdownSchedule slowdown)
+                                 platform::SlowdownSchedule slowdown,
+                                 platform::FaultSchedule faults,
+                                 platform::CalibrationOptions calibration)
     : platform_(std::move(platform)),
       partition_(std::move(partition)),
-      slowdown_(std::move(slowdown)) {}
+      slowdown_(std::move(slowdown)),
+      faults_(std::move(faults)),
+      calibration_(calibration) {}
 
 std::shared_ptr<const InstanceContext> InstanceContext::make(
     const platform::Platform& platform, const matrix::Partition& partition,
-    const platform::SlowdownSchedule& slowdown) {
+    const platform::SlowdownSchedule& slowdown,
+    const platform::FaultSchedule& faults,
+    const platform::CalibrationOptions& calibration) {
   return std::make_shared<const InstanceContext>(platform, partition,
-                                                 slowdown);
+                                                 slowdown, faults,
+                                                 calibration);
 }
 
 }  // namespace hmxp::sim

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "matrix/partition.hpp"
+#include "platform/calibration.hpp"
 #include "platform/perturbation.hpp"
 #include "platform/platform.hpp"
 #include "sim/chunk.hpp"
@@ -47,6 +48,11 @@ struct Decision {
 /// model-projected seconds under the online runtime (whose mirror keeps
 /// the same bookkeeping while real threads do the work).
 struct WorkerProgress {
+  /// False once the worker failed (FaultSchedule event, a dead runtime
+  /// thread, or an explicit fail_worker). A dead worker never comes
+  /// back: every communication to it is infeasible and its in-flight
+  /// chunk has returned to the pending set.
+  bool alive = true;
   bool has_chunk = false;
   ChunkPlan chunk;                      // valid while has_chunk
   std::size_t steps_received = 0;
@@ -54,9 +60,19 @@ struct WorkerProgress {
   std::vector<model::Time> compute_end; // per received step (projected)
   model::Time chunk_arrival = 0.0;      // end of the SendC
   model::Time ready_for_chunk = 0.0;    // end of the last RecvC
+  /// EWMA of the observed per-update cost in the backend's clock
+  /// (ExecutionView::calibrated_w folds it into the w_i projection).
+  platform::SpeedEstimate speed;
   // Lifetime statistics.
   model::BlockCount chunks_assigned = 0;
+  /// Chunks the master actually collected (RecvC executed). Recovery
+  /// logic compares this against its assign-time value to distinguish
+  /// "completed just before death" from "lost in flight" -- a returned
+  /// decision is NOT proof of completion, since the online backend
+  /// rolls back a decision whose real half died under it.
+  model::BlockCount chunks_returned = 0;
   model::BlockCount updates_assigned = 0;
+  model::BlockCount chunks_lost = 0;    // in-flight chunks lost to failure
   model::Time busy_compute = 0.0;
 
   bool all_steps_received() const {
@@ -69,28 +85,39 @@ struct WorkerProgress {
 };
 
 /// The immutable problem instance a backend executes: platform,
-/// partition, and the (possibly empty) dynamic-slowdown schedule --
-/// time-varying platforms are part of the instance, not of the engine.
-/// Backends over the same instance share one context by shared_ptr
-/// instead of carrying copies.
+/// partition, the (possibly empty) dynamic-slowdown schedule, the
+/// (possibly empty) fault schedule, and the calibration knobs --
+/// time-varying and unreliable platforms are part of the instance, not
+/// of the engine. Backends over the same instance share one context by
+/// shared_ptr instead of carrying copies.
 class InstanceContext {
  public:
   InstanceContext(platform::Platform platform, matrix::Partition partition,
-                  platform::SlowdownSchedule slowdown = {});
+                  platform::SlowdownSchedule slowdown = {},
+                  platform::FaultSchedule faults = {},
+                  platform::CalibrationOptions calibration = {});
 
   /// Convenience: heap-allocate a shared context from copies.
   static std::shared_ptr<const InstanceContext> make(
       const platform::Platform& platform, const matrix::Partition& partition,
-      const platform::SlowdownSchedule& slowdown = {});
+      const platform::SlowdownSchedule& slowdown = {},
+      const platform::FaultSchedule& faults = {},
+      const platform::CalibrationOptions& calibration = {});
 
   const platform::Platform& platform() const { return platform_; }
   const matrix::Partition& partition() const { return partition_; }
   const platform::SlowdownSchedule& slowdown() const { return slowdown_; }
+  const platform::FaultSchedule& faults() const { return faults_; }
+  const platform::CalibrationOptions& calibration() const {
+    return calibration_;
+  }
 
  private:
   platform::Platform platform_;
   matrix::Partition partition_;
   platform::SlowdownSchedule slowdown_;
+  platform::FaultSchedule faults_;
+  platform::CalibrationOptions calibration_;
 };
 
 /// The mutable simulation/model state, cheap to copy relative to the
@@ -108,6 +135,10 @@ struct EngineState {
   model::BlockCount updates_done = 0;
   int chunks_outstanding = 0;
   model::BlockCount blocks_returned = 0;
+  // Fault events of the instance's FaultSchedule already applied (the
+  // schedule is sorted by time, so a cursor suffices and snapshots
+  // rewind fault application together with everything else).
+  std::size_t fault_cursor = 0;
   // Trace lengths at snapshot time, so restore() can roll back events
   // recorded by hypothetical decisions.
   std::size_t trace_comms = 0;
@@ -144,6 +175,38 @@ class ExecutionView {
   virtual model::BlockCount updates_total() const = 0;
   /// True when every C block was assigned, computed, and returned.
   virtual bool all_work_done() const = 0;
+
+  // ----- unreliable-platform support -----
+  /// False once the worker failed; schedulers must skip dead workers
+  /// (every communication to one is infeasible).
+  virtual bool alive(int worker) const { return progress(worker).alive; }
+  /// Marks the worker failed: its in-flight chunk returns to the
+  /// pending set (coverage and progress invalidated), and the backend
+  /// reclaims whatever real resources the worker held. Idempotent.
+  virtual void fail_worker(int worker) = 0;
+  /// Workers still alive.
+  int alive_count() const {
+    int count = 0;
+    for (int i = 0; i < worker_count(); ++i)
+      if (alive(i)) ++count;
+    return count;
+  }
+
+  // ----- online calibration -----
+  /// Best current estimate of the worker's per-update cost in MODEL
+  /// seconds: the static w_i blended with the observed speeds the
+  /// backend measured (EWMA; model clock under the simulator, wall-drift
+  /// scaled under the runtime). Equals platform().worker(i).w until the
+  /// worker has produced an observation. Policies that consult this
+  /// instead of the static w_i adapt to mid-run speed drift.
+  virtual model::Time calibrated_w(int worker) const {
+    return platform().worker(worker).w;
+  }
+  /// Observed current-vs-initial slowdown ratio (1.0 = nominal speed or
+  /// no observation yet).
+  virtual double observed_drift(int worker) const {
+    return progress(worker).speed.drift();
+  }
 
   // ----- lookahead support -----
   /// The instance this view executes; lookahead schedulers build their

@@ -34,6 +34,7 @@ RunResult collect_result(const std::string& scheduler_name, Engine& engine,
   for (int i = 0; i < engine.worker_count(); ++i) {
     const WorkerProgress& state = engine.progress(i);
     if (state.chunks_assigned > 0) ++result.workers_enrolled;
+    if (!state.alive) ++result.workers_failed;
     result.worker_busy.push_back(state.busy_compute);
   }
   if (engine.recording()) {
@@ -73,6 +74,13 @@ RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
                    bool record_trace, std::vector<Decision>* decision_log) {
   Engine engine(InstanceContext::make(platform, partition, slowdown),
                 record_trace);
+  return run(scheduler, engine, decision_log);
+}
+
+RunResult simulate(Scheduler& scheduler,
+                   std::shared_ptr<const InstanceContext> context,
+                   bool record_trace, std::vector<Decision>* decision_log) {
+  Engine engine(std::move(context), record_trace);
   return run(scheduler, engine, decision_log);
 }
 

@@ -36,6 +36,7 @@ struct RunResult {
   std::string scheduler_name;
   model::Time makespan = 0.0;
   int workers_enrolled = 0;           // workers that received >= 1 chunk
+  int workers_failed = 0;             // workers lost to the fault schedule
   model::BlockCount comm_blocks = 0;  // total blocks through the port
   model::BlockCount updates = 0;      // total block updates performed
   std::size_t decisions = 0;
@@ -78,6 +79,13 @@ RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
 RunResult simulate(Scheduler& scheduler, const platform::Platform& platform,
                    const matrix::Partition& partition,
                    const platform::SlowdownSchedule& slowdown,
+                   bool record_trace = false,
+                   std::vector<Decision>* decision_log = nullptr);
+
+/// Fully general instance: any perturbation/fault/calibration mix the
+/// InstanceContext can describe (the unreliable-platform scenario).
+RunResult simulate(Scheduler& scheduler,
+                   std::shared_ptr<const InstanceContext> context,
                    bool record_trace = false,
                    std::vector<Decision>* decision_log = nullptr);
 

@@ -13,9 +13,11 @@ matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
   return matrix::Partition::from_blocks(r, t, s, 80);
 }
 
-TEST(Registry, SevenAlgorithmsRoundTripNames) {
+TEST(Registry, AllAlgorithmsRoundTripNames) {
+  // The paper's seven plus the fault-tolerant wrappers and the
+  // calibrated min-min.
   const auto& algorithms = all_algorithms();
-  ASSERT_EQ(algorithms.size(), 7u);
+  ASSERT_EQ(algorithms.size(), 12u);
   for (const Algorithm& algorithm : algorithms) {
     EXPECT_EQ(algorithm_from_name(algorithm_name(algorithm)), algorithm);
   }
@@ -42,10 +44,17 @@ TEST(Registry, UnknownNameErrorListsValidNames) {
 }
 
 TEST(Registry, PaperPresentationOrder) {
-  const std::vector<Algorithm> expected = {"Hom",    "HomI",   "Het",
-                                           "ORROML", "OMMOML", "ODDOML",
-                                           "BMM"};
+  // Paper columns first, then the unreliable-platform family.
+  const std::vector<Algorithm> expected = {
+      "Hom",       "HomI",      "Het",       "ORROML",
+      "OMMOML",    "ODDOML",    "BMM",       "FT-ODDOML",
+      "FT-OMMOML", "FT-ORROML", "FT-BMM",    "OMMOML-cal"};
   EXPECT_EQ(all_algorithms(), expected);
+  // The figure/table benches keep the paper's seven columns.
+  const std::vector<Algorithm> paper = {"Hom",    "HomI",   "Het",
+                                        "ORROML", "OMMOML", "ODDOML",
+                                        "BMM"};
+  EXPECT_EQ(paper_algorithms(), paper);
 }
 
 TEST(RunReport, BoundsAndMetadata) {

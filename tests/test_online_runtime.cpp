@@ -1,17 +1,23 @@
 // Tests for the online execution backend: live demand-driven scheduling
 // on a heterogeneous (and mid-run-perturbed) platform, sim-vs-runtime
 // decision parity, worker-exception propagation, the verification
-// failure path, and the dynamic-perturbation hook on the simulator side.
+// failure path, the dynamic-perturbation hook on the simulator side,
+// EWMA speed calibration on both backends, bandwidth (c_i) perturbation
+// parity through the throttled channel, and the mid-idle worker-death
+// regression.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <stdexcept>
 #include <string>
 
 #include "core/experiment.hpp"
 #include "core/run.hpp"
+#include "platform/calibration.hpp"
 #include "platform/perturbation.hpp"
 #include "runtime/executor.hpp"
 #include "sched/demand_driven.hpp"
+#include "sched/registry.hpp"
 #include "sched/round_robin.hpp"
 #include "util/rng.hpp"
 
@@ -164,7 +170,212 @@ TEST(OnlineRuntime, DecisionCountParityDemandDrivenHomogeneous) {
   EXPECT_EQ(report.result.decisions, sim_result.decisions);
 }
 
+// ---- online calibration -----------------------------------------------------
+
+TEST(Calibration, EwmaConvergesToSteppedChangeWithinBoundedObservations) {
+  platform::SpeedEstimate estimate;
+  EXPECT_FALSE(estimate.calibrated());
+  EXPECT_DOUBLE_EQ(estimate.drift(), 1.0);
+  EXPECT_DOUBLE_EQ(estimate.value_or(0.007), 0.007);
+
+  // Steady observations: the estimate IS the observation, drift 1.
+  for (int i = 0; i < 5; ++i) estimate.observe(0.002, 0.25);
+  EXPECT_DOUBLE_EQ(estimate.value_or(0.007), 0.002);
+  EXPECT_DOUBLE_EQ(estimate.drift(), 1.0);
+
+  // Stepped 2x slowdown: with alpha = 0.25 the EWMA covers 95% of the
+  // step within 11 observations (1 - 0.75^11 > 0.95) -- a BOUNDED
+  // number, which is what makes mid-run adaptation possible at all.
+  for (int i = 0; i < 11; ++i) estimate.observe(0.004, 0.25);
+  EXPECT_GT(estimate.value_or(0.0), 0.002 + 0.95 * 0.002);
+  EXPECT_LE(estimate.value_or(0.0), 0.004);
+  EXPECT_NEAR(estimate.drift(), 2.0, 0.1);
+}
+
+TEST(Calibration, EngineCalibratedSpeedTracksGroundTruthSlowdown) {
+  // The engine observes every projected step, so after a from-the-start
+  // 3x slowdown its calibrated w sits at exactly 3 w_i while the
+  // untouched worker stays at w_i. Drift is measured against the run's
+  // OWN first observation, so an always-slow worker reads as drift 1 --
+  // drift flags change, calibrated_w carries the absolute estimate.
+  const matrix::Partition part(52, 70, 100, 8);
+  const auto plat = platform::Platform::homogeneous(2, 0.001, 0.01, 40);
+  platform::SlowdownSchedule slowdown;
+  slowdown.add(/*worker=*/1, /*at=*/0.0, /*factor=*/3.0);
+
+  sim::Engine engine(sim::InstanceContext::make(plat, part, slowdown),
+                     /*record_trace=*/false);
+  auto scheduler = sched::make_oddoml(plat, part);
+  sim::run(scheduler, engine);
+
+  EXPECT_DOUBLE_EQ(engine.calibrated_w(0), 0.01);
+  EXPECT_NEAR(engine.calibrated_w(1), 0.03, 1e-9);
+  EXPECT_DOUBLE_EQ(engine.observed_drift(0), 1.0);
+  EXPECT_NEAR(engine.observed_drift(1), 1.0, 1e-9);
+}
+
+TEST(Calibration, EngineDriftDetectsMidRunSlowdown) {
+  // A slowdown that hits MID-run moves the EWMA off its baseline: the
+  // drift converges toward the true factor as post-change observations
+  // accumulate (bounded-observation convergence, engine edition).
+  const matrix::Partition part(52, 70, 100, 8);
+  const auto plat = platform::Platform::homogeneous(2, 0.001, 0.01, 40);
+
+  auto probe = sched::make_oddoml(plat, part);
+  const sim::RunResult baseline = sim::simulate(probe, plat, part);
+
+  platform::SlowdownSchedule slowdown;
+  slowdown.add(/*worker=*/1, baseline.makespan * 0.4, /*factor=*/3.0);
+  sim::Engine engine(sim::InstanceContext::make(plat, part, slowdown),
+                     /*record_trace=*/false);
+  auto scheduler = sched::make_oddoml(plat, part);
+  sim::run(scheduler, engine);
+
+  EXPECT_DOUBLE_EQ(engine.observed_drift(0), 1.0);
+  EXPECT_GT(engine.observed_drift(1), 2.0);
+  EXPECT_GT(engine.calibrated_w(1), 0.02);
+  EXPECT_LE(engine.calibrated_w(1), 0.03 + 1e-12);
+}
+
+TEST(Calibration, SimAndOnlineCalibratedEstimatesAgreeOnDeterministicPlatform) {
+  // On a deterministic (unperturbed) platform both backends must settle
+  // on "no drift": the simulator exactly (its observations ARE the
+  // model costs), the runtime within the jitter of real step timings.
+  const matrix::Partition part(52, 70, 100, 8);
+  const auto plat = platform::Platform::homogeneous(3, 0.01, 0.002, 40);
+
+  sim::Engine engine(plat, part);
+  auto sim_scheduler = sched::make_oddoml(plat, part);
+  sim::run(sim_scheduler, engine);
+  for (int w = 0; w < plat.size(); ++w) {
+    EXPECT_DOUBLE_EQ(engine.calibrated_w(w), plat.worker(w).w);
+    EXPECT_DOUBLE_EQ(engine.observed_drift(w), 1.0);
+  }
+
+  // The online half measures real wall clocks, so give it chunky steps
+  // (32x32 blocks, several updates per step) that dwarf timer jitter,
+  // and smooth hard.
+  const matrix::Partition online_part(96, 128, 192, 32);  // r=3, t=4, s=6
+  const auto online_plat =
+      platform::Platform::homogeneous(3, 0.01, 0.002, 20);
+  const auto a = random_matrix(96, 128, 31);
+  const auto b = random_matrix(128, 192, 32);
+  matrix::Matrix c(96, 192, 0.0);
+  auto live_scheduler = sched::make_oddoml(online_plat, online_part);
+  ExecutorOptions options;
+  options.verify = false;
+  options.calibration.alpha = 0.1;
+  const ExecutorReport report = execute_online(live_scheduler, online_plat,
+                                               online_part, a, b, c, options);
+  ASSERT_EQ(report.observed_drift.size(), static_cast<std::size_t>(3));
+  // Wall clocks on a loaded CI machine can drift globally (sanitizer
+  // runs, parallel tests), so the robust agreement statement is
+  // cross-worker: equal workers share the machine's noise, so no
+  // worker may read several times slower than its peers -- which is
+  // exactly what the injected per-worker slowdowns elsewhere do read
+  // as. A wide absolute band still catches unit mistakes.
+  const auto [lo_it, hi_it] = std::minmax_element(
+      report.observed_drift.begin(), report.observed_drift.end());
+  EXPECT_LT(*hi_it / *lo_it, 4.0);
+  EXPECT_GT(*lo_it, 0.05);
+  EXPECT_LT(*hi_it, 20.0);
+}
+
+// ---- bandwidth (c_i) perturbation -------------------------------------------
+
+TEST(BandwidthPerturbation, SimulatorStretchesMakespanOnSlowedLink) {
+  // Communication-bound instance: slowing one worker's link 8x must
+  // stretch the makespan, exactly like the compute perturbation does.
+  const matrix::Partition part(96, 64, 160, 8);
+  const auto plat = platform::Platform::homogeneous(2, 0.02, 0.001, 40);
+
+  auto baseline_scheduler = sched::make_oddoml(plat, part);
+  const sim::RunResult baseline = sim::simulate(baseline_scheduler, plat, part);
+
+  platform::SlowdownSchedule schedule;
+  schedule.add_bandwidth(/*worker=*/0, /*at=*/0.0, /*factor=*/8.0);
+  EXPECT_TRUE(schedule.has_bandwidth_events());
+  // Bandwidth events leave the compute factor untouched and vice versa.
+  EXPECT_DOUBLE_EQ(schedule.factor(0, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.bandwidth_factor(0, 1.0), 8.0);
+
+  auto perturbed_scheduler = sched::make_oddoml(plat, part);
+  const sim::RunResult perturbed = sim::simulate(
+      perturbed_scheduler, plat, part, schedule, /*record_trace=*/true);
+  EXPECT_GT(perturbed.makespan, baseline.makespan);
+  EXPECT_TRUE(perturbed.trace.one_port_respected());
+  EXPECT_TRUE(perturbed.trace.compute_serialized());
+}
+
+TEST(BandwidthPerturbation, ThrottledRuntimeChannelMatchesSimOrdering) {
+  // The same c_i experiment on real threads: the master's throttled
+  // channel charges wall time per block, scaled by the drifting
+  // bandwidth factor -- so the slowed-link run must take longer on the
+  // wall too, giving matching makespan ordering across backends.
+  const matrix::Partition part(40, 48, 64, 8);
+  const auto plat = platform::Platform::homogeneous(3, 0.01, 0.002, 40);
+  const auto a = random_matrix(40, 48, 41);
+  const auto b = random_matrix(48, 64, 42);
+
+  const auto wall_with = [&](double factor) {
+    matrix::Matrix c(40, 64, 0.0);
+    auto scheduler = sched::make_oddoml(plat, part);
+    ExecutorOptions options;
+    options.verify = false;
+    options.throttle_block_seconds = 2e-4;
+    if (factor > 1.0) {
+      options.perturbation.add_bandwidth(0, 0.0, factor);
+      options.perturbation.add_bandwidth(1, 0.0, factor);
+    }
+    return execute_online(scheduler, plat, part, a, b, c, options)
+        .wall_seconds;
+  };
+
+  const double nominal = wall_with(1.0);
+  const double slowed = wall_with(6.0);
+  EXPECT_GT(slowed, nominal);
+}
+
 // ---- failure paths ---------------------------------------------------------
+
+TEST(OnlineRuntime, MidIdleWorkerDeathSurfacesInsteadOfHanging) {
+  // Regression for the silent-abort path: a worker that dies BETWEEN
+  // steps (here: on receiving its first message, before any compute)
+  // used to leave the master waiting on completions that could never
+  // arrive. Failure detection is eager now -- the run must either
+  // throw (strict mode) or recover (tolerant mode + FT policy), never
+  // hang.
+  const matrix::Partition part(40, 40, 40, 8);
+  const auto plat = platform::Platform::homogeneous(3, 0.01, 0.002, 40);
+  const auto a = random_matrix(40, 40, 51);
+  const auto b = random_matrix(40, 40, 52);
+
+  {  // strict mode: the scheduled fault propagates as the root cause
+    matrix::Matrix c(40, 40, 0.0);
+    auto scheduler = sched::make_oddoml(plat, part);
+    ExecutorOptions options;
+    options.faults.add(/*worker=*/1, /*at=*/0.0);
+    try {
+      execute_online(scheduler, plat, part, a, b, c, options);
+      FAIL() << "expected the scheduled fault to propagate";
+    } catch (const std::runtime_error& error) {
+      EXPECT_NE(std::string(error.what()).find("scheduled fault"),
+                std::string::npos);
+    }
+  }
+  {  // tolerant mode: the FT policy finishes on the survivors
+    matrix::Matrix c(40, 40, 0.0);
+    auto scheduler =
+        sched::Registry::instance().make("FT-ODDOML", plat, part);
+    ExecutorOptions options;
+    options.faults.add(/*worker=*/1, /*at=*/0.0);
+    options.tolerate_faults = true;
+    const ExecutorReport report =
+        execute_online(*scheduler, plat, part, a, b, c, options);
+    EXPECT_TRUE(report.verified);
+    EXPECT_EQ(report.workers_failed, 1);
+  }
+}
 
 TEST(OnlineRuntime, WorkerExceptionPropagatesToMaster) {
   const matrix::Partition part(40, 40, 40, 8);

@@ -10,6 +10,7 @@
 #include "platform/generator.hpp"
 #include "runtime/channel.hpp"
 #include "runtime/executor.hpp"
+#include "testing_support.hpp"
 #include "util/rng.hpp"
 
 namespace hmxp::runtime {
@@ -76,7 +77,8 @@ TEST_P(RuntimeAllAlgorithms, ComputesExactProduct) {
 INSTANTIATE_TEST_SUITE_P(Everything, RuntimeAllAlgorithms,
                          ::testing::ValuesIn(core::all_algorithms()),
                          [](const auto& info) {
-                           return core::algorithm_name(info.param);
+                           return testing::param_safe(
+                               core::algorithm_name(info.param));
                          });
 
 TEST(Runtime, HeterogeneousPlatformSchedule) {

@@ -14,6 +14,7 @@
 #include "sched/min_min.hpp"
 #include "sched/round_robin.hpp"
 #include "sim/scheduler.hpp"
+#include "testing_support.hpp"
 
 namespace hmxp {
 namespace {
@@ -77,8 +78,9 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::ValuesIn(core::all_algorithms()),
                        ::testing::Values("mem", "links", "comp", "homog")),
     [](const auto& info) {
-      return core::algorithm_name(std::get<0>(info.param)) + "_" +
-             std::get<1>(info.param);
+      return testing::param_safe(
+                 core::algorithm_name(std::get<0>(info.param))) +
+             "_" + std::get<1>(info.param);
     });
 
 // ---- maximum re-use (section 3) ------------------------------------------

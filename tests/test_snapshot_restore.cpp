@@ -9,6 +9,7 @@
 #include "core/algorithms.hpp"
 #include "platform/generator.hpp"
 #include "sim/scheduler.hpp"
+#include "testing_support.hpp"
 #include "util/rng.hpp"
 
 namespace hmxp {
@@ -53,7 +54,8 @@ TEST_P(SnapshotAllAlgorithms, ProbedRunMatchesFreshRunExactly) {
 INSTANTIATE_TEST_SUITE_P(Registry, SnapshotAllAlgorithms,
                          ::testing::ValuesIn(core::all_algorithms()),
                          [](const auto& info) {
-                           return core::algorithm_name(info.param);
+                           return testing::param_safe(
+                               core::algorithm_name(info.param));
                          });
 
 TEST(Snapshot, SharedContextEnginesAreIndependent) {

@@ -1,0 +1,21 @@
+// Shared helpers for the test suites.
+#pragma once
+
+#include <string>
+
+namespace hmxp::testing {
+
+/// Registry names may carry characters that are not identifier-safe
+/// ('-' in FT-ODDOML, OMMOML-cal); gtest parameter names must be
+/// identifiers, so every non-alphanumeric character maps to '_'.
+inline std::string param_safe(const std::string& name) {
+  std::string safe = name;
+  for (char& ch : safe) {
+    const bool ok = (ch >= 'a' && ch <= 'z') || (ch >= 'A' && ch <= 'Z') ||
+                    (ch >= '0' && ch <= '9');
+    if (!ok) ch = '_';
+  }
+  return safe;
+}
+
+}  // namespace hmxp::testing
