@@ -187,6 +187,57 @@ void BM_OnlineRuntime(benchmark::State& state) {
 }
 BENCHMARK(BM_OnlineRuntime)->Arg(160)->Arg(320)->Unit(benchmark::kMillisecond);
 
+void BM_OnlineRuntimeProcess(benchmark::State& state) {
+  // The same end-to-end online run over the PROCESS transport: one
+  // forked worker process per worker, every message serialized into
+  // length-prefixed frames over a socketpair. Blocks/sec against
+  // BM_OnlineRuntime is the price of address-space isolation, and the
+  // serde counters break it down: bytes moved across the sockets per
+  // second and the master-side seconds spent encoding/decoding frames
+  // per run (serde_ms), next to the pool counters the thread transport
+  // reports.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plat = platform::Platform::homogeneous(4, 0.01, 0.002, 40);
+  const matrix::Partition part(n, n, n, 16);
+  util::Rng rng(5);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  std::size_t blocks = 0;
+  std::size_t updates = 0;
+  std::size_t wire_bytes = 0;
+  double serde_seconds = 0.0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    auto scheduler = sched::make_oddoml(plat, part);
+    runtime::ExecutorOptions options;
+    options.transport = runtime::TransportKind::kProcess;
+    options.verify = false;
+    const runtime::ExecutorReport report =
+        runtime::execute_online(scheduler, plat, part, a, b, c, options);
+    blocks += static_cast<std::size_t>(report.result.comm_blocks);
+    updates += report.updates_performed;
+    wire_bytes += report.transport_stats.bytes_sent +
+                  report.transport_stats.bytes_received;
+    serde_seconds += report.transport_stats.serde_seconds;
+    ++runs;
+    benchmark::DoNotOptimize(report.wall_seconds);
+  }
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(blocks), benchmark::Counter::kIsRate);
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(updates), benchmark::Counter::kIsRate);
+  state.counters["wire_MB/s"] = benchmark::Counter(
+      static_cast<double>(wire_bytes) / (1024.0 * 1024.0),
+      benchmark::Counter::kIsRate);
+  state.counters["serde_ms"] =
+      runs > 0 ? serde_seconds * 1e3 / static_cast<double>(runs) : 0.0;
+}
+BENCHMARK(BM_OnlineRuntimeProcess)
+    ->Arg(160)
+    ->Arg(320)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_OnlineRuntimeFaulty(benchmark::State& state) {
   // The unreliable-platform path: one of four workers is killed partway
   // through every run (its 4th operand step) and the fault-tolerant

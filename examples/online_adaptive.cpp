@@ -5,27 +5,51 @@
 //      matrices into q x q blocks;
 //   2. predict with the simulator: the same ODDOML policy on the pure
 //      cost model (which knows nothing about the perturbation);
-//   3. execute ONLINE: the scheduler runs inside the threaded master
-//      loop, reacting to actual completion messages, while a wall-clock
+//   3. execute ONLINE: the scheduler runs inside the master loop,
+//      reacting to actual completion messages, while a wall-clock
 //      SlowdownSchedule decelerates workers under it mid-run (the
 //      paper's deceleration trick, made time-varying);
 //   4. verify C against a reference product and print the RunResult --
 //      the exact shape the simulator emits -- next to the prediction.
 //
-// Run:  ./online_adaptive
+// Run:  ./online_adaptive [--backend=thread|process]
+//
+// --backend picks the data-plane transport for step 3: worker threads
+// (default) or one forked worker process per worker with serialized
+// frames over socketpairs -- the in-machine analogue of the companion
+// report's MPI deployment. The scheduler, the perturbation, and the
+// verified result are identical on both.
 #include <iostream>
 
 #include "matrix/matrix.hpp"
 #include "platform/perturbation.hpp"
 #include "runtime/executor.hpp"
+#include "runtime/transport.hpp"
 #include "sched/demand_driven.hpp"
 #include "sim/scheduler.hpp"
+#include "util/flags.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/strings.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hmxp;
+
+  util::Flags flags;
+  flags.define("backend", "thread",
+               "data-plane transport for the live run: thread | process");
+  flags.parse(argc, argv);
+  if (flags.help_requested()) {
+    std::cout << flags.usage(
+        "Online adaptive execution on a drifting platform.");
+    return 0;
+  }
+  const auto transport =
+      runtime::parse_transport_kind(flags.get_string("backend"));
+  if (!transport.has_value()) {
+    std::cerr << "unknown --backend (want thread or process)\n";
+    return 1;
+  }
 
   // A 4-worker star platform. Units: seconds per block transferred (c),
   // seconds per block update (w), memory in blocks (m).
@@ -59,6 +83,7 @@ int main() {
   // sees this schedule -- only its effects, through which workers
   // actually hand results back.
   runtime::ExecutorOptions options;
+  options.transport = *transport;
   options.perturbation.add(/*worker=*/2, /*at=*/0.030, /*factor=*/8.0);
   options.perturbation.add(/*worker=*/0, /*at=*/0.060, /*factor=*/3.0);
   options.perturbation.add(/*worker=*/2, /*at=*/0.200, /*factor=*/1.0);
@@ -81,7 +106,8 @@ int main() {
   show("Simulator prediction", predicted);
   show("Online execution    ", executed.result);
 
-  std::cout << "\nOnline run: " << executed.chunks_processed << " chunks, "
+  std::cout << "\nOnline run [" << executed.transport << " transport]: "
+            << executed.chunks_processed << " chunks, "
             << executed.updates_performed << " block updates in "
             << util::format_fixed(executed.wall_seconds, 3)
             << " s wall; per-worker updates:";

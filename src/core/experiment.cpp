@@ -28,11 +28,15 @@ void run_cell(const Instance& instance, const Algorithm& algorithm,
               const ExperimentOptions& options, RunReport& report,
               std::string& error) {
   try {
-    report = options.backend == Backend::kOnline
-                 ? run_algorithm_online(algorithm, instance.platform,
-                                        instance.partition, options.online)
-                 : run_algorithm(algorithm, instance.platform,
-                                 instance.partition, options.sim);
+    if (options.backend == Backend::kSim) {
+      report = run_algorithm(algorithm, instance.platform, instance.partition,
+                             options.sim);
+    } else {
+      OnlineOptions online = options.online;
+      online.backend = options.backend;  // the grid knob wins
+      report = run_algorithm_online(algorithm, instance.platform,
+                                    instance.partition, online);
+    }
   } catch (const std::exception& exception) {
     report = RunReport{};
     report.algorithm = algorithm;

@@ -53,12 +53,14 @@ struct ExperimentOptions {
   /// thread; 1 = serial (no pool).
   int threads = 0;
   /// Execution backend for every cell: the simulator (default) or the
-  /// threaded online runtime (real matrices generated per cell; each
-  /// online cell spawns its own worker threads, so prefer threads = 1
-  /// for online grids).
+  /// online runtime over worker threads (kOnline) or forked worker
+  /// processes (kProcess). Real matrices are generated per online cell;
+  /// each online cell spawns its own workers, so prefer threads = 1 for
+  /// online and process grids.
   Backend backend = Backend::kSim;
-  /// Knobs for Backend::kOnline cells (seed, verification, dynamic
-  /// perturbation, fault schedule, calibration, throttled channel).
+  /// Knobs for online cells (seed, verification, dynamic perturbation,
+  /// fault schedule, calibration, throttled channel). The grid's
+  /// `backend` above overrides `online.backend` per cell.
   OnlineOptions online;
   /// Knobs for Backend::kSim cells (model-clock slowdown + fault
   /// schedules, calibration) -- any cell can run the unreliable-platform

@@ -4,9 +4,32 @@
 
 #include "model/steady_state.hpp"
 #include "runtime/executor.hpp"
+#include "util/check.hpp"
 #include "util/rng.hpp"
+#include "util/strings.hpp"
 
 namespace hmxp::core {
+
+const char* backend_name(Backend backend) {
+  switch (backend) {
+    case Backend::kSim:
+      return "sim";
+    case Backend::kOnline:
+      return "online";
+    case Backend::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+std::optional<Backend> parse_backend(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "sim" || lower == "simulator") return Backend::kSim;
+  if (lower == "online" || lower == "thread" || lower == "threads")
+    return Backend::kOnline;
+  if (lower == "process" || lower == "processes") return Backend::kProcess;
+  return std::nullopt;
+}
 
 namespace {
 
@@ -73,10 +96,13 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
                                const matrix::Partition& partition,
                                const OnlineOptions& options,
                                bool record_trace) {
+  HMXP_REQUIRE(options.backend != Backend::kSim,
+               "OnlineOptions::backend must be kOnline or kProcess "
+               "(simulation takes SimOptions)");
   RunReport report;
   report.algorithm = algorithm_name(algorithm);
   report.algorithm_label = report.algorithm;
-  report.backend = Backend::kOnline;
+  report.backend = options.backend;
 
   std::unique_ptr<sim::Scheduler> scheduler =
       timed_scheduler(report, algorithm, platform, partition);
@@ -88,6 +114,9 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
                                             rng);
 
   runtime::ExecutorOptions executor_options;
+  executor_options.transport = options.backend == Backend::kProcess
+                                   ? runtime::TransportKind::kProcess
+                                   : runtime::TransportKind::kThread;
   executor_options.verify = options.verify;
   executor_options.perturbation = options.perturbation;
   executor_options.faults = options.faults;

@@ -1,12 +1,16 @@
 // One-call execution of an algorithm on a platform instance, with the
 // derived metrics the paper reports. Every (instance x algorithm) cell
-// can run on either execution backend:
-//   * Backend::kSim    -- the discrete-event simulator (default);
-//   * Backend::kOnline -- the threaded runtime: the scheduler runs live
-//     against worker threads computing a real product on generated
-//     matrices, and the report carries the model-projected RunResult its
-//     mirror emits (same shape as the simulator) plus wall-clock and
-//     verification facts.
+// can run on any execution backend:
+//   * Backend::kSim     -- the discrete-event simulator (default);
+//   * Backend::kOnline  -- the online runtime over the THREAD transport:
+//     the scheduler runs live against worker threads computing a real
+//     product on generated matrices, and the report carries the
+//     model-projected RunResult its mirror emits (same shape as the
+//     simulator) plus wall-clock and verification facts;
+//   * Backend::kProcess -- the same online runtime over the PROCESS
+//     transport: one forked worker process per worker, messages
+//     serialized over socketpairs -- the in-machine reproduction of the
+//     companion report's real-cluster (MPI) deployment.
 #pragma once
 
 #include <cstdint>
@@ -19,10 +23,22 @@
 
 namespace hmxp::core {
 
-enum class Backend { kSim, kOnline };
+enum class Backend { kSim, kOnline, kProcess };
 
-/// Knobs for Backend::kOnline cells.
+/// Canonical name ("sim" / "online" / "process").
+const char* backend_name(Backend backend);
+/// Parses a backend name (case-insensitive; "thread" is accepted as an
+/// alias of "online"); nullopt if unrecognized.
+std::optional<Backend> parse_backend(const std::string& name);
+
+/// Knobs for online cells (Backend::kOnline and Backend::kProcess).
 struct OnlineOptions {
+  /// Which online backend executes the cell: kOnline (worker threads,
+  /// the default) or kProcess (forked worker processes). kSim is not a
+  /// valid value here -- simulation takes SimOptions instead. The
+  /// experiment grid overrides this with ExperimentOptions::backend, so
+  /// a grid switches transports with one knob.
+  Backend backend = Backend::kOnline;
   /// Seed for the deterministically generated A, B, C matrices.
   std::uint64_t data_seed = 42;
   /// Verify C against a reference product (throws on mismatch).
@@ -72,7 +88,7 @@ struct RunReport {
   /// phase, i.e. Het).
   std::optional<sched::HetVariant> het_variant;
 
-  /// Online-backend facts (Backend::kOnline only).
+  /// Online-backend facts (Backend::kOnline / Backend::kProcess only).
   double online_wall_seconds = 0.0;
   bool online_verified = false;
 };
@@ -91,9 +107,10 @@ RunReport run_algorithm(const Algorithm& algorithm,
                         const matrix::Partition& partition,
                         const SimOptions& options, bool record_trace = false);
 
-/// Runs `algorithm` live on the threaded runtime: random matrices are
-/// generated to the partition's shape, the scheduler drives real worker
-/// threads, and C is verified unless options say otherwise.
+/// Runs `algorithm` live on the online runtime: random matrices are
+/// generated to the partition's shape, the scheduler drives real
+/// workers -- threads or forked processes, per options.backend -- and C
+/// is verified unless options say otherwise.
 RunReport run_algorithm_online(const Algorithm& algorithm,
                                const platform::Platform& platform,
                                const matrix::Partition& partition,

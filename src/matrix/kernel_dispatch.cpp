@@ -61,6 +61,12 @@ void force_kernel_tier(std::optional<KernelTier> tier) {
                     std::memory_order_relaxed);
 }
 
+std::optional<KernelTier> forced_kernel_tier() {
+  const int forced = forced_tier.load(std::memory_order_relaxed);
+  if (forced < 0) return std::nullopt;
+  return static_cast<KernelTier>(forced);
+}
+
 bool cpu_supports_avx2_fma() {
 #if defined(__x86_64__) && defined(__GNUC__)
   static const bool supported =

@@ -41,6 +41,13 @@ KernelTier active_kernel_tier();
 /// concurrent GEMM calls; call from test/bench setup only.
 void force_kernel_tier(std::optional<KernelTier> tier);
 
+/// The programmatic pin currently in force (nullopt = none). The
+/// process transport captures it (together with active_kernel_tier())
+/// before forking and re-asserts it inside every worker process, so a
+/// --kernel / force_kernel_tier() choice governs the micro-kernel on
+/// both transports.
+std::optional<KernelTier> forced_kernel_tier();
+
 /// True when the running CPU can execute the AVX2+FMA micro-kernel.
 bool cpu_supports_avx2_fma();
 

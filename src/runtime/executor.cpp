@@ -1,7 +1,6 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
-#include <atomic>
 #include <chrono>
 #include <cmath>
 #include <exception>
@@ -12,8 +11,8 @@
 #include "core/algorithms.hpp"
 #include "matrix/gemm.hpp"
 #include "runtime/buffer_pool.hpp"
-#include "runtime/channel.hpp"
 #include "runtime/messages.hpp"
+#include "runtime/transport.hpp"
 #include "util/check.hpp"
 
 namespace hmxp::runtime {
@@ -50,189 +49,17 @@ std::vector<double> copy_window(BufferPool& pool, const matrix::Matrix& source,
   return data;
 }
 
-/// Per-worker thread: consumes chunk and operand messages, performs the
-/// real block updates, returns finished chunks. On any internal error it
-/// records the exception, raises its `failed` flag, and closes BOTH its
-/// channels, so a master blocked pushing or popping wakes up; the master
-/// notices the flag at its next completion sweep -- and either recovers
-/// (tolerate_faults) or unwinds and rethrows the worker's exception.
-class WorkerThread {
- public:
-  WorkerThread(int index, std::size_t operand_capacity,
-               const ExecutorOptions& options, Clock::time_point run_begin,
-               std::size_t* updates_slot, BufferPool* pool)
-      : index_(index),
-        pool_(pool),
-        inbox_(operand_capacity),
-        outbox_(1),
-        base_slowdown_(options.compute_slowdown.empty()
-                           ? 1
-                           : options.compute_slowdown[static_cast<std::size_t>(
-                                 index)]),
-        perturbation_(&options.perturbation),
-        faults_(&options.faults),
-        fault_hook_(options.fault_hook),
-        run_begin_(run_begin),
-        updates_slot_(updates_slot) {}
-
-  Channel<WorkerMessage>& inbox() { return inbox_; }
-  Channel<ResultMessage>& outbox() { return outbox_; }
-
-  void start() {
-    thread_ = std::thread([this] { run(); });
-  }
-  /// Signals the worker to exit once its inbox drains.
-  void request_stop() { inbox_.close(); }
-  /// Master-initiated decommission: closes both channels so the worker
-  /// unblocks and exits; any error it raises on the way out (e.g. a
-  /// push on its now-closed outbox) is expected, not a failure.
-  void kill() {
-    killed_.store(true, std::memory_order_release);
-    inbox_.close();
-    outbox_.close();
-  }
-  void join() {
-    if (thread_.joinable()) thread_.join();
-  }
-  /// True once the worker thread died on an exception. The release
-  /// store happens after error_ is recorded, so a master that observes
-  /// failed() may read error() without a race (even before join).
-  bool failed() const { return failed_.load(std::memory_order_acquire); }
-  bool killed() const { return killed_.load(std::memory_order_acquire); }
-  /// Valid once failed() is observed (or after join()).
-  const std::exception_ptr& error() const { return error_; }
-
- private:
-  void run() {
-    try {
-      while (auto message = inbox_.pop()) {
-        check_scheduled_fault();
-        if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
-          HMXP_CHECK(!chunk_.has_value(), "worker received chunk mid-chunk");
-          chunk_ = std::move(*chunk);
-          steps_done_ = 0;
-          step_seconds_.clear();
-        } else {
-          process(std::move(std::get<OperandMessage>(*message)));
-        }
-      }
-    } catch (...) {
-      error_ = std::current_exception();
-      // A dying worker hands the pool back what it can (its resident C
-      // copy); in-flight locals are freed by unwinding instead.
-      if (chunk_.has_value()) {
-        pool_->release(std::move(chunk_->c));
-        chunk_.reset();
-      }
-      failed_.store(true, std::memory_order_release);
-      inbox_.close();
-      outbox_.close();
-    }
-  }
-
-  /// Wall-clock fault schedule: the worker dies for good once its event
-  /// time passes, whatever it was about to do.
-  void check_scheduled_fault() const {
-    if (faults_->empty()) return;
-    const double elapsed =
-        std::chrono::duration<double>(Clock::now() - run_begin_).count();
-    if (faults_->dead(index_, elapsed))
-      throw std::runtime_error("scheduled fault: worker " +
-                               std::to_string(index_) + " died at t=" +
-                               std::to_string(elapsed));
-  }
-
-  /// Compute repetitions in force right now: the static per-worker
-  /// factor times the dynamic perturbation factor at the current wall
-  /// offset -- the platform really changes under the master mid-run.
-  int current_reps() const {
-    if (perturbation_->empty()) return base_slowdown_;
-    const double elapsed =
-        std::chrono::duration<double>(Clock::now() - run_begin_).count();
-    const double factor = perturbation_->factor(index_, elapsed);
-    return std::max(1, static_cast<int>(std::lround(
-                           static_cast<double>(base_slowdown_) * factor)));
-  }
-
-  void process(OperandMessage&& operands) {
-    HMXP_CHECK(chunk_.has_value(), "operands before chunk");
-    ChunkMessage& chunk = *chunk_;
-    HMXP_CHECK(operands.step == steps_done_, "operand step out of order");
-    if (fault_hook_) fault_hook_(index_, operands.step);
-
-    const auto step_begin = Clock::now();
-    const std::size_t rows = chunk.element_rows;
-    const std::size_t cols = chunk.element_cols;
-    const std::size_t kk = operands.k_elems;
-    matrix::ConstView a(operands.a.data(), rows, kk, kk);
-    matrix::ConstView b(operands.b.data(), kk, cols, cols);
-    matrix::View c(chunk.c.data(), rows, cols, cols);
-    matrix::gemm_auto(a, b, c);
-
-    // Emulated slowdown: redo the same product into scratch, discarding
-    // the result, exactly like the paper's artificial deceleration.
-    const int reps = current_reps();
-    if (reps > 1) {
-      std::vector<double> scratch = pool_->acquire(rows * cols);
-      matrix::View sink(scratch.data(), rows, cols, cols);
-      for (int rep = 1; rep < reps; ++rep) matrix::gemm_auto(a, b, sink);
-      pool_->release(std::move(scratch));
-    }
-    // The step's measured latency (repetitions included): what the
-    // master's calibration loop gets to see.
-    step_seconds_.push_back(
-        std::chrono::duration<double>(Clock::now() - step_begin).count());
-
-    // Operand buffers are consumed: hand their storage back for the
-    // master's next copy-out.
-    pool_->release(std::move(operands.a));
-    pool_->release(std::move(operands.b));
-
-    *updates_slot_ += static_cast<std::size_t>(
-        chunk.plan.steps[operands.step].updates);
-    ++steps_done_;
-    if (steps_done_ == chunk.plan.steps.size()) {
-      ResultMessage result;
-      result.plan = chunk.plan;
-      result.element_rows = rows;
-      result.element_cols = cols;
-      result.c = std::move(chunk.c);
-      result.updates_performed = steps_done_;
-      result.step_seconds = std::move(step_seconds_);
-      step_seconds_.clear();
-      chunk_.reset();
-      outbox_.push(std::move(result));
-    }
-  }
-
-  int index_;
-  BufferPool* pool_;
-  Channel<WorkerMessage> inbox_;
-  Channel<ResultMessage> outbox_;
-  int base_slowdown_;
-  const platform::SlowdownSchedule* perturbation_;
-  const platform::FaultSchedule* faults_;
-  std::function<void(int, std::size_t)> fault_hook_;
-  Clock::time_point run_begin_;
-  std::size_t* updates_slot_;
-  std::optional<ChunkMessage> chunk_;
-  std::size_t steps_done_ = 0;
-  std::vector<double> step_seconds_;
-  std::exception_ptr error_;
-  std::atomic<bool> failed_{false};
-  std::atomic<bool> killed_{false};
-  std::thread thread_;
-};
-
-/// The event-driven master: implements ExecutionView over real worker
-/// threads. Scheduler-visible bookkeeping (port clock, WorkerProgress,
-/// coverage) lives in a model mirror -- a sim::Engine over the same
-/// instance that executes every decision the master really performs --
-/// while readiness is overridden with ACTUAL completions: a worker whose
-/// result message has arrived is collectable *now*, whatever the cost
-/// model predicted. Blocking semantics come from the real channels: a
-/// decision whose real precondition is unmet blocks the master, exactly
-/// like a decision blocks the simulated port.
+/// The event-driven master: implements ExecutionView over real workers
+/// behind the data-plane Transport (threads or forked processes -- the
+/// master never knows which). Scheduler-visible bookkeeping (port
+/// clock, WorkerProgress, coverage) lives in a model mirror -- a
+/// sim::Engine over the same instance that executes every decision the
+/// master really performs -- while readiness is overridden with ACTUAL
+/// completions: a worker whose result message has arrived is
+/// collectable *now*, whatever the cost model predicted. Blocking
+/// semantics come from the transport: a decision whose real
+/// precondition is unmet blocks the master, exactly like a decision
+/// blocks the simulated port.
 class OnlineExecutor final : public sim::ExecutionView {
  public:
   OnlineExecutor(const platform::Platform& platform,
@@ -295,9 +122,10 @@ class OnlineExecutor final : public sim::ExecutionView {
   /// Marks the worker failed and reclaims everything it held: the
   /// mirror returns its in-flight chunk to the pending set, queued
   /// messages hand their payload buffers back to the pool, and a
-  /// still-running thread is decommissioned (channels closed; the exit
-  /// error that may cause is expected and never rethrown). Idempotent;
-  /// also the master's internal path when it detects a dead thread.
+  /// still-running worker is decommissioned through its endpoint (the
+  /// exit error that may cause is expected and never rethrown).
+  /// Idempotent; also the master's internal path when it detects a dead
+  /// worker.
   void fail_worker(int worker) override {
     const auto w = static_cast<std::size_t>(worker);
     HMXP_REQUIRE(worker >= 0 && w < worker_count_,
@@ -305,8 +133,9 @@ class OnlineExecutor final : public sim::ExecutionView {
     if (failure_handled_[w]) return;
     failure_handled_[w] = 1;
     ++workers_failed_;
-    if (w < workers_.size() && !workers_[w]->failed()) workers_[w]->kill();
-    reclaim_channels(w);
+    Endpoint& endpoint = transport_->endpoint(worker);
+    if (!endpoint.failed()) endpoint.kill();
+    endpoint.drain(pool_);
     if (pending_[w].has_value()) {
       pool_.release(std::move(pending_[w]->c));
       pending_[w].reset();
@@ -335,7 +164,15 @@ class OnlineExecutor final : public sim::ExecutionView {
     matrix::Matrix reference;
     if (options_.verify) reference = c_;  // C_initial; product added at end
 
-    start_workers(run_begin_);
+    // Inbox capacity: the chunk message plus (prefetch + 1) operand
+    // slots for the deepest layout (double buffering, depth 1). The
+    // bound makes a master that overruns a worker's buffers block for
+    // real; per-chunk depths below the bound are enforced in model time
+    // by the mirror's SendAB timing.
+    transport_ = make_transport(options_.transport,
+                                static_cast<int>(worker_count_),
+                                /*inbox_capacity=*/3, options_, run_begin_,
+                                &pool_);
     const std::size_t max_decisions =
         sim::decision_budget(mirror_.partition());
     std::size_t executed = 0;
@@ -359,8 +196,9 @@ class OnlineExecutor final : public sim::ExecutionView {
             execute_real(decision);
           } catch (...) {
             const auto w = static_cast<std::size_t>(decision.worker);
-            if (decision.worker >= 0 && w < workers_.size() &&
-                workers_[w]->failed() && !workers_[w]->killed() &&
+            if (decision.worker >= 0 && w < worker_count_ &&
+                transport_->endpoint(decision.worker).failed() &&
+                !transport_->endpoint(decision.worker).killed() &&
                 !failure_handled_[w]) {
               mirror_.restore(rollback_state_);
               fail_worker(decision.worker);
@@ -399,6 +237,8 @@ class OnlineExecutor final : public sim::ExecutionView {
     report.result =
         sim::collect_result(scheduler.name(), mirror_, executed);
     report.buffer_pool = pool_.stats();
+    report.transport = transport_->name();
+    report.transport_stats = transport_->stats();
     report.wall_seconds =
         std::chrono::duration<double>(Clock::now() - run_begin_).count();
 
@@ -422,47 +262,42 @@ class OnlineExecutor final : public sim::ExecutionView {
     std::size_t steps_sent = 0;
   };
 
-  void start_workers(Clock::time_point run_begin) {
-    // Inbox capacity: the chunk message plus (prefetch + 1) operand
-    // slots for the deepest layout (double buffering, depth 1). The
-    // bound makes a master that overruns a worker's buffers block for
-    // real; per-chunk depths below the bound are enforced in model time
-    // by the mirror's SendAB timing.
-    const std::size_t capacity = 3;
-    workers_.reserve(worker_count_);
-    for (std::size_t i = 0; i < worker_count_; ++i) {
-      workers_.push_back(std::make_unique<WorkerThread>(
-          static_cast<int>(i), capacity, options_, run_begin,
-          &updates_per_worker_[i], &pool_));
-      workers_.back()->start();
-    }
-  }
-
   /// Non-blocking sweep of every worker: results that actually arrived
   /// become visible to the scheduler (earliest_start above) before the
   /// next decision, their measured step latencies feed the calibration,
-  /// and dead threads are detected EAGERLY -- a worker that dies
+  /// and dead workers are detected EAGERLY -- a worker that dies
   /// between steps surfaces here, not whenever the master next happens
-  /// to touch its channels (which could be never).
+  /// to touch its endpoint (which could be never).
   void drain_completions() {
     for (std::size_t w = 0; w < worker_count_; ++w) {
       if (failure_handled_[w]) continue;
-      if (workers_[w]->failed()) {
+      Endpoint& endpoint = transport_->endpoint(static_cast<int>(w));
+      if (endpoint.failed()) {
         if (!options_.tolerate_faults)
-          throw std::runtime_error("worker thread failed");
+          throw std::runtime_error("worker failed");
         fail_worker(static_cast<int>(w));
         continue;
       }
       if (!pending_[w].has_value()) {
-        pending_[w] = workers_[w]->outbox().try_pop();
-        if (pending_[w].has_value()) observe_speeds(w, *pending_[w]);
+        pending_[w] = endpoint.try_recv();
+        if (pending_[w].has_value()) observe_result(w, *pending_[w]);
+        // try_recv is also the failure pump (a dead process surfaces as
+        // an EOF while reading): re-check so the death is handled THIS
+        // sweep, not a decision later.
+        if (endpoint.failed() && !failure_handled_[w]) {
+          if (!options_.tolerate_faults)
+            throw std::runtime_error("worker failed");
+          fail_worker(static_cast<int>(w));
+        }
       }
     }
   }
 
-  /// Folds a returned chunk's measured per-step latencies into the
-  /// worker's wall-clock speed estimate.
-  void observe_speeds(std::size_t w, const ResultMessage& result) {
+  /// Folds a returned chunk into the master's bookkeeping: its measured
+  /// per-step latencies feed the worker's wall-clock speed estimate,
+  /// its performed step updates the per-worker work counters. Called
+  /// exactly once per received result (on both receive paths).
+  void observe_result(std::size_t w, const ResultMessage& result) {
     const std::size_t steps =
         std::min(result.step_seconds.size(), result.plan.steps.size());
     for (std::size_t s = 0; s < steps; ++s) {
@@ -472,6 +307,11 @@ class OnlineExecutor final : public sim::ExecutionView {
       if (updates <= 0 || seconds <= 0) continue;  // below clock resolution
       wall_speed_[w].observe(seconds / updates, options_.calibration.alpha);
     }
+    const std::size_t performed =
+        std::min(result.updates_performed, result.plan.steps.size());
+    for (std::size_t s = 0; s < performed; ++s)
+      updates_per_worker_[w] +=
+          static_cast<std::size_t>(result.plan.steps[s].updates);
   }
 
   /// Port emulation: occupy the master for `blocks` x the configured
@@ -486,26 +326,10 @@ class OnlineExecutor final : public sim::ExecutionView {
         blocks * options_.throttle_block_seconds * factor));
   }
 
-  /// Hands every payload still queued on the worker's channels back to
-  /// the pool (the channels survive close() for draining).
-  void reclaim_channels(std::size_t w) {
-    if (w >= workers_.size()) return;
-    while (auto message = workers_[w]->inbox().try_pop()) {
-      if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
-        pool_.release(std::move(chunk->c));
-      } else {
-        auto& operands = std::get<OperandMessage>(*message);
-        pool_.release(std::move(operands.a));
-        pool_.release(std::move(operands.b));
-      }
-    }
-    while (auto result = workers_[w]->outbox().try_pop())
-      pool_.release(std::move(result->c));
-  }
-
   void execute_real(const sim::Decision& decision) {
     const auto w = static_cast<std::size_t>(decision.worker);
     MasterView& view = views_[w];
+    Endpoint& endpoint = transport_->endpoint(decision.worker);
     const matrix::Partition& part = mirror_.partition();
     const std::size_t q = part.q();
 
@@ -520,7 +344,7 @@ class OnlineExecutor final : public sim::ExecutionView {
                                 window.col0, window.col1);
         throttle(decision.worker,
                  static_cast<double>(decision.chunk.rect.count()));
-        workers_[w]->inbox().push(std::move(message));
+        endpoint.send(std::move(message));
         view.plan = decision.chunk;
         view.window = window;
         view.steps_sent = 0;
@@ -541,7 +365,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.b = copy_window(pool_, b_, ek0, ek1, view.window.col0,
                                 view.window.col1);
         throttle(decision.worker, static_cast<double>(step.operand_blocks));
-        workers_[w]->inbox().push(std::move(message));
+        endpoint.send(std::move(message));
         ++view.steps_sent;
         break;
       }
@@ -552,8 +376,8 @@ class OnlineExecutor final : public sim::ExecutionView {
         // Not drained yet: block until the worker really finishes (the
         // master waiting on the port, as in the model).
         if (!result.has_value()) {
-          result = workers_[w]->outbox().pop();
-          if (result.has_value()) observe_speeds(w, *result);
+          result = endpoint.recv();
+          if (result.has_value()) observe_result(w, *result);
         }
         HMXP_CHECK(result.has_value(), "worker closed before returning C");
         throttle(decision.worker,
@@ -576,27 +400,24 @@ class OnlineExecutor final : public sim::ExecutionView {
     }
   }
 
-  /// Stops and joins every worker. Closing the inboxes lets workers
-  /// drain out; popping one pending result per outbox unblocks a worker
-  /// stuck handing a result back. Idempotent, safe on error paths.
+  /// Stops and reclaims every worker through the transport (join
+  /// threads / reap child processes). Idempotent, safe on error paths.
   void shutdown() noexcept {
-    for (auto& worker : workers_) worker->request_stop();
-    for (auto& worker : workers_) {
-      (void)worker->outbox().try_pop();
-      worker->join();
-    }
+    if (transport_ != nullptr) transport_->shutdown();
   }
 
-  /// After shutdown: if any worker thread failed, its exception is the
-  /// root cause -- rethrow it (the master's own failure, e.g. a closed
-  /// channel, is secondary). Exceptions of workers the master killed on
-  /// purpose, or whose failure was tolerated and recovered from, are
-  /// expected and stay buried.
+  /// After shutdown: if any worker failed, its error is the root cause
+  /// -- rethrow it (the master's own failure, e.g. a refused send, is
+  /// secondary). Errors of workers the master killed on purpose, or
+  /// whose failure was tolerated and recovered from, are expected and
+  /// stay buried.
   void rethrow_worker_error() {
-    for (std::size_t w = 0; w < workers_.size(); ++w) {
-      if (!workers_[w]->error() || workers_[w]->killed()) continue;
+    if (transport_ == nullptr) return;
+    for (std::size_t w = 0; w < worker_count_; ++w) {
+      Endpoint& endpoint = transport_->endpoint(static_cast<int>(w));
+      if (!endpoint.error() || endpoint.killed()) continue;
       if (options_.tolerate_faults && failure_handled_[w]) continue;
-      std::rethrow_exception(workers_[w]->error());
+      std::rethrow_exception(endpoint.error());
     }
   }
 
@@ -607,7 +428,7 @@ class OnlineExecutor final : public sim::ExecutionView {
   BufferPool pool_;  // shared with workers; outlives them (declared first)
   ExecutorOptions options_;
   std::size_t worker_count_;
-  std::vector<std::unique_ptr<WorkerThread>> workers_;
+  std::unique_ptr<Transport> transport_;
   std::vector<MasterView> views_;
   std::vector<std::optional<ResultMessage>> pending_;
   std::vector<std::size_t> updates_per_worker_;

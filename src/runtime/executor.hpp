@@ -1,21 +1,24 @@
-// Threaded master-worker runtime: a first-class *online* execution
-// backend. One std::thread per worker plus the calling thread as the
-// master, which runs an event-driven loop: it consults the scheduler
-// live (through sim::ExecutionView), moves real block panels through
-// bounded channels, and reacts to actual completion messages -- workers
-// that really finish early get collected early, regardless of what the
-// cost model predicted.
+// Master-worker runtime: a first-class *online* execution backend. Real
+// workers (one std::thread each, or one forked PROCESS each -- see
+// ExecutorOptions::transport) plus the calling thread as the master,
+// which runs an event-driven loop: it consults the scheduler live
+// (through sim::ExecutionView), moves real block panels through the
+// data-plane Transport (runtime/transport.hpp), and reacts to actual
+// completion messages -- workers that really finish early get collected
+// early, regardless of what the cost model predicted.
 //
-// This is the in-process stand-in for the paper's MPI deployment:
+// This is the in-machine stand-in for the paper's MPI deployment:
 //  * any Scheduler drives it directly (execute_online); demand-driven
 //    policies make their decisions on real data, not on a pre-recorded
 //    log. Het keeps its two-phase structure: its builder still simulates
 //    the eight variants and hands the runtime a ReplayScheduler;
 //  * the master owns A, B and C, extracts block panels into messages and
 //    folds returned C chunks back in (the "centralized data" hypothesis);
-//  * bounded channels enforce the worker-side buffer limits for real
-//    (a master pushing past a worker's buffers blocks), while a model
-//    mirror keeps the ExecutionView bookkeeping schedulers read;
+//  * the transport enforces the worker-side buffer limits for real --
+//    bounded channels on the thread transport, explicit buffer credits
+//    on the process transport; a master pushing past a worker's buffers
+//    blocks -- while a model mirror keeps the ExecutionView bookkeeping
+//    schedulers read;
 //  * heterogeneity can be emulated as in the paper's experiments -- a
 //    worker computes each update `slowdown` times -- and can change
 //    mid-run through a wall-clock SlowdownSchedule (the adaptive,
@@ -44,11 +47,18 @@
 #include "platform/perturbation.hpp"
 #include "platform/platform.hpp"
 #include "runtime/buffer_pool.hpp"
+#include "runtime/transport.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hmxp::runtime {
 
 struct ExecutorOptions {
+  /// Data plane the run's workers live on: kThread (in-process, the
+  /// default) or kProcess (one forked worker process per worker over a
+  /// socketpair -- real address-space isolation; a SIGKILL'd child is a
+  /// recoverable worker failure under tolerate_faults). Every other
+  /// option below behaves identically on both.
+  TransportKind transport = TransportKind::kThread;
   /// Per-worker compute repetition factors (>= 1); empty means all 1.
   /// Entry i applies to worker i, mirroring the paper's slowdown trick.
   std::vector<int> compute_slowdown;
@@ -101,7 +111,15 @@ struct ExecutorReport {
   sim::RunResult result;
   double wall_seconds = 0.0;
   std::size_t chunks_processed = 0;
-  std::size_t updates_performed = 0;   // block updates across workers
+  /// Block updates accounted as results RETURN to the master (the only
+  /// accounting that works identically on every transport -- a child
+  /// process shares no counters). A worker that dies mid-chunk is not
+  /// credited for partial steps; the chunk's updates are credited to
+  /// whoever returns it, and re-executed lost work is credited each
+  /// time it comes back, so under faults the total is >= the grid's
+  /// update count (the mirror's RunResult.updates stays the exact
+  /// effective count).
+  std::size_t updates_performed = 0;
   std::vector<std::size_t> updates_per_worker;
   int workers_failed = 0;              // workers lost (and tolerated) mid-run
   /// Per-worker calibration outcome: EWMA-over-baseline ratio of the
@@ -114,6 +132,11 @@ struct ExecutorReport {
   /// "no per-step payload allocation" property; small per-step
   /// bookkeeping like channel nodes is outside the pool's scope).
   BufferPool::Stats buffer_pool;
+  /// Which transport moved the data plane ("thread" / "process").
+  std::string transport;
+  /// Data-plane counters: message counts on every transport, frame
+  /// bytes and master-side serialization seconds on serializing ones.
+  TransportStats transport_stats;
 };
 
 /// Online execution: drives `scheduler` live against real worker

@@ -1,0 +1,645 @@
+// ProcessTransport: one worker PROCESS per worker, the in-machine
+// stand-in for the companion report's real-cluster MPI deployment.
+//
+// Topology: the master owns one socketpair(2) per worker; each child is
+// forked (no exec -- it inherits the executor's options, schedules and
+// kernel state copy-on-write) and runs the same worker_main as a thread
+// worker, over a SocketWorkerPort that reads/writes length-prefixed
+// frames (runtime/serde.hpp). A forked worker is REALLY isolated: a
+// SIGKILL, an abort, or an OOM kill surfaces to the master as a socket
+// EOF -- a first-class worker failure the fault-tolerant master
+// recovers from exactly like a dead thread.
+//
+// Backpressure: the channel bound of the thread transport becomes
+// explicit buffer credits. The master holds `inbox_capacity` credits
+// per worker; every frame it ships consumes one, and the worker returns
+// one (a kCredit frame) each time it dequeues a message -- the same
+// "pop frees the slot, then the worker computes" timing the bounded
+// channel enforces. A master pushing past a worker's buffers therefore
+// blocks in Endpoint::send, pumping inbound frames while it waits so a
+// worker blocked handing a result back can never deadlock it.
+//
+// Death protocol: a worker that dies on a C++ exception ships a kError
+// frame with its what() text before exiting, so the master rethrows the
+// real root cause; a worker that dies without unwinding (SIGKILL) just
+// disappears and the master synthesizes the cause from waitpid status.
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <sys/prctl.h>
+#endif
+
+#include "matrix/kernel_dispatch.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/serde.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/worker_main.hpp"
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using serde::ByteBuffer;
+using serde::FrameType;
+
+/// Frames beyond this are protocol corruption, not data (the largest
+/// legitimate frame is one operand batch: O(chunk rows x k extent)).
+constexpr std::uint64_t kMaxFrameBytes = 1ull << 40;
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+// ---- blocking fd helpers (child side) ---------------------------------------
+
+/// Reads exactly `size` bytes; false on clean EOF at a frame boundary
+/// (start == true), throws on mid-frame EOF or errors.
+bool read_exact(int fd, std::uint8_t* out, std::size_t size, bool start) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::read(fd, out + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      if (start && done == 0) return false;
+      throw std::runtime_error("socket closed mid-frame");
+    }
+    if (errno == EINTR) continue;
+    throw std::runtime_error(std::string("socket read failed: ") +
+                             std::strerror(errno));
+  }
+  return true;
+}
+
+void write_exact(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("socket write failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+// ---- child side -------------------------------------------------------------
+
+/// The worker's face of the socket: frame intake with credit return,
+/// result frames out. Lives entirely in the child process.
+class SocketWorkerPort final : public WorkerPort {
+ public:
+  SocketWorkerPort(int fd, BufferPool* pool) : fd_(fd), pool_(pool) {}
+
+  std::optional<WorkerMessage> receive() override {
+    std::uint8_t prefix[serde::kLengthBytes];
+    if (!read_exact(fd_, prefix, sizeof prefix, /*start=*/true))
+      return std::nullopt;  // master closed the data plane: done
+    const std::uint64_t length = serde::decode_length(prefix);
+    if (length == 0 || length > kMaxFrameBytes)
+      throw std::runtime_error("corrupt frame length");
+    body_.resize(static_cast<std::size_t>(length));
+    read_exact(fd_, body_.data(), body_.size(), /*start=*/false);
+
+    // Return the inbox credit BEFORE computing: the slot is free the
+    // moment the message is dequeued, exactly like a channel pop.
+    tx_.clear();
+    serde::encode_control(FrameType::kCredit, tx_);
+    write_exact(fd_, tx_.data(), tx_.size());
+
+    switch (serde::frame_type(body_.data(), body_.size())) {
+      case FrameType::kChunk:
+        return WorkerMessage(
+            serde::decode_chunk(body_.data(), body_.size(), *pool_));
+      case FrameType::kOperand:
+        return WorkerMessage(
+            serde::decode_operand(body_.data(), body_.size(), *pool_));
+      default:
+        throw std::runtime_error("unexpected inbound frame type");
+    }
+  }
+
+  void send(ResultMessage result) override {
+    tx_.clear();
+    serde::encode_result(result, tx_);
+    // Payload storage recycles in the worker's own pool.
+    pool_->release(std::move(result.c));
+    write_exact(fd_, tx_.data(), tx_.size());
+  }
+
+  void send_hello(std::uint8_t kernel_tier) {
+    tx_.clear();
+    serde::encode_hello(kernel_tier, tx_);
+    write_exact(fd_, tx_.data(), tx_.size());
+  }
+
+ private:
+  int fd_;
+  BufferPool* pool_;
+  ByteBuffer body_;
+  ByteBuffer tx_;
+};
+
+/// Child-process entry: re-assert the master's kernel pin, handshake,
+/// then run the shared worker loop. Exits, never returns: 0 on a clean
+/// close, 2 on a worker exception (the reason travels as a kError
+/// frame when the socket still works).
+///
+/// NOTE on fork without exec: the child deliberately inherits the
+/// master's address space (options, schedules, fault_hook closures and
+/// the kernel-dispatch statics all come along for free -- an exec'ing
+/// transport could ship none of them). POSIX only blesses
+/// async-signal-safe calls in the child of a multithreaded parent;
+/// glibc (every deployment target here) additionally makes malloc
+/// fork-safe via its internal atfork handlers, which this child relies
+/// on. The master bounds the bootstrap wait (wait_hello) so even a
+/// wedged child fails the run instead of hanging it.
+[[noreturn]] void run_child(int fd, const WorkerContext& context,
+                            std::optional<matrix::KernelTier> forced_tier,
+                            matrix::KernelTier active_tier,
+                            bool portable_micro_kernel) {
+#if defined(__linux__)
+  // An orphaned worker must not outlive a crashed master.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  // fork() inherits the dispatch statics, but the pin is re-asserted
+  // explicitly (and exported) so the guarantee holds for any transport
+  // that execs instead of forking, and for the worker's own children:
+  // the master's explicit pin when it has one, else the tier its
+  // dispatch resolved, so the child cannot re-resolve differently.
+  matrix::force_kernel_tier(forced_tier.has_value() ? forced_tier
+                                                    : std::optional(
+                                                          active_tier));
+  ::setenv("HMXP_FORCE_KERNEL", matrix::kernel_tier_name(active_tier), 1);
+  matrix::force_portable_micro_kernel(portable_micro_kernel);
+
+  BufferPool pool;
+  SocketWorkerPort port(fd, &pool);
+  try {
+    port.send_hello(static_cast<std::uint8_t>(active_tier));
+    worker_main(context, port, pool);
+  } catch (const std::exception& error) {
+    try {
+      ByteBuffer notice;
+      serde::encode_error(error.what(), notice);
+      write_exact(fd, notice.data(), notice.size());
+    } catch (...) {
+      // The socket is gone too; the EOF alone carries the news.
+    }
+    ::close(fd);
+    ::_exit(2);
+  } catch (...) {
+    ::close(fd);
+    ::_exit(2);
+  }
+  ::close(fd);
+  ::_exit(0);
+}
+
+// ---- master side ------------------------------------------------------------
+
+class ProcessEndpoint final : public Endpoint {
+ public:
+  ProcessEndpoint(int index, int fd, pid_t pid, std::size_t credits,
+                  matrix::KernelTier expected_tier, BufferPool* pool,
+                  TransportStats* stats)
+      : index_(index),
+        fd_(fd),
+        pid_(pid),
+        credits_(credits),
+        expected_tier_(expected_tier),
+        pool_(pool),
+        stats_(stats) {}
+
+  ~ProcessEndpoint() override { teardown(); }
+
+  // ----- Endpoint -----
+  void send(WorkerMessage message) override {
+    throw_if_dead();
+    const auto serde_begin = Clock::now();
+    tx_.clear();
+    if (auto* chunk = std::get_if<ChunkMessage>(&message)) {
+      serde::encode_chunk(*chunk, tx_);
+      pool_->release(std::move(chunk->c));
+    } else {
+      auto& operands = std::get<OperandMessage>(message);
+      serde::encode_operand(operands, tx_);
+      pool_->release(std::move(operands.a));
+      pool_->release(std::move(operands.b));
+    }
+    stats_->serde_seconds += seconds_since(serde_begin);
+
+    // The bounded-inbox rule: no credit, no send. Pump while waiting so
+    // results and credits keep flowing (and death is noticed).
+    while (credits_ == 0 && !failed_) wait_io();
+    throw_if_dead();
+    --credits_;
+    write_frame();
+    ++stats_->messages_sent;
+    stats_->bytes_sent += tx_.size();
+  }
+
+  std::optional<ResultMessage> try_recv() override {
+    if (results_.empty() && !failed_) pump();
+    return pop_result();
+  }
+
+  std::optional<ResultMessage> recv() override {
+    pump();
+    while (results_.empty() && !failed_) wait_io();
+    return pop_result();
+  }
+
+  bool failed() const override { return failed_; }
+  std::exception_ptr error() const override { return error_; }
+  bool killed() const override { return killed_; }
+
+  void kill() override {
+    if (killed_) return;
+    killed_ = true;
+    if (pid_ > 0 && !reaped_) ::kill(pid_, SIGKILL);
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  void drain(BufferPool& pool) override {
+    while (!results_.empty()) {
+      pool.release(std::move(results_.front().c));
+      results_.pop_front();
+    }
+    rx_.clear();
+  }
+
+  // ----- transport-internal -----
+  /// Blocks until the child's bootstrap hello arrived (validating its
+  /// kernel tier) or the child died on the launch pad. Bounded: a child
+  /// wedged before its first frame (the fork-from-multithreaded-parent
+  /// hazard, however unlikely under glibc) must fail the run loudly,
+  /// never hang the master in an untimed poll.
+  void wait_hello() {
+    pump();
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while (!hello_seen_ && !failed_) {
+      if (Clock::now() >= deadline) {
+        mark_failed("no bootstrap hello within 30s");
+        break;
+      }
+      wait_io(/*want_write=*/false, /*timeout_ms=*/1000);
+    }
+  }
+
+  /// Graceful stop: half-close so the child sees EOF once it drains.
+  void begin_shutdown() noexcept {
+    discarding_ = true;
+    if (fd_ >= 0 && !killed_) ::shutdown(fd_, SHUT_WR);
+  }
+
+  /// Drains the socket to EOF (unblocking a child mid-result), reaps
+  /// the child and closes the fd. Idempotent.
+  void finish_shutdown() noexcept {
+    discarding_ = true;
+    if (fd_ >= 0) {
+      try {
+        while (!eof_ && !failed_) wait_io();
+      } catch (...) {
+        // Corrupt trailing frames on a teardown path are ignorable.
+      }
+    }
+    teardown();
+  }
+
+ private:
+  void teardown() noexcept {
+    // Close first: the EOF is what makes a still-draining child exit,
+    // so the blocking reap below cannot hang on a healthy worker.
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    if (pid_ > 0 && !reaped_) {
+      // A FAILED child may still be alive (wedged before its hello, or
+      // spewing corrupt frames): nothing upstream is obliged to have
+      // killed it, and waitpid must never block on a process that will
+      // not exit. Killing an exited-but-unreaped child is a no-op (the
+      // zombie pins the pid, so this cannot hit a recycled process).
+      if (failed_) ::kill(pid_, SIGKILL);
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+      reaped_ = true;
+    }
+  }
+
+  [[noreturn]] void throw_dead() {
+    std::rethrow_exception(error_);
+  }
+  void throw_if_dead() {
+    if (failed_) throw_dead();
+  }
+
+  std::optional<ResultMessage> pop_result() {
+    if (results_.empty()) return std::nullopt;
+    ResultMessage result = std::move(results_.front());
+    results_.pop_front();
+    ++stats_->messages_received;
+    return result;
+  }
+
+  /// Marks the endpoint dead, synthesizing the cause: a kError text if
+  /// the child managed to ship one, the waitpid status otherwise.
+  void mark_failed(const std::string& reason) {
+    if (failed_) return;
+    std::string what = "worker process " + std::to_string(index_) + ": " +
+                       reason;
+    if (pid_ > 0 && !reaped_) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(pid_, &status, WNOHANG);
+      if (reaped == pid_) {
+        reaped_ = true;
+        if (WIFSIGNALED(status)) {
+          what += " (killed by signal " + std::to_string(WTERMSIG(status)) +
+                  ")";
+        } else if (WIFEXITED(status)) {
+          what += " (exit status " + std::to_string(WEXITSTATUS(status)) +
+                  ")";
+        }
+      }
+    }
+    error_ = std::make_exception_ptr(std::runtime_error(what));
+    failed_ = true;
+  }
+
+  /// Ships the prepared frame, pumping inbound traffic whenever the
+  /// socket back-pressures (the child must be able to hand a result
+  /// back while the master is mid-send, or both would block forever).
+  void write_frame() {
+    std::size_t done = 0;
+    while (done < tx_.size()) {
+      const ssize_t n = ::send(fd_, tx_.data() + done, tx_.size() - done,
+                               MSG_NOSIGNAL);
+      if (n > 0) {
+        done += static_cast<std::size_t>(n);
+        continue;
+      }
+      if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        wait_io(/*want_write=*/true);
+        if (failed_) throw_dead();
+        continue;
+      }
+      if (n < 0 && errno == EINTR) continue;
+      mark_failed(std::string("send failed: ") + std::strerror(errno));
+      throw_dead();
+    }
+  }
+
+  /// Poll until the socket is readable (or writable, when asked), then
+  /// absorb whatever arrived.
+  void wait_io(bool want_write = false, int timeout_ms = -1) {
+    if (eof_ || fd_ < 0) {
+      if (!failed_) mark_failed("connection closed");
+      return;
+    }
+    struct pollfd entry;
+    entry.fd = fd_;
+    entry.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+    entry.revents = 0;
+    const int ready = ::poll(&entry, 1, timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      mark_failed(std::string("poll failed: ") + std::strerror(errno));
+      return;
+    }
+    pump();
+  }
+
+  /// Non-blocking absorb: reads everything available, parses complete
+  /// frames, dispatches credits/results/hello/error, detects EOF.
+  void pump() {
+    if (eof_ || fd_ < 0) return;
+    std::uint8_t buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+      if (n > 0) {
+        rx_.insert(rx_.end(), buffer, buffer + n);
+        if (static_cast<std::size_t>(n) < sizeof buffer) break;
+        continue;
+      }
+      if (n == 0) {
+        eof_ = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        eof_ = true;
+        break;
+      }
+      mark_failed(std::string("recv failed: ") + std::strerror(errno));
+      return;
+    }
+    parse_frames();
+    if (eof_ && !failed_ && !discarding_)
+      mark_failed("exited unexpectedly (connection closed)");
+  }
+
+  void parse_frames() {
+    std::size_t cursor = 0;
+    while (rx_.size() - cursor >= serde::kLengthBytes) {
+      const std::uint64_t length = serde::decode_length(rx_.data() + cursor);
+      if (length == 0 || length > kMaxFrameBytes) {
+        mark_failed("corrupt frame length");
+        break;
+      }
+      if (rx_.size() - cursor - serde::kLengthBytes < length) break;
+      try {
+        dispatch(rx_.data() + cursor + serde::kLengthBytes,
+                 static_cast<std::size_t>(length));
+      } catch (const std::exception& error) {
+        // Corrupt frame CONTENT is the same protocol death as a corrupt
+        // length: the worker failed, the run recovers under
+        // tolerate_faults -- it must never abort a tolerant run.
+        mark_failed(std::string("protocol corruption: ") + error.what());
+        break;
+      }
+      cursor += serde::kLengthBytes + static_cast<std::size_t>(length);
+      stats_->bytes_received += serde::kLengthBytes +
+                                static_cast<std::size_t>(length);
+    }
+    if (cursor > 0)
+      rx_.erase(rx_.begin(),
+                rx_.begin() + static_cast<std::ptrdiff_t>(cursor));
+  }
+
+  void dispatch(const std::uint8_t* body, std::size_t size) {
+    switch (serde::frame_type(body, size)) {
+      case FrameType::kCredit:
+        ++credits_;
+        break;
+      case FrameType::kResult: {
+        if (discarding_) break;
+        const auto serde_begin = Clock::now();
+        results_.push_back(serde::decode_result(body, size, *pool_));
+        stats_->serde_seconds += seconds_since(serde_begin);
+        break;
+      }
+      case FrameType::kHello: {
+        const auto tier =
+            static_cast<matrix::KernelTier>(serde::decode_hello(body, size));
+        HMXP_CHECK(tier == expected_tier_,
+                   "worker process booted with the wrong kernel tier");
+        hello_seen_ = true;
+        break;
+      }
+      case FrameType::kError:
+        mark_failed(serde::decode_error(body, size));
+        break;
+      default:
+        mark_failed("unexpected frame from worker");
+        break;
+    }
+  }
+
+  int index_;
+  int fd_;
+  pid_t pid_;
+  std::size_t credits_;
+  matrix::KernelTier expected_tier_;
+  BufferPool* pool_;
+  TransportStats* stats_;
+  ByteBuffer rx_;
+  ByteBuffer tx_;
+  std::deque<ResultMessage> results_;
+  std::exception_ptr error_;
+  bool failed_ = false;
+  bool killed_ = false;
+  bool eof_ = false;
+  bool hello_seen_ = false;
+  bool discarding_ = false;
+  bool reaped_ = false;
+};
+
+class ProcessTransport final : public Transport {
+ public:
+  ProcessTransport(int workers, std::size_t inbox_capacity,
+                   const ExecutorOptions& options,
+                   Clock::time_point run_begin, BufferPool* pool) {
+    // Capture the kernel state ONCE, in the master, before any fork:
+    // the explicit pin (force_kernel_tier / --kernel), the tier the
+    // dispatch resolved (HMXP_FORCE_KERNEL or the default), and the
+    // micro-kernel override. Each child re-asserts exactly this state.
+    const std::optional<matrix::KernelTier> forced =
+        matrix::forced_kernel_tier();
+    const matrix::KernelTier tier = matrix::active_kernel_tier();
+    const bool portable = matrix::portable_micro_kernel_forced();
+
+    const auto count = static_cast<std::size_t>(workers);
+    // master_fds keeps every master-end NUMBER for the whole spawn loop
+    // (even once an endpoint owns the fd): each child must close every
+    // master end it inherited, or a dead child's socket would never
+    // read as EOF and stray fds would pin dead sockets open.
+    std::vector<int> master_fds(count, -1);
+    std::vector<int> child_fds(count, -1);
+    try {
+      for (std::size_t i = 0; i < count; ++i) {
+        int fds[2];
+        HMXP_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+                   "socketpair failed");
+        master_fds[i] = fds[0];
+        child_fds[i] = fds[1];
+      }
+      endpoints_.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const WorkerContext context =
+            make_worker_context(options, static_cast<int>(i), run_begin);
+
+        const pid_t pid = ::fork();
+        HMXP_CHECK(pid >= 0, "fork failed");
+        if (pid == 0) {
+          // Child: keep only this worker's own end.
+          for (std::size_t j = 0; j < count; ++j) {
+            if (master_fds[j] >= 0) ::close(master_fds[j]);
+            if (j != i && child_fds[j] >= 0) ::close(child_fds[j]);
+          }
+          run_child(child_fds[i], context, forced, tier,
+                    portable);  // never returns
+        }
+        // Master: the child end belongs to the child now.
+        ::close(child_fds[i]);
+        child_fds[i] = -1;
+        const int fd = master_fds[i];
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        HMXP_CHECK(flags >= 0 &&
+                       ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "fcntl O_NONBLOCK failed");
+        endpoints_.push_back(std::make_unique<ProcessEndpoint>(
+            static_cast<int>(i), fd, pid, inbox_capacity, tier, pool,
+            &stats_));
+      }
+    } catch (...) {
+      // Endpoints own master_fds[0 .. endpoints_.size()); close the rest.
+      for (std::size_t j = endpoints_.size(); j < count; ++j)
+        if (master_fds[j] >= 0) ::close(master_fds[j]);
+      for (const int fd : child_fds)
+        if (fd >= 0) ::close(fd);
+      shutdown();
+      throw;
+    }
+    // Synchronize on every child's bootstrap handshake: launch-pad
+    // deaths and kernel-tier mismatches surface here, not mid-run.
+    for (auto& endpoint : endpoints_) endpoint->wait_hello();
+  }
+
+  ~ProcessTransport() override { shutdown(); }
+
+  TransportKind kind() const override { return TransportKind::kProcess; }
+  int worker_count() const override {
+    return static_cast<int>(endpoints_.size());
+  }
+  Endpoint& endpoint(int worker) override {
+    HMXP_REQUIRE(worker >= 0 &&
+                     static_cast<std::size_t>(worker) < endpoints_.size(),
+                 "worker index out of range");
+    return *endpoints_[static_cast<std::size_t>(worker)];
+  }
+
+  void shutdown() noexcept override {
+    for (auto& endpoint : endpoints_) endpoint->begin_shutdown();
+    for (auto& endpoint : endpoints_) endpoint->finish_shutdown();
+  }
+
+  TransportStats stats() const override { return stats_; }
+
+ private:
+  std::vector<std::unique_ptr<ProcessEndpoint>> endpoints_;
+  TransportStats stats_;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_process_transport(
+    int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool) {
+  return std::make_unique<ProcessTransport>(workers, inbox_capacity, options,
+                                            run_begin, pool);
+}
+
+}  // namespace hmxp::runtime

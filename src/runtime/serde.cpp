@@ -1,0 +1,293 @@
+#include "runtime/serde.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hmxp::runtime::serde {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::runtime_error(std::string("corrupt frame: ") + what);
+}
+
+// ---- writer -----------------------------------------------------------------
+
+class Writer {
+ public:
+  explicit Writer(ByteBuffer& out) : out_(out) {}
+
+  void u8(std::uint8_t value) { out_.push_back(value); }
+  void u64(std::uint64_t value) { raw(&value, sizeof value); }
+  void i64(std::int64_t value) { raw(&value, sizeof value); }
+  void f64(double value) { raw(&value, sizeof value); }
+  void doubles(const std::vector<double>& values) {
+    u64(values.size());
+    if (!values.empty()) raw(values.data(), values.size() * sizeof(double));
+  }
+
+ private:
+  void raw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::uint8_t*>(data);
+    out_.insert(out_.end(), bytes, bytes + size);
+  }
+
+  ByteBuffer& out_;
+};
+
+// ---- reader -----------------------------------------------------------------
+
+class Reader {
+ public:
+  Reader(const std::uint8_t* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    require(cursor_ + 1 <= size_, "truncated u8");
+    return data_[cursor_++];
+  }
+  std::uint64_t u64() {
+    std::uint64_t value;
+    raw(&value, sizeof value);
+    return value;
+  }
+  std::int64_t i64() {
+    std::int64_t value;
+    raw(&value, sizeof value);
+    return value;
+  }
+  double f64() {
+    double value;
+    raw(&value, sizeof value);
+    return value;
+  }
+  std::vector<double> doubles(BufferPool& pool) {
+    const std::uint64_t count = u64();
+    // Divide, don't multiply: a hostile count must not overflow the check.
+    require(count <= (size_ - cursor_) / sizeof(double),
+            "truncated doubles");
+    std::vector<double> values =
+        pool.acquire(static_cast<std::size_t>(count));
+    if (count > 0) raw(values.data(), count * sizeof(double));
+    return values;
+  }
+  /// Same, off-pool: for small per-chunk bookkeeping vectors whose
+  /// storage is not worth recycling (matches the thread path, where
+  /// step_seconds is a per-chunk allocation outside the pool's scope).
+  std::vector<double> doubles_plain() {
+    const std::uint64_t count = u64();
+    require(count <= (size_ - cursor_) / sizeof(double),
+            "truncated doubles");
+    std::vector<double> values(static_cast<std::size_t>(count));
+    if (count > 0) raw(values.data(), count * sizeof(double));
+    return values;
+  }
+  void done() const { require(cursor_ == size_, "trailing frame bytes"); }
+
+ private:
+  void raw(void* out, std::size_t size) {
+    require(cursor_ + size <= size_, "truncated field");
+    std::memcpy(out, data_ + cursor_, size);
+    cursor_ += size;
+  }
+
+  const std::uint8_t* data_;
+  std::size_t size_;
+  std::size_t cursor_ = 0;
+};
+
+// ---- plan (shared by chunk and result frames) -------------------------------
+
+void write_plan(Writer& writer, const sim::ChunkPlan& plan) {
+  writer.u64(plan.rect.i0);
+  writer.u64(plan.rect.i1);
+  writer.u64(plan.rect.j0);
+  writer.u64(plan.rect.j1);
+  writer.u64(plan.steps.size());
+  for (const sim::StepPlan& step : plan.steps) {
+    writer.i64(step.operand_blocks);
+    writer.i64(step.updates);
+    writer.u64(step.k_begin);
+    writer.u64(step.k_end);
+  }
+  writer.i64(plan.prefetch_depth);
+  writer.i64(plan.peak_override);
+}
+
+sim::ChunkPlan read_plan(Reader& reader) {
+  sim::ChunkPlan plan;
+  plan.rect.i0 = static_cast<std::size_t>(reader.u64());
+  plan.rect.i1 = static_cast<std::size_t>(reader.u64());
+  plan.rect.j0 = static_cast<std::size_t>(reader.u64());
+  plan.rect.j1 = static_cast<std::size_t>(reader.u64());
+  const std::uint64_t steps = reader.u64();
+  require(steps <= 1u << 24, "absurd step count");
+  plan.steps.resize(static_cast<std::size_t>(steps));
+  for (sim::StepPlan& step : plan.steps) {
+    step.operand_blocks = reader.i64();
+    step.updates = reader.i64();
+    step.k_begin = static_cast<std::size_t>(reader.u64());
+    step.k_end = static_cast<std::size_t>(reader.u64());
+  }
+  plan.prefetch_depth = static_cast<int>(reader.i64());
+  plan.peak_override = reader.i64();
+  return plan;
+}
+
+/// Reserves the length prefix, runs `fill`, then patches the prefix
+/// with the number of bytes the body occupied.
+template <typename Fill>
+void frame(ByteBuffer& out, Fill&& fill) {
+  const std::size_t prefix_at = out.size();
+  out.resize(out.size() + kLengthBytes);
+  fill();
+  const std::uint64_t length = out.size() - prefix_at - kLengthBytes;
+  std::memcpy(out.data() + prefix_at, &length, sizeof length);
+}
+
+}  // namespace
+
+void encode_chunk(const ChunkMessage& message, ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kChunk));
+    write_plan(writer, message.plan);
+    writer.u64(message.element_rows);
+    writer.u64(message.element_cols);
+    writer.doubles(message.c);
+  });
+}
+
+void encode_operand(const OperandMessage& message, ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kOperand));
+    writer.u64(message.step);
+    writer.u64(message.k_elem_begin);
+    writer.u64(message.k_elems);
+    writer.doubles(message.a);
+    writer.doubles(message.b);
+  });
+}
+
+void encode_result(const ResultMessage& message, ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kResult));
+    write_plan(writer, message.plan);
+    writer.u64(message.element_rows);
+    writer.u64(message.element_cols);
+    writer.doubles(message.c);
+    writer.u64(message.updates_performed);
+    writer.doubles(message.step_seconds);
+  });
+}
+
+void encode_control(FrameType type, ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(type));
+  });
+}
+
+void encode_hello(std::uint8_t kernel_tier, ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kHello));
+    writer.u8(kernel_tier);
+  });
+}
+
+void encode_error(const std::string& what, ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kError));
+    writer.u64(what.size());
+    for (const char character : what)
+      writer.u8(static_cast<std::uint8_t>(character));
+  });
+}
+
+std::uint64_t decode_length(const std::uint8_t* data) {
+  std::uint64_t length;
+  std::memcpy(&length, data, sizeof length);
+  return length;
+}
+
+FrameType frame_type(const std::uint8_t* body, std::size_t size) {
+  require(size >= 1, "empty frame");
+  const std::uint8_t type = body[0];
+  require(type >= static_cast<std::uint8_t>(FrameType::kChunk) &&
+              type <= static_cast<std::uint8_t>(FrameType::kError),
+          "unknown frame type");
+  return static_cast<FrameType>(type);
+}
+
+ChunkMessage decode_chunk(const std::uint8_t* body, std::size_t size,
+                          BufferPool& pool) {
+  require(frame_type(body, size) == FrameType::kChunk, "not a chunk frame");
+  Reader reader(body + 1, size - 1);
+  ChunkMessage message;
+  message.plan = read_plan(reader);
+  message.element_rows = static_cast<std::size_t>(reader.u64());
+  message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.c = reader.doubles(pool);
+  reader.done();
+  require(message.c.size() == message.element_rows * message.element_cols,
+          "chunk payload shape mismatch");
+  return message;
+}
+
+OperandMessage decode_operand(const std::uint8_t* body, std::size_t size,
+                              BufferPool& pool) {
+  require(frame_type(body, size) == FrameType::kOperand,
+          "not an operand frame");
+  Reader reader(body + 1, size - 1);
+  OperandMessage message;
+  message.step = static_cast<std::size_t>(reader.u64());
+  message.k_elem_begin = static_cast<std::size_t>(reader.u64());
+  message.k_elems = static_cast<std::size_t>(reader.u64());
+  message.a = reader.doubles(pool);
+  message.b = reader.doubles(pool);
+  reader.done();
+  return message;
+}
+
+ResultMessage decode_result(const std::uint8_t* body, std::size_t size,
+                            BufferPool& pool) {
+  require(frame_type(body, size) == FrameType::kResult,
+          "not a result frame");
+  Reader reader(body + 1, size - 1);
+  ResultMessage message;
+  message.plan = read_plan(reader);
+  message.element_rows = static_cast<std::size_t>(reader.u64());
+  message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.c = reader.doubles(pool);
+  message.updates_performed = static_cast<std::size_t>(reader.u64());
+  message.step_seconds = reader.doubles_plain();
+  reader.done();
+  require(message.c.size() == message.element_rows * message.element_cols,
+          "result payload shape mismatch");
+  return message;
+}
+
+std::uint8_t decode_hello(const std::uint8_t* body, std::size_t size) {
+  require(frame_type(body, size) == FrameType::kHello, "not a hello frame");
+  require(size == 2, "hello frame size");
+  return body[1];
+}
+
+std::string decode_error(const std::uint8_t* body, std::size_t size) {
+  require(frame_type(body, size) == FrameType::kError, "not an error frame");
+  Reader reader(body + 1, size - 1);
+  const std::uint64_t length = reader.u64();
+  require(length == size - 1 - sizeof(std::uint64_t), "error frame size");
+  std::string what;
+  what.reserve(static_cast<std::size_t>(length));
+  for (std::uint64_t i = 0; i < length; ++i)
+    what.push_back(static_cast<char>(reader.u8()));
+  reader.done();
+  return what;
+}
+
+}  // namespace hmxp::runtime::serde

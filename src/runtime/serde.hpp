@@ -1,0 +1,77 @@
+// Frame serialization for the process transport's data plane.
+//
+// Every message crossing a worker socket is one length-prefixed frame:
+//
+//   [u64 length][u8 FrameType][payload...]
+//
+// where `length` counts everything after itself (type byte included).
+// Integers and doubles are host-endian raw bytes: both ends of a
+// socketpair(2) are the same machine by construction (a cross-machine
+// MPI/ssh transport would pin endianness here and change nothing else).
+//
+// Payload element vectors (the dense C / A / B windows) are checked out
+// of the caller's BufferPool on decode, so a steady-state master
+// deserializes results without allocating -- the same recycling
+// discipline the zero-copy thread transport enjoys.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "runtime/buffer_pool.hpp"
+#include "runtime/messages.hpp"
+
+namespace hmxp::runtime::serde {
+
+enum class FrameType : std::uint8_t {
+  kChunk = 1,    // master -> worker: ChunkMessage
+  kOperand = 2,  // master -> worker: OperandMessage
+  kResult = 3,   // worker -> master: ResultMessage
+  kCredit = 4,   // worker -> master: one inbox slot freed (empty payload)
+  kHello = 5,    // worker -> master: bootstrap handshake (kernel tier)
+  kError = 6,    // worker -> master: death notice with the what() text
+};
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+/// Bytes of the [u64 length] prefix.
+inline constexpr std::size_t kLengthBytes = sizeof(std::uint64_t);
+
+/// Appends a complete frame (length prefix + type + payload) for the
+/// message to `out`. The encoders never clear `out`, so a caller can
+/// batch frames into one write.
+void encode_chunk(const ChunkMessage& message, ByteBuffer& out);
+void encode_operand(const OperandMessage& message, ByteBuffer& out);
+void encode_result(const ResultMessage& message, ByteBuffer& out);
+/// Payload-free control frame (kCredit) or one-byte payload (kHello).
+void encode_control(FrameType type, ByteBuffer& out);
+void encode_hello(std::uint8_t kernel_tier, ByteBuffer& out);
+/// Death notice: a dying worker ships its exception text so the master
+/// can rethrow the real root cause (a child cannot share an
+/// exception_ptr across the fork boundary).
+void encode_error(const std::string& what, ByteBuffer& out);
+
+/// Frame length declared by a complete prefix at `data` (which must
+/// hold at least kLengthBytes).
+std::uint64_t decode_length(const std::uint8_t* data);
+
+/// Decoders for one frame BODY (type byte + payload, i.e. `length`
+/// bytes starting after the prefix). They validate the type byte and
+/// every interior length; a truncated or corrupt frame throws
+/// std::runtime_error. Element vectors are acquired from `pool`.
+ChunkMessage decode_chunk(const std::uint8_t* body, std::size_t size,
+                          BufferPool& pool);
+OperandMessage decode_operand(const std::uint8_t* body, std::size_t size,
+                              BufferPool& pool);
+ResultMessage decode_result(const std::uint8_t* body, std::size_t size,
+                            BufferPool& pool);
+/// Type byte of a frame body (size must be >= 1).
+FrameType frame_type(const std::uint8_t* body, std::size_t size);
+/// Kernel-tier byte of a kHello body.
+std::uint8_t decode_hello(const std::uint8_t* body, std::size_t size);
+/// Exception text of a kError body.
+std::string decode_error(const std::uint8_t* body, std::size_t size);
+
+}  // namespace hmxp::runtime::serde

@@ -1,0 +1,45 @@
+#include "runtime/transport.hpp"
+
+#include "runtime/executor.hpp"
+#include "util/check.hpp"
+#include "util/strings.hpp"
+
+namespace hmxp::runtime {
+
+const char* transport_kind_name(TransportKind kind) {
+  switch (kind) {
+    case TransportKind::kThread:
+      return "thread";
+    case TransportKind::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
+std::optional<TransportKind> parse_transport_kind(const std::string& name) {
+  const std::string lower = util::to_lower(name);
+  if (lower == "thread" || lower == "threads") return TransportKind::kThread;
+  if (lower == "process" || lower == "processes")
+    return TransportKind::kProcess;
+  return std::nullopt;
+}
+
+std::unique_ptr<Transport> make_transport(
+    TransportKind kind, int workers, std::size_t inbox_capacity,
+    const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool) {
+  HMXP_REQUIRE(workers > 0, "transport needs at least one worker");
+  HMXP_REQUIRE(pool != nullptr, "transport needs a master buffer pool");
+  switch (kind) {
+    case TransportKind::kThread:
+      return make_thread_transport(workers, inbox_capacity, options,
+                                   run_begin, pool);
+    case TransportKind::kProcess:
+      return make_process_transport(workers, inbox_capacity, options,
+                                    run_begin, pool);
+  }
+  HMXP_CHECK(false, "unknown transport kind");
+  return nullptr;
+}
+
+}  // namespace hmxp::runtime

@@ -1,0 +1,143 @@
+// The runtime's data plane, abstracted: everything the online master
+// does to move bytes -- hand a chunk or operand batch to a worker,
+// collect a finished result, decommission a dead worker, reclaim queued
+// payloads -- goes through a per-worker Endpoint owned by a Transport.
+//
+// The master loop (runtime/executor.cpp) is written against this
+// interface only; it never touches a channel, a thread, or a file
+// descriptor. Two transports implement it:
+//
+//   * ThreadTransport  (thread_transport.cpp) -- one std::thread per
+//     worker over bounded in-process channels. Zero-copy: messages move
+//     by value, payload vectors cycle through the shared BufferPool.
+//     Behaviour-identical to the pre-transport executor.
+//   * ProcessTransport (process_transport.cpp) -- one forked worker
+//     PROCESS per worker over a socketpair(2), messages serialized as
+//     length-prefixed frames (runtime/serde.hpp). The real isolation of
+//     the paper's MPI deployment: a SIGKILL'd child is a first-class
+//     worker failure the master survives under tolerate_faults.
+//
+// Both preserve the semantic load-bearing bound of the simulator's
+// engine: a worker's inbox holds at most `inbox_capacity` messages (the
+// chunk plus prefetch_depth + 1 operand batches), so a master pushing
+// past a worker's buffer capacity BLOCKS -- channels enforce it with
+// their queue bound, the process transport with explicit buffer credits
+// the worker returns as it dequeues. A real-cluster (MPI/ssh) transport
+// is a drop-in third implementation of the same interface.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <exception>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "runtime/buffer_pool.hpp"
+#include "runtime/messages.hpp"
+
+namespace hmxp::runtime {
+
+struct ExecutorOptions;  // executor.hpp; broken include cycle
+
+enum class TransportKind { kThread, kProcess };
+
+/// "thread" or "process".
+const char* transport_kind_name(TransportKind kind);
+/// Parses a transport name (case-insensitive); nullopt if unrecognized.
+std::optional<TransportKind> parse_transport_kind(const std::string& name);
+
+/// Aggregate data-plane counters for one run. Message counts are filled
+/// by every transport; byte and serialization-time counters only by
+/// transports that serialize (the thread transport moves messages
+/// zero-copy, so its bytes stay 0 by design).
+struct TransportStats {
+  std::size_t messages_sent = 0;      // master -> workers
+  std::size_t messages_received = 0;  // workers -> master (results)
+  std::size_t bytes_sent = 0;         // serialized frame bytes out
+  std::size_t bytes_received = 0;     // serialized frame bytes in
+  /// Master-side wall seconds spent encoding and decoding frames: the
+  /// serialization overhead the process backend pays per run.
+  double serde_seconds = 0.0;
+};
+
+/// The master's handle to ONE worker's data plane.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+
+  /// Ships a message to the worker. Blocks while the worker's bounded
+  /// inbox is full (the prefetch_depth + 1 backpressure rule). Throws
+  /// if the worker is dead; with ExecutorOptions::tolerate_faults the
+  /// master catches this, rolls its mirror back and recovers.
+  virtual void send(WorkerMessage message) = 0;
+
+  /// Non-blocking receive of a finished chunk; nullopt when none is
+  /// ready. Also the transport's failure-detection pump: a dead worker
+  /// is discovered here at the latest (failed() flips).
+  virtual std::optional<ResultMessage> try_recv() = 0;
+
+  /// Blocking receive: the master waiting on the port for a worker to
+  /// hand its chunk back. nullopt means the worker is gone for good.
+  virtual std::optional<ResultMessage> recv() = 0;
+
+  /// True once the worker died (exception in a worker thread, a worker
+  /// process that exited or was SIGKILL'd). Sticky.
+  virtual bool failed() const = 0;
+  /// The root cause, valid once failed() is observed. Thread workers
+  /// hand their real exception across; process workers synthesize one
+  /// from the exit status (a child cannot serialize its exception).
+  virtual std::exception_ptr error() const = 0;
+
+  /// True once the master decommissioned the worker via kill().
+  virtual bool killed() const = 0;
+  /// Master-initiated decommission: tears the worker down without
+  /// waiting for it to drain (closes channels / SIGKILLs the child).
+  /// Errors the worker raises on the way out are expected, not failures.
+  virtual void kill() = 0;
+
+  /// Hands every payload still queued on the endpoint back to the pool
+  /// (a dead worker's in-flight messages must not leak their buffers).
+  virtual void drain(BufferPool& pool) = 0;
+};
+
+/// Owns the worker set of one run: endpoints while running, join/reap
+/// on shutdown.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  virtual TransportKind kind() const = 0;
+  const char* name() const { return transport_kind_name(kind()); }
+  virtual int worker_count() const = 0;
+  virtual Endpoint& endpoint(int worker) = 0;
+
+  /// Stops every worker and reclaims it (join threads / reap child
+  /// processes). Idempotent, noexcept: safe on error paths, called by
+  /// the destructor as a backstop.
+  virtual void shutdown() noexcept = 0;
+
+  virtual TransportStats stats() const = 0;
+};
+
+/// Spawns the workers of one run on the requested transport.
+/// `inbox_capacity` is the bounded per-worker inbox depth (the chunk
+/// message plus prefetch_depth + 1 operand slots). `pool` is the
+/// master-side payload pool: the thread transport shares it with its
+/// workers (zero-copy), the process transport recycles master-side
+/// encode/decode buffers through it while each child owns a private
+/// pool in its own address space.
+std::unique_ptr<Transport> make_transport(
+    TransportKind kind, int workers, std::size_t inbox_capacity,
+    const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool);
+
+std::unique_ptr<Transport> make_thread_transport(
+    int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool);
+
+std::unique_ptr<Transport> make_process_transport(
+    int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool);
+
+}  // namespace hmxp::runtime

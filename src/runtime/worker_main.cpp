@@ -1,0 +1,165 @@
+#include "runtime/worker_main.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "matrix/gemm.hpp"
+#include "runtime/executor.hpp"
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+WorkerContext make_worker_context(
+    const ExecutorOptions& options, int index,
+    std::chrono::steady_clock::time_point run_begin) {
+  WorkerContext context;
+  context.index = index;
+  context.base_slowdown =
+      options.compute_slowdown.empty()
+          ? 1
+          : options.compute_slowdown[static_cast<std::size_t>(index)];
+  context.perturbation = &options.perturbation;
+  context.faults = &options.faults;
+  context.fault_hook = options.fault_hook;
+  context.run_begin = run_begin;
+  return context;
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One worker's protocol state machine: at most one resident chunk,
+/// steps consumed strictly in order.
+class WorkerLoop {
+ public:
+  WorkerLoop(const WorkerContext& context, WorkerPort& port, BufferPool& pool)
+      : context_(context), port_(port), pool_(pool) {}
+
+  void run() {
+    while (auto message = port_.receive()) {
+      check_scheduled_fault();
+      if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
+        HMXP_CHECK(!chunk_.has_value(), "worker received chunk mid-chunk");
+        chunk_ = std::move(*chunk);
+        steps_done_ = 0;
+        step_seconds_.clear();
+      } else {
+        process(std::move(std::get<OperandMessage>(*message)));
+      }
+    }
+  }
+
+  /// A dying worker hands the pool back what it can (its resident C
+  /// copy); in-flight locals are freed by unwinding instead.
+  void surrender_chunk() {
+    if (chunk_.has_value()) {
+      pool_.release(std::move(chunk_->c));
+      chunk_.reset();
+    }
+  }
+
+ private:
+  /// Wall-clock fault schedule: the worker dies for good once its event
+  /// time passes, whatever it was about to do.
+  void check_scheduled_fault() const {
+    if (context_.faults == nullptr || context_.faults->empty()) return;
+    const double elapsed = std::chrono::duration<double>(
+                               Clock::now() - context_.run_begin)
+                               .count();
+    if (context_.faults->dead(context_.index, elapsed))
+      throw std::runtime_error("scheduled fault: worker " +
+                               std::to_string(context_.index) + " died at t=" +
+                               std::to_string(elapsed));
+  }
+
+  /// Compute repetitions in force right now: the static per-worker
+  /// factor times the dynamic perturbation factor at the current wall
+  /// offset -- the platform really changes under the master mid-run.
+  int current_reps() const {
+    if (context_.perturbation == nullptr || context_.perturbation->empty())
+      return context_.base_slowdown;
+    const double elapsed = std::chrono::duration<double>(
+                               Clock::now() - context_.run_begin)
+                               .count();
+    const double factor =
+        context_.perturbation->factor(context_.index, elapsed);
+    return std::max(
+        1, static_cast<int>(std::lround(
+               static_cast<double>(context_.base_slowdown) * factor)));
+  }
+
+  void process(OperandMessage&& operands) {
+    HMXP_CHECK(chunk_.has_value(), "operands before chunk");
+    ChunkMessage& chunk = *chunk_;
+    HMXP_CHECK(operands.step == steps_done_, "operand step out of order");
+    if (context_.fault_hook) context_.fault_hook(context_.index, operands.step);
+
+    const auto step_begin = Clock::now();
+    const std::size_t rows = chunk.element_rows;
+    const std::size_t cols = chunk.element_cols;
+    const std::size_t kk = operands.k_elems;
+    matrix::ConstView a(operands.a.data(), rows, kk, kk);
+    matrix::ConstView b(operands.b.data(), kk, cols, cols);
+    matrix::View c(chunk.c.data(), rows, cols, cols);
+    matrix::gemm_auto(a, b, c);
+
+    // Emulated slowdown: redo the same product into scratch, discarding
+    // the result, exactly like the paper's artificial deceleration.
+    const int reps = current_reps();
+    if (reps > 1) {
+      std::vector<double> scratch = pool_.acquire(rows * cols);
+      matrix::View sink(scratch.data(), rows, cols, cols);
+      for (int rep = 1; rep < reps; ++rep) matrix::gemm_auto(a, b, sink);
+      pool_.release(std::move(scratch));
+    }
+    // The step's measured latency (repetitions included): what the
+    // master's calibration loop gets to see.
+    step_seconds_.push_back(
+        std::chrono::duration<double>(Clock::now() - step_begin).count());
+
+    // Operand buffers are consumed: hand their storage back for reuse.
+    pool_.release(std::move(operands.a));
+    pool_.release(std::move(operands.b));
+
+    ++steps_done_;
+    if (steps_done_ == chunk.plan.steps.size()) {
+      ResultMessage result;
+      result.plan = chunk.plan;
+      result.element_rows = rows;
+      result.element_cols = cols;
+      result.c = std::move(chunk.c);
+      result.updates_performed = steps_done_;
+      result.step_seconds = std::move(step_seconds_);
+      step_seconds_.clear();
+      chunk_.reset();
+      port_.send(std::move(result));
+    }
+  }
+
+  const WorkerContext& context_;
+  WorkerPort& port_;
+  BufferPool& pool_;
+  std::optional<ChunkMessage> chunk_;
+  std::size_t steps_done_ = 0;
+  std::vector<double> step_seconds_;
+};
+
+}  // namespace
+
+void worker_main(const WorkerContext& context, WorkerPort& port,
+                 BufferPool& pool) {
+  WorkerLoop loop(context, port, pool);
+  try {
+    loop.run();
+  } catch (...) {
+    loop.surrender_chunk();
+    throw;
+  }
+}
+
+}  // namespace hmxp::runtime

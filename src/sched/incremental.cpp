@@ -1,6 +1,7 @@
 #include "sched/incremental.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 
@@ -88,8 +89,47 @@ double IncrementalScheduler::score(const Candidate& candidate,
 
 sim::Engine& IncrementalScheduler::scratch_for(
     const sim::ExecutionView& view) const {
-  if (scratch_ == nullptr || scratch_->context() != view.context()) {
-    scratch_ = std::make_unique<sim::Engine>(view.context(),
+  // The scratch engine projects hypothetical futures, so it must price
+  // compute with the speeds the backend has OBSERVED -- a worker that
+  // slowed 2x mid-run costs 2x in every probe -- not the static w_i of
+  // the instance. Rebuild the calibrated twin context when the instance
+  // changes or any calibrated speed drifts >1% off the twin's platform
+  // (an EWMA moves every observation; re-deriving a context per probe
+  // would defeat the shared-context scratch idiom).
+  bool rebuild = scratch_ == nullptr || scratch_base_ != view.context();
+  if (!rebuild) {
+    for (int worker = 0; worker < view.worker_count(); ++worker) {
+      const model::Time calibrated = view.calibrated_w(worker);
+      const model::Time assumed =
+          scratch_w_[static_cast<std::size_t>(worker)];
+      if (std::abs(calibrated - assumed) > 0.01 * assumed) {
+        rebuild = true;
+        break;
+      }
+    }
+  }
+  if (rebuild) {
+    scratch_base_ = view.context();
+    scratch_w_.clear();
+    std::vector<platform::WorkerSpec> specs;
+    specs.reserve(static_cast<std::size_t>(view.worker_count()));
+    for (int worker = 0; worker < view.worker_count(); ++worker) {
+      platform::WorkerSpec spec = view.platform().worker(worker);
+      spec.w = view.calibrated_w(worker);
+      scratch_w_.push_back(spec.w);
+      specs.push_back(std::move(spec));
+    }
+    const sim::InstanceContext& base = *scratch_base_;
+    // The twin carries NO slowdown schedule: calibrated_w already
+    // embodies whatever slowdown the backend observed (the engine's
+    // EWMA tracks the schedule-scaled step costs), so keeping the
+    // schedule would price a slowed worker's probes with the factor
+    // squared.
+    auto calibrated_context = std::make_shared<const sim::InstanceContext>(
+        platform::Platform(view.platform().name(), std::move(specs)),
+        base.partition(), platform::SlowdownSchedule{}, base.faults(),
+        base.calibration());
+    scratch_ = std::make_unique<sim::Engine>(std::move(calibrated_context),
                                              /*record_trace=*/false);
   }
   return *scratch_;

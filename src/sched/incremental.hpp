@@ -71,10 +71,16 @@ class IncrementalScheduler : public sim::Scheduler {
 
   ChunkSource source_;
   HetVariant variant_;
-  // Scratch engine for hypothetical probes: shares the real engine's
-  // instance context, never records a trace, and is rewound with
-  // restore() before every probe instead of re-copying an engine.
+  // Scratch engine for hypothetical probes: built over a CALIBRATED
+  // twin of the view's instance context (platform w_i replaced by
+  // ExecutionView::calibrated_w, so the probes project with the speeds
+  // the backend actually observed, not the datasheet ones), never
+  // records a trace, and is rewound with restore() before every probe
+  // instead of re-copying an engine. Rebuilt when the instance changes
+  // or any calibrated speed drifts off the twin's assumption.
   mutable std::unique_ptr<sim::Engine> scratch_;
+  mutable std::shared_ptr<const sim::InstanceContext> scratch_base_;
+  mutable std::vector<model::Time> scratch_w_;
 
   sim::Engine& scratch_for(const sim::ExecutionView& view) const;
   std::vector<Candidate> enumerate(const sim::ExecutionView& view,

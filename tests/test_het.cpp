@@ -88,6 +88,39 @@ TEST(Het, LookaheadVariantsDifferFromGreedy) {
   EXPECT_GE(distinct.size(), 2u);
 }
 
+TEST(Het, LookaheadScratchProjectionsTrackObservedSlowdown) {
+  // The look-ahead's scratch engine prices hypothetical futures with
+  // ExecutionView::calibrated_w, not the static w_i. On an instance
+  // whose fastest worker collapses 8x mid-run (invisible to the static
+  // platform description), the calibrated probes must steer work away
+  // from it: the slowed worker ends the run with strictly fewer updates
+  // than in the unperturbed run.
+  const auto plat = platform::Platform::homogeneous(3, 0.001, 0.02, 40);
+  const auto part = matrix::Partition(96, 64, 160, 8);
+  const HetVariant lookahead{/*global=*/true, /*lookahead=*/true,
+                             /*count_c_cost=*/false};
+
+  sim::Engine baseline_engine(plat, part);
+  IncrementalScheduler baseline_scheduler(plat, part, lookahead);
+  const sim::RunResult baseline =
+      sim::run(baseline_scheduler, baseline_engine);
+  const model::BlockCount baseline_updates =
+      baseline_engine.progress(1).updates_assigned;
+  EXPECT_GT(baseline_updates, 0);
+
+  platform::SlowdownSchedule slowdown;
+  slowdown.add(/*worker=*/1, baseline.makespan * 0.25, /*factor=*/8.0);
+  sim::Engine perturbed_engine(
+      sim::InstanceContext::make(plat, part, slowdown),
+      /*record_trace=*/false);
+  IncrementalScheduler perturbed_scheduler(plat, part, lookahead);
+  const sim::RunResult perturbed =
+      sim::run(perturbed_scheduler, perturbed_engine);
+
+  EXPECT_GT(perturbed.makespan, baseline.makespan);
+  EXPECT_LT(perturbed_engine.progress(1).updates_assigned, baseline_updates);
+}
+
 TEST(Het, RespectsPerWorkerMemoryInChunks) {
   const platform::Platform plat = platform::hetero_memory();
   const auto part = blocks(20, 8, 50);
