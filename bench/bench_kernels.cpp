@@ -8,9 +8,11 @@
 // directory, so CI keeps a machine-readable perf trajectory across PRs.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <array>
 #include <atomic>
 #include <cstring>
+#include <iostream>
 #include <memory>
 #include <stdexcept>
 #include <string>
@@ -185,7 +187,11 @@ void BM_OnlineRuntime(benchmark::State& state) {
   state.counters["pool_allocs"] = static_cast<double>(pool_allocations);
   state.counters["pool_acquires"] = static_cast<double>(pool_acquires);
 }
-BENCHMARK(BM_OnlineRuntime)->Arg(160)->Arg(320)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_OnlineRuntime)
+    ->Arg(160)
+    ->Arg(320)
+    ->Arg(640)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_OnlineRuntimeProcess(benchmark::State& state) {
   // The same end-to-end online run over the PROCESS transport: one
@@ -236,6 +242,70 @@ void BM_OnlineRuntimeProcess(benchmark::State& state) {
 BENCHMARK(BM_OnlineRuntimeProcess)
     ->Arg(160)
     ->Arg(320)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OnlineRuntimeShm(benchmark::State& state) {
+  // The same end-to-end online run over the zero-copy SHM transport:
+  // forked worker processes sharing a pre-fork payload arena, with only
+  // (slot, length) descriptors crossing the sockets. Blocks/sec against
+  // BM_OnlineRuntime (thread) and BM_OnlineRuntimeProcess quantifies
+  // what the arena buys back of the process transport's serialization
+  // tax; zero_copy_MB/s is the payload volume that moved WITHOUT being
+  // copied, wire_MB/s the descriptor traffic that replaced it, and the
+  // arena counters expose slot occupancy (arena_leaked must stay 0).
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plat = platform::Platform::homogeneous(4, 0.01, 0.002, 40);
+  const matrix::Partition part(n, n, n, 16);
+  util::Rng rng(5);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  std::size_t blocks = 0;
+  std::size_t updates = 0;
+  std::size_t wire_bytes = 0;
+  std::size_t zero_copy_bytes = 0;
+  std::size_t arena_peak = 0;
+  std::size_t arena_leaked = 0;
+  double serde_seconds = 0.0;
+  std::size_t runs = 0;
+  for (auto _ : state) {
+    auto scheduler = sched::make_oddoml(plat, part);
+    runtime::ExecutorOptions options;
+    options.transport = runtime::TransportKind::kShm;
+    options.verify = false;
+    const runtime::ExecutorReport report =
+        runtime::execute_online(scheduler, plat, part, a, b, c, options);
+    blocks += static_cast<std::size_t>(report.result.comm_blocks);
+    updates += report.updates_performed;
+    wire_bytes += report.transport_stats.bytes_sent +
+                  report.transport_stats.bytes_received;
+    zero_copy_bytes += report.transport_stats.bytes_zero_copied;
+    arena_peak =
+        std::max(arena_peak, report.transport_stats.arena_peak_slots);
+    arena_leaked += report.transport_stats.arena_leaked_slots;
+    serde_seconds += report.transport_stats.serde_seconds;
+    ++runs;
+    benchmark::DoNotOptimize(report.wall_seconds);
+  }
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(blocks), benchmark::Counter::kIsRate);
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(updates), benchmark::Counter::kIsRate);
+  state.counters["wire_MB/s"] = benchmark::Counter(
+      static_cast<double>(wire_bytes) / (1024.0 * 1024.0),
+      benchmark::Counter::kIsRate);
+  state.counters["zero_copy_MB/s"] = benchmark::Counter(
+      static_cast<double>(zero_copy_bytes) / (1024.0 * 1024.0),
+      benchmark::Counter::kIsRate);
+  state.counters["serde_ms"] =
+      runs > 0 ? serde_seconds * 1e3 / static_cast<double>(runs) : 0.0;
+  state.counters["arena_peak"] = static_cast<double>(arena_peak);
+  state.counters["arena_leaked"] = static_cast<double>(arena_leaked);
+}
+BENCHMARK(BM_OnlineRuntimeShm)
+    ->Arg(160)
+    ->Arg(320)
+    ->Arg(640)
     ->Unit(benchmark::kMillisecond);
 
 void BM_OnlineRuntimeFaulty(benchmark::State& state) {
@@ -306,14 +376,34 @@ BENCHMARK(BM_BandwidthCentricGreedy);
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The committed BENCH_kernels.json is the repo's perf baseline; a
+  // debug-build capture would silently poison every later comparison.
+  // Unoptimized builds therefore never auto-emit the file -- an
+  // explicit --benchmark_out still works, and the build type is stamped
+  // into the JSON context either way so a stray capture is traceable.
+#if defined(NDEBUG)
+  constexpr bool optimized_build = true;
+#else
+  constexpr bool optimized_build = false;
+#endif
+  benchmark::AddCustomContext("hmxp_build_type",
+                              optimized_build ? "release" : "debug");
+
   std::vector<std::string> args(argv, argv + argc);
   bool has_out = false;
   for (const std::string& arg : args)
     if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0)
       has_out = true;
   if (!has_out) {
-    args.push_back("--benchmark_out=BENCH_kernels.json");
-    args.push_back("--benchmark_out_format=json");
+    if (!optimized_build) {
+      std::cerr << "bench_kernels: DEBUG build -- refusing to auto-write "
+                   "BENCH_kernels.json (numbers would be meaningless as a "
+                   "baseline). Pass --benchmark_out=... explicitly to "
+                   "capture anyway.\n";
+    } else {
+      args.push_back("--benchmark_out=BENCH_kernels.json");
+      args.push_back("--benchmark_out_format=json");
+    }
   }
 
   std::vector<char*> argv_patched;

@@ -12,13 +12,15 @@
 //   4. verify C against a reference product and print the RunResult --
 //      the exact shape the simulator emits -- next to the prediction.
 //
-// Run:  ./online_adaptive [--backend=thread|process]
+// Run:  ./online_adaptive [--backend=thread|process|shm]
 //
 // --backend picks the data-plane transport for step 3: worker threads
-// (default) or one forked worker process per worker with serialized
+// (default), one forked worker process per worker with serialized
 // frames over socketpairs -- the in-machine analogue of the companion
-// report's MPI deployment. The scheduler, the perturbation, and the
-// verified result are identical on both.
+// report's MPI deployment -- or forked workers over the zero-copy
+// shared-memory arena (process isolation without the serialization
+// tax). The scheduler, the perturbation, and the verified result are
+// identical on all three.
 #include <iostream>
 
 #include "matrix/matrix.hpp"
@@ -37,7 +39,8 @@ int main(int argc, char** argv) {
 
   util::Flags flags;
   flags.define("backend", "thread",
-               "data-plane transport for the live run: thread | process");
+               "data-plane transport for the live run: thread | process | "
+               "shm");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage(
@@ -47,7 +50,7 @@ int main(int argc, char** argv) {
   const auto transport =
       runtime::parse_transport_kind(flags.get_string("backend"));
   if (!transport.has_value()) {
-    std::cerr << "unknown --backend (want thread or process)\n";
+    std::cerr << "unknown --backend (want thread, process or shm)\n";
     return 1;
   }
 

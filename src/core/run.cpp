@@ -18,6 +18,8 @@ const char* backend_name(Backend backend) {
       return "online";
     case Backend::kProcess:
       return "process";
+    case Backend::kShm:
+      return "shm";
   }
   return "unknown";
 }
@@ -28,6 +30,8 @@ std::optional<Backend> parse_backend(const std::string& name) {
   if (lower == "online" || lower == "thread" || lower == "threads")
     return Backend::kOnline;
   if (lower == "process" || lower == "processes") return Backend::kProcess;
+  if (lower == "shm" || lower == "shmem" || lower == "shared-memory")
+    return Backend::kShm;
   return std::nullopt;
 }
 
@@ -97,7 +101,7 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
                                const OnlineOptions& options,
                                bool record_trace) {
   HMXP_REQUIRE(options.backend != Backend::kSim,
-               "OnlineOptions::backend must be kOnline or kProcess "
+               "OnlineOptions::backend must be kOnline, kProcess or kShm "
                "(simulation takes SimOptions)");
   RunReport report;
   report.algorithm = algorithm_name(algorithm);
@@ -114,9 +118,17 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
                                             rng);
 
   runtime::ExecutorOptions executor_options;
-  executor_options.transport = options.backend == Backend::kProcess
-                                   ? runtime::TransportKind::kProcess
-                                   : runtime::TransportKind::kThread;
+  switch (options.backend) {
+    case Backend::kProcess:
+      executor_options.transport = runtime::TransportKind::kProcess;
+      break;
+    case Backend::kShm:
+      executor_options.transport = runtime::TransportKind::kShm;
+      break;
+    default:
+      executor_options.transport = runtime::TransportKind::kThread;
+      break;
+  }
   executor_options.verify = options.verify;
   executor_options.perturbation = options.perturbation;
   executor_options.faults = options.faults;

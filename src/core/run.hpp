@@ -10,7 +10,10 @@
 //   * Backend::kProcess -- the same online runtime over the PROCESS
 //     transport: one forked worker process per worker, messages
 //     serialized over socketpairs -- the in-machine reproduction of the
-//     companion report's real-cluster (MPI) deployment.
+//     companion report's real-cluster (MPI) deployment;
+//   * Backend::kShm    -- the same forked isolation, but payloads live
+//     in a pre-fork shared-memory arena and only (slot, length)
+//     descriptors cross the sockets: zero-copy process isolation.
 #pragma once
 
 #include <cstdint>
@@ -23,18 +26,19 @@
 
 namespace hmxp::core {
 
-enum class Backend { kSim, kOnline, kProcess };
+enum class Backend { kSim, kOnline, kProcess, kShm };
 
-/// Canonical name ("sim" / "online" / "process").
+/// Canonical name ("sim" / "online" / "process" / "shm").
 const char* backend_name(Backend backend);
 /// Parses a backend name (case-insensitive; "thread" is accepted as an
 /// alias of "online"); nullopt if unrecognized.
 std::optional<Backend> parse_backend(const std::string& name);
 
-/// Knobs for online cells (Backend::kOnline and Backend::kProcess).
+/// Knobs for online cells (Backend::kOnline, kProcess and kShm).
 struct OnlineOptions {
   /// Which online backend executes the cell: kOnline (worker threads,
-  /// the default) or kProcess (forked worker processes). kSim is not a
+  /// the default), kProcess (forked worker processes) or kShm (forked
+  /// workers over the zero-copy shared-memory arena). kSim is not a
   /// valid value here -- simulation takes SimOptions instead. The
   /// experiment grid overrides this with ExperimentOptions::backend, so
   /// a grid switches transports with one knob.

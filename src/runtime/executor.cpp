@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstdint>
 #include <exception>
 #include <optional>
 #include <stdexcept>
@@ -14,6 +15,11 @@
 #include "runtime/messages.hpp"
 #include "runtime/transport.hpp"
 #include "util/check.hpp"
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <unistd.h>
+#endif
 
 namespace hmxp::runtime {
 
@@ -38,16 +44,86 @@ Window c_window(const matrix::Partition& part, const matrix::BlockRect& rect) {
   return window;
 }
 
-/// Copies an element window into a pool-recycled dense buffer: in
-/// steady state this is a pure copy, no heap allocation.
-std::vector<double> copy_window(BufferPool& pool, const matrix::Matrix& source,
-                                std::size_t row0, std::size_t row1,
-                                std::size_t col0, std::size_t col1) {
-  std::vector<double> data = pool.acquire((row1 - row0) * (col1 - col0));
-  matrix::View dst(data.data(), row1 - row0, col1 - col0, col1 - col0);
+/// Copies an element window into transport-allocated payload storage:
+/// a pool-recycled vector (thread/process) or a shared-arena slot the
+/// shm worker will read in place. In steady state this is a pure copy,
+/// no heap allocation -- and for the shm transport it is the ONLY copy
+/// the payload ever experiences.
+Payload copy_window(Endpoint& endpoint, BufferPool& pool,
+                    const matrix::Matrix& source, std::size_t row0,
+                    std::size_t row1, std::size_t col0, std::size_t col1) {
+  Payload payload =
+      endpoint.allocate_payload((row1 - row0) * (col1 - col0), pool);
+  matrix::View dst(payload.data(), row1 - row0, col1 - col0, col1 - col0);
   matrix::copy_into(source.window(row0, col0, row1 - row0, col1 - col0), dst);
-  return data;
+  return payload;
 }
+
+/// The largest single payload a run under `part` can ship: a whole-C
+/// chunk, a full-height A panel, or a full-width B panel. Sizes the shm
+/// transport's arena slots (MAP_NORESERVE keeps untouched tails free).
+std::size_t max_payload_doubles(const matrix::Partition& part) {
+  const std::size_t c_doubles = part.n_a() * part.n_b();
+  const std::size_t a_doubles = part.n_a() * part.n_ab();
+  const std::size_t b_doubles = part.n_ab() * part.n_b();
+  return std::max(c_doubles, std::max(a_doubles, b_doubles));
+}
+
+/// Excludes the matrices' element storage from fork inheritance while
+/// the forking transports spawn their workers, then restores it.
+///
+/// Worker processes never touch the master's matrices -- every payload
+/// reaches them serialized (process transport) or through the shared
+/// arena (shm transport) -- yet fork() still copies the page tables of
+/// those megabytes and marks every writable page copy-on-write. The
+/// master then takes a soft fault on each C page it merges results
+/// into, every run. MADV_DONTFORK keeps the spans out of the children
+/// entirely: cheaper forks, no post-fork CoW tax. Best-effort (madvise
+/// can fail on exotic mappings; that only restores the old cost) and
+/// interior-page only, so allocator metadata sharing a page with the
+/// buffer's edges is never affected.
+class ForkVisibilityGuard {
+ public:
+  ForkVisibilityGuard(bool active, const matrix::Matrix& a,
+                      const matrix::Matrix& b, const matrix::Matrix& c)
+      : active_(active), a_(a), b_(b), c_(c) {
+    if (!active_) return;
+    advise(a_, /*dont_fork=*/true);
+    advise(b_, /*dont_fork=*/true);
+    advise(c_, /*dont_fork=*/true);
+  }
+  ~ForkVisibilityGuard() {
+    if (!active_) return;
+    advise(a_, /*dont_fork=*/false);
+    advise(b_, /*dont_fork=*/false);
+    advise(c_, /*dont_fork=*/false);
+  }
+  ForkVisibilityGuard(const ForkVisibilityGuard&) = delete;
+  ForkVisibilityGuard& operator=(const ForkVisibilityGuard&) = delete;
+
+ private:
+  static void advise(const matrix::Matrix& m, bool dont_fork) {
+#if defined(__linux__) && defined(MADV_DONTFORK)
+    const auto begin = reinterpret_cast<std::uintptr_t>(m.data());
+    const auto end = begin + m.size() * sizeof(double);
+    static const std::uintptr_t page =
+        static_cast<std::uintptr_t>(::sysconf(_SC_PAGESIZE));
+    const std::uintptr_t lo = (begin + page - 1) & ~(page - 1);
+    const std::uintptr_t hi = end & ~(page - 1);
+    if (hi > lo)
+      ::madvise(reinterpret_cast<void*>(lo), hi - lo,
+                dont_fork ? MADV_DONTFORK : MADV_DOFORK);
+#else
+    (void)m;
+    (void)dont_fork;
+#endif
+  }
+
+  bool active_;
+  const matrix::Matrix& a_;
+  const matrix::Matrix& b_;
+  const matrix::Matrix& c_;
+};
 
 /// The event-driven master: implements ExecutionView over real workers
 /// behind the data-plane Transport (threads or forked processes -- the
@@ -135,11 +211,15 @@ class OnlineExecutor final : public sim::ExecutionView {
     ++workers_failed_;
     Endpoint& endpoint = transport_->endpoint(worker);
     if (!endpoint.failed()) endpoint.kill();
-    endpoint.drain(pool_);
+    // The pending result FIRST: its payload may be an arena slot the
+    // dead worker handed over, and drain()'s crash reclamation below
+    // frees every slot still tagged with the worker -- releasing after
+    // would double-free a slot another worker may already hold.
     if (pending_[w].has_value()) {
-      pool_.release(std::move(pending_[w]->c));
+      pending_[w]->c.release_to(pool_);
       pending_[w].reset();
     }
+    endpoint.drain(pool_);
     views_[w].plan.reset();
     mirror_.fail_worker(worker);
   }
@@ -169,10 +249,17 @@ class OnlineExecutor final : public sim::ExecutionView {
     // bound makes a master that overruns a worker's buffers block for
     // real; per-chunk depths below the bound are enforced in model time
     // by the mirror's SendAB timing.
-    transport_ = make_transport(options_.transport,
-                                static_cast<int>(worker_count_),
-                                /*inbox_capacity=*/3, options_, run_begin_,
-                                &pool_);
+    {
+      // Workers never see the master's matrices (payloads travel
+      // serialized or through the shared arena), so keep those pages
+      // out of the forks entirely -- see ForkVisibilityGuard.
+      const ForkVisibilityGuard fork_guard(
+          options_.transport != TransportKind::kThread, a_, b_, c_);
+      transport_ = make_transport(options_.transport,
+                                  static_cast<int>(worker_count_),
+                                  /*inbox_capacity=*/3, options_, run_begin_,
+                                  &pool_, max_payload_doubles(partition()));
+    }
     const std::size_t max_decisions =
         sim::decision_budget(mirror_.partition());
     std::size_t executed = 0;
@@ -340,7 +427,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.plan = decision.chunk;
         message.element_rows = window.rows();
         message.element_cols = window.cols();
-        message.c = copy_window(pool_, c_, window.row0, window.row1,
+        message.c = copy_window(endpoint, pool_, c_, window.row0, window.row1,
                                 window.col0, window.col1);
         throttle(decision.worker,
                  static_cast<double>(decision.chunk.rect.count()));
@@ -360,10 +447,10 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.step = view.steps_sent;
         message.k_elem_begin = ek0;
         message.k_elems = ek1 - ek0;
-        message.a = copy_window(pool_, a_, view.window.row0, view.window.row1,
-                                ek0, ek1);
-        message.b = copy_window(pool_, b_, ek0, ek1, view.window.col0,
-                                view.window.col1);
+        message.a = copy_window(endpoint, pool_, a_, view.window.row0,
+                                view.window.row1, ek0, ek1);
+        message.b = copy_window(endpoint, pool_, b_, ek0, ek1,
+                                view.window.col0, view.window.col1);
         throttle(decision.worker, static_cast<double>(step.operand_blocks));
         endpoint.send(std::move(message));
         ++view.steps_sent;
@@ -391,8 +478,9 @@ class OnlineExecutor final : public sim::ExecutionView {
             c_.window(view.window.row0, view.window.col0, view.window.rows(),
                       view.window.cols());
         matrix::copy_into(src, dst);
-        // The chunk is folded in; recycle its buffer for the next send.
-        pool_.release(std::move(result->c));
+        // The chunk is folded in; recycle its storage for the next send
+        // (pool vector or arena slot, per the transport).
+        result->c.release_to(pool_);
         ++chunks_processed_;
         view.plan.reset();
         break;

@@ -1,13 +1,13 @@
-// Messages exchanged between the master thread and worker threads.
-// Payloads are dense copies of the covered element windows -- the worker
-// owns its copy, exactly like an MPI rank owns its receive buffer.
-// Payload vectors are checked out of the run's runtime::BufferPool and
-// returned to it once consumed (workers release operand buffers after
-// each step, the master releases a returned C after folding it in), so
-// in steady state the data plane moves its element storage -- the
-// dominant, O(panel) allocations -- without allocating any; only
-// O(1)-sized bookkeeping (channel nodes, plan metadata) still touches
-// the heap per step.
+// Messages exchanged between the master and its workers. Payloads are
+// dense copies of the covered element windows -- the worker owns its
+// copy, exactly like an MPI rank owns its receive buffer -- carried as
+// runtime::Payload, which abstracts WHERE the copy lives: a heap vector
+// recycled through the run's runtime::BufferPool (thread and process
+// transports), or a window into a cross-process runtime::SharedArena
+// slot (the zero-copy shm transport). Either way, in steady state the
+// data plane moves its element storage -- the dominant, O(panel)
+// allocations -- without allocating any; only O(1)-sized bookkeeping
+// (channel nodes, plan metadata) still touches the heap per step.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "matrix/partition.hpp"
+#include "runtime/payload.hpp"
 #include "sim/chunk.hpp"
 
 namespace hmxp::runtime {
@@ -25,7 +26,7 @@ struct ChunkMessage {
   sim::ChunkPlan plan;
   std::size_t element_rows = 0;   // elements, not blocks
   std::size_t element_cols = 0;
-  std::vector<double> c;          // element_rows x element_cols
+  Payload c;                      // element_rows x element_cols
 };
 
 /// Operand batch for one step: the A panel (chunk rows x k-range) and
@@ -34,8 +35,8 @@ struct OperandMessage {
   std::size_t step = 0;
   std::size_t k_elem_begin = 0;   // element offset of the inner range
   std::size_t k_elems = 0;        // inner extent in elements
-  std::vector<double> a;          // element_rows x k_elems
-  std::vector<double> b;          // k_elems x element_cols
+  Payload a;                      // element_rows x k_elems
+  Payload b;                      // k_elems x element_cols
 };
 
 /// Finished chunk heading home.
@@ -43,7 +44,7 @@ struct ResultMessage {
   sim::ChunkPlan plan;
   std::size_t element_rows = 0;
   std::size_t element_cols = 0;
-  std::vector<double> c;
+  Payload c;
   std::size_t updates_performed = 0;
   /// Measured wall seconds of each step's compute (slowdown repetitions
   /// included), aligned with plan.steps: the raw material of the

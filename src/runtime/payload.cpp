@@ -1,0 +1,55 @@
+#include "runtime/payload.hpp"
+
+#include "runtime/buffer_pool.hpp"
+#include "runtime/shared_arena.hpp"
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+Payload Payload::arena_view(SharedArena* arena, std::uint32_t slot,
+                            double* data, std::size_t size) {
+  HMXP_REQUIRE(arena != nullptr, "arena view needs an arena");
+  Payload payload;
+  payload.arena_ = arena;
+  payload.slot_ = slot;
+  payload.data_ = data;
+  payload.size_ = size;
+  return payload;
+}
+
+void Payload::release_to(BufferPool& pool) {
+  if (arena_ != nullptr) {
+    arena_->release(slot_);
+    arena_ = nullptr;
+    data_ = nullptr;
+    size_ = 0;
+    slot_ = 0;
+    return;
+  }
+  pool.release(std::move(owned_));
+  owned_.clear();
+}
+
+void Payload::detach() {
+  owned_.clear();
+  owned_.shrink_to_fit();
+  data_ = nullptr;
+  size_ = 0;
+  arena_ = nullptr;
+  slot_ = 0;
+}
+
+void Payload::reset() {
+  // The destructor's backstop: an arena slot must never leak just
+  // because its payload unwound (the owning BufferPool is out of reach
+  // here, so owned storage simply frees).
+  if (arena_ != nullptr) {
+    arena_->release(slot_);
+    arena_ = nullptr;
+  }
+  data_ = nullptr;
+  size_ = 0;
+  slot_ = 0;
+}
+
+}  // namespace hmxp::runtime

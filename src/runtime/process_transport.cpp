@@ -144,7 +144,7 @@ class SocketWorkerPort final : public WorkerPort {
     tx_.clear();
     serde::encode_result(result, tx_);
     // Payload storage recycles in the worker's own pool.
-    pool_->release(std::move(result.c));
+    result.c.release_to(*pool_);
     write_exact(fd_, tx_.data(), tx_.size());
   }
 
@@ -241,12 +241,12 @@ class ProcessEndpoint final : public Endpoint {
     tx_.clear();
     if (auto* chunk = std::get_if<ChunkMessage>(&message)) {
       serde::encode_chunk(*chunk, tx_);
-      pool_->release(std::move(chunk->c));
+      chunk->c.release_to(*pool_);
     } else {
       auto& operands = std::get<OperandMessage>(message);
       serde::encode_operand(operands, tx_);
-      pool_->release(std::move(operands.a));
-      pool_->release(std::move(operands.b));
+      operands.a.release_to(*pool_);
+      operands.b.release_to(*pool_);
     }
     stats_->serde_seconds += seconds_since(serde_begin);
 
@@ -284,7 +284,7 @@ class ProcessEndpoint final : public Endpoint {
 
   void drain(BufferPool& pool) override {
     while (!results_.empty()) {
-      pool.release(std::move(results_.front().c));
+      results_.front().c.release_to(pool);
       results_.pop_front();
     }
     rx_.clear();

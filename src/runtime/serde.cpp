@@ -21,9 +21,18 @@ class Writer {
   void u64(std::uint64_t value) { raw(&value, sizeof value); }
   void i64(std::int64_t value) { raw(&value, sizeof value); }
   void f64(double value) { raw(&value, sizeof value); }
+  void doubles(const double* values, std::size_t count) {
+    u64(count);
+    if (count > 0) raw(values, count * sizeof(double));
+  }
   void doubles(const std::vector<double>& values) {
-    u64(values.size());
-    if (!values.empty()) raw(values.data(), values.size() * sizeof(double));
+    doubles(values.data(), values.size());
+  }
+  /// An arena payload as a (slot, length) descriptor -- the whole point
+  /// of the shm transport: bytes stay in the slot, only this crosses.
+  void slot_ref(const Payload& payload) {
+    u64(payload.slot());
+    u64(payload.size());
   }
 
  private:
@@ -81,6 +90,18 @@ class Reader {
     std::vector<double> values(static_cast<std::size_t>(count));
     if (count > 0) raw(values.data(), count * sizeof(double));
     return values;
+  }
+  /// Decodes a (slot, length) descriptor into a view of the shared
+  /// slot, validating both against the arena's geometry.
+  Payload slot_ref(SharedArena& arena) {
+    const std::uint64_t slot = u64();
+    const std::uint64_t count = u64();
+    require(slot < arena.slot_count(), "arena slot out of range");
+    require(count <= arena.slot_doubles(), "arena payload overflows slot");
+    return Payload::arena_view(&arena, static_cast<std::uint32_t>(slot),
+                               arena.slot_data(static_cast<std::uint32_t>(
+                                   slot)),
+                               static_cast<std::size_t>(count));
   }
   void done() const { require(cursor_ == size_, "trailing frame bytes"); }
 
@@ -154,7 +175,7 @@ void encode_chunk(const ChunkMessage& message, ByteBuffer& out) {
     write_plan(writer, message.plan);
     writer.u64(message.element_rows);
     writer.u64(message.element_cols);
-    writer.doubles(message.c);
+    writer.doubles(message.c.data(), message.c.size());
   });
 }
 
@@ -165,8 +186,8 @@ void encode_operand(const OperandMessage& message, ByteBuffer& out) {
     writer.u64(message.step);
     writer.u64(message.k_elem_begin);
     writer.u64(message.k_elems);
-    writer.doubles(message.a);
-    writer.doubles(message.b);
+    writer.doubles(message.a.data(), message.a.size());
+    writer.doubles(message.b.data(), message.b.size());
   });
 }
 
@@ -177,7 +198,7 @@ void encode_result(const ResultMessage& message, ByteBuffer& out) {
     write_plan(writer, message.plan);
     writer.u64(message.element_rows);
     writer.u64(message.element_cols);
-    writer.doubles(message.c);
+    writer.doubles(message.c.data(), message.c.size());
     writer.u64(message.updates_performed);
     writer.doubles(message.step_seconds);
   });
@@ -218,7 +239,7 @@ FrameType frame_type(const std::uint8_t* body, std::size_t size) {
   require(size >= 1, "empty frame");
   const std::uint8_t type = body[0];
   require(type >= static_cast<std::uint8_t>(FrameType::kChunk) &&
-              type <= static_cast<std::uint8_t>(FrameType::kError),
+              type <= static_cast<std::uint8_t>(FrameType::kResultRef),
           "unknown frame type");
   return static_cast<FrameType>(type);
 }
@@ -275,6 +296,107 @@ std::uint8_t decode_hello(const std::uint8_t* body, std::size_t size) {
   require(frame_type(body, size) == FrameType::kHello, "not a hello frame");
   require(size == 2, "hello frame size");
   return body[1];
+}
+
+// ---- descriptor frames (shm transport) --------------------------------------
+
+namespace {
+
+void require_arena_payload(const Payload& payload, const char* what) {
+  if (!payload.in_arena())
+    throw std::logic_error(std::string("shm frame payload not in arena: ") +
+                           what);
+}
+
+}  // namespace
+
+void encode_chunk_ref(const ChunkMessage& message, ByteBuffer& out) {
+  require_arena_payload(message.c, "chunk C");
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kChunkRef));
+    write_plan(writer, message.plan);
+    writer.u64(message.element_rows);
+    writer.u64(message.element_cols);
+    writer.slot_ref(message.c);
+  });
+}
+
+void encode_operand_ref(const OperandMessage& message, ByteBuffer& out) {
+  require_arena_payload(message.a, "operand A");
+  require_arena_payload(message.b, "operand B");
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kOperandRef));
+    writer.u64(message.step);
+    writer.u64(message.k_elem_begin);
+    writer.u64(message.k_elems);
+    writer.slot_ref(message.a);
+    writer.slot_ref(message.b);
+  });
+}
+
+void encode_result_ref(const ResultMessage& message, ByteBuffer& out) {
+  require_arena_payload(message.c, "result C");
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kResultRef));
+    write_plan(writer, message.plan);
+    writer.u64(message.element_rows);
+    writer.u64(message.element_cols);
+    writer.slot_ref(message.c);
+    writer.u64(message.updates_performed);
+    writer.doubles(message.step_seconds);
+  });
+}
+
+ChunkMessage decode_chunk_ref(const std::uint8_t* body, std::size_t size,
+                              SharedArena& arena) {
+  require(frame_type(body, size) == FrameType::kChunkRef,
+          "not a chunk-ref frame");
+  Reader reader(body + 1, size - 1);
+  ChunkMessage message;
+  message.plan = read_plan(reader);
+  message.element_rows = static_cast<std::size_t>(reader.u64());
+  message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.c = reader.slot_ref(arena);
+  reader.done();
+  require(message.c.size() == message.element_rows * message.element_cols,
+          "chunk payload shape mismatch");
+  return message;
+}
+
+OperandMessage decode_operand_ref(const std::uint8_t* body, std::size_t size,
+                                  SharedArena& arena) {
+  require(frame_type(body, size) == FrameType::kOperandRef,
+          "not an operand-ref frame");
+  Reader reader(body + 1, size - 1);
+  OperandMessage message;
+  message.step = static_cast<std::size_t>(reader.u64());
+  message.k_elem_begin = static_cast<std::size_t>(reader.u64());
+  message.k_elems = static_cast<std::size_t>(reader.u64());
+  message.a = reader.slot_ref(arena);
+  message.b = reader.slot_ref(arena);
+  reader.done();
+  return message;
+}
+
+ResultMessage decode_result_ref(const std::uint8_t* body, std::size_t size,
+                                SharedArena& arena) {
+  require(frame_type(body, size) == FrameType::kResultRef,
+          "not a result-ref frame");
+  Reader reader(body + 1, size - 1);
+  ResultMessage message;
+  message.plan = read_plan(reader);
+  message.element_rows = static_cast<std::size_t>(reader.u64());
+  message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.c = reader.slot_ref(arena);
+  message.updates_performed = static_cast<std::size_t>(reader.u64());
+  message.step_seconds = reader.doubles_plain();
+  reader.done();
+  require(message.c.size() == message.element_rows * message.element_cols,
+          "result payload shape mismatch");
+  return message;
 }
 
 std::string decode_error(const std::uint8_t* body, std::size_t size) {

@@ -22,6 +22,7 @@
 
 #include "runtime/buffer_pool.hpp"
 #include "runtime/messages.hpp"
+#include "runtime/shared_arena.hpp"
 
 namespace hmxp::runtime::serde {
 
@@ -32,6 +33,12 @@ enum class FrameType : std::uint8_t {
   kCredit = 4,   // worker -> master: one inbox slot freed (empty payload)
   kHello = 5,    // worker -> master: bootstrap handshake (kernel tier)
   kError = 6,    // worker -> master: death notice with the what() text
+  // Descriptor twins for the zero-copy shm transport: the same message
+  // metadata, but payloads are (arena slot, length) references into the
+  // run's SharedArena instead of inline bytes.
+  kChunkRef = 7,    // master -> worker: ChunkMessage, C in an arena slot
+  kOperandRef = 8,  // master -> worker: OperandMessage, A/B in arena slots
+  kResultRef = 9,   // worker -> master: ResultMessage, C in an arena slot
 };
 
 using ByteBuffer = std::vector<std::uint8_t>;
@@ -73,5 +80,26 @@ FrameType frame_type(const std::uint8_t* body, std::size_t size);
 std::uint8_t decode_hello(const std::uint8_t* body, std::size_t size);
 /// Exception text of a kError body.
 std::string decode_error(const std::uint8_t* body, std::size_t size);
+
+// ---- descriptor frames (shm transport) --------------------------------------
+//
+// The encoders require every payload to be an arena view (the shm
+// transport packs windows into slots before encoding) and write only
+// (slot, length) pairs; the decoders validate the slot index and length
+// against `arena` and hand back messages whose payloads are views into
+// the SAME shared slots -- no payload byte is ever copied. A decoded
+// message OWNS its slots (Payload releases them back to the arena), so
+// the encoder side must detach after shipping the frame.
+
+void encode_chunk_ref(const ChunkMessage& message, ByteBuffer& out);
+void encode_operand_ref(const OperandMessage& message, ByteBuffer& out);
+void encode_result_ref(const ResultMessage& message, ByteBuffer& out);
+
+ChunkMessage decode_chunk_ref(const std::uint8_t* body, std::size_t size,
+                              SharedArena& arena);
+OperandMessage decode_operand_ref(const std::uint8_t* body, std::size_t size,
+                                  SharedArena& arena);
+ResultMessage decode_result_ref(const std::uint8_t* body, std::size_t size,
+                                SharedArena& arena);
 
 }  // namespace hmxp::runtime::serde

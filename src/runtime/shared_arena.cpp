@@ -1,0 +1,170 @@
+#include "runtime/shared_arena.hpp"
+
+#include <cstring>
+#include <new>
+
+#include <sys/mman.h>
+
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+namespace {
+
+constexpr std::size_t kCacheLine = 64;
+
+std::size_t align_up(std::size_t value, std::size_t alignment) {
+  return (value + alignment - 1) / alignment * alignment;
+}
+
+}  // namespace
+
+/// Shared bookkeeping at the head of the mapping. Every field is an
+/// atomic living in MAP_SHARED memory, concurrently touched by the
+/// master and by forked workers: they must be address-free, which
+/// lock-free std::atomic on every supported target guarantees.
+struct SharedArena::Header {
+  std::atomic<std::uint64_t> acquires;
+  std::atomic<std::uint64_t> releases;
+  std::atomic<std::uint32_t> in_use;
+  std::atomic<std::uint32_t> peak_in_use;
+};
+
+static_assert(std::atomic<std::uint32_t>::is_always_lock_free,
+              "shared-arena owner tags must be lock-free atomics");
+static_assert(std::atomic<std::uint64_t>::is_always_lock_free,
+              "shared-arena counters must be lock-free atomics");
+
+SharedArena::Header* SharedArena::header() const {
+  return static_cast<Header*>(map_);
+}
+
+std::atomic<std::uint32_t>* SharedArena::owners() const {
+  return reinterpret_cast<std::atomic<std::uint32_t>*>(
+      static_cast<std::uint8_t*>(map_) + align_up(sizeof(Header), kCacheLine));
+}
+
+SharedArena::SharedArena(std::size_t slot_count, std::size_t slot_doubles)
+    : slot_count_(slot_count), slot_doubles_(slot_doubles) {
+  HMXP_REQUIRE(slot_count > 0, "shared arena needs at least one slot");
+  HMXP_REQUIRE(slot_doubles > 0, "shared arena slots must hold elements");
+  HMXP_REQUIRE(slot_count < kMaster, "absurd shared-arena slot count");
+
+  const std::size_t owners_offset = align_up(sizeof(Header), kCacheLine);
+  slots_offset_ = align_up(
+      owners_offset + slot_count * sizeof(std::atomic<std::uint32_t>),
+      kCacheLine);
+  slot_stride_ = align_up(slot_doubles * sizeof(double), kCacheLine);
+  map_bytes_ = slots_offset_ + slot_count * slot_stride_;
+
+  // NORESERVE: slots are sized for the worst payload, but pages are
+  // only committed for bytes a run actually writes.
+  map_ = ::mmap(nullptr, map_bytes_, PROT_READ | PROT_WRITE,
+                MAP_SHARED | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  HMXP_CHECK(map_ != MAP_FAILED, "shared arena mmap failed");
+
+  new (map_) Header{};
+  std::atomic<std::uint32_t>* tags = owners();
+  for (std::size_t i = 0; i < slot_count_; ++i)
+    new (&tags[i]) std::atomic<std::uint32_t>(kFree);
+}
+
+SharedArena::~SharedArena() {
+  if (map_ != nullptr && map_ != MAP_FAILED) ::munmap(map_, map_bytes_);
+}
+
+std::optional<SharedArena::Slot> SharedArena::try_acquire(
+    std::uint32_t owner) {
+  HMXP_REQUIRE(owner != kFree, "kFree is not a valid slot owner");
+  std::atomic<std::uint32_t>* tags = owners();
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    std::uint32_t expected = kFree;
+    if (tags[i].compare_exchange_strong(expected, owner,
+                                        std::memory_order_acquire,
+                                        std::memory_order_relaxed)) {
+      Header* head = header();
+      head->acquires.fetch_add(1, std::memory_order_relaxed);
+      const std::uint32_t now_in_use =
+          head->in_use.fetch_add(1, std::memory_order_relaxed) + 1;
+      std::uint32_t peak = head->peak_in_use.load(std::memory_order_relaxed);
+      while (peak < now_in_use &&
+             !head->peak_in_use.compare_exchange_weak(
+                 peak, now_in_use, std::memory_order_relaxed)) {
+      }
+      return Slot{i, slot_data(i)};
+    }
+  }
+  return std::nullopt;
+}
+
+double* SharedArena::slot_data(std::uint32_t slot) const {
+  HMXP_REQUIRE(slot < slot_count_, "arena slot index out of range");
+  return reinterpret_cast<double*>(static_cast<std::uint8_t*>(map_) +
+                                   slots_offset_ + slot * slot_stride_);
+}
+
+bool SharedArena::release(std::uint32_t slot) {
+  HMXP_REQUIRE(slot < slot_count_, "arena slot index out of range");
+  // Exchange, not store: a slot the crash-reclamation sweep already
+  // freed (master reaping a dying worker whose final release raced the
+  // SIGKILL) must not be double-counted -- or worse, freed again after
+  // someone else re-acquired it. The release store pairs with the
+  // acquire CAS in try_acquire, so payload writes are visible to the
+  // next owner.
+  const std::uint32_t previous =
+      owners()[slot].exchange(kFree, std::memory_order_release);
+  if (previous == kFree) return false;
+  header()->releases.fetch_add(1, std::memory_order_relaxed);
+  header()->in_use.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+std::size_t SharedArena::release_all_owned_by(std::uint32_t owner) {
+  HMXP_REQUIRE(owner != kFree, "kFree is not a valid slot owner");
+  std::atomic<std::uint32_t>* tags = owners();
+  std::size_t reclaimed = 0;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    std::uint32_t expected = owner;
+    // CAS, not exchange: only slots STILL tagged `owner` are reclaimed;
+    // anything the worker released before dying (and possibly already
+    // re-acquired for another worker) is left alone.
+    if (tags[i].compare_exchange_strong(expected, kFree,
+                                        std::memory_order_acq_rel,
+                                        std::memory_order_relaxed)) {
+      header()->releases.fetch_add(1, std::memory_order_relaxed);
+      header()->in_use.fetch_sub(1, std::memory_order_relaxed);
+      ++reclaimed;
+    }
+  }
+  return reclaimed;
+}
+
+std::size_t SharedArena::release_all() {
+  std::atomic<std::uint32_t>* tags = owners();
+  std::size_t leaked = 0;
+  for (std::uint32_t i = 0; i < slot_count_; ++i) {
+    const std::uint32_t previous =
+        tags[i].exchange(kFree, std::memory_order_acq_rel);
+    if (previous == kFree) continue;
+    header()->releases.fetch_add(1, std::memory_order_relaxed);
+    header()->in_use.fetch_sub(1, std::memory_order_relaxed);
+    ++leaked;
+  }
+  return leaked;
+}
+
+std::size_t SharedArena::in_use() const {
+  return header()->in_use.load(std::memory_order_relaxed);
+}
+
+SharedArena::Stats SharedArena::stats() const {
+  const Header* head = header();
+  Stats stats;
+  stats.acquires = head->acquires.load(std::memory_order_relaxed);
+  stats.releases = head->releases.load(std::memory_order_relaxed);
+  stats.in_use = head->in_use.load(std::memory_order_relaxed);
+  stats.peak_in_use = head->peak_in_use.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace hmxp::runtime

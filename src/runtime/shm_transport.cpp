@@ -1,0 +1,1071 @@
+// ShmTransport: forked worker processes sharing one pre-fork mmap'd
+// payload arena -- process isolation at thread-backend speed.
+//
+// Topology: the process transport's fork model, but the ENTIRE steady
+// state lives in shared memory. Before the first fork the master
+// creates three MAP_SHARED structures every child inherits at the same
+// virtual address: a SharedArena of fixed 64-byte-aligned payload
+// slots, a SharedAckBoard of per-worker dequeue counters (the credit
+// scheme reduced to one atomic add), and a pair of SPSC frame rings
+// per worker (inbox and outbox) with futex doorbells. The master packs
+// each outbound C chunk and A/B panel straight into an arena slot (the
+// executor's copy_window writes there via Endpoint::allocate_payload)
+// and commits a descriptor frame -- (slot, length) -- to the worker's
+// inbox ring with a single cursor bump. The worker computes directly
+// from -- and into -- the shared slots and hands the C slot back by
+// descriptor through its outbox ring. Zero payload copies AND zero
+// syscalls per frame on the hot path; futexes fire only when a side is
+// actually parked. The socketpair(2) per child remains, but only as
+// the bootstrap and death channel: the hello handshake, a dying
+// worker's error notice, and the EOF that announces a SIGKILL.
+//
+// Slot accounting is the run's second backpressure rule (alongside the
+// credit scheme): the arena is sized so a full complement of in-flight
+// messages always fits (16 slots per worker vs a worst case of ~7),
+// but a master that somehow outruns it blocks in allocate_payload,
+// pumping its socket, until a slot frees. Slots are tagged with the
+// worker they are bound for, which is what makes SIGKILL recovery
+// exact: a dead child's outstanding slots -- including one it held
+// mid-compute -- are reclaimed by Endpoint::drain via
+// SharedArena::release_all_owned_by, so fault-tolerant reruns never
+// leak arena capacity. Releases are single atomic exchanges, safe to
+// race against that reclamation from either side of a SIGKILL.
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <climits>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <memory>
+#include <new>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#if defined(__linux__)
+#include <linux/futex.h>
+#include <sys/prctl.h>
+#include <sys/syscall.h>
+#include <ctime>
+#endif
+
+#include "matrix/kernel_dispatch.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/serde.hpp"
+#include "runtime/shared_arena.hpp"
+#include "runtime/transport.hpp"
+#include "runtime/worker_main.hpp"
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+using serde::ByteBuffer;
+using serde::FrameType;
+
+/// Descriptor frames are O(plan) bytes; anything near this is protocol
+/// corruption, not data.
+constexpr std::uint64_t kMaxFrameBytes = 1ull << 40;
+
+/// Arena slots per worker. Worst case per worker is ~7 outstanding
+/// (the resident C slot plus a full credit window of operand pairs);
+/// 16 leaves slack for results in flight, and MAP_NORESERVE means
+/// untouched slots never cost physical memory.
+constexpr std::size_t kSlotsPerWorker = 16;
+
+// ---- cross-process parking (futex) ------------------------------------------
+
+#if defined(__linux__)
+// FUTEX_WAIT / FUTEX_WAKE (NOT the _PRIVATE forms: the words live in
+// MAP_SHARED memory and are touched from both sides of the fork).
+void futex_wait_u32(std::atomic<std::uint32_t>* word, std::uint32_t seen,
+                    int timeout_ms) {
+  struct timespec ts;
+  ts.tv_sec = timeout_ms / 1000;
+  ts.tv_nsec = static_cast<long>(timeout_ms % 1000) * 1000000L;
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAIT,
+            seen, timeout_ms < 0 ? nullptr : &ts, nullptr, 0);
+}
+void futex_wake_u32(std::atomic<std::uint32_t>* word) {
+  ::syscall(SYS_futex, reinterpret_cast<std::uint32_t*>(word), FUTEX_WAKE,
+            INT_MAX, nullptr, nullptr, 0);
+}
+#else
+// Portable fallback: bounded naps instead of a real parking lot.
+void futex_wait_u32(std::atomic<std::uint32_t>* word, std::uint32_t seen,
+                    int timeout_ms) {
+  if (word->load(std::memory_order_acquire) != seen) return;
+  ::poll(nullptr, 0, timeout_ms < 0 ? 1 : std::min(timeout_ms, 1));
+}
+void futex_wake_u32(std::atomic<std::uint32_t>*) {}
+#endif
+
+double seconds_since(Clock::time_point begin) {
+  return std::chrono::duration<double>(Clock::now() - begin).count();
+}
+
+// ---- shared-memory credit board ---------------------------------------------
+
+/// Per-worker dequeue counters in their own MAP_SHARED page, one
+/// cache-line-padded lane per worker. The worker bumps its lane's
+/// sequence as it pops a message from its inbox (the
+/// credit-before-compute rule); the master compares the sequence
+/// against its own send count to enforce the bounded inbox. This is
+/// the credit frame of the process transport reduced to a single
+/// atomic add -- no syscall, no bytes on the socket. The lane doubles
+/// as a cross-process condvar: a credit-starved master parks on the
+/// sequence word with a (process-shared) futex, and the worker issues
+/// a wake syscall ONLY when the lane's `waiting` flag says someone is
+/// parked -- so the syscall count scales with master stalls, not with
+/// messages. Must be created BEFORE the first fork, like the arena.
+class SharedAckBoard {
+ public:
+  explicit SharedAckBoard(std::size_t lanes) : lanes_(lanes) {
+    bytes_ = std::max<std::size_t>(lanes, 1) * kLaneStride;
+    map_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                  MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+    HMXP_CHECK(map_ != MAP_FAILED, "ack board mmap failed");
+    for (std::size_t i = 0; i < lanes_; ++i) new (lane(i)) Lane{};
+  }
+  ~SharedAckBoard() {
+    if (map_ != nullptr && map_ != MAP_FAILED) ::munmap(map_, bytes_);
+  }
+  SharedAckBoard(const SharedAckBoard&) = delete;
+  SharedAckBoard& operator=(const SharedAckBoard&) = delete;
+
+  /// Worker side: one inbox message dequeued. The seq_cst add is a
+  /// full fence on every supported target, so the `waiting` load
+  /// cannot drift ahead of the increment -- the classic unlock/wake
+  /// ordering that makes the park below lose-free. The wake fires only
+  /// once the sequence reaches the parked master's stated threshold:
+  /// waking it per ack would buy one frame of refill per context
+  /// switch, and on a single hardware thread those switches are the
+  /// dominant messaging cost.
+  void add(std::size_t i) {
+    Lane* entry = lane(i);
+    const std::uint32_t now =
+        entry->seq.fetch_add(1, std::memory_order_seq_cst) + 1;
+    if (entry->waiting.load(std::memory_order_acquire) &&
+        static_cast<std::int32_t>(
+            now - entry->wake_at.load(std::memory_order_relaxed)) >= 0)
+      futex_wake_u32(&entry->seq);
+  }
+
+  /// Master side: how many messages worker `i` has dequeued (mod 2^32;
+  /// the in-flight window is tiny, so 32-bit wraparound math is exact).
+  std::uint32_t read(std::size_t i) const {
+    return lane(i)->seq.load(std::memory_order_acquire);
+  }
+
+  /// Worker side: "I just wrote a frame to my socket." The master's
+  /// try_recv polls this word -- one shared-memory load -- instead of
+  /// issuing a recv(2) per sweep that almost always returns EAGAIN.
+  void raise_rx_hint(std::size_t i) {
+    lane(i)->rx_hint.store(1, std::memory_order_release);
+  }
+  /// Master side: consumes the hint. Cleared BEFORE the socket is
+  /// drained, so a frame that lands mid-drain re-raises it and costs
+  /// at worst one extra (empty) pump on the next sweep.
+  bool take_rx_hint(std::size_t i) {
+    return lane(i)->rx_hint.exchange(0, std::memory_order_acquire) != 0;
+  }
+
+  /// Master side: sleeps until the lane's sequence reaches `target`
+  /// (the hysteresis threshold -- the worker skips wakes below it) or
+  /// `timeout_ms` elapses (the bound keeps worker death, which never
+  /// acks, from parking the master forever). Spurious returns are
+  /// fine -- the caller rechecks its credit window either way.
+  void park(std::size_t i, std::uint32_t seen, std::uint32_t target,
+            int timeout_ms) {
+    Lane* entry = lane(i);
+    entry->wake_at.store(target, std::memory_order_relaxed);
+    entry->waiting.store(1, std::memory_order_seq_cst);
+    // Re-check AFTER advertising the park (the seq_cst pair with add()
+    // makes this lose-free), and let the kernel recheck seq == seen
+    // under the futex lock for the remaining window.
+    if (entry->seq.load(std::memory_order_seq_cst) == seen)
+      futex_wait_u32(&entry->seq, seen, timeout_ms);
+    entry->waiting.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  struct Lane {
+    std::atomic<std::uint32_t> seq{0};
+    std::atomic<std::uint32_t> waiting{0};
+    std::atomic<std::uint32_t> wake_at{0};
+    std::atomic<std::uint32_t> rx_hint{0};
+  };
+  static_assert(sizeof(std::atomic<std::uint32_t>) == 4,
+                "futex needs a plain 32-bit word");
+  static constexpr std::size_t kLaneStride = 64;  // one cache line each
+
+  Lane* lane(std::size_t i) const {
+    return reinterpret_cast<Lane*>(static_cast<std::uint8_t*>(map_) +
+                                   i * kLaneStride);
+  }
+
+  void* map_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t lanes_ = 0;
+};
+
+// ---- shared-memory SPSC frame rings -----------------------------------------
+
+/// Byte capacity of one ring direction. Descriptor frames are O(100)
+/// bytes -- O(plan steps) at worst -- and the credit window keeps only
+/// a handful in flight, so 16 KiB never fills in practice; both sides
+/// still handle a full (or empty) ring by parking on the cursors
+/// below. Kept small on purpose: every ring page is faulted in fresh
+/// each run, so capacity is paid for in page faults, not just address
+/// space.
+constexpr std::size_t kRingBytes = std::size_t{1} << 14;
+
+/// Single-producer single-consumer byte ring in MAP_SHARED memory: the
+/// steady-state data plane of the shm transport. Frames are the serde
+/// wire format unchanged ([u64 length][body]); a frame becomes visible
+/// through ONE seq_cst bump of `head` after its bytes are in place, so
+/// the consumer observes whole frames or nothing -- a producer
+/// SIGKILL'd mid-copy loses only the uncommitted frame and corrupts
+/// nothing. Cursors run free (offset = cursor & (kRingBytes - 1)) and
+/// double as futex words: a starved side advertises itself via its
+/// waiting flag and parks, and the other side issues a wake syscall
+/// only then -- the syscall count scales with stalls, not with frames.
+/// A zero-length frame is the shutdown sentinel (the serde codecs
+/// never emit one).
+struct SharedRing {
+  std::atomic<std::uint32_t> head{0};          // producer commit cursor
+  std::atomic<std::uint32_t> cons_waiting{0};  // consumer parked on head
+  std::uint8_t pad0[56];
+  std::atomic<std::uint32_t> tail{0};          // consumer cursor
+  std::atomic<std::uint32_t> prod_waiting{0};  // producer parked on tail
+  std::uint8_t pad1[56];
+  std::uint8_t data[kRingBytes];
+
+  /// Appends one complete frame; false when the ring lacks room (the
+  /// caller parks on `tail` and retries).
+  bool try_push(const std::uint8_t* frame, std::size_t size) {
+    HMXP_CHECK(size <= kRingBytes, "frame exceeds the ring capacity");
+    const std::uint32_t produced = head.load(std::memory_order_relaxed);
+    const std::uint32_t consumed = tail.load(std::memory_order_acquire);
+    if (kRingBytes - static_cast<std::size_t>(produced - consumed) < size)
+      return false;
+    copy_in(produced, frame, size);
+    head.store(produced + static_cast<std::uint32_t>(size),
+               std::memory_order_seq_cst);
+    if (cons_waiting.load(std::memory_order_acquire)) futex_wake_u32(&head);
+    return true;
+  }
+
+  /// Pops the next whole frame into `out` with the length prefix
+  /// stripped (a popped sentinel leaves `out` empty); false when the
+  /// ring has nothing committed.
+  bool try_pop(std::vector<std::uint8_t>& out) {
+    const std::uint32_t consumed = tail.load(std::memory_order_relaxed);
+    const std::uint32_t produced = head.load(std::memory_order_acquire);
+    if (produced == consumed) return false;
+    std::uint8_t prefix[serde::kLengthBytes];
+    HMXP_CHECK(static_cast<std::size_t>(produced - consumed) >= sizeof prefix,
+               "torn ring frame");
+    copy_out(consumed, prefix, sizeof prefix);
+    const std::uint64_t length = serde::decode_length(prefix);
+    HMXP_CHECK(sizeof prefix + length <=
+                   static_cast<std::size_t>(produced - consumed),
+               "torn ring frame");
+    out.resize(static_cast<std::size_t>(length));
+    copy_out(consumed + sizeof prefix, out.data(), out.size());
+    tail.store(consumed + static_cast<std::uint32_t>(sizeof prefix + length),
+               std::memory_order_seq_cst);
+    if (prod_waiting.load(std::memory_order_acquire)) futex_wake_u32(&tail);
+    return true;
+  }
+
+  /// Parks the consumer until `head` moves past `seen` (or timeout; the
+  /// seq_cst store/load pairing with try_push's commit makes the park
+  /// lose-free, exactly like SharedAckBoard::park).
+  void park_consumer(std::uint32_t seen, int timeout_ms) {
+    cons_waiting.store(1, std::memory_order_seq_cst);
+    if (head.load(std::memory_order_seq_cst) == seen)
+      futex_wait_u32(&head, seen, timeout_ms);
+    cons_waiting.store(0, std::memory_order_relaxed);
+  }
+  /// Parks the producer until `tail` moves past `seen` (or timeout).
+  void park_producer(std::uint32_t seen, int timeout_ms) {
+    prod_waiting.store(1, std::memory_order_seq_cst);
+    if (tail.load(std::memory_order_seq_cst) == seen)
+      futex_wait_u32(&tail, seen, timeout_ms);
+    prod_waiting.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  // Wrap-aware copies; cursors are free-running so the offset math is
+  // a single mask.
+  void copy_in(std::uint32_t at, const std::uint8_t* src, std::size_t n) {
+    if (n == 0) return;
+    const std::size_t offset = at & (kRingBytes - 1);
+    const std::size_t first = std::min(n, kRingBytes - offset);
+    std::memcpy(data + offset, src, first);
+    std::memcpy(data, src + first, n - first);
+  }
+  void copy_out(std::uint32_t at, std::uint8_t* dst, std::size_t n) const {
+    if (n == 0) return;
+    const std::size_t offset = at & (kRingBytes - 1);
+    const std::size_t first = std::min(n, kRingBytes - offset);
+    std::memcpy(dst, data + offset, first);
+    std::memcpy(dst + first, data, n - first);
+  }
+};
+
+/// Both directions of one worker's data plane.
+struct RingChannel {
+  SharedRing inbox;   // master -> worker: chunk / operand descriptors
+  SharedRing outbox;  // worker -> master: result descriptors
+};
+
+/// The MAP_SHARED block holding every worker's ring pair. Created
+/// before the first fork, like the arena and the ack board, so parent
+/// and children address the same pages.
+class SharedRingBlock {
+ public:
+  explicit SharedRingBlock(std::size_t workers) : count_(workers) {
+    bytes_ = std::max<std::size_t>(count_, 1) * sizeof(RingChannel);
+    int flags = MAP_SHARED | MAP_ANONYMOUS;
+#if defined(MAP_POPULATE)
+    // Prefault the whole block in one syscall: cheaper than trapping
+    // on every ring page as the cursors sweep across it mid-run.
+    flags |= MAP_POPULATE;
+#endif
+    map_ = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE, flags, -1, 0);
+    HMXP_CHECK(map_ != MAP_FAILED, "ring block mmap failed");
+    // Default-init, not value-init: the cursors' member initializers
+    // run, while the data arrays stay untouched -- anonymous pages are
+    // already zero, and zeroing kRingBytes per ring here would fault
+    // and dirty every page twice.
+    for (std::size_t i = 0; i < count_; ++i) new (channel(i)) RingChannel;
+  }
+  ~SharedRingBlock() {
+    if (map_ != nullptr && map_ != MAP_FAILED) ::munmap(map_, bytes_);
+  }
+  SharedRingBlock(const SharedRingBlock&) = delete;
+  SharedRingBlock& operator=(const SharedRingBlock&) = delete;
+
+  RingChannel* channel(std::size_t i) const {
+    return reinterpret_cast<RingChannel*>(static_cast<std::uint8_t*>(map_) +
+                                          i * sizeof(RingChannel));
+  }
+
+ private:
+  void* map_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t count_ = 0;
+};
+
+// ---- bootstrap fd helpers (child side) --------------------------------------
+
+void write_exact(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n =
+        ::send(fd, data + done, size - done, MSG_NOSIGNAL);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    throw std::runtime_error(std::string("socket write failed: ") +
+                             std::strerror(errno));
+  }
+}
+
+// ---- child side -------------------------------------------------------------
+
+/// The worker's face of the shm data plane: descriptor frames popped
+/// from the inbox ring and pushed to the outbox ring, payloads resolved
+/// against the inherited arena -- zero syscalls per frame unless a side
+/// is parked. The socket carries only the bootstrap hello and a death
+/// notice. Lives entirely in the child process (which shares the
+/// mapped pages, not the heap).
+class ShmWorkerPort final : public WorkerPort {
+ public:
+  ShmWorkerPort(int fd, RingChannel* rings, SharedArena* arena,
+                SharedAckBoard* acks, std::size_t index)
+      : fd_(fd), rings_(rings), arena_(arena), acks_(acks), index_(index) {}
+
+  std::optional<WorkerMessage> receive() override {
+    SharedRing& inbox = rings_->inbox;
+    while (!inbox.try_pop(rx_)) {
+      // Empty inbox: park on the head cursor. The bound is only a
+      // belt -- PDEATHSIG reaps an orphan whose master crashed -- and
+      // a spurious lap costs two shared-memory loads.
+      inbox.park_consumer(inbox.head.load(std::memory_order_acquire),
+                          /*timeout_ms=*/100);
+    }
+    if (rx_.empty()) return std::nullopt;  // shutdown sentinel: done
+
+    // Return the inbox credit BEFORE computing, like a channel pop --
+    // here a single atomic add the master reads through shared memory.
+    acks_->add(index_);
+
+    switch (serde::frame_type(rx_.data(), rx_.size())) {
+      case FrameType::kChunkRef:
+        return WorkerMessage(
+            serde::decode_chunk_ref(rx_.data(), rx_.size(), *arena_));
+      case FrameType::kOperandRef:
+        return WorkerMessage(
+            serde::decode_operand_ref(rx_.data(), rx_.size(), *arena_));
+      default:
+        throw std::runtime_error("unexpected inbound frame type");
+    }
+  }
+
+  void send(ResultMessage result) override {
+    tx_.clear();
+    serde::encode_result_ref(result, tx_);
+    SharedRing& outbox = rings_->outbox;
+    while (!outbox.try_push(tx_.data(), tx_.size())) {
+      outbox.park_producer(outbox.tail.load(std::memory_order_acquire),
+                           /*timeout_ms=*/100);
+    }
+    // The frame is committed: the C slot belongs to the master now.
+    // Detach AFTER the push so an unwind mid-send still releases the
+    // slot (the master's crash reclamation tolerates the benign race).
+    result.c.detach();
+  }
+
+  void send_hello(std::uint8_t kernel_tier) {
+    tx_.clear();
+    serde::encode_hello(kernel_tier, tx_);
+    write_exact(fd_, tx_.data(), tx_.size());
+    acks_->raise_rx_hint(index_);
+  }
+
+ private:
+  int fd_;
+  RingChannel* rings_;
+  SharedArena* arena_;
+  SharedAckBoard* acks_;
+  std::size_t index_;
+  std::vector<std::uint8_t> rx_;
+  ByteBuffer tx_;
+};
+
+/// Child-process entry, the shm twin of the process transport's
+/// run_child (see the fork-without-exec notes there). The arena object
+/// itself arrives via the inherited heap; its PAGES are MAP_SHARED, so
+/// the child's slot releases are the master's slot releases.
+[[noreturn]] void run_child(int fd, const WorkerContext& context,
+                            RingChannel* rings, SharedArena* arena,
+                            SharedAckBoard* acks, std::size_t index,
+                            std::optional<matrix::KernelTier> forced_tier,
+                            matrix::KernelTier active_tier,
+                            bool portable_micro_kernel) {
+#if defined(__linux__)
+  // An orphaned worker must not outlive a crashed master.
+  ::prctl(PR_SET_PDEATHSIG, SIGKILL);
+#endif
+  matrix::force_kernel_tier(forced_tier.has_value() ? forced_tier
+                                                    : std::optional(
+                                                          active_tier));
+  ::setenv("HMXP_FORCE_KERNEL", matrix::kernel_tier_name(active_tier), 1);
+  matrix::force_portable_micro_kernel(portable_micro_kernel);
+
+  // The child's private pool only ever serves scratch buffers (the
+  // slowdown emulation): every protocol payload lives in the arena.
+  BufferPool pool;
+  ShmWorkerPort port(fd, rings, arena, acks, index);
+  try {
+    port.send_hello(static_cast<std::uint8_t>(active_tier));
+    worker_main(context, port, pool);
+  } catch (const std::exception& error) {
+    try {
+      ByteBuffer notice;
+      serde::encode_error(error.what(), notice);
+      write_exact(fd, notice.data(), notice.size());
+      acks->raise_rx_hint(index);
+    } catch (...) {
+      // The socket is gone too; the EOF alone carries the news.
+    }
+    ::close(fd);
+    ::_exit(2);
+  } catch (...) {
+    ::close(fd);
+    ::_exit(2);
+  }
+  ::close(fd);
+  ::_exit(0);
+}
+
+// ---- master side ------------------------------------------------------------
+
+class ShmEndpoint final : public Endpoint {
+ public:
+  ShmEndpoint(int index, int fd, pid_t pid, std::size_t capacity,
+              matrix::KernelTier expected_tier, RingChannel* rings,
+              SharedArena* arena, SharedAckBoard* acks,
+              TransportStats* stats)
+      : index_(index),
+        fd_(fd),
+        pid_(pid),
+        capacity_(capacity),
+        expected_tier_(expected_tier),
+        rings_(rings),
+        arena_(arena),
+        acks_(acks),
+        stats_(stats) {}
+
+  ~ShmEndpoint() override { teardown(); }
+
+  // ----- Endpoint -----
+  /// Checks out an arena slot tagged with this worker instead of a pool
+  /// vector: whatever the executor packs into it is already where the
+  /// worker will read it. Blocks (pumping the socket, so death and
+  /// credits keep flowing) while the arena is saturated -- arena
+  /// capacity is part of the backpressure rule.
+  Payload allocate_payload(std::size_t size, BufferPool& pool) override {
+    (void)pool;  // arena payloads never touch the heap pool
+    HMXP_CHECK(size <= arena_->slot_doubles(),
+               "payload exceeds the arena slot size");
+    for (;;) {
+      if (auto slot =
+              arena_->try_acquire(static_cast<std::uint32_t>(index_)))
+        return Payload::arena_view(arena_, slot->index, slot->data, size);
+      throw_if_dead();
+      // A full arena frees through worker progress (slot releases are
+      // shared-memory stores -- no frame announces them): drain queued
+      // results and nap briefly, re-checking for death each lap.
+      wait_io(/*want_write=*/false, /*timeout_ms=*/1);
+    }
+  }
+
+  void send(WorkerMessage message) override {
+    throw_if_dead();
+    // The bounded-inbox rule, checked BEFORE the frame is committed:
+    // at most `capacity_` frames may sit unacknowledged in the
+    // worker's inbox. Acks arrive through the shared board, so a
+    // starved master parks on the lane's futex (the worker wakes it
+    // the moment it dequeues) with a bound that keeps a SIGKILL'd
+    // child -- which will never ack -- from parking us past the next
+    // death-detection pump.
+    const auto lane = static_cast<std::size_t>(index_);
+    std::uint32_t acked = acks_->read(lane);
+    if (static_cast<std::uint32_t>(sent_) - acked >= capacity_) {
+      // Ask to be woken only once TWO slots are free (when the window
+      // is that deep): refilling one frame per wake costs a context
+      // switch per frame, and the worker still holds a queued frame to
+      // chew on while the master tops the window back up.
+      const std::uint32_t refill =
+          static_cast<std::uint32_t>(std::min<std::size_t>(capacity_, 2));
+      const std::uint32_t target =
+          static_cast<std::uint32_t>(sent_) - capacity_ + refill;
+      while (!failed_ &&
+             static_cast<std::uint32_t>(sent_) - acked >= capacity_) {
+        acks_->park(lane, acked, target, /*timeout_ms=*/10);
+        pump_rings();   // a worker parked on a full outbox cannot ack
+        gated_pump();   // death notices keep flowing (at most 1/ms)
+        acked = acks_->read(lane);
+      }
+      throw_if_dead();
+    }
+
+    const auto serde_begin = Clock::now();
+    tx_.clear();
+    std::size_t payload_bytes = 0;
+    if (auto* chunk = std::get_if<ChunkMessage>(&message)) {
+      serde::encode_chunk_ref(*chunk, tx_);
+      payload_bytes = chunk->c.size() * sizeof(double);
+    } else {
+      auto& operands = std::get<OperandMessage>(message);
+      serde::encode_operand_ref(operands, tx_);
+      payload_bytes =
+          (operands.a.size() + operands.b.size()) * sizeof(double);
+    }
+    stats_->serde_seconds += seconds_since(serde_begin);
+
+    // Detach BEFORE the commit: once the cursor bump lands the worker
+    // may decode, use and release the slots at any moment, so the
+    // master must have relinquished them already. If the worker dies
+    // with the frame unread, drain()'s owner-tag sweep reclaims them.
+    if (auto* chunk = std::get_if<ChunkMessage>(&message)) {
+      chunk->c.detach();
+    } else {
+      auto& operands = std::get<OperandMessage>(message);
+      operands.a.detach();
+      operands.b.detach();
+    }
+    push_inbox();
+    ++sent_;
+    ++stats_->messages_sent;
+    stats_->bytes_sent += tx_.size();
+    stats_->bytes_zero_copied += payload_bytes;
+  }
+
+  std::optional<ResultMessage> try_recv() override {
+    pump_rings();
+    if (results_.empty() && !failed_) {
+      // Results arrive through the ring (drained above with zero
+      // syscalls); the socket carries only the bootstrap hello, error
+      // notices and the EOF that announces death, so it is pumped at
+      // most once per millisecond (or on the worker's rx hint).
+      gated_pump();
+    }
+    return pop_result();
+  }
+
+  std::optional<ResultMessage> recv() override {
+    pump_rings();
+    gated_pump();
+    while (results_.empty() && !failed_) {
+      // Park on the outbox cursor; the worker's result push wakes us.
+      // The bound exists because a SIGKILL'd child never pushes -- its
+      // EOF, found by the gated pump below, is what breaks the wait.
+      SharedRing& outbox = rings_->outbox;
+      outbox.park_consumer(outbox.head.load(std::memory_order_acquire),
+                           /*timeout_ms=*/10);
+      pump_rings();
+      gated_pump();
+    }
+    return pop_result();
+  }
+
+  bool failed() const override { return failed_; }
+  std::exception_ptr error() const override { return error_; }
+  bool killed() const override { return killed_; }
+
+  void kill() override {
+    if (killed_) return;
+    killed_ = true;
+    if (pid_ > 0 && !reaped_) ::kill(pid_, SIGKILL);
+    if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  }
+
+  /// Reclaims everything a decommissioned worker still held: queued
+  /// results release their slots back to the arena, then every slot
+  /// still TAGGED with this worker -- inbox messages it never dequeued,
+  /// the chunk it was computing into when the SIGKILL landed, a result
+  /// descriptor parsed but not yet popped -- is swept back in one pass.
+  /// The caller has already released any pending result it extracted
+  /// from this endpoint, so the sweep cannot double-free a live slot.
+  void drain(BufferPool& pool) override {
+    drained_ = true;
+    while (!results_.empty()) {
+      results_.front().c.release_to(pool);
+      results_.pop_front();
+    }
+    rx_.clear();
+    // The rings are left untouched: frames still sitting in them
+    // reference slots tagged with this worker, so the sweep below
+    // reclaims those too, and a decommissioned endpoint never pops its
+    // rings again (pump_rings guards on killed_).
+    arena_->release_all_owned_by(static_cast<std::uint32_t>(index_));
+  }
+
+  // ----- transport-internal -----
+  void wait_hello() {
+    pump();
+    const auto deadline = Clock::now() + std::chrono::seconds(30);
+    while (!hello_seen_ && !failed_) {
+      if (Clock::now() >= deadline) {
+        mark_failed("no bootstrap hello within 30s");
+        break;
+      }
+      wait_io(/*want_write=*/false, /*timeout_ms=*/1000);
+    }
+  }
+
+  void begin_shutdown() noexcept {
+    discarding_ = true;
+    if (fd_ >= 0 && !killed_ && !failed_ && !drained_) {
+      // The zero-length sentinel is the ring world's half-close: the
+      // worker pops it and exits. Bounded retries -- a worker that
+      // died with a full inbox will never make room; its EOF ends the
+      // wait in finish_shutdown instead.
+      const std::uint8_t sentinel[serde::kLengthBytes] = {};
+      SharedRing& inbox = rings_->inbox;
+      for (int attempt = 0; attempt < 1000; ++attempt) {
+        if (inbox.try_push(sentinel, sizeof sentinel)) break;
+        if (failed_ || eof_) break;
+        pump_rings();
+        inbox.park_producer(inbox.tail.load(std::memory_order_acquire),
+                            /*timeout_ms=*/1);
+      }
+    }
+    if (fd_ >= 0 && !killed_) ::shutdown(fd_, SHUT_WR);
+  }
+
+  void finish_shutdown() noexcept {
+    discarding_ = true;
+    if (fd_ >= 0) {
+      try {
+        // Bounded waits: the ring pump inside wait_io is what lets a
+        // worker parked on a full outbox drain, finish and close.
+        while (!eof_ && !failed_) wait_io(/*want_write=*/false,
+                                          /*timeout_ms=*/10);
+      } catch (...) {
+        // Corrupt trailing frames on a teardown path are ignorable.
+      }
+    }
+    teardown();
+  }
+
+ private:
+  void teardown() noexcept {
+    if (fd_ >= 0) {
+      ::close(fd_);
+      fd_ = -1;
+    }
+    if (pid_ > 0 && !reaped_) {
+      if (failed_) ::kill(pid_, SIGKILL);
+      int status = 0;
+      while (::waitpid(pid_, &status, 0) < 0 && errno == EINTR) {
+      }
+      reaped_ = true;
+    }
+    // Queued results parsed but never popped would pin their slots
+    // forever; a clean run has none, an aborted one hands them back.
+    while (!results_.empty()) results_.pop_front();  // Payload releases
+  }
+
+  [[noreturn]] void throw_dead() { std::rethrow_exception(error_); }
+  void throw_if_dead() {
+    if (failed_) throw_dead();
+  }
+
+  std::optional<ResultMessage> pop_result() {
+    if (results_.empty()) return std::nullopt;
+    ResultMessage result = std::move(results_.front());
+    results_.pop_front();
+    ++stats_->messages_received;
+    return result;
+  }
+
+  void mark_failed(const std::string& reason) {
+    if (failed_) return;
+    std::string what = "worker process " + std::to_string(index_) + ": " +
+                       reason;
+    if (pid_ > 0 && !reaped_) {
+      int status = 0;
+      const pid_t reaped = ::waitpid(pid_, &status, WNOHANG);
+      if (reaped == pid_) {
+        reaped_ = true;
+        if (WIFSIGNALED(status)) {
+          what += " (killed by signal " + std::to_string(WTERMSIG(status)) +
+                  ")";
+        } else if (WIFEXITED(status)) {
+          what += " (exit status " + std::to_string(WEXITSTATUS(status)) +
+                  ")";
+        }
+      }
+    }
+    error_ = std::make_exception_ptr(std::runtime_error(what));
+    failed_ = true;
+  }
+
+  /// Commits the frame encoded in tx_ to the worker's inbox ring,
+  /// parking on the tail cursor if the ring is somehow full (the
+  /// credit window keeps it far from full in practice). Throws if the
+  /// worker is (or turns out to be) dead.
+  void push_inbox() {
+    SharedRing& inbox = rings_->inbox;
+    while (!inbox.try_push(tx_.data(), tx_.size())) {
+      throw_if_dead();
+      pump_rings();  // a worker parked pushing results cannot drain
+      inbox.park_producer(inbox.tail.load(std::memory_order_acquire),
+                          /*timeout_ms=*/10);
+      pump();  // a dead worker will never drain the ring
+    }
+  }
+
+  /// Drains the worker's outbox ring: every frame the worker committed
+  /// is decoded and queued (or, while discarding, dropped -- which
+  /// releases its arena slot). Two shared-memory loads when the ring
+  /// is empty; never a syscall. A decommissioned endpoint's rings are
+  /// never popped: their frames reference slots drain() already swept.
+  void pump_rings() {
+    if (killed_ || drained_) return;
+    try {
+      while (rings_->outbox.try_pop(ring_rx_)) {
+        if (ring_rx_.empty()) continue;  // sentinel: never sent inbound
+        stats_->bytes_received += serde::kLengthBytes + ring_rx_.size();
+        dispatch(ring_rx_.data(), ring_rx_.size());
+      }
+    } catch (const std::exception& error) {
+      mark_failed(std::string("protocol corruption: ") + error.what());
+    }
+  }
+
+  /// Socket pump rate-limited to the death-detection budget: drains
+  /// the socket when the worker raised its rx hint (it wrote a hello
+  /// or error frame) or when a millisecond passed since the last look
+  /// (a SIGKILL'd child raises no hint -- only an EOF).
+  void gated_pump() {
+    const auto now = Clock::now();
+    if (acks_->take_rx_hint(static_cast<std::size_t>(index_)) ||
+        now - last_pump_ >= std::chrono::milliseconds(1)) {
+      last_pump_ = now;
+      pump();
+    }
+  }
+
+  void wait_io(bool want_write = false, int timeout_ms = -1) {
+    pump_rings();
+    if (eof_ || fd_ < 0) {
+      if (!failed_) mark_failed("connection closed");
+      return;
+    }
+    struct pollfd entry;
+    entry.fd = fd_;
+    entry.events = static_cast<short>(POLLIN | (want_write ? POLLOUT : 0));
+    entry.revents = 0;
+    const int ready = ::poll(&entry, 1, timeout_ms);
+    if (ready < 0 && errno != EINTR) {
+      mark_failed(std::string("poll failed: ") + std::strerror(errno));
+      return;
+    }
+    pump();
+    pump_rings();
+  }
+
+  void pump() {
+    if (eof_ || fd_ < 0) return;
+    std::uint8_t buffer[1 << 16];
+    for (;;) {
+      const ssize_t n = ::recv(fd_, buffer, sizeof buffer, 0);
+      if (n > 0) {
+        rx_.insert(rx_.end(), buffer, buffer + n);
+        if (static_cast<std::size_t>(n) < sizeof buffer) break;
+        continue;
+      }
+      if (n == 0) {
+        eof_ = true;
+        break;
+      }
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      if (errno == EINTR) continue;
+      if (errno == ECONNRESET) {
+        eof_ = true;
+        break;
+      }
+      mark_failed(std::string("recv failed: ") + std::strerror(errno));
+      return;
+    }
+    parse_frames();
+    if (eof_ && !failed_ && !discarding_)
+      mark_failed("exited unexpectedly (connection closed)");
+  }
+
+  void parse_frames() {
+    std::size_t cursor = 0;
+    while (rx_.size() - cursor >= serde::kLengthBytes) {
+      const std::uint64_t length = serde::decode_length(rx_.data() + cursor);
+      if (length == 0 || length > kMaxFrameBytes) {
+        mark_failed("corrupt frame length");
+        break;
+      }
+      if (rx_.size() - cursor - serde::kLengthBytes < length) break;
+      try {
+        dispatch(rx_.data() + cursor + serde::kLengthBytes,
+                 static_cast<std::size_t>(length));
+      } catch (const std::exception& error) {
+        mark_failed(std::string("protocol corruption: ") + error.what());
+        break;
+      }
+      cursor += serde::kLengthBytes + static_cast<std::size_t>(length);
+      stats_->bytes_received += serde::kLengthBytes +
+                                static_cast<std::size_t>(length);
+    }
+    if (cursor > 0)
+      rx_.erase(rx_.begin(),
+                rx_.begin() + static_cast<std::ptrdiff_t>(cursor));
+  }
+
+  void dispatch(const std::uint8_t* body, std::size_t size) {
+    switch (serde::frame_type(body, size)) {
+      case FrameType::kResultRef: {
+        const auto serde_begin = Clock::now();
+        ResultMessage result = serde::decode_result_ref(body, size, *arena_);
+        stats_->serde_seconds += seconds_since(serde_begin);
+        stats_->bytes_zero_copied += result.c.size() * sizeof(double);
+        if (discarding_) break;  // Payload releases the slot right here
+        results_.push_back(std::move(result));
+        break;
+      }
+      case FrameType::kHello: {
+        const auto tier =
+            static_cast<matrix::KernelTier>(serde::decode_hello(body, size));
+        HMXP_CHECK(tier == expected_tier_,
+                   "worker process booted with the wrong kernel tier");
+        hello_seen_ = true;
+        break;
+      }
+      case FrameType::kError:
+        mark_failed(serde::decode_error(body, size));
+        break;
+      default:
+        mark_failed("unexpected frame from worker");
+        break;
+    }
+  }
+
+  int index_;
+  int fd_;
+  pid_t pid_;
+  std::size_t capacity_;
+  std::uint64_t sent_ = 0;
+  matrix::KernelTier expected_tier_;
+  RingChannel* rings_;
+  SharedArena* arena_;
+  SharedAckBoard* acks_;
+  TransportStats* stats_;
+  ByteBuffer rx_;       // socket bytes (hello / error frames)
+  ByteBuffer tx_;       // per-message encode scratch
+  ByteBuffer ring_rx_;  // per-frame ring pop scratch
+  std::deque<ResultMessage> results_;
+  Clock::time_point last_pump_{};
+  std::exception_ptr error_;
+  bool failed_ = false;
+  bool killed_ = false;
+  bool eof_ = false;
+  bool hello_seen_ = false;
+  bool discarding_ = false;
+  bool drained_ = false;
+  bool reaped_ = false;
+};
+
+class ShmTransport final : public Transport {
+ public:
+  ShmTransport(int workers, std::size_t inbox_capacity,
+               const ExecutorOptions& options, Clock::time_point run_begin,
+               std::size_t max_payload_doubles)
+      // The arena, ack board and rings MUST exist before the first
+      // fork: MAP_SHARED pages created here are the ones every child
+      // inherits.
+      : arena_(static_cast<std::size_t>(workers) * kSlotsPerWorker,
+               std::max<std::size_t>(max_payload_doubles, 1)),
+        acks_(static_cast<std::size_t>(workers)),
+        rings_(static_cast<std::size_t>(workers)) {
+    const std::optional<matrix::KernelTier> forced =
+        matrix::forced_kernel_tier();
+    const matrix::KernelTier tier = matrix::active_kernel_tier();
+    const bool portable = matrix::portable_micro_kernel_forced();
+
+    const auto count = static_cast<std::size_t>(workers);
+    std::vector<int> master_fds(count, -1);
+    std::vector<int> child_fds(count, -1);
+    try {
+      for (std::size_t i = 0; i < count; ++i) {
+        int fds[2];
+        HMXP_CHECK(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+                   "socketpair failed");
+        master_fds[i] = fds[0];
+        child_fds[i] = fds[1];
+      }
+      endpoints_.reserve(count);
+      for (std::size_t i = 0; i < count; ++i) {
+        const WorkerContext context =
+            make_worker_context(options, static_cast<int>(i), run_begin);
+
+        const pid_t pid = ::fork();
+        HMXP_CHECK(pid >= 0, "fork failed");
+        if (pid == 0) {
+          // Child: keep only this worker's own end.
+          for (std::size_t j = 0; j < count; ++j) {
+            if (master_fds[j] >= 0) ::close(master_fds[j]);
+            if (j != i && child_fds[j] >= 0) ::close(child_fds[j]);
+          }
+          run_child(child_fds[i], context, rings_.channel(i), &arena_,
+                    &acks_, i, forced, tier, portable);  // never returns
+        }
+        ::close(child_fds[i]);
+        child_fds[i] = -1;
+        const int fd = master_fds[i];
+        const int flags = ::fcntl(fd, F_GETFL, 0);
+        HMXP_CHECK(flags >= 0 &&
+                       ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+                   "fcntl O_NONBLOCK failed");
+        endpoints_.push_back(std::make_unique<ShmEndpoint>(
+            static_cast<int>(i), fd, pid, inbox_capacity, tier,
+            rings_.channel(i), &arena_, &acks_, &stats_));
+      }
+    } catch (...) {
+      for (std::size_t j = endpoints_.size(); j < count; ++j)
+        if (master_fds[j] >= 0) ::close(master_fds[j]);
+      for (const int fd : child_fds)
+        if (fd >= 0) ::close(fd);
+      shutdown();
+      throw;
+    }
+    for (auto& endpoint : endpoints_) endpoint->wait_hello();
+  }
+
+  ~ShmTransport() override { shutdown(); }
+
+  TransportKind kind() const override { return TransportKind::kShm; }
+  int worker_count() const override {
+    return static_cast<int>(endpoints_.size());
+  }
+  Endpoint& endpoint(int worker) override {
+    HMXP_REQUIRE(worker >= 0 &&
+                     static_cast<std::size_t>(worker) < endpoints_.size(),
+                 "worker index out of range");
+    return *endpoints_[static_cast<std::size_t>(worker)];
+  }
+
+  void shutdown() noexcept override {
+    for (auto& endpoint : endpoints_) endpoint->begin_shutdown();
+    for (auto& endpoint : endpoints_) endpoint->finish_shutdown();
+    if (!leak_recorded_) {
+      // Every child is reaped: any slot still held is a reclamation
+      // bug the stats must expose (tests assert this is 0). The final
+      // sweep keeps the arena's own shutdown assertion quiet so the
+      // one loud failure is the test's.
+      leaked_slots_ = arena_.in_use();
+      arena_.release_all();
+      leak_recorded_ = true;
+    }
+  }
+
+  TransportStats stats() const override {
+    TransportStats stats = stats_;
+    const SharedArena::Stats arena = arena_.stats();
+    stats.arena_slots = arena_.slot_count();
+    stats.arena_peak_slots = arena.peak_in_use;
+    stats.arena_leaked_slots =
+        leak_recorded_ ? leaked_slots_ : arena.in_use;
+    return stats;
+  }
+
+ private:
+  // Declared before the endpoints: they hold arena, ack-board and
+  // ring pointers, so all three must outlive them on every
+  // destruction path.
+  SharedArena arena_;
+  SharedAckBoard acks_;
+  SharedRingBlock rings_;
+  std::vector<std::unique_ptr<ShmEndpoint>> endpoints_;
+  TransportStats stats_;
+  std::size_t leaked_slots_ = 0;
+  bool leak_recorded_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<Transport> make_shm_transport(
+    int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
+    std::size_t max_payload_doubles) {
+  (void)pool;  // shm payloads live in the arena, not the master pool
+  return std::make_unique<ShmTransport>(workers, inbox_capacity, options,
+                                        run_begin, max_payload_doubles);
+}
+
+}  // namespace hmxp::runtime

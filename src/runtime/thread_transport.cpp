@@ -116,15 +116,15 @@ class ThreadEndpoint final : public Endpoint {
   void drain(BufferPool& pool) override {
     while (auto message = worker_->inbox().try_pop()) {
       if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
-        pool.release(std::move(chunk->c));
+        chunk->c.release_to(pool);
       } else {
         auto& operands = std::get<OperandMessage>(*message);
-        pool.release(std::move(operands.a));
-        pool.release(std::move(operands.b));
+        operands.a.release_to(pool);
+        operands.b.release_to(pool);
       }
     }
     while (auto result = worker_->outbox().try_pop())
-      pool.release(std::move(result->c));
+      result->c.release_to(pool);
   }
 
  private:

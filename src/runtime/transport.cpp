@@ -12,6 +12,8 @@ const char* transport_kind_name(TransportKind kind) {
       return "thread";
     case TransportKind::kProcess:
       return "process";
+    case TransportKind::kShm:
+      return "shm";
   }
   return "unknown";
 }
@@ -21,13 +23,20 @@ std::optional<TransportKind> parse_transport_kind(const std::string& name) {
   if (lower == "thread" || lower == "threads") return TransportKind::kThread;
   if (lower == "process" || lower == "processes")
     return TransportKind::kProcess;
+  if (lower == "shm" || lower == "shmem" || lower == "shared-memory")
+    return TransportKind::kShm;
   return std::nullopt;
+}
+
+Payload Endpoint::allocate_payload(std::size_t size, BufferPool& pool) {
+  return Payload(pool.acquire(size));
 }
 
 std::unique_ptr<Transport> make_transport(
     TransportKind kind, int workers, std::size_t inbox_capacity,
     const ExecutorOptions& options,
-    std::chrono::steady_clock::time_point run_begin, BufferPool* pool) {
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
+    std::size_t max_payload_doubles) {
   HMXP_REQUIRE(workers > 0, "transport needs at least one worker");
   HMXP_REQUIRE(pool != nullptr, "transport needs a master buffer pool");
   switch (kind) {
@@ -37,6 +46,9 @@ std::unique_ptr<Transport> make_transport(
     case TransportKind::kProcess:
       return make_process_transport(workers, inbox_capacity, options,
                                     run_begin, pool);
+    case TransportKind::kShm:
+      return make_shm_transport(workers, inbox_capacity, options, run_begin,
+                                pool, max_payload_doubles);
   }
   HMXP_CHECK(false, "unknown transport kind");
   return nullptr;

@@ -16,14 +16,24 @@
 //     length-prefixed frames (runtime/serde.hpp). The real isolation of
 //     the paper's MPI deployment: a SIGKILL'd child is a first-class
 //     worker failure the master survives under tolerate_faults.
+//   * ShmTransport (shm_transport.cpp) -- forked workers whose whole
+//     data plane lives in pre-fork MAP_SHARED memory: payloads in a
+//     SharedArena, descriptor frames (slot, length) in per-worker SPSC
+//     byte rings, and dequeue acknowledgements on a futex-backed shared
+//     ack board. The socketpair survives only as the bootstrap and
+//     death channel (hello, worker error reports, EOF on child exit).
+//     Zero-copy ACROSS the process boundary: process isolation at
+//     thread-backend speed.
 //
-// Both preserve the semantic load-bearing bound of the simulator's
+// All preserve the semantic load-bearing bound of the simulator's
 // engine: a worker's inbox holds at most `inbox_capacity` messages (the
 // chunk plus prefetch_depth + 1 operand batches), so a master pushing
 // past a worker's buffer capacity BLOCKS -- channels enforce it with
 // their queue bound, the process transport with explicit buffer credits
-// the worker returns as it dequeues. A real-cluster (MPI/ssh) transport
-// is a drop-in third implementation of the same interface.
+// the worker returns as it dequeues, the shm transport by comparing its
+// sent counter against the worker's ack-board dequeue counter. A
+// real-cluster (MPI/ssh) transport is a drop-in implementation of the
+// same interface.
 #pragma once
 
 #include <chrono>
@@ -40,9 +50,9 @@ namespace hmxp::runtime {
 
 struct ExecutorOptions;  // executor.hpp; broken include cycle
 
-enum class TransportKind { kThread, kProcess };
+enum class TransportKind { kThread, kProcess, kShm };
 
-/// "thread" or "process".
+/// "thread", "process" or "shm".
 const char* transport_kind_name(TransportKind kind);
 /// Parses a transport name (case-insensitive); nullopt if unrecognized.
 std::optional<TransportKind> parse_transport_kind(const std::string& name);
@@ -59,6 +69,15 @@ struct TransportStats {
   /// Master-side wall seconds spent encoding and decoding frames: the
   /// serialization overhead the process backend pays per run.
   double serde_seconds = 0.0;
+  /// Payload bytes that crossed the process boundary WITHOUT being
+  /// copied (shm transport: bytes referenced by descriptor frames).
+  std::size_t bytes_zero_copied = 0;
+  /// Shared-arena occupancy (shm transport only): total slots, the
+  /// high-water mark of simultaneously held slots, and slots still held
+  /// at shutdown (must be 0 -- anything else is a reclamation bug).
+  std::size_t arena_slots = 0;
+  std::size_t arena_peak_slots = 0;
+  std::size_t arena_leaked_slots = 0;
 };
 
 /// The master's handle to ONE worker's data plane.
@@ -98,7 +117,17 @@ class Endpoint {
 
   /// Hands every payload still queued on the endpoint back to the pool
   /// (a dead worker's in-flight messages must not leak their buffers).
+  /// The shm endpoint additionally reclaims every arena slot the dead
+  /// worker still held -- including slots a SIGKILL'd child was holding
+  /// mid-compute -- so fault recovery never leaks arena capacity.
   virtual void drain(BufferPool& pool) = 0;
+
+  /// Checks out payload storage for a message headed to THIS worker.
+  /// The default hands out a pool vector (thread/process transports);
+  /// the shm endpoint instead acquires an arena slot tagged with this
+  /// worker, blocking -- and pumping its socket -- while the arena is
+  /// full, which makes arena capacity part of the backpressure rule.
+  virtual Payload allocate_payload(std::size_t size, BufferPool& pool);
 };
 
 /// Owns the worker set of one run: endpoints while running, join/reap
@@ -126,11 +155,14 @@ class Transport {
 /// master-side payload pool: the thread transport shares it with its
 /// workers (zero-copy), the process transport recycles master-side
 /// encode/decode buffers through it while each child owns a private
-/// pool in its own address space.
+/// pool in its own address space. `max_payload_doubles` is the largest
+/// single payload the run can ship (from the partition geometry); only
+/// the shm transport uses it, to size its arena slots before forking.
 std::unique_ptr<Transport> make_transport(
     TransportKind kind, int workers, std::size_t inbox_capacity,
     const ExecutorOptions& options,
-    std::chrono::steady_clock::time_point run_begin, BufferPool* pool);
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
+    std::size_t max_payload_doubles);
 
 std::unique_ptr<Transport> make_thread_transport(
     int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
@@ -139,5 +171,10 @@ std::unique_ptr<Transport> make_thread_transport(
 std::unique_ptr<Transport> make_process_transport(
     int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
     std::chrono::steady_clock::time_point run_begin, BufferPool* pool);
+
+std::unique_ptr<Transport> make_shm_transport(
+    int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
+    std::size_t max_payload_doubles);
 
 }  // namespace hmxp::runtime

@@ -58,7 +58,7 @@ class WorkerLoop {
   /// copy); in-flight locals are freed by unwinding instead.
   void surrender_chunk() {
     if (chunk_.has_value()) {
-      pool_.release(std::move(chunk_->c));
+      chunk_->c.release_to(pool_);
       chunk_.reset();
     }
   }
@@ -122,9 +122,10 @@ class WorkerLoop {
     step_seconds_.push_back(
         std::chrono::duration<double>(Clock::now() - step_begin).count());
 
-    // Operand buffers are consumed: hand their storage back for reuse.
-    pool_.release(std::move(operands.a));
-    pool_.release(std::move(operands.b));
+    // Operand buffers are consumed: hand their storage back for reuse
+    // (arena slots return to the arena, pool vectors to the pool).
+    operands.a.release_to(pool_);
+    operands.b.release_to(pool_);
 
     ++steps_done_;
     if (steps_done_ == chunk.plan.steps.size()) {
