@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common.hpp"
 #include "matrix/gemm.hpp"
 #include "matrix/kernel_dispatch.hpp"
 #include "model/steady_state.hpp"
@@ -67,9 +68,25 @@ void BM_GemmTiled(benchmark::State& state) {
 }
 BENCHMARK(BM_GemmTiled)->Arg(80)->Arg(160)->Arg(320)->Arg(512)->Arg(1024);
 
+/// Stamps which micro-kernel the packed tier ran (one-hot avx512 /
+/// avx2 counters) and the blocking it used, so per-tier GFLOP/s in
+/// BENCH_kernels.json is attributable to a configuration.
+void report_packed_config(benchmark::State& state) {
+  state.counters["avx512"] =
+      std::strcmp(matrix::packed_kernel_variant(), "avx512") == 0 ? 1 : 0;
+  state.counters["avx2"] =
+      std::strcmp(matrix::packed_kernel_variant(), "avx2+fma") == 0 ? 1 : 0;
+  const matrix::BlockingParams blocking = matrix::active_blocking();
+  state.counters["mc"] = static_cast<double>(blocking.mc);
+  state.counters["kc"] = static_cast<double>(blocking.kc);
+  state.counters["nc"] = static_cast<double>(blocking.nc);
+}
+
 void BM_GemmSimd(benchmark::State& state) {
   // The packed micro-kernel path with whatever micro-kernel the host
-  // dispatches (see the "avx2" counter: 1 = avx2+fma, 0 = portable).
+  // dispatches and the AUTOTUNED blocking (counters mc/kc/nc say which
+  // won); BM_GemmSimdFixedBlocking below is the hardcoded-120/256/512
+  // baseline this must never fall below.
   const auto n = static_cast<std::size_t>(state.range(0));
   util::Rng rng(2);
   const auto a = matrix::Matrix::random(n, n, rng);
@@ -80,10 +97,48 @@ void BM_GemmSimd(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   report_gflops(state, n);
-  state.counters["avx2"] =
-      std::strcmp(matrix::packed_kernel_variant(), "avx2+fma") == 0 ? 1 : 0;
+  report_packed_config(state);
 }
 BENCHMARK(BM_GemmSimd)->Arg(80)->Arg(160)->Arg(320)->Arg(512)->Arg(1024);
+
+void BM_GemmSimdFixedBlocking(benchmark::State& state) {
+  // The packed path pinned to the historical hardcoded blocking
+  // (120/256/512): the no-regression baseline for the autotuner.
+  // BM_GemmSimd GFLOP/s >= this, shape by shape, is the honest-win
+  // criterion the tuning cache answers for.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  for (auto _ : state) {
+    matrix::gemm_simd_with_blocking(a.view(), b.view(), c.view(),
+                                    matrix::kDefaultBlocking);
+    benchmark::DoNotOptimize(c.data());
+  }
+  report_gflops(state, n);
+}
+BENCHMARK(BM_GemmSimdFixedBlocking)->Arg(512)->Arg(1024);
+
+void BM_GemmAvx512(benchmark::State& state) {
+  // The AVX-512 8x8 micro-kernel, explicitly pinned. Registered from
+  // main() only when the host can execute it, so the benchmark (and
+  // the CI filter entry naming it) simply does not exist elsewhere.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  const auto previous = matrix::forced_micro_kernel_variant();
+  matrix::force_micro_kernel_variant(matrix::MicroKernelVariant::kAvx512);
+  for (auto _ : state) {
+    matrix::gemm_simd(a.view(), b.view(), c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  report_gflops(state, n);
+  report_packed_config(state);
+  matrix::force_micro_kernel_variant(previous);
+}
 
 void BM_GemmSimdPortable(benchmark::State& state) {
   // Same packed path pinned to the portable micro-kernel: what the
@@ -389,7 +444,43 @@ int main(int argc, char** argv) {
   benchmark::AddCustomContext("hmxp_build_type",
                               optimized_build ? "release" : "debug");
 
-  std::vector<std::string> args(argv, argv + argc);
+  // --kernel / --tune mirror the figure benches (they are consumed
+  // here, before google-benchmark sees the argument list): pin the
+  // dispatch, set the tune mode, or force an explicit MCxKCxNC.
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg(argv[i]);
+    if (arg.rfind("--kernel=", 0) == 0) {
+      hmxp::matrix::apply_kernel_pin(arg.substr(9));
+    } else if (arg.rfind("--tune=", 0) == 0) {
+      hmxp::bench::apply_tune_flag(arg.substr(7));
+    } else {
+      args.push_back(arg);
+    }
+  }
+
+  // Resolve the packed blocking up front (running the autotune search
+  // now, not inside the first timed benchmark) and stamp the resulting
+  // configuration into the JSON context: every GFLOP/s figure in this
+  // file is attributable to a (variant, blocking, source) triple.
+  {
+    namespace matrix = hmxp::matrix;
+    const matrix::TuneOutcome outcome =
+        matrix::resolve_blocking(matrix::active_micro_kernel_variant());
+    benchmark::AddCustomContext("hmxp_kernel_variant",
+                                matrix::packed_kernel_variant());
+    benchmark::AddCustomContext("hmxp_blocking",
+                                matrix::blocking_to_string(outcome.params));
+    benchmark::AddCustomContext("hmxp_blocking_source", outcome.source);
+  }
+
+  // Host-capability-gated registration: on a non-AVX-512 machine the
+  // benchmark is absent rather than failing or lying.
+  if (hmxp::matrix::cpu_supports_avx512())
+    benchmark::RegisterBenchmark("BM_GemmAvx512", &BM_GemmAvx512)
+        ->Arg(512)
+        ->Arg(1024);
+
   bool has_out = false;
   for (const std::string& arg : args)
     if (arg == "--benchmark_out" || arg.rfind("--benchmark_out=", 0) == 0)

@@ -1,6 +1,9 @@
 #include "common.hpp"
 
+#include <sstream>
+
 #include "matrix/kernel_dispatch.hpp"
+#include "matrix/tuning.hpp"
 #include "util/check.hpp"
 #include "util/csv.hpp"
 
@@ -132,8 +135,12 @@ std::optional<BenchArgs> parse_bench_args(int argc, char** argv,
   flags.define("csv", "", "prefix for CSV output files (empty: no CSV)");
   flags.define_bool("quick", false, "reduced sweep for smoke runs");
   flags.define("kernel", "",
-               "pin the GEMM dispatch tier: naive|tiled|simd (empty: "
-               "auto; equivalent to HMXP_FORCE_KERNEL)");
+               "pin the GEMM dispatch: naive|tiled|simd|portable|avx2|"
+               "avx512 (empty: auto; equivalent to HMXP_FORCE_KERNEL)");
+  flags.define("tune", "",
+               "packed-kernel blocking: off|auto|force|smoke, or an "
+               "explicit MCxKCxNC pin like 120x256x512 (empty: "
+               "HMXP_TUNE, default auto)");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage(description);
@@ -144,14 +151,32 @@ std::optional<BenchArgs> parse_bench_args(int argc, char** argv,
   if (!prefix.empty()) args.csv_prefix = prefix;
   args.quick = flags.get_bool("quick");
   const std::string kernel = flags.get_string("kernel");
-  if (!kernel.empty()) {
-    const auto tier = matrix::parse_kernel_tier(kernel);
-    HMXP_REQUIRE(tier.has_value(),
-                 "--kernel must be naive, tiled or simd, got \"" + kernel +
-                     '"');
-    matrix::force_kernel_tier(tier);
-  }
+  // apply_kernel_pin throws listing every valid name (tier and
+  // micro-kernel variant alike) on a typo or an unsupported ISA.
+  if (!kernel.empty()) matrix::apply_kernel_pin(kernel);
+  const std::string tune = flags.get_string("tune");
+  if (!tune.empty()) apply_tune_flag(tune);
   return args;
+}
+
+void apply_tune_flag(const std::string& value) {
+  if (const auto mode = matrix::parse_tune_mode(value); mode.has_value()) {
+    matrix::set_tune_mode(mode);
+    return;
+  }
+  // Not a mode name: accept an explicit MCxKCxNC blocking pin.
+  matrix::BlockingParams params;
+  char sep1 = '\0';
+  char sep2 = '\0';
+  std::istringstream stream(value);
+  const bool parsed = static_cast<bool>(stream >> params.mc >> sep1 >>
+                                        params.kc >> sep2 >> params.nc) &&
+                      sep1 == 'x' && sep2 == 'x' && stream.eof();
+  HMXP_REQUIRE(parsed,
+               "--tune must be off, auto, force, smoke or MCxKCxNC (e.g. "
+               "120x256x512), got \"" +
+                   value + '"');
+  matrix::force_blocking(params);  // validates against the active kernel
 }
 
 }  // namespace hmxp::bench

@@ -13,6 +13,7 @@
 //      the exact shape the simulator emits -- next to the prediction.
 //
 // Run:  ./online_adaptive [--backend=thread|process|shm]
+//                         [--kernel=...] [--tune=...]
 //
 // --backend picks the data-plane transport for step 3: worker threads
 // (default), one forked worker process per worker with serialized
@@ -21,8 +22,14 @@
 // shared-memory arena (process isolation without the serialization
 // tax). The scheduler, the perturbation, and the verified result are
 // identical on all three.
+//
+// --kernel pins the GEMM dispatch (naive|tiled|simd|portable|avx2|
+// avx512); --tune sets the packed tier's blocking resolution
+// (off|auto|force|smoke). On the forked backends the hello handshake
+// proves every worker runs the identical tuned configuration.
 #include <iostream>
 
+#include "matrix/gemm.hpp"
 #include "matrix/matrix.hpp"
 #include "platform/perturbation.hpp"
 #include "runtime/executor.hpp"
@@ -41,6 +48,12 @@ int main(int argc, char** argv) {
   flags.define("backend", "thread",
                "data-plane transport for the live run: thread | process | "
                "shm");
+  flags.define("kernel", "",
+               "pin the GEMM dispatch: naive|tiled|simd|portable|avx2|"
+               "avx512 (empty: auto)");
+  flags.define("tune", "",
+               "packed-blocking resolution: off|auto|force|smoke (empty: "
+               "HMXP_TUNE, default auto)");
   flags.parse(argc, argv);
   if (flags.help_requested()) {
     std::cout << flags.usage(
@@ -52,6 +65,17 @@ int main(int argc, char** argv) {
   if (!transport.has_value()) {
     std::cerr << "unknown --backend (want thread, process or shm)\n";
     return 1;
+  }
+  const std::string kernel = flags.get_string("kernel");
+  if (!kernel.empty()) matrix::apply_kernel_pin(kernel);  // throws on typo
+  const std::string tune = flags.get_string("tune");
+  if (!tune.empty()) {
+    const auto mode = matrix::parse_tune_mode(tune);
+    if (!mode.has_value()) {
+      std::cerr << "unknown --tune (want off, auto, force or smoke)\n";
+      return 1;
+    }
+    matrix::set_tune_mode(mode);
   }
 
   // A 4-worker star platform. Units: seconds per block transferred (c),
@@ -117,7 +141,9 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < executed.updates_per_worker.size(); ++i)
     std::cout << "  " << plat.worker(static_cast<int>(i)).label << "="
               << executed.updates_per_worker[i];
-  std::cout << "\nmax |error| = " << executed.max_abs_error
+  std::cout << "\nkernel: " << executed.kernel_variant << " blocking "
+            << matrix::blocking_to_string(executed.kernel_blocking)
+            << "\nmax |error| = " << executed.max_abs_error
             << (executed.verified ? "  [verified]" : "") << '\n';
   return 0;
 }

@@ -96,13 +96,13 @@ void gemm_tiled_unchecked(ConstView a, ConstView b, View c) {
 // full MR x NR register tiles, with short edge tiles accumulated
 // through a small stack buffer.
 //
-// MC/KC size the A panel for L2 and the B panel for L3; NC bounds the
-// packed-B footprint. MC is a multiple of both micro-kernel MR values
-// (6 for AVX2, 4 portable) and NC of NR (8 for both).
-constexpr std::size_t kMc = 120;
-constexpr std::size_t kKc = 256;
-constexpr std::size_t kNc = 512;
-constexpr std::size_t kMaxMr = 6;
+// MC/KC/NC -- the A panel sized for L2, the B panel for L3 -- are no
+// longer compile-time constants: they are runtime BlockingParams
+// resolved by matrix/tuning.hpp (forced pin > per-host tuning cache >
+// at-first-use measured search > the historical 120/256/512 default).
+// Only the register-tile bounds stay static, for the edge-tile stack
+// buffer: the widest micro-kernel is the AVX-512 8x8.
+constexpr std::size_t kMaxMr = 8;
 constexpr std::size_t kMaxNr = 8;
 
 /// C[MR x NR] += packed_a (KC x MR slivers) * packed_b (KC x NR slivers).
@@ -192,16 +192,74 @@ __attribute__((target("avx2,fma"))) void micro_kernel_avx2_6x8(
   _mm256_storeu_pd(r5, _mm256_add_pd(_mm256_loadu_pd(r5), c50));
   _mm256_storeu_pd(r5 + 4, _mm256_add_pd(_mm256_loadu_pd(r5 + 4), c51));
 }
+
+/// AVX-512F 8x8 micro-kernel: 8 zmm accumulators (one full C row each),
+/// 1 aligned zmm B load (the sliver is 64-byte aligned and each k-step
+/// advances 8 doubles = exactly one cache line) and 1 broadcast+FMA per
+/// row per k. Half the register pressure of the AVX2 kernel for the
+/// same tile row count, leaving zmm8-31 free for the compiler to
+/// software-pipeline the loads.
+__attribute__((target("avx512f"))) void micro_kernel_avx512_8x8(
+    std::size_t kc, const double* a, const double* b, double* c,
+    std::size_t ldc) {
+  __m512d c0 = _mm512_setzero_pd();
+  __m512d c1 = _mm512_setzero_pd();
+  __m512d c2 = _mm512_setzero_pd();
+  __m512d c3 = _mm512_setzero_pd();
+  __m512d c4 = _mm512_setzero_pd();
+  __m512d c5 = _mm512_setzero_pd();
+  __m512d c6 = _mm512_setzero_pd();
+  __m512d c7 = _mm512_setzero_pd();
+  for (std::size_t k = 0; k < kc; ++k) {
+    const __m512d bk = _mm512_load_pd(b + k * 8);
+    const double* ak = a + k * 8;
+    c0 = _mm512_fmadd_pd(_mm512_set1_pd(ak[0]), bk, c0);
+    c1 = _mm512_fmadd_pd(_mm512_set1_pd(ak[1]), bk, c1);
+    c2 = _mm512_fmadd_pd(_mm512_set1_pd(ak[2]), bk, c2);
+    c3 = _mm512_fmadd_pd(_mm512_set1_pd(ak[3]), bk, c3);
+    c4 = _mm512_fmadd_pd(_mm512_set1_pd(ak[4]), bk, c4);
+    c5 = _mm512_fmadd_pd(_mm512_set1_pd(ak[5]), bk, c5);
+    c6 = _mm512_fmadd_pd(_mm512_set1_pd(ak[6]), bk, c6);
+    c7 = _mm512_fmadd_pd(_mm512_set1_pd(ak[7]), bk, c7);
+  }
+  double* r0 = c;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c0));
+  r0 += ldc;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c1));
+  r0 += ldc;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c2));
+  r0 += ldc;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c3));
+  r0 += ldc;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c4));
+  r0 += ldc;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c5));
+  r0 += ldc;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c6));
+  r0 += ldc;
+  _mm512_storeu_pd(r0, _mm512_add_pd(_mm512_loadu_pd(r0), c7));
+}
 #endif  // HMXP_X86_TARGETS
 
-/// Selected per call from the cpuid result (cached) and the portable
-/// override -- one relaxed atomic load, negligible next to packing.
-MicroKernelInfo micro_kernel_info() {
+/// Implementation table for a variant. The caller guarantees the host
+/// can execute it (force_micro_kernel_variant and the env pin both
+/// reject unsupported ISAs, and the default is cpuid-derived).
+MicroKernelInfo micro_kernel_info(MicroKernelVariant variant) {
 #ifdef HMXP_X86_TARGETS
-  if (cpu_supports_avx2_fma() && !portable_micro_kernel_forced())
+  if (variant == MicroKernelVariant::kAvx512)
+    return {8, 8, &micro_kernel_avx512_8x8};
+  if (variant == MicroKernelVariant::kAvx2Fma)
     return {6, 8, &micro_kernel_avx2_6x8};
+#else
+  (void)variant;
 #endif
   return {4, 8, &micro_kernel_portable_4x8};
+}
+
+/// Selected per call from the pin/env/cpuid resolution -- one relaxed
+/// atomic load, negligible next to packing.
+MicroKernelInfo micro_kernel_info() {
+  return micro_kernel_info(active_micro_kernel_variant());
 }
 
 /// Packs A[i0:i0+mc, k0:k0+kc] into MR-row slivers: sliver s holds rows
@@ -270,9 +328,13 @@ void macro_kernel(const MicroKernelInfo& mk, std::size_t mc, std::size_t nc,
   }
 }
 
-/// Per-thread pack buffers: grown to the fixed blocking bound on first
-/// use, then reused for the lifetime of the thread -- steady-state GEMM
-/// performs no heap allocation.
+/// Per-thread pack buffers: grow-only, reused for the lifetime of the
+/// thread. Growth only happens when a run needs MORE capacity than any
+/// previous run on this thread -- changing BlockingParams between runs
+/// (re-tuning, a forced pin) never shrinks or reallocates downward, so
+/// after one warm-up at the largest blocking in play, steady-state GEMM
+/// performs zero heap allocation (asserted by tests, the same contract
+/// PR-3 established for BufferPool).
 struct PackBuffers {
   util::AlignedVector<double> a;
   util::AlignedVector<double> b;
@@ -283,12 +345,27 @@ PackBuffers& thread_pack_buffers() {
   return buffers;
 }
 
+std::atomic<std::size_t> pack_buffer_allocation_count{0};
+
+/// Grows `buffer` to hold `needed` doubles; counts only actual heap
+/// growth, never a same-or-smaller request.
+double* ensure_pack_capacity(util::AlignedVector<double>& buffer,
+                             std::size_t needed) {
+  if (needed > buffer.size()) {
+    if (needed > buffer.capacity())
+      pack_buffer_allocation_count.fetch_add(1, std::memory_order_relaxed);
+    buffer.resize(needed);
+  }
+  return buffer.data();
+}
+
 constexpr std::size_t round_up(std::size_t value, std::size_t unit) {
   return (value + unit - 1) / unit * unit;
 }
 
-void gemm_packed_unchecked(ConstView a, ConstView b, View c) {
-  const MicroKernelInfo mk = micro_kernel_info();
+void gemm_packed_unchecked(ConstView a, ConstView b, View c,
+                           const MicroKernelInfo& mk,
+                           const BlockingParams& blocking) {
   const std::size_t m = c.rows();
   const std::size_t n = c.cols();
   const std::size_t kk = a.cols();
@@ -296,22 +373,29 @@ void gemm_packed_unchecked(ConstView a, ConstView b, View c) {
 
   PackBuffers& buffers = thread_pack_buffers();
   // Sliver zero-padding means the packed extents round up to MR/NR.
-  buffers.a.resize(round_up(std::min(m, kMc), mk.mr) * std::min(kk, kKc));
-  buffers.b.resize(round_up(std::min(n, kNc), mk.nr) * std::min(kk, kKc));
+  double* apack = ensure_pack_capacity(
+      buffers.a,
+      round_up(std::min(m, blocking.mc), mk.mr) * std::min(kk, blocking.kc));
+  double* bpack = ensure_pack_capacity(
+      buffers.b,
+      round_up(std::min(n, blocking.nc), mk.nr) * std::min(kk, blocking.kc));
 
-  for (std::size_t jc = 0; jc < n; jc += kNc) {
-    const std::size_t nc = std::min(kNc, n - jc);
-    for (std::size_t kc0 = 0; kc0 < kk; kc0 += kKc) {
-      const std::size_t kc = std::min(kKc, kk - kc0);
-      pack_b(b, kc0, kc, jc, nc, mk.nr, buffers.b.data());
-      for (std::size_t ic = 0; ic < m; ic += kMc) {
-        const std::size_t mc = std::min(kMc, m - ic);
-        pack_a(a, ic, mc, kc0, kc, mk.mr, buffers.a.data());
-        macro_kernel(mk, mc, nc, kc, buffers.a.data(), buffers.b.data(), c,
-                     ic, jc);
+  for (std::size_t jc = 0; jc < n; jc += blocking.nc) {
+    const std::size_t nc = std::min(blocking.nc, n - jc);
+    for (std::size_t kc0 = 0; kc0 < kk; kc0 += blocking.kc) {
+      const std::size_t kc = std::min(blocking.kc, kk - kc0);
+      pack_b(b, kc0, kc, jc, nc, mk.nr, bpack);
+      for (std::size_t ic = 0; ic < m; ic += blocking.mc) {
+        const std::size_t mc = std::min(blocking.mc, m - ic);
+        pack_a(a, ic, mc, kc0, kc, mk.mr, apack);
+        macro_kernel(mk, mc, nc, kc, apack, bpack, c, ic, jc);
       }
     }
   }
+}
+
+void gemm_packed_unchecked(ConstView a, ConstView b, View c) {
+  gemm_packed_unchecked(a, b, c, micro_kernel_info(), active_blocking());
 }
 
 void gemm_naive_unchecked(ConstView a, ConstView b, View c) {
@@ -385,14 +469,25 @@ struct TileRun {
   }
 };
 
-/// Picks tile extents: start from the packed blocking (MC x NC) and
-/// shrink toward micro-tile multiples until the grid feeds every
-/// participant, so tall-skinny / short-wide shapes still split evenly.
+/// Picks tile extents: start from the packed blocking (the RUNTIME
+/// MC x NC when the packed tier is active -- a tuned NC changes the
+/// natural tile width) and shrink toward micro-tile multiples until
+/// the grid feeds every participant, so tall-skinny / short-wide
+/// shapes still split evenly. Aligning tiles to the runtime NC keeps
+/// each worker's packed-B panel private to its own thread-local
+/// buffer: every thread packs (first-touches) the B columns it
+/// multiplies, which places the panels on the worker's own NUMA node
+/// instead of sharing one master-packed copy across sockets.
 void choose_tiles(TileRun& run, std::size_t workers) {
   const std::size_t m = run.c.rows();
   const std::size_t n = run.c.cols();
-  run.tile_m = kMc;
-  run.tile_n = kNc;
+  // Non-packed tiers never consult BlockingParams; using the default
+  // seed there avoids triggering an autotune search from a tiled run.
+  const BlockingParams blocking = active_kernel_tier() == KernelTier::kPacked
+                                      ? active_blocking()
+                                      : kDefaultBlocking;
+  run.tile_m = blocking.mc;
+  run.tile_n = blocking.nc;
   const std::size_t target = 4 * workers;
   auto grid = [&] {
     run.grid_m = (m + run.tile_m - 1) / run.tile_m;
@@ -425,6 +520,25 @@ void gemm_tiled(ConstView a, ConstView b, View c) {
 void gemm_simd(ConstView a, ConstView b, View c) {
   check_shapes(a, b, c);
   gemm_packed_unchecked(a, b, c);
+}
+
+void gemm_simd_with_blocking(ConstView a, ConstView b, View c,
+                             const BlockingParams& blocking,
+                             std::optional<MicroKernelVariant> variant) {
+  check_shapes(a, b, c);
+  const MicroKernelVariant chosen =
+      variant.value_or(active_micro_kernel_variant());
+  HMXP_REQUIRE(micro_kernel_supported(chosen),
+               std::string("micro-kernel ") +
+                   micro_kernel_variant_name(chosen) +
+                   " cannot execute on this CPU");
+  validate_blocking(blocking, micro_kernel_mr(chosen),
+                    micro_kernel_nr(chosen));
+  gemm_packed_unchecked(a, b, c, micro_kernel_info(chosen), blocking);
+}
+
+std::size_t pack_buffer_allocations() {
+  return pack_buffer_allocation_count.load(std::memory_order_relaxed);
 }
 
 void gemm_auto(ConstView a, ConstView b, View c) {

@@ -29,8 +29,11 @@
 
 #include <cstddef>
 
+#include <optional>
+
 #include "matrix/kernel_dispatch.hpp"
 #include "matrix/matrix.hpp"
+#include "matrix/tuning.hpp"
 
 namespace hmxp::matrix {
 
@@ -40,8 +43,26 @@ void gemm_naive(ConstView a, ConstView b, View c);
 /// Cache-tiled scalar kernel; same contract as gemm_naive.
 void gemm_tiled(ConstView a, ConstView b, View c);
 
-/// Packed micro-kernel path (the "simd" tier); same contract.
+/// Packed micro-kernel path (the "simd" tier); same contract. Blocking
+/// comes from matrix/tuning.hpp's active_blocking() (forced pin >
+/// tuning cache > at-first-use search > 120/256/512 default).
 void gemm_simd(ConstView a, ConstView b, View c);
+
+/// Packed path with an explicit blocking (validated against the
+/// micro-kernel's register tile; throws std::invalid_argument on an
+/// absurd one). Never consults active_blocking(), so the autotuner's
+/// measurement sweep -- and blocking-edge tests -- run through here
+/// without recursing into resolution. `variant` defaults to the active
+/// micro-kernel; pinning one the host cannot execute throws.
+void gemm_simd_with_blocking(
+    ConstView a, ConstView b, View c, const BlockingParams& blocking,
+    std::optional<MicroKernelVariant> variant = std::nullopt);
+
+/// Number of times any thread's packing buffers grew since process
+/// start. The buffers are grow-only: after a warm-up call at the
+/// largest blocking in play, steady-state GEMM performs zero heap
+/// allocation even when BlockingParams change between runs.
+std::size_t pack_buffer_allocations();
 
 /// Dispatches to the active kernel tier (see kernel_dispatch.hpp).
 void gemm_auto(ConstView a, ConstView b, View c);

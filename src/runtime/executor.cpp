@@ -326,6 +326,13 @@ class OnlineExecutor final : public sim::ExecutionView {
     report.buffer_pool = pool_.stats();
     report.transport = transport_->name();
     report.transport_stats = transport_->stats();
+    report.kernel_variant = matrix::packed_kernel_variant();
+    // Mirrors the hello handshake: a tuned blocking only when the
+    // packed tier actually ran; zeros document "no blocking consumed".
+    report.kernel_blocking =
+        matrix::active_kernel_tier() == matrix::KernelTier::kPacked
+            ? matrix::active_blocking()
+            : matrix::BlockingParams{};
     report.wall_seconds =
         std::chrono::duration<double>(Clock::now() - run_begin_).count();
 

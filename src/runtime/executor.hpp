@@ -44,6 +44,7 @@
 
 #include "matrix/matrix.hpp"
 #include "matrix/partition.hpp"
+#include "matrix/tuning.hpp"
 #include "platform/perturbation.hpp"
 #include "platform/platform.hpp"
 #include "runtime/buffer_pool.hpp"
@@ -137,6 +138,13 @@ struct ExecutorReport {
   /// Data-plane counters: message counts on every transport, frame
   /// bytes and master-side serialization seconds on serializing ones.
   TransportStats transport_stats;
+  /// Compute-plane provenance: the micro-kernel variant ("avx512" /
+  /// "avx2+fma" / "portable") and the blocking parameters the packed
+  /// tier ran with -- the same configuration forked workers verified
+  /// in their bootstrap handshake. Blocking is all-zero when the run
+  /// dispatched a non-packed tier (naive/tiled consume no blocking).
+  std::string kernel_variant;
+  matrix::BlockingParams kernel_blocking;
 };
 
 /// Online execution: drives `scheduler` live against real worker

@@ -44,6 +44,7 @@
 #endif
 
 #include "matrix/kernel_dispatch.hpp"
+#include "matrix/tuning.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/serde.hpp"
 #include "runtime/transport.hpp"
@@ -148,9 +149,9 @@ class SocketWorkerPort final : public WorkerPort {
     write_exact(fd_, tx_.data(), tx_.size());
   }
 
-  void send_hello(std::uint8_t kernel_tier) {
+  void send_hello(const serde::HelloFrame& hello) {
     tx_.clear();
-    serde::encode_hello(kernel_tier, tx_);
+    serde::encode_hello(hello, tx_);
     write_exact(fd_, tx_.data(), tx_.size());
   }
 
@@ -160,6 +161,15 @@ class SocketWorkerPort final : public WorkerPort {
   ByteBuffer body_;
   ByteBuffer tx_;
 };
+
+/// The handshake payload a kernel configuration answers for.
+serde::HelloFrame hello_frame_for(const matrix::KernelConfig& config) {
+  return {static_cast<std::uint8_t>(config.active_tier),
+          static_cast<std::uint8_t>(config.active_variant),
+          static_cast<std::uint64_t>(config.blocking.mc),
+          static_cast<std::uint64_t>(config.blocking.kc),
+          static_cast<std::uint64_t>(config.blocking.nc)};
+}
 
 /// Child-process entry: re-assert the master's kernel pin, handshake,
 /// then run the shared worker loop. Exits, never returns: 0 on a clean
@@ -176,28 +186,25 @@ class SocketWorkerPort final : public WorkerPort {
 /// on. The master bounds the bootstrap wait (wait_hello) so even a
 /// wedged child fails the run instead of hanging it.
 [[noreturn]] void run_child(int fd, const WorkerContext& context,
-                            std::optional<matrix::KernelTier> forced_tier,
-                            matrix::KernelTier active_tier,
-                            bool portable_micro_kernel) {
+                            const matrix::KernelConfig& config) {
 #if defined(__linux__)
   // An orphaned worker must not outlive a crashed master.
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);
 #endif
-  // fork() inherits the dispatch statics, but the pin is re-asserted
-  // explicitly (and exported) so the guarantee holds for any transport
-  // that execs instead of forking, and for the worker's own children:
-  // the master's explicit pin when it has one, else the tier its
-  // dispatch resolved, so the child cannot re-resolve differently.
-  matrix::force_kernel_tier(forced_tier.has_value() ? forced_tier
-                                                    : std::optional(
-                                                          active_tier));
-  ::setenv("HMXP_FORCE_KERNEL", matrix::kernel_tier_name(active_tier), 1);
-  matrix::force_portable_micro_kernel(portable_micro_kernel);
+  // fork() inherits the dispatch statics, but the master's full kernel
+  // configuration -- tier, micro-kernel variant AND the tuned blocking
+  // -- is re-asserted explicitly (and exported) so the guarantee holds
+  // for any transport that execs instead of forking, and for the
+  // worker's own children: the child can never re-resolve (or re-tune)
+  // differently from the master.
+  matrix::install_kernel_config(config);
 
   BufferPool pool;
   SocketWorkerPort port(fd, &pool);
   try {
-    port.send_hello(static_cast<std::uint8_t>(active_tier));
+    // The hello answers with the configuration the child ACTUALLY runs
+    // (re-read, not echoed), so the master's verification is end-to-end.
+    port.send_hello(hello_frame_for(matrix::current_kernel_config()));
     worker_main(context, port, pool);
   } catch (const std::exception& error) {
     try {
@@ -222,13 +229,13 @@ class SocketWorkerPort final : public WorkerPort {
 class ProcessEndpoint final : public Endpoint {
  public:
   ProcessEndpoint(int index, int fd, pid_t pid, std::size_t credits,
-                  matrix::KernelTier expected_tier, BufferPool* pool,
+                  const serde::HelloFrame& expected_hello, BufferPool* pool,
                   TransportStats* stats)
       : index_(index),
         fd_(fd),
         pid_(pid),
         credits_(credits),
-        expected_tier_(expected_tier),
+        expected_hello_(expected_hello),
         pool_(pool),
         stats_(stats) {}
 
@@ -502,10 +509,10 @@ class ProcessEndpoint final : public Endpoint {
         break;
       }
       case FrameType::kHello: {
-        const auto tier =
-            static_cast<matrix::KernelTier>(serde::decode_hello(body, size));
-        HMXP_CHECK(tier == expected_tier_,
-                   "worker process booted with the wrong kernel tier");
+        const serde::HelloFrame hello = serde::decode_hello(body, size);
+        HMXP_CHECK(hello == expected_hello_,
+                   "worker process booted with a divergent kernel "
+                   "configuration (tier/micro-kernel/tuned blocking)");
         hello_seen_ = true;
         break;
       }
@@ -522,7 +529,7 @@ class ProcessEndpoint final : public Endpoint {
   int fd_;
   pid_t pid_;
   std::size_t credits_;
-  matrix::KernelTier expected_tier_;
+  serde::HelloFrame expected_hello_;
   BufferPool* pool_;
   TransportStats* stats_;
   ByteBuffer rx_;
@@ -542,14 +549,15 @@ class ProcessTransport final : public Transport {
   ProcessTransport(int workers, std::size_t inbox_capacity,
                    const ExecutorOptions& options,
                    Clock::time_point run_begin, BufferPool* pool) {
-    // Capture the kernel state ONCE, in the master, before any fork:
-    // the explicit pin (force_kernel_tier / --kernel), the tier the
-    // dispatch resolved (HMXP_FORCE_KERNEL or the default), and the
-    // micro-kernel override. Each child re-asserts exactly this state.
-    const std::optional<matrix::KernelTier> forced =
-        matrix::forced_kernel_tier();
-    const matrix::KernelTier tier = matrix::active_kernel_tier();
-    const bool portable = matrix::portable_micro_kernel_forced();
+    // Capture the kernel configuration ONCE, in the master, before any
+    // fork: the explicit pins (force_kernel_tier / --kernel,
+    // force_micro_kernel_variant), the tier/variant the dispatch
+    // resolved, and the tuned BlockingParams. current_kernel_config()
+    // RESOLVES the blocking -- running the autotune search now, in the
+    // master -- so every child inherits a settled winner and re-asserts
+    // exactly this state instead of re-tuning behind the fork.
+    const matrix::KernelConfig config = matrix::current_kernel_config();
+    const serde::HelloFrame expected_hello = hello_frame_for(config);
 
     const auto count = static_cast<std::size_t>(workers);
     // master_fds keeps every master-end NUMBER for the whole spawn loop
@@ -579,8 +587,7 @@ class ProcessTransport final : public Transport {
             if (master_fds[j] >= 0) ::close(master_fds[j]);
             if (j != i && child_fds[j] >= 0) ::close(child_fds[j]);
           }
-          run_child(child_fds[i], context, forced, tier,
-                    portable);  // never returns
+          run_child(child_fds[i], context, config);  // never returns
         }
         // Master: the child end belongs to the child now.
         ::close(child_fds[i]);
@@ -591,8 +598,8 @@ class ProcessTransport final : public Transport {
                        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
                    "fcntl O_NONBLOCK failed");
         endpoints_.push_back(std::make_unique<ProcessEndpoint>(
-            static_cast<int>(i), fd, pid, inbox_capacity, tier, pool,
-            &stats_));
+            static_cast<int>(i), fd, pid, inbox_capacity, expected_hello,
+            pool, &stats_));
       }
     } catch (...) {
       // Endpoints own master_fds[0 .. endpoints_.size()); close the rest.

@@ -211,11 +211,15 @@ void encode_control(FrameType type, ByteBuffer& out) {
   });
 }
 
-void encode_hello(std::uint8_t kernel_tier, ByteBuffer& out) {
+void encode_hello(const HelloFrame& hello, ByteBuffer& out) {
   frame(out, [&] {
     Writer writer(out);
     writer.u8(static_cast<std::uint8_t>(FrameType::kHello));
-    writer.u8(kernel_tier);
+    writer.u8(hello.kernel_tier);
+    writer.u8(hello.kernel_variant);
+    writer.u64(hello.mc);
+    writer.u64(hello.kc);
+    writer.u64(hello.nc);
   });
 }
 
@@ -292,10 +296,18 @@ ResultMessage decode_result(const std::uint8_t* body, std::size_t size,
   return message;
 }
 
-std::uint8_t decode_hello(const std::uint8_t* body, std::size_t size) {
+HelloFrame decode_hello(const std::uint8_t* body, std::size_t size) {
   require(frame_type(body, size) == FrameType::kHello, "not a hello frame");
-  require(size == 2, "hello frame size");
-  return body[1];
+  Reader reader(body, size);
+  reader.u8();  // frame type, already validated
+  HelloFrame hello;
+  hello.kernel_tier = reader.u8();
+  hello.kernel_variant = reader.u8();
+  hello.mc = reader.u64();
+  hello.kc = reader.u64();
+  hello.nc = reader.u64();
+  reader.done();
+  return hello;
 }
 
 // ---- descriptor frames (shm transport) --------------------------------------

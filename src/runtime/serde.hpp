@@ -52,9 +52,26 @@ inline constexpr std::size_t kLengthBytes = sizeof(std::uint64_t);
 void encode_chunk(const ChunkMessage& message, ByteBuffer& out);
 void encode_operand(const OperandMessage& message, ByteBuffer& out);
 void encode_result(const ResultMessage& message, ByteBuffer& out);
-/// Payload-free control frame (kCredit) or one-byte payload (kHello).
+/// Payload-free control frame (kCredit).
 void encode_control(FrameType type, ByteBuffer& out);
-void encode_hello(std::uint8_t kernel_tier, ByteBuffer& out);
+
+/// Bootstrap handshake payload: the worker's full kernel configuration
+/// -- dispatch tier, micro-kernel variant, and the tuned blocking
+/// parameters -- so the master can verify a forked worker computes with
+/// the IDENTICAL configuration it resolved (autotuned) before forking.
+/// A divergent worker (stale env pin, different tuned blocking) would
+/// silently produce different tile timings; the handshake turns that
+/// into an immediate, attributable failure.
+struct HelloFrame {
+  std::uint8_t kernel_tier = 0;
+  std::uint8_t kernel_variant = 0;
+  std::uint64_t mc = 0;
+  std::uint64_t kc = 0;
+  std::uint64_t nc = 0;
+  friend bool operator==(const HelloFrame&, const HelloFrame&) = default;
+};
+
+void encode_hello(const HelloFrame& hello, ByteBuffer& out);
 /// Death notice: a dying worker ships its exception text so the master
 /// can rethrow the real root cause (a child cannot share an
 /// exception_ptr across the fork boundary).
@@ -76,8 +93,8 @@ ResultMessage decode_result(const std::uint8_t* body, std::size_t size,
                             BufferPool& pool);
 /// Type byte of a frame body (size must be >= 1).
 FrameType frame_type(const std::uint8_t* body, std::size_t size);
-/// Kernel-tier byte of a kHello body.
-std::uint8_t decode_hello(const std::uint8_t* body, std::size_t size);
+/// Kernel configuration of a kHello body.
+HelloFrame decode_hello(const std::uint8_t* body, std::size_t size);
 /// Exception text of a kError body.
 std::string decode_error(const std::uint8_t* body, std::size_t size);
 

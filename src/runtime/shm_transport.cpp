@@ -59,6 +59,7 @@
 #endif
 
 #include "matrix/kernel_dispatch.hpp"
+#include "matrix/tuning.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/serde.hpp"
 #include "runtime/shared_arena.hpp"
@@ -442,9 +443,9 @@ class ShmWorkerPort final : public WorkerPort {
     result.c.detach();
   }
 
-  void send_hello(std::uint8_t kernel_tier) {
+  void send_hello(const serde::HelloFrame& hello) {
     tx_.clear();
-    serde::encode_hello(kernel_tier, tx_);
+    serde::encode_hello(hello, tx_);
     write_exact(fd_, tx_.data(), tx_.size());
     acks_->raise_rx_hint(index_);
   }
@@ -463,28 +464,35 @@ class ShmWorkerPort final : public WorkerPort {
 /// run_child (see the fork-without-exec notes there). The arena object
 /// itself arrives via the inherited heap; its PAGES are MAP_SHARED, so
 /// the child's slot releases are the master's slot releases.
+/// The handshake payload a kernel configuration answers for.
+serde::HelloFrame hello_frame_for(const matrix::KernelConfig& config) {
+  return {static_cast<std::uint8_t>(config.active_tier),
+          static_cast<std::uint8_t>(config.active_variant),
+          static_cast<std::uint64_t>(config.blocking.mc),
+          static_cast<std::uint64_t>(config.blocking.kc),
+          static_cast<std::uint64_t>(config.blocking.nc)};
+}
+
 [[noreturn]] void run_child(int fd, const WorkerContext& context,
                             RingChannel* rings, SharedArena* arena,
                             SharedAckBoard* acks, std::size_t index,
-                            std::optional<matrix::KernelTier> forced_tier,
-                            matrix::KernelTier active_tier,
-                            bool portable_micro_kernel) {
+                            const matrix::KernelConfig& config) {
 #if defined(__linux__)
   // An orphaned worker must not outlive a crashed master.
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);
 #endif
-  matrix::force_kernel_tier(forced_tier.has_value() ? forced_tier
-                                                    : std::optional(
-                                                          active_tier));
-  ::setenv("HMXP_FORCE_KERNEL", matrix::kernel_tier_name(active_tier), 1);
-  matrix::force_portable_micro_kernel(portable_micro_kernel);
+  // Re-assert the master's tier, micro-kernel variant and tuned
+  // blocking: the child can never re-resolve (or re-tune) differently.
+  matrix::install_kernel_config(config);
 
   // The child's private pool only ever serves scratch buffers (the
   // slowdown emulation): every protocol payload lives in the arena.
   BufferPool pool;
   ShmWorkerPort port(fd, rings, arena, acks, index);
   try {
-    port.send_hello(static_cast<std::uint8_t>(active_tier));
+    // Answer with the configuration the child ACTUALLY runs (re-read,
+    // not echoed), so the master's verification is end-to-end.
+    port.send_hello(hello_frame_for(matrix::current_kernel_config()));
     worker_main(context, port, pool);
   } catch (const std::exception& error) {
     try {
@@ -510,14 +518,14 @@ class ShmWorkerPort final : public WorkerPort {
 class ShmEndpoint final : public Endpoint {
  public:
   ShmEndpoint(int index, int fd, pid_t pid, std::size_t capacity,
-              matrix::KernelTier expected_tier, RingChannel* rings,
+              const serde::HelloFrame& expected_hello, RingChannel* rings,
               SharedArena* arena, SharedAckBoard* acks,
               TransportStats* stats)
       : index_(index),
         fd_(fd),
         pid_(pid),
         capacity_(capacity),
-        expected_tier_(expected_tier),
+        expected_hello_(expected_hello),
         rings_(rings),
         arena_(arena),
         acks_(acks),
@@ -900,10 +908,10 @@ class ShmEndpoint final : public Endpoint {
         break;
       }
       case FrameType::kHello: {
-        const auto tier =
-            static_cast<matrix::KernelTier>(serde::decode_hello(body, size));
-        HMXP_CHECK(tier == expected_tier_,
-                   "worker process booted with the wrong kernel tier");
+        const serde::HelloFrame hello = serde::decode_hello(body, size);
+        HMXP_CHECK(hello == expected_hello_,
+                   "worker process booted with a divergent kernel "
+                   "configuration (tier/micro-kernel/tuned blocking)");
         hello_seen_ = true;
         break;
       }
@@ -921,7 +929,7 @@ class ShmEndpoint final : public Endpoint {
   pid_t pid_;
   std::size_t capacity_;
   std::uint64_t sent_ = 0;
-  matrix::KernelTier expected_tier_;
+  serde::HelloFrame expected_hello_;
   RingChannel* rings_;
   SharedArena* arena_;
   SharedAckBoard* acks_;
@@ -953,10 +961,10 @@ class ShmTransport final : public Transport {
                std::max<std::size_t>(max_payload_doubles, 1)),
         acks_(static_cast<std::size_t>(workers)),
         rings_(static_cast<std::size_t>(workers)) {
-    const std::optional<matrix::KernelTier> forced =
-        matrix::forced_kernel_tier();
-    const matrix::KernelTier tier = matrix::active_kernel_tier();
-    const bool portable = matrix::portable_micro_kernel_forced();
+    // Resolve (possibly autotune) the blocking in the master, before
+    // any fork; children re-assert and answer for exactly this state.
+    const matrix::KernelConfig config = matrix::current_kernel_config();
+    const serde::HelloFrame expected_hello = hello_frame_for(config);
 
     const auto count = static_cast<std::size_t>(workers);
     std::vector<int> master_fds(count, -1);
@@ -983,7 +991,7 @@ class ShmTransport final : public Transport {
             if (j != i && child_fds[j] >= 0) ::close(child_fds[j]);
           }
           run_child(child_fds[i], context, rings_.channel(i), &arena_,
-                    &acks_, i, forced, tier, portable);  // never returns
+                    &acks_, i, config);  // never returns
         }
         ::close(child_fds[i]);
         child_fds[i] = -1;
@@ -993,7 +1001,7 @@ class ShmTransport final : public Transport {
                        ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
                    "fcntl O_NONBLOCK failed");
         endpoints_.push_back(std::make_unique<ShmEndpoint>(
-            static_cast<int>(i), fd, pid, inbox_capacity, tier,
+            static_cast<int>(i), fd, pid, inbox_capacity, expected_hello,
             rings_.channel(i), &arena_, &acks_, &stats_));
       }
     } catch (...) {

@@ -5,11 +5,13 @@
 // overwrite.
 #include <gtest/gtest.h>
 
+#include <thread>
 #include <tuple>
 #include <vector>
 
 #include "matrix/gemm.hpp"
 #include "matrix/kernel_dispatch.hpp"
+#include "matrix/tuning.hpp"
 #include "util/rng.hpp"
 
 namespace hmxp::matrix {
@@ -274,6 +276,236 @@ TEST(Gemm, PortableMicroKernelMatchesAvx2Path) {
   Matrix native(70, 75, 0.0);
   gemm_simd(a.view(), b.view(), native.view());
   EXPECT_LT(Matrix::max_abs_diff(native, expected), 1e-10);
+}
+
+// ---- AVX-512 micro-kernel ---------------------------------------------------
+
+TEST(Gemm, Avx512MatchesNaiveOracleOnRandomShapes) {
+  if (!cpu_supports_avx512())
+    GTEST_SKIP() << "host has no AVX-512F; kernel not executable here";
+  util::Rng rng(0x512);
+  force_micro_kernel_variant(MicroKernelVariant::kAvx512);
+  EXPECT_STREQ(packed_kernel_variant(), "avx512");
+  // Randomized rectangular shapes spanning full 8x8 tiles, ragged
+  // edges, and degenerate rows/columns.
+  std::vector<Shape> shapes = {{8, 8, 8},   {64, 64, 64}, {1, 50, 9},
+                               {9, 1, 17},  {120, 256, 8}, {7, 7, 7},
+                               {129, 33, 65}};
+  for (int trial = 0; trial < 20; ++trial)
+    shapes.push_back({static_cast<std::size_t>(rng.uniform_int(1, 140)),
+                      static_cast<std::size_t>(rng.uniform_int(1, 260)),
+                      static_cast<std::size_t>(rng.uniform_int(1, 140))});
+  for (const Shape& shape : shapes) {
+    const Matrix a = Matrix::random(shape.m, shape.k, rng);
+    const Matrix b = Matrix::random(shape.k, shape.n, rng);
+    const Matrix c0 = Matrix::random(shape.m, shape.n, rng);
+    const Matrix expected = reference_product(a, b, c0);
+    Matrix c = c0;
+    gemm_simd(a.view(), b.view(), c.view());
+    EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-10)
+        << shape.m << "x" << shape.k << "x" << shape.n;
+  }
+  force_micro_kernel_variant(std::nullopt);
+}
+
+TEST(Gemm, Avx512PinRejectedOnIncapableHost) {
+  if (cpu_supports_avx512())
+    GTEST_SKIP() << "host executes AVX-512; the rejection path is "
+                    "exercised on narrower machines";
+  EXPECT_THROW(force_micro_kernel_variant(MicroKernelVariant::kAvx512),
+               std::invalid_argument);
+  EXPECT_THROW(apply_kernel_pin("avx512"), std::invalid_argument);
+}
+
+TEST(Gemm, EverySupportedVariantMatchesOracle) {
+  util::Rng rng(0xABCD);
+  const Matrix a = Matrix::random(77, 130, rng);
+  const Matrix b = Matrix::random(130, 91, rng);
+  const Matrix c0 = Matrix::random(77, 91, rng);
+  const Matrix expected = reference_product(a, b, c0);
+  for (const MicroKernelVariant variant :
+       {MicroKernelVariant::kPortable, MicroKernelVariant::kAvx2Fma,
+        MicroKernelVariant::kAvx512}) {
+    if (!micro_kernel_supported(variant)) continue;
+    force_micro_kernel_variant(variant);
+    EXPECT_STREQ(packed_kernel_variant(),
+                 micro_kernel_variant_name(variant));
+    Matrix c = c0;
+    gemm_simd(a.view(), b.view(), c.view());
+    EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-10)
+        << micro_kernel_variant_name(variant);
+  }
+  force_micro_kernel_variant(std::nullopt);
+}
+
+// ---- kernel pins ------------------------------------------------------------
+
+TEST(Gemm, KernelPinParsesTiersAndVariants) {
+  // Tier names pin only the tier.
+  const auto tiled = parse_kernel_pin("tiled");
+  ASSERT_TRUE(tiled.has_value());
+  EXPECT_EQ(tiled->tier, KernelTier::kTiled);
+  EXPECT_EQ(tiled->variant, std::nullopt);
+  // Variant names imply the packed tier.
+  for (const char* name : {"portable", "avx2", "AVX2+FMA", "avx512"}) {
+    const auto pin = parse_kernel_pin(name);
+    ASSERT_TRUE(pin.has_value()) << name;
+    EXPECT_EQ(pin->tier, KernelTier::kPacked) << name;
+    EXPECT_TRUE(pin->variant.has_value()) << name;
+  }
+  EXPECT_EQ(parse_kernel_pin("atlas"), std::nullopt);
+}
+
+TEST(Gemm, KernelPinErrorListsEveryValidName) {
+  // A typo'd pin must name every accepted spelling -- including the
+  // avx512 tier -- so the error is self-documenting.
+  try {
+    apply_kernel_pin("sse9");
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& error) {
+    const std::string what = error.what();
+    for (const char* name :
+         {"naive", "tiled", "simd", "portable", "avx2", "avx512"})
+      EXPECT_NE(what.find(name), std::string::npos) << name;
+  }
+}
+
+TEST(Gemm, ApplyKernelPinDrivesDispatch) {
+  apply_kernel_pin("tiled");
+  EXPECT_EQ(active_kernel_tier(), KernelTier::kTiled);
+  EXPECT_EQ(forced_micro_kernel_variant(), std::nullopt);
+  apply_kernel_pin("portable");
+  EXPECT_EQ(active_kernel_tier(), KernelTier::kPacked);
+  EXPECT_STREQ(packed_kernel_variant(), "portable");
+  force_kernel_tier(std::nullopt);
+  force_micro_kernel_variant(std::nullopt);
+}
+
+// ---- runtime blocking parameters --------------------------------------------
+
+TEST(Gemm, ExplicitBlockingEdgeShapes) {
+  // Blockings that do NOT divide the problem (ragged final panels in
+  // every dimension), plus tall-skinny and short-wide operands, must
+  // agree with the oracle bit-for-tolerance.
+  util::Rng rng(0xB10C);
+  const std::size_t mr = micro_kernel_mr(active_micro_kernel_variant());
+  const BlockingParams cases[] = {
+      {mr * 1, 4, 8},      // minimal legal blocking
+      {mr * 2, 5, 16},     // tiny KC, non-dividing everything
+      {mr * 5, 37, 24},    // odd KC
+      {mr * 10, 512, 64},  // KC deeper than the problem
+  };
+  const struct {
+    std::size_t m, k, n;
+  } shapes[] = {{67, 43, 29}, {611, 13, 5}, {5, 13, 611}, {128, 128, 128}};
+  for (const BlockingParams& blocking : cases) {
+    for (const auto& shape : shapes) {
+      const Matrix a = Matrix::random(shape.m, shape.k, rng);
+      const Matrix b = Matrix::random(shape.k, shape.n, rng);
+      const Matrix c0 = Matrix::random(shape.m, shape.n, rng);
+      const Matrix expected = reference_product(a, b, c0);
+      Matrix c = c0;
+      gemm_simd_with_blocking(a.view(), b.view(), c.view(), blocking);
+      EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-10)
+          << blocking_to_string(blocking) << " @ " << shape.m << "x"
+          << shape.k << "x" << shape.n;
+    }
+  }
+}
+
+TEST(Gemm, AbsurdBlockingRejected) {
+  const std::size_t mr = micro_kernel_mr(active_micro_kernel_variant());
+  const std::size_t nr = micro_kernel_nr(active_micro_kernel_variant());
+  util::Rng rng(7);
+  const Matrix a = Matrix::random(8, 8, rng);
+  const Matrix b = Matrix::random(8, 8, rng);
+  Matrix c(8, 8, 0.0);
+  const BlockingParams absurd[] = {
+      {0, 256, 512},             // zero extent
+      {mr + 1, 256, 512},        // MC not a multiple of MR
+      {mr, 256, nr + 1},         // NC not a multiple of NR
+      {mr, 2, nr},               // KC below the floor
+      {mr, 1 << 20, nr},         // KC beyond the ceiling
+      {1 << 20, 256, nr},        // MC beyond the ceiling
+      {4096, 8192, 16384},       // footprint past 256 MiB
+  };
+  for (const BlockingParams& params : absurd) {
+    EXPECT_THROW(validate_blocking(params, mr, nr), std::invalid_argument)
+        << blocking_to_string(params);
+    EXPECT_THROW(
+        gemm_simd_with_blocking(a.view(), b.view(), c.view(), params),
+        std::invalid_argument)
+        << blocking_to_string(params);
+    EXPECT_THROW(force_blocking(params), std::invalid_argument)
+        << blocking_to_string(params);
+  }
+  // A rejected force leaves no pin behind.
+  EXPECT_EQ(forced_blocking(), std::nullopt);
+}
+
+TEST(Gemm, ForcedBlockingGovernsPackedPath) {
+  util::Rng rng(0xF0);
+  const Matrix a = Matrix::random(90, 70, rng);
+  const Matrix b = Matrix::random(70, 80, rng);
+  const Matrix c0 = Matrix::random(90, 80, rng);
+  const Matrix expected = reference_product(a, b, c0);
+  force_blocking(BlockingParams{48, 96, 128});
+  EXPECT_EQ(active_blocking(), (BlockingParams{48, 96, 128}));
+  Matrix c = c0;
+  gemm_simd(a.view(), b.view(), c.view());
+  EXPECT_LT(Matrix::max_abs_diff(c, expected), 1e-10);
+  force_blocking(std::nullopt);
+  EXPECT_EQ(forced_blocking(), std::nullopt);
+}
+
+TEST(Gemm, PackBuffersGrowOnlyAcrossBlockingChanges) {
+  util::Rng rng(0xA110C);
+  const Matrix a = Matrix::random(140, 140, rng);
+  const Matrix b = Matrix::random(140, 140, rng);
+  Matrix c(140, 140, 0.0);
+  // Warm up at the LARGEST blocking this test will use.
+  gemm_simd_with_blocking(a.view(), b.view(), c.view(),
+                          BlockingParams{120, 256, 512});
+  const std::size_t warm = pack_buffer_allocations();
+  // Repeat runs -- including runs that SHRINK the blocking and then
+  // restore it -- must not touch the heap: the buffers are grow-only.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    gemm_simd_with_blocking(a.view(), b.view(), c.view(),
+                            BlockingParams{120, 256, 512});
+    gemm_simd_with_blocking(a.view(), b.view(), c.view(),
+                            BlockingParams{24, 64, 64});
+    gemm_simd_with_blocking(a.view(), b.view(), c.view(),
+                            BlockingParams{48, 128, 256});
+  }
+  EXPECT_EQ(pack_buffer_allocations(), warm)
+      << "steady-state GEMM must perform zero pack-buffer allocation";
+}
+
+TEST(Gemm, ConcurrentParallelGemmUnderFreshlyInstalledTuning) {
+  // The TSan-covered scenario: force_blocking installs a non-default
+  // tuned configuration, then several threads run gemm_parallel (whose
+  // helpers share the process-wide pool) concurrently. All results
+  // must match the oracle and the blocking reads must not race.
+  util::Rng rng(0x7541);
+  const Matrix a = Matrix::random(96, 88, rng);
+  const Matrix b = Matrix::random(88, 104, rng);
+  Matrix expected(96, 104, 0.0);
+  gemm_naive(a.view(), b.view(), expected.view());
+
+  force_blocking(BlockingParams{24, 48, 64});
+  std::vector<Matrix> results(3, Matrix(96, 104, 0.0));
+  {
+    std::vector<std::thread> threads;
+    threads.reserve(results.size());
+    for (Matrix& result : results)
+      threads.emplace_back([&a, &b, &result] {
+        gemm_parallel(a.view(), b.view(), result.view(), 2);
+      });
+    for (std::thread& thread : threads) thread.join();
+  }
+  force_blocking(std::nullopt);
+  for (const Matrix& result : results)
+    EXPECT_LT(Matrix::max_abs_diff(result, expected), 1e-10);
 }
 
 // ---- parallel split degeneracies --------------------------------------------
