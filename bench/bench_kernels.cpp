@@ -408,6 +408,52 @@ BENCHMARK(BM_OnlineRuntimeFaulty)
     ->Arg(320)
     ->Unit(benchmark::kMillisecond);
 
+void BM_OnlineRuntimeStraggler(benchmark::State& state) {
+  // The slow-but-alive path: one of four workers ramps to 8x its
+  // nominal compute cost early in every run (compounding co-tenant
+  // starvation, emulated by repeated kernel work -- not sleeps) and the
+  // speculative wrapper races duplicates of its chunks on idle
+  // survivors, cancelling the loser. Blocks/sec vs BM_OnlineRuntime is
+  // the price of living with a degraded worker: calibration, duplicate
+  // sends, cancellation drains, wasted twin updates.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto plat = platform::Platform::homogeneous(4, 0.01, 0.002, 40);
+  const matrix::Partition part(n, n, n, 16);
+  util::Rng rng(6);
+  const auto a = matrix::Matrix::random(n, n, rng);
+  const auto b = matrix::Matrix::random(n, n, rng);
+  matrix::Matrix c(n, n, 0.0);
+  std::size_t blocks = 0;
+  std::size_t updates = 0;
+  std::size_t duplicates = 0;
+  std::size_t cancelled = 0;
+  for (auto _ : state) {
+    auto scheduler =
+        sched::Registry::instance().make("SP-ODDOML", plat, part);
+    runtime::ExecutorOptions options;
+    options.verify = false;
+    options.perturbation =
+        platform::make_ramping_straggler(1, 0.002, 0.004, 2.0, 3);
+    const runtime::ExecutorReport report =
+        runtime::execute_online(*scheduler, plat, part, a, b, c, options);
+    blocks += static_cast<std::size_t>(report.result.comm_blocks);
+    updates += report.updates_performed;
+    duplicates += report.speculation.duplicates_issued;
+    cancelled += report.speculation.duplicates_cancelled;
+    benchmark::DoNotOptimize(report.wall_seconds);
+  }
+  state.counters["blocks/s"] = benchmark::Counter(
+      static_cast<double>(blocks), benchmark::Counter::kIsRate);
+  state.counters["updates/s"] = benchmark::Counter(
+      static_cast<double>(updates), benchmark::Counter::kIsRate);
+  state.counters["duplicates"] = static_cast<double>(duplicates);
+  state.counters["cancelled"] = static_cast<double>(cancelled);
+}
+BENCHMARK(BM_OnlineRuntimeStraggler)
+    ->Arg(160)
+    ->Arg(320)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_SteadyStateSimplex(benchmark::State& state) {
   const auto plat = platform::real_platform_aug2007();
   const auto workers = plat.steady_workers();

@@ -13,7 +13,16 @@
 //      the exact shape the simulator emits -- next to the prediction.
 //
 // Run:  ./online_adaptive [--backend=thread|process|shm]
+//                         [--speculate] [--drift-threshold=2.0]
 //                         [--kernel=...] [--tune=...]
+//
+// --speculate wraps the live policy in the straggler-speculation layer
+// (SP-ODDOML): once a worker's observed drift crosses
+// --drift-threshold, its in-flight chunk is duplicated onto the best
+// idle survivor, the first completion commits, and the loser is
+// cancelled without killing the worker. The run then prints the
+// speculation telemetry (duplicates issued / won / cancelled, wasted
+// updates, raced results discarded).
 //
 // --backend picks the data-plane transport for step 3: worker threads
 // (default), one forked worker process per worker with serialized
@@ -28,6 +37,7 @@
 // (off|auto|force|smoke). On the forked backends the hello handshake
 // proves every worker runs the identical tuned configuration.
 #include <iostream>
+#include <memory>
 
 #include "matrix/gemm.hpp"
 #include "matrix/matrix.hpp"
@@ -35,6 +45,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/transport.hpp"
 #include "sched/demand_driven.hpp"
+#include "sched/speculative.hpp"
 #include "sim/scheduler.hpp"
 #include "util/flags.hpp"
 #include "util/rng.hpp"
@@ -48,6 +59,11 @@ int main(int argc, char** argv) {
   flags.define("backend", "thread",
                "data-plane transport for the live run: thread | process | "
                "shm");
+  flags.define_bool("speculate", false,
+                    "duplicate stragglers' chunks onto idle workers "
+                    "(SP-ODDOML, cancel-on-first-completion)");
+  flags.define("drift-threshold", "2.0",
+               "observed-drift ratio that marks a worker a straggler");
   flags.define("kernel", "",
                "pin the GEMM dispatch: naive|tiled|simd|portable|avx2|"
                "avx512 (empty: auto)");
@@ -116,9 +132,16 @@ int main(int argc, char** argv) {
   options.perturbation.add(/*worker=*/2, /*at=*/0.200, /*factor=*/1.0);
   options.verify = true;  // prove the adaptive schedule still computes C
 
-  auto live_scheduler = sched::make_oddoml(plat, part);
+  const bool speculate = flags.get_bool("speculate");
+  std::unique_ptr<sim::Scheduler> live_scheduler =
+      std::make_unique<sched::DemandDrivenScheduler>(
+          sched::make_oddoml(plat, part));
+  if (speculate)
+    live_scheduler = sched::make_speculative(
+        "SP-ODDOML", std::move(live_scheduler),
+        sched::SpeculationOptions{flags.get_double("drift-threshold")});
   const runtime::ExecutorReport executed = runtime::execute_online(
-      live_scheduler, plat, part, a, b, c, options);
+      *live_scheduler, plat, part, a, b, c, options);
 
   const auto show = [&](const char* title, const sim::RunResult& result) {
     std::cout << title << " [" << result.scheduler_name << "]"
@@ -141,6 +164,14 @@ int main(int argc, char** argv) {
   for (std::size_t i = 0; i < executed.updates_per_worker.size(); ++i)
     std::cout << "  " << plat.worker(static_cast<int>(i)).label << "="
               << executed.updates_per_worker[i];
+  if (speculate) {
+    const runtime::SpeculationStats& sp = executed.speculation;
+    std::cout << "\nspeculation: " << sp.duplicates_issued
+              << " duplicates issued, " << sp.duplicates_won << " won, "
+              << sp.duplicates_cancelled << " cancelled; "
+              << sp.wasted_updates << " updates wasted, "
+              << sp.stale_results << " raced results discarded";
+  }
   std::cout << "\nkernel: " << executed.kernel_variant << " blocking "
             << matrix::blocking_to_string(executed.kernel_blocking)
             << "\nmax |error| = " << executed.max_abs_error

@@ -84,6 +84,7 @@ RunReport run_algorithm(const Algorithm& algorithm,
   report.algorithm_label = report.algorithm;
   report.backend = Backend::kSim;
 
+  sched::set_default_speculation_options(options.speculation);
   std::unique_ptr<sim::Scheduler> scheduler =
       timed_scheduler(report, algorithm, platform, partition);
   report.result = sim::simulate(
@@ -108,6 +109,7 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
   report.algorithm_label = report.algorithm;
   report.backend = options.backend;
 
+  sched::set_default_speculation_options(options.speculation);
   std::unique_ptr<sim::Scheduler> scheduler =
       timed_scheduler(report, algorithm, platform, partition);
 

@@ -22,6 +22,7 @@
 
 #include "core/algorithms.hpp"
 #include "platform/perturbation.hpp"
+#include "sched/speculative.hpp"
 #include "sim/scheduler.hpp"
 
 namespace hmxp::core {
@@ -60,6 +61,9 @@ struct OnlineOptions {
   /// Port emulation: master-side wall seconds per block moved, scaled
   /// by the perturbation's bandwidth factor (0 = no throttled channel).
   double throttle_block_seconds = 0.0;
+  /// Straggler-speculation knobs, applied process-wide before the
+  /// scheduler is built (consumed by SP-* algorithms; others ignore it).
+  sched::SpeculationOptions speculation;
 };
 
 /// Knobs for Backend::kSim cells: the same unreliable-platform scenario
@@ -69,6 +73,8 @@ struct SimOptions {
   platform::SlowdownSchedule slowdown;
   platform::FaultSchedule faults;
   platform::CalibrationOptions calibration;
+  /// Straggler-speculation knobs (consumed by SP-* algorithms).
+  sched::SpeculationOptions speculation;
 };
 
 struct RunReport {

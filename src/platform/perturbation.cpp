@@ -55,6 +55,29 @@ bool SlowdownSchedule::has_bandwidth_events() const {
                      });
 }
 
+SlowdownSchedule make_heavy_straggler(int worker, model::Time at,
+                                      double factor) {
+  SlowdownSchedule schedule;
+  schedule.add(worker, at, factor);
+  return schedule;
+}
+
+SlowdownSchedule make_ramping_straggler(int worker, model::Time at,
+                                        model::Time period,
+                                        double step_factor, int steps) {
+  HMXP_REQUIRE(period > 0.0, "ramping straggler needs a positive period");
+  HMXP_REQUIRE(steps >= 1, "ramping straggler needs at least one ramp");
+  SlowdownSchedule schedule;
+  // Events REPLACE the factor in force (they do not compose), so each
+  // ramp carries the full compounded slowdown.
+  double factor = 1.0;
+  for (int step = 0; step < steps; ++step) {
+    factor *= step_factor;
+    schedule.add(worker, at + static_cast<model::Time>(step) * period, factor);
+  }
+  return schedule;
+}
+
 void FaultSchedule::add(int worker, model::Time at) {
   HMXP_REQUIRE(worker >= 0, "fault event needs a worker index");
   HMXP_REQUIRE(at >= 0.0, "fault event time cannot be negative");

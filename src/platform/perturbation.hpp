@@ -70,6 +70,26 @@ class SlowdownSchedule {
   std::vector<SlowdownEvent> events_;  // sorted by (at, insertion order)
 };
 
+// ---- heavy-straggler scenario family ----------------------------------------
+//
+// Canned schedules for straggler-mitigation experiments (the shape the
+// SP-* speculation wrappers are built to beat). Times follow the usual
+// per-backend clock convention.
+
+/// One worker turns `factor` times slower at `at` and STAYS slow -- the
+/// classic heavy straggler (default 4x, the paper's deceleration trick
+/// turned hostile).
+SlowdownSchedule make_heavy_straggler(int worker, model::Time at,
+                                      double factor = 4.0);
+
+/// One worker degrades in compounding ramps: at `at` it is `step_factor`
+/// times slower, one `period` later `step_factor^2`, ... for `steps`
+/// ramps total (a machine progressively starved by a co-tenant).
+SlowdownSchedule make_ramping_straggler(int worker, model::Time at,
+                                        model::Time period,
+                                        double step_factor = 2.0,
+                                        int steps = 3);
+
 /// Permanent worker loss: worker `worker` fails at time `at` (same
 /// per-backend clock convention as SlowdownSchedule). A failed worker
 /// never recovers; its in-flight chunk returns to the pending set and a

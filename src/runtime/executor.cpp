@@ -194,6 +194,9 @@ class OnlineExecutor final : public sim::ExecutionView {
     return mirror_.context();
   }
   sim::EngineState model_state() const override { return mirror_.snapshot(); }
+  bool rect_assigned(const matrix::BlockRect& rect) const override {
+    return mirror_.rect_assigned(rect);
+  }
 
   /// Marks the worker failed and reclaims everything it held: the
   /// mirror returns its in-flight chunk to the pending set, queued
@@ -268,6 +271,12 @@ class OnlineExecutor final : public sim::ExecutionView {
         drain_completions();
         sim::Decision decision = scheduler.next(*this);
         if (decision.kind == sim::Decision::Kind::kDone) break;
+        // Whether this RecvC commits a speculative duplicate must be
+        // read BEFORE the mirror executes (commit clears the flag).
+        const bool speculative_recv =
+            decision.kind == sim::Decision::Kind::kComm &&
+            decision.comm == sim::CommKind::kRecvC &&
+            mirror_.progress(decision.worker).chunk_speculative;
         if (options_.tolerate_faults) {
           // A worker can die between the scheduler's decision and the
           // real execution (or while the master blocks inside it). The
@@ -300,6 +309,14 @@ class OnlineExecutor final : public sim::ExecutionView {
           mirror_.execute(decision);
           execute_real(decision);
         }
+        if (decision.kind == sim::Decision::Kind::kComm) {
+          if (decision.comm == sim::CommKind::kSendC && decision.speculative)
+            ++spec_stats_.duplicates_issued;
+          else if (decision.comm == sim::CommKind::kCancel)
+            ++spec_stats_.duplicates_cancelled;
+          else if (speculative_recv)
+            ++spec_stats_.duplicates_won;
+        }
         if (decision_log != nullptr) decision_log->push_back(decision);
         ++executed;
         HMXP_CHECK(executed <= max_decisions,
@@ -324,6 +341,9 @@ class OnlineExecutor final : public sim::ExecutionView {
     report.result =
         sim::collect_result(scheduler.name(), mirror_, executed);
     report.buffer_pool = pool_.stats();
+    report.speculation = spec_stats_;
+    report.speculation.wasted_updates =
+        static_cast<std::size_t>(mirror_.snapshot().wasted_updates);
     report.transport = transport_->name();
     report.transport_stats = transport_->stats();
     report.kernel_variant = matrix::packed_kernel_variant();
@@ -354,7 +374,20 @@ class OnlineExecutor final : public sim::ExecutionView {
     std::optional<sim::ChunkPlan> plan;
     Window window;
     std::size_t steps_sent = 0;
+    /// Per-worker monotone chunk ticket: stamped on every SendC, echoed
+    /// on the result, named by a cancel. Never reset -- a result whose
+    /// seq is not the CURRENT chunk's raced a revocation and is stale.
+    std::uint64_t seq = 0;
   };
+
+  /// True when `result` belongs to a chunk this worker no longer owns
+  /// (it shipped before a CancelMessage landed): its payload goes back
+  /// to the pool and its C window is never folded in. Its measured
+  /// latencies still feed calibration -- the work really happened.
+  bool stale_result(std::size_t w, const ResultMessage& result) const {
+    const MasterView& view = views_[w];
+    return !view.plan.has_value() || result.seq != view.seq;
+  }
 
   /// Non-blocking sweep of every worker: results that actually arrived
   /// become visible to the scheduler (earliest_start above) before the
@@ -373,8 +406,13 @@ class OnlineExecutor final : public sim::ExecutionView {
         continue;
       }
       if (!pending_[w].has_value()) {
-        pending_[w] = endpoint.try_recv();
-        if (pending_[w].has_value()) observe_result(w, *pending_[w]);
+        while ((pending_[w] = endpoint.try_recv()).has_value()) {
+          observe_result(w, *pending_[w]);
+          if (!stale_result(w, *pending_[w])) break;
+          pending_[w]->c.release_to(pool_);
+          pending_[w].reset();
+          ++spec_stats_.stale_results;
+        }
         // try_recv is also the failure pump (a dead process surfaces as
         // an EOF while reading): re-check so the death is handled THIS
         // sweep, not a decision later.
@@ -436,6 +474,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.element_cols = window.cols();
         message.c = copy_window(endpoint, pool_, c_, window.row0, window.row1,
                                 window.col0, window.col1);
+        message.seq = ++view.seq;
         throttle(decision.worker,
                  static_cast<double>(decision.chunk.rect.count()));
         endpoint.send(std::move(message));
@@ -467,11 +506,17 @@ class OnlineExecutor final : public sim::ExecutionView {
         HMXP_CHECK(view.plan.has_value(), "RecvC without a chunk");
         std::optional<ResultMessage> result = std::move(pending_[w]);
         pending_[w].reset();
-        // Not drained yet: block until the worker really finishes (the
-        // master waiting on the port, as in the model).
-        if (!result.has_value()) {
+        // Not drained yet (or the drained result raced a cancel): block
+        // until the CURRENT chunk's result really arrives (the master
+        // waiting on the port, as in the model).
+        while (!result.has_value() || stale_result(w, *result)) {
+          if (result.has_value()) {
+            result->c.release_to(pool_);
+            ++spec_stats_.stale_results;
+          }
           result = endpoint.recv();
-          if (result.has_value()) observe_result(w, *result);
+          if (!result.has_value()) break;
+          observe_result(w, *result);
         }
         HMXP_CHECK(result.has_value(), "worker closed before returning C");
         throttle(decision.worker,
@@ -489,6 +534,21 @@ class OnlineExecutor final : public sim::ExecutionView {
         // (pool vector or arena slot, per the transport).
         result->c.release_to(pool_);
         ++chunks_processed_;
+        view.plan.reset();
+        break;
+      }
+      case sim::CommKind::kCancel: {
+        HMXP_CHECK(view.plan.has_value(), "cancel without a chunk");
+        // Revoke by seq: the worker drops its resident chunk iff it
+        // still holds this ticket and keeps serving. A result that
+        // already shipped is discarded here (if it raced into pending_)
+        // or by the stale-seq filters on the receive paths.
+        endpoint.send(CancelMessage{view.seq});
+        if (pending_[w].has_value()) {
+          pending_[w]->c.release_to(pool_);
+          pending_[w].reset();
+          ++spec_stats_.stale_results;
+        }
         view.plan.reset();
         break;
       }
@@ -530,6 +590,7 @@ class OnlineExecutor final : public sim::ExecutionView {
   std::vector<platform::SpeedEstimate> wall_speed_;
   std::vector<char> failure_handled_;  // fail_worker() already ran
   sim::EngineState rollback_state_;    // reused pre-decision snapshot
+  SpeculationStats spec_stats_;
   int workers_failed_ = 0;
   Clock::time_point run_begin_{};
   std::size_t chunks_processed_ = 0;

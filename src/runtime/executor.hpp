@@ -105,6 +105,17 @@ struct ExecutorOptions {
   double throttle_block_seconds = 0.0;
 };
 
+/// Speculation telemetry: proactive duplicates the run issued and how
+/// each race resolved. Wasted updates are the insurance premium -- the
+/// block-steps a cancelled (or out-raced) copy had already delivered.
+struct SpeculationStats {
+  std::size_t duplicates_issued = 0;     // speculative SendC decisions
+  std::size_t duplicates_cancelled = 0;  // CancelMessages shipped
+  std::size_t duplicates_won = 0;        // RecvC committed from a duplicate
+  std::size_t wasted_updates = 0;        // delivered updates later discarded
+  std::size_t stale_results = 0;         // raced results discarded by seq
+};
+
 struct ExecutorReport {
   /// Model-projected run summary from the master's mirror -- the same
   /// shape (makespan, decisions, CCR, trace, ...) the simulator emits,
@@ -133,6 +144,8 @@ struct ExecutorReport {
   /// "no per-step payload allocation" property; small per-step
   /// bookkeeping like channel nodes is outside the pool's scope).
   BufferPool::Stats buffer_pool;
+  /// Proactive-redundancy outcome (all zero under non-SP schedulers).
+  SpeculationStats speculation;
   /// Which transport moved the data plane ("thread" / "process").
   std::string transport;
   /// Data-plane counters: message counts on every transport, frame

@@ -27,6 +27,10 @@ struct ChunkMessage {
   std::size_t element_rows = 0;   // elements, not blocks
   std::size_t element_cols = 0;
   Payload c;                      // element_rows x element_cols
+  /// Per-worker monotone chunk sequence number, echoed by the worker on
+  /// the matching ResultMessage and named by a CancelMessage. The master
+  /// uses it to discard a result that raced a cancellation.
+  std::uint64_t seq = 0;
 };
 
 /// Operand batch for one step: the A panel (chunk rows x k-range) and
@@ -50,8 +54,20 @@ struct ResultMessage {
   /// included), aligned with plan.steps: the raw material of the
   /// master's online speed calibration.
   std::vector<double> step_seconds;
+  /// The seq of the ChunkMessage this result answers.
+  std::uint64_t seq = 0;
 };
 
-using WorkerMessage = std::variant<ChunkMessage, OperandMessage>;
+/// Non-fatal chunk revocation (straggler speculation lost the race, or
+/// the master committed the speculative twin's result first): the worker
+/// drops the chunk whose seq matches -- releasing its payloads -- and
+/// keeps running with its territory intact. A mismatched seq means the
+/// result already shipped; the worker ignores the cancel and the master
+/// discards the raced result by seq instead.
+struct CancelMessage {
+  std::uint64_t seq = 0;
+};
+
+using WorkerMessage = std::variant<ChunkMessage, OperandMessage, CancelMessage>;
 
 }  // namespace hmxp::runtime

@@ -136,9 +136,27 @@ class SocketWorkerPort final : public WorkerPort {
       case FrameType::kOperand:
         return WorkerMessage(
             serde::decode_operand(body_.data(), body_.size(), *pool_));
+      case FrameType::kCancel:
+        return WorkerMessage(
+            serde::decode_cancel(body_.data(), body_.size()));
       default:
         throw std::runtime_error("unexpected inbound frame type");
     }
+  }
+
+  std::optional<WorkerMessage> try_receive() override {
+    // Only commit to the blocking read when a frame has started to
+    // arrive; a partially written frame completes in microseconds (the
+    // master writes frames whole over a local socketpair). EOF read
+    // here returns nullopt like "nothing buffered" -- EOF is sticky,
+    // the follow-up blocking receive() re-observes it and exits.
+    struct pollfd probe;
+    probe.fd = fd_;
+    probe.events = POLLIN;
+    probe.revents = 0;
+    if (::poll(&probe, 1, 0) != 1 || (probe.revents & POLLIN) == 0)
+      return std::nullopt;
+    return receive();
   }
 
   void send(ResultMessage result) override {
@@ -249,11 +267,12 @@ class ProcessEndpoint final : public Endpoint {
     if (auto* chunk = std::get_if<ChunkMessage>(&message)) {
       serde::encode_chunk(*chunk, tx_);
       chunk->c.release_to(*pool_);
+    } else if (auto* operands = std::get_if<OperandMessage>(&message)) {
+      serde::encode_operand(*operands, tx_);
+      operands->a.release_to(*pool_);
+      operands->b.release_to(*pool_);
     } else {
-      auto& operands = std::get<OperandMessage>(message);
-      serde::encode_operand(operands, tx_);
-      operands.a.release_to(*pool_);
-      operands.b.release_to(*pool_);
+      serde::encode_cancel(std::get<CancelMessage>(message), tx_);
     }
     stats_->serde_seconds += seconds_since(serde_begin);
 

@@ -175,6 +175,11 @@ void encode_chunk(const ChunkMessage& message, ByteBuffer& out) {
     write_plan(writer, message.plan);
     writer.u64(message.element_rows);
     writer.u64(message.element_cols);
+    // seq travels BEFORE the payload: a decoder that throws past this
+    // point would destroy an already-acquired payload (returning a pool
+    // vector -- or worse, an arena slot the sender still owns -- behind
+    // the caller's back), so every fallible field precedes acquisition.
+    writer.u64(message.seq);
     writer.doubles(message.c.data(), message.c.size());
   });
 }
@@ -198,9 +203,18 @@ void encode_result(const ResultMessage& message, ByteBuffer& out) {
     write_plan(writer, message.plan);
     writer.u64(message.element_rows);
     writer.u64(message.element_cols);
+    writer.u64(message.seq);  // before the payload (see encode_chunk)
     writer.doubles(message.c.data(), message.c.size());
     writer.u64(message.updates_performed);
     writer.doubles(message.step_seconds);
+  });
+}
+
+void encode_cancel(const CancelMessage& message, ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kCancel));
+    writer.u64(message.seq);
   });
 }
 
@@ -243,7 +257,7 @@ FrameType frame_type(const std::uint8_t* body, std::size_t size) {
   require(size >= 1, "empty frame");
   const std::uint8_t type = body[0];
   require(type >= static_cast<std::uint8_t>(FrameType::kChunk) &&
-              type <= static_cast<std::uint8_t>(FrameType::kResultRef),
+              type <= static_cast<std::uint8_t>(FrameType::kCancel),
           "unknown frame type");
   return static_cast<FrameType>(type);
 }
@@ -256,6 +270,7 @@ ChunkMessage decode_chunk(const std::uint8_t* body, std::size_t size,
   message.plan = read_plan(reader);
   message.element_rows = static_cast<std::size_t>(reader.u64());
   message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.seq = reader.u64();
   message.c = reader.doubles(pool);
   reader.done();
   require(message.c.size() == message.element_rows * message.element_cols,
@@ -287,12 +302,23 @@ ResultMessage decode_result(const std::uint8_t* body, std::size_t size,
   message.plan = read_plan(reader);
   message.element_rows = static_cast<std::size_t>(reader.u64());
   message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.seq = reader.u64();
   message.c = reader.doubles(pool);
   message.updates_performed = static_cast<std::size_t>(reader.u64());
   message.step_seconds = reader.doubles_plain();
   reader.done();
   require(message.c.size() == message.element_rows * message.element_cols,
           "result payload shape mismatch");
+  return message;
+}
+
+CancelMessage decode_cancel(const std::uint8_t* body, std::size_t size) {
+  require(frame_type(body, size) == FrameType::kCancel,
+          "not a cancel frame");
+  Reader reader(body + 1, size - 1);
+  CancelMessage message;
+  message.seq = reader.u64();
+  reader.done();
   return message;
 }
 
@@ -330,6 +356,7 @@ void encode_chunk_ref(const ChunkMessage& message, ByteBuffer& out) {
     write_plan(writer, message.plan);
     writer.u64(message.element_rows);
     writer.u64(message.element_cols);
+    writer.u64(message.seq);  // before the slot ref (see encode_chunk)
     writer.slot_ref(message.c);
   });
 }
@@ -356,6 +383,7 @@ void encode_result_ref(const ResultMessage& message, ByteBuffer& out) {
     write_plan(writer, message.plan);
     writer.u64(message.element_rows);
     writer.u64(message.element_cols);
+    writer.u64(message.seq);  // before the slot ref (see encode_chunk)
     writer.slot_ref(message.c);
     writer.u64(message.updates_performed);
     writer.doubles(message.step_seconds);
@@ -371,6 +399,7 @@ ChunkMessage decode_chunk_ref(const std::uint8_t* body, std::size_t size,
   message.plan = read_plan(reader);
   message.element_rows = static_cast<std::size_t>(reader.u64());
   message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.seq = reader.u64();
   message.c = reader.slot_ref(arena);
   reader.done();
   require(message.c.size() == message.element_rows * message.element_cols,
@@ -402,6 +431,7 @@ ResultMessage decode_result_ref(const std::uint8_t* body, std::size_t size,
   message.plan = read_plan(reader);
   message.element_rows = static_cast<std::size_t>(reader.u64());
   message.element_cols = static_cast<std::size_t>(reader.u64());
+  message.seq = reader.u64();
   message.c = reader.slot_ref(arena);
   message.updates_performed = static_cast<std::size_t>(reader.u64());
   message.step_seconds = reader.doubles_plain();

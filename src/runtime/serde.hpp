@@ -39,6 +39,7 @@ enum class FrameType : std::uint8_t {
   kChunkRef = 7,    // master -> worker: ChunkMessage, C in an arena slot
   kOperandRef = 8,  // master -> worker: OperandMessage, A/B in arena slots
   kResultRef = 9,   // worker -> master: ResultMessage, C in an arena slot
+  kCancel = 10,     // master -> worker: CancelMessage (seq only, no payload)
 };
 
 using ByteBuffer = std::vector<std::uint8_t>;
@@ -52,6 +53,7 @@ inline constexpr std::size_t kLengthBytes = sizeof(std::uint64_t);
 void encode_chunk(const ChunkMessage& message, ByteBuffer& out);
 void encode_operand(const OperandMessage& message, ByteBuffer& out);
 void encode_result(const ResultMessage& message, ByteBuffer& out);
+void encode_cancel(const CancelMessage& message, ByteBuffer& out);
 /// Payload-free control frame (kCredit).
 void encode_control(FrameType type, ByteBuffer& out);
 
@@ -91,6 +93,7 @@ OperandMessage decode_operand(const std::uint8_t* body, std::size_t size,
                               BufferPool& pool);
 ResultMessage decode_result(const std::uint8_t* body, std::size_t size,
                             BufferPool& pool);
+CancelMessage decode_cancel(const std::uint8_t* body, std::size_t size);
 /// Type byte of a frame body (size must be >= 1).
 FrameType frame_type(const std::uint8_t* body, std::size_t size);
 /// Kernel configuration of a kHello body.

@@ -403,6 +403,7 @@ class ShmWorkerPort final : public WorkerPort {
       : fd_(fd), rings_(rings), arena_(arena), acks_(acks), index_(index) {}
 
   std::optional<WorkerMessage> receive() override {
+    if (done_) return std::nullopt;
     SharedRing& inbox = rings_->inbox;
     while (!inbox.try_pop(rx_)) {
       // Empty inbox: park on the head cursor. The bound is only a
@@ -411,22 +412,16 @@ class ShmWorkerPort final : public WorkerPort {
       inbox.park_consumer(inbox.head.load(std::memory_order_acquire),
                           /*timeout_ms=*/100);
     }
-    if (rx_.empty()) return std::nullopt;  // shutdown sentinel: done
+    return decode_inbound();
+  }
 
-    // Return the inbox credit BEFORE computing, like a channel pop --
-    // here a single atomic add the master reads through shared memory.
-    acks_->add(index_);
-
-    switch (serde::frame_type(rx_.data(), rx_.size())) {
-      case FrameType::kChunkRef:
-        return WorkerMessage(
-            serde::decode_chunk_ref(rx_.data(), rx_.size(), *arena_));
-      case FrameType::kOperandRef:
-        return WorkerMessage(
-            serde::decode_operand_ref(rx_.data(), rx_.size(), *arena_));
-      default:
-        throw std::runtime_error("unexpected inbound frame type");
-    }
+  std::optional<WorkerMessage> try_receive() override {
+    // The lookahead may pop the shutdown sentinel; done_ keeps it
+    // observed (the sentinel is one-shot, unlike a closed socket), so
+    // the follow-up blocking receive() still exits cleanly.
+    if (done_) return std::nullopt;
+    if (!rings_->inbox.try_pop(rx_)) return std::nullopt;
+    return decode_inbound();
   }
 
   void send(ResultMessage result) override {
@@ -451,6 +446,30 @@ class ShmWorkerPort final : public WorkerPort {
   }
 
  private:
+  /// Decodes the frame just popped into rx_ (shared tail of receive and
+  /// try_receive): credit returned before computing, like a channel pop
+  /// -- a single atomic add the master reads through shared memory.
+  std::optional<WorkerMessage> decode_inbound() {
+    if (rx_.empty()) {  // shutdown sentinel: done for good
+      done_ = true;
+      return std::nullopt;
+    }
+    acks_->add(index_);
+    switch (serde::frame_type(rx_.data(), rx_.size())) {
+      case FrameType::kChunkRef:
+        return WorkerMessage(
+            serde::decode_chunk_ref(rx_.data(), rx_.size(), *arena_));
+      case FrameType::kOperandRef:
+        return WorkerMessage(
+            serde::decode_operand_ref(rx_.data(), rx_.size(), *arena_));
+      case FrameType::kCancel:
+        // Cancels ride the ring inline (seq only, no arena slot).
+        return WorkerMessage(serde::decode_cancel(rx_.data(), rx_.size()));
+      default:
+        throw std::runtime_error("unexpected inbound frame type");
+    }
+  }
+
   int fd_;
   RingChannel* rings_;
   SharedArena* arena_;
@@ -458,6 +477,7 @@ class ShmWorkerPort final : public WorkerPort {
   std::size_t index_;
   std::vector<std::uint8_t> rx_;
   ByteBuffer tx_;
+  bool done_ = false;
 };
 
 /// Child-process entry, the shm twin of the process transport's
@@ -591,11 +611,13 @@ class ShmEndpoint final : public Endpoint {
     if (auto* chunk = std::get_if<ChunkMessage>(&message)) {
       serde::encode_chunk_ref(*chunk, tx_);
       payload_bytes = chunk->c.size() * sizeof(double);
-    } else {
-      auto& operands = std::get<OperandMessage>(message);
-      serde::encode_operand_ref(operands, tx_);
+    } else if (auto* operands = std::get_if<OperandMessage>(&message)) {
+      serde::encode_operand_ref(*operands, tx_);
       payload_bytes =
-          (operands.a.size() + operands.b.size()) * sizeof(double);
+          (operands->a.size() + operands->b.size()) * sizeof(double);
+    } else {
+      // CancelMessage: an inline descriptor frame, no arena slot.
+      serde::encode_cancel(std::get<CancelMessage>(message), tx_);
     }
     stats_->serde_seconds += seconds_since(serde_begin);
 
@@ -605,11 +627,11 @@ class ShmEndpoint final : public Endpoint {
     // with the frame unread, drain()'s owner-tag sweep reclaims them.
     if (auto* chunk = std::get_if<ChunkMessage>(&message)) {
       chunk->c.detach();
-    } else {
-      auto& operands = std::get<OperandMessage>(message);
-      operands.a.detach();
-      operands.b.detach();
+    } else if (auto* operands = std::get_if<OperandMessage>(&message)) {
+      operands->a.detach();
+      operands->b.detach();
     }
+    // CancelMessage holds no slots: nothing to detach.
     push_inbox();
     ++sent_;
     ++stats_->messages_sent;

@@ -63,6 +63,11 @@ class ThreadWorker final : public WorkerPort {
 
   // ----- WorkerPort (the worker-side face of the channels) -----
   std::optional<WorkerMessage> receive() override { return inbox_.pop(); }
+  std::optional<WorkerMessage> try_receive() override {
+    // On a closed-and-drained inbox this reads nullopt, same as pop():
+    // the follow-up blocking receive() re-observes the closure.
+    return inbox_.try_pop();
+  }
   void send(ResultMessage result) override { outbox_.push(std::move(result)); }
 
  private:
@@ -117,11 +122,11 @@ class ThreadEndpoint final : public Endpoint {
     while (auto message = worker_->inbox().try_pop()) {
       if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
         chunk->c.release_to(pool);
-      } else {
-        auto& operands = std::get<OperandMessage>(*message);
-        operands.a.release_to(pool);
-        operands.b.release_to(pool);
+      } else if (auto* operands = std::get_if<OperandMessage>(&*message)) {
+        operands->a.release_to(pool);
+        operands->b.release_to(pool);
       }
+      // CancelMessage carries no payload: nothing to reclaim.
     }
     while (auto result = worker_->outbox().try_pop())
       result->c.release_to(pool);

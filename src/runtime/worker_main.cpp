@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <stdexcept>
 #include <string>
 #include <variant>
@@ -41,15 +42,35 @@ class WorkerLoop {
       : context_(context), port_(port), pool_(pool) {}
 
   void run() {
-    while (auto message = port_.receive()) {
+    while (auto message = next_message()) {
       check_scheduled_fault();
       if (auto* chunk = std::get_if<ChunkMessage>(&*message)) {
         HMXP_CHECK(!chunk_.has_value(), "worker received chunk mid-chunk");
         chunk_ = std::move(*chunk);
         steps_done_ = 0;
         step_seconds_.clear();
+        revoked_ = false;
+      } else if (auto* cancel = std::get_if<CancelMessage>(&*message)) {
+        // Non-fatal revocation: drop the named chunk and keep serving.
+        // A mismatched seq means the result already shipped (the master
+        // discards it by seq); nothing to do here.
+        if (chunk_.has_value() && chunk_->seq == cancel->seq) drop_chunk();
       } else {
-        process(std::move(std::get<OperandMessage>(*message)));
+        OperandMessage operands =
+            std::move(std::get<OperandMessage>(*message));
+        // Before paying for a step, scan everything the master already
+        // queued for a revocation of the resident chunk: each further
+        // step of a cancelled chunk is dead work whose result the
+        // master would discard by seq anyway.
+        if (cancel_queued()) drop_chunk();
+        if (!chunk_.has_value()) {
+          HMXP_CHECK(revoked_, "operands before chunk");
+          // A stale step of the revoked chunk: recycle, never compute.
+          operands.a.release_to(pool_);
+          operands.b.release_to(pool_);
+        } else {
+          process(std::move(operands));
+        }
       }
     }
   }
@@ -64,6 +85,42 @@ class WorkerLoop {
   }
 
  private:
+  /// Queued messages drained by the cancel lookahead, replayed in order
+  /// before the port is read again.
+  std::optional<WorkerMessage> next_message() {
+    if (!lookahead_.empty()) {
+      WorkerMessage message = std::move(lookahead_.front());
+      lookahead_.pop_front();
+      return message;
+    }
+    return port_.receive();
+  }
+
+  /// Drains whatever the port has buffered and reports whether a cancel
+  /// naming the RESIDENT chunk is among it. Drained messages keep their
+  /// order through lookahead_, so the protocol stream is untouched --
+  /// the matched cancel itself degrades to a no-op once dequeued.
+  bool cancel_queued() {
+    if (!chunk_.has_value()) return false;
+    while (auto extra = port_.try_receive())
+      lookahead_.push_back(std::move(*extra));
+    for (const WorkerMessage& queued : lookahead_) {
+      const auto* cancel = std::get_if<CancelMessage>(&queued);
+      if (cancel != nullptr && cancel->seq == chunk_->seq) return true;
+    }
+    return false;
+  }
+
+  /// Revocation: the resident chunk's C copy goes back to the pool and
+  /// in-flight operand steps that still name it are discarded, not
+  /// computed, until the next ChunkMessage re-arms the worker.
+  void drop_chunk() {
+    steps_done_ = 0;
+    step_seconds_.clear();
+    surrender_chunk();
+    revoked_ = true;
+  }
+
   /// Wall-clock fault schedule: the worker dies for good once its event
   /// time passes, whatever it was about to do.
   void check_scheduled_fault() const {
@@ -97,9 +154,11 @@ class WorkerLoop {
     HMXP_CHECK(chunk_.has_value(), "operands before chunk");
     ChunkMessage& chunk = *chunk_;
     HMXP_CHECK(operands.step == steps_done_, "operand step out of order");
-    if (context_.fault_hook) context_.fault_hook(context_.index, operands.step);
-
+    // The hook runs INSIDE the timed window: a hook that stalls (or
+    // throws) emulates the worker itself degrading, so its latency must
+    // reach the master's calibration loop like any real slowdown.
     const auto step_begin = Clock::now();
+    if (context_.fault_hook) context_.fault_hook(context_.index, operands.step);
     const std::size_t rows = chunk.element_rows;
     const std::size_t cols = chunk.element_cols;
     const std::size_t kk = operands.k_elems;
@@ -136,6 +195,7 @@ class WorkerLoop {
       result.c = std::move(chunk.c);
       result.updates_performed = steps_done_;
       result.step_seconds = std::move(step_seconds_);
+      result.seq = chunk.seq;
       step_seconds_.clear();
       chunk_.reset();
       port_.send(std::move(result));
@@ -148,6 +208,8 @@ class WorkerLoop {
   std::optional<ChunkMessage> chunk_;
   std::size_t steps_done_ = 0;
   std::vector<double> step_seconds_;
+  std::deque<WorkerMessage> lookahead_;
+  bool revoked_ = false;  // operands may legitimately arrive chunk-less
 };
 
 }  // namespace
@@ -157,6 +219,10 @@ void worker_main(const WorkerContext& context, WorkerPort& port,
   WorkerLoop loop(context, port, pool);
   try {
     loop.run();
+    // A clean port close can still leave a resident chunk (the master
+    // decommissioned the worker mid-chunk): its C copy must go back to
+    // the pool too, or the pool's accounting leaks the buffer.
+    loop.surrender_chunk();
   } catch (...) {
     loop.surrender_chunk();
     throw;

@@ -54,6 +54,14 @@ class WorkerPort {
   virtual ~WorkerPort() = default;
   virtual std::optional<WorkerMessage> receive() = 0;
   virtual void send(ResultMessage result) = 0;
+  /// Non-blocking peek-and-take: the next message if one is ALREADY
+  /// buffered, nullopt otherwise (which never means end-of-stream --
+  /// only receive() signals that). The worker loop uses it to spot a
+  /// CancelMessage queued behind operand batches before paying for the
+  /// steps a revoked chunk would waste. Ports without cheap polling may
+  /// keep the default: lookahead is an optimization, never a
+  /// correctness requirement.
+  virtual std::optional<WorkerMessage> try_receive() { return std::nullopt; }
 };
 
 /// Runs the worker protocol until the port closes. Payload buffers cycle

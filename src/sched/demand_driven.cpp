@@ -20,6 +20,7 @@ int kind_rank(sim::CommKind kind) {
     case sim::CommKind::kRecvC: return 0;
     case sim::CommKind::kSendC: return 1;
     case sim::CommKind::kSendAB: return 2;
+    case sim::CommKind::kCancel: return 3;  // wrappers only; never ranked here
   }
   return 3;
 }
@@ -83,6 +84,8 @@ sim::Decision DemandDrivenScheduler::next(const sim::ExecutionView& view) {
       return sim::Decision::send_operands(best_worker);
     case sim::CommKind::kRecvC:
       return sim::Decision::recv_result(best_worker);
+    case sim::CommKind::kCancel:
+      break;  // cancels are issued by speculation wrappers, never here
   }
   HMXP_CHECK(false, "unreachable");
   return sim::Decision::done();

@@ -104,6 +104,16 @@ std::optional<sim::Decision> FaultTolerantScheduler::reissue(
     const sim::ExecutionView& view) {
   if (orphans_.empty()) return std::nullopt;
 
+  // A dead worker's chunk may not be lost at all: a speculation wrapper
+  // can have duplicated it, and the surviving twin inherited sole
+  // ownership when the owner died. Such a rectangle is still fully
+  // assigned on the view, and re-issuing it would double-assign its C
+  // blocks -- drop those orphans (backends without coverage
+  // introspection report rect_assigned() == false and keep re-issuing).
+  while (!orphans_.empty() && view.rect_assigned(orphans_.front().rect))
+    orphans_.pop_front();
+  if (orphans_.empty()) return std::nullopt;
+
   // Best survivor to adopt the chunk: free, alive, and minimal
   // estimated completion under the CALIBRATED speeds -- a worker that
   // drifted slow adopts orphans last, whatever its static w_i says.

@@ -110,6 +110,8 @@ sim::Decision MinMinScheduler::next(const sim::ExecutionView& view) {
       return sim::Decision::send_operands(best_worker);
     case sim::CommKind::kRecvC:
       return sim::Decision::recv_result(best_worker);
+    case sim::CommKind::kCancel:
+      break;  // cancels are issued by speculation wrappers, never here
   }
   HMXP_CHECK(false, "unreachable");
   return sim::Decision::done();

@@ -1,0 +1,344 @@
+#include "sched/speculative.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <mutex>
+
+#include "sched/demand_driven.hpp"
+#include "sched/fault_tolerant.hpp"
+#include "sched/min_min.hpp"
+#include "sched/registry.hpp"
+#include "util/check.hpp"
+
+namespace hmxp::sched {
+
+namespace {
+
+constexpr model::Time kNever = std::numeric_limits<model::Time>::infinity();
+
+std::mutex& options_mutex() {
+  static std::mutex mutex;
+  return mutex;
+}
+
+SpeculationOptions& options_slot() {
+  static SpeculationOptions options;
+  return options;
+}
+
+bool same_rect(const matrix::BlockRect& a, const matrix::BlockRect& b) {
+  return a.i0 == b.i0 && a.i1 == b.i1 && a.j0 == b.j0 && a.j1 == b.j1;
+}
+
+}  // namespace
+
+void set_default_speculation_options(const SpeculationOptions& options) {
+  const std::lock_guard<std::mutex> lock(options_mutex());
+  options_slot() = options;
+}
+
+SpeculationOptions default_speculation_options() {
+  const std::lock_guard<std::mutex> lock(options_mutex());
+  return options_slot();
+}
+
+SpeculativeScheduler::SpeculativeScheduler(std::string name,
+                                           std::unique_ptr<sim::Scheduler> inner,
+                                           SpeculationOptions options)
+    : name_(std::move(name)), inner_(std::move(inner)), options_(options) {
+  HMXP_REQUIRE(inner_ != nullptr, "speculative wrapper needs a policy");
+  HMXP_REQUIRE(options_.drift_threshold > 1.0,
+               "speculation threshold must exceed nominal drift (1.0)");
+}
+
+bool SpeculativeScheduler::in_pair(int worker) const {
+  for (const Pair& pair : pairs_)
+    if (pair.primary == worker || pair.duplicate == worker) return true;
+  return false;
+}
+
+std::optional<sim::Decision> SpeculativeScheduler::resolve_pairs(
+    const sim::ExecutionView& view) {
+  for (std::size_t i = 0; i < pairs_.size(); ++i) {
+    const Pair pair = pairs_[i];
+    const sim::WorkerProgress& primary = view.progress(pair.primary);
+    const sim::WorkerProgress& duplicate = view.progress(pair.duplicate);
+
+    // First completion: whoever's returned-chunk count moved past its
+    // race-start value committed the blocks; the other copy is now a
+    // zombie the backend refuses to collect -- revoke it.
+    const bool primary_won = primary.chunks_returned > pair.returned_primary;
+    const bool duplicate_won =
+        duplicate.chunks_returned > pair.returned_duplicate;
+    if (primary_won || duplicate_won) {
+      const int loser = primary_won ? pair.duplicate : pair.primary;
+      pairs_.erase(pairs_.begin() + static_cast<std::ptrdiff_t>(i));
+      const sim::WorkerProgress& lost = view.progress(loser);
+      if (view.alive(loser) && lost.has_chunk &&
+          same_rect(lost.chunk.rect, pair.plan.rect))
+        return sim::Decision::cancel(loser);
+      --i;  // a dead loser needs nothing; re-examine the shifted slot
+      continue;
+    }
+
+    // A broken race: one member died mid-flight. The backend already
+    // handed sole ownership to the surviving twin (or rolled the
+    // coverage back if both are gone -- the FT layer's orphan path).
+    if (!view.alive(pair.primary) && view.alive(pair.duplicate)) {
+      // The survivor is the DUPLICATE, whose SendC the FT layer below
+      // never saw: adopt its shadow so a second death still re-issues.
+      if (duplicate.has_chunk && same_rect(duplicate.chunk.rect,
+                                           pair.plan.rect))
+        adopted_[static_cast<std::size_t>(pair.duplicate)] =
+            Adopted{pair.plan, pair.returned_duplicate};
+      pairs_.erase(pairs_.begin() + static_cast<std::ptrdiff_t>(i));
+      --i;
+      continue;
+    }
+    if (!view.alive(pair.duplicate)) {
+      // Duplicate lost (primary too, possibly): the primary's copy is
+      // whatever layer issued it's problem (FT shadow or plain failure).
+      pairs_.erase(pairs_.begin() + static_cast<std::ptrdiff_t>(i));
+      --i;
+    }
+  }
+
+  // Adopted shadows: confirm completions, orphan chunks whose holder
+  // died (unless the rectangle somehow stayed assigned -- then another
+  // copy survives and re-issuing would double-assign it).
+  for (std::size_t w = 0; w < adopted_.size(); ++w) {
+    if (!adopted_[w].has_value()) continue;
+    const sim::WorkerProgress& progress =
+        view.progress(static_cast<int>(w));
+    if (progress.chunks_returned > adopted_[w]->returned_before) {
+      adopted_[w].reset();
+      continue;
+    }
+    if (!view.alive(static_cast<int>(w))) {
+      if (!view.rect_assigned(adopted_[w]->plan.rect))
+        orphans_.push_back(adopted_[w]->plan);
+      adopted_[w].reset();
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<sim::Decision> SpeculativeScheduler::reissue(
+    const sim::ExecutionView& view) {
+  while (!orphans_.empty() && view.rect_assigned(orphans_.front().rect))
+    orphans_.pop_front();
+  if (orphans_.empty()) return std::nullopt;
+
+  // Same adoption rule as the FT layer: the free survivor with the best
+  // estimated completion under the CALIBRATED speeds.
+  const sim::ChunkPlan& orphan = orphans_.front();
+  const double updates = static_cast<double>(orphan.total_updates());
+  int target = -1;
+  model::Time best_finish = kNever;
+  for (int worker = 0; worker < view.worker_count(); ++worker) {
+    if (!view.alive(worker) || view.progress(worker).has_chunk) continue;
+    if (in_pair(worker)) continue;
+    const model::Time start =
+        view.earliest_start(worker, sim::CommKind::kSendC);
+    if (start >= kNever) continue;
+    const platform::WorkerSpec& spec = view.platform().worker(worker);
+    const model::Time finish =
+        start +
+        2.0 * static_cast<double>(orphan.rect.count()) * spec.c +
+        updates * view.calibrated_w(worker);
+    if (finish < best_finish) {
+      best_finish = finish;
+      target = worker;
+    }
+  }
+  if (target < 0) return std::nullopt;  // every survivor is busy; wait
+
+  std::vector<sim::ChunkPlan> pieces =
+      replan_for_memory(orphan, view.platform().worker(target).m);
+  orphans_.pop_front();
+  HMXP_CHECK(!pieces.empty(), "re-planning produced no chunks");
+  for (std::size_t i = pieces.size(); i > 1; --i)
+    orphans_.push_front(std::move(pieces[i - 1]));
+  return sim::Decision::send_chunk(target, std::move(pieces.front()));
+}
+
+std::optional<sim::Decision> SpeculativeScheduler::speculate(
+    const sim::ExecutionView& view) {
+  // The worst straggler past the threshold: alive, sitting on a chunk
+  // it owns outright (not already racing), and drifted. The chunk need
+  // NOT be fully fed yet -- the duplicate gets its own operand feed, so
+  // a straggler throttled by double-buffered streaming (each slow step
+  // delays the next operand batch) is duplicated just as readily.
+  int straggler = -1;
+  double worst = options_.drift_threshold;
+  for (int s = 0; s < view.worker_count(); ++s) {
+    if (!view.alive(s)) continue;
+    const sim::WorkerProgress& progress = view.progress(s);
+    if (!progress.has_chunk) continue;
+    if (progress.chunk_speculative || progress.twin >= 0 || in_pair(s))
+      continue;
+    if (view.observed_drift(s) >= worst) {
+      worst = view.observed_drift(s);
+      straggler = s;
+    }
+  }
+  if (straggler < 0) return std::nullopt;
+
+  // Pessimistic straggler estimate: the whole chunk recomputed at its
+  // calibrated (drifted) speed from now. The duplicate must beat that
+  // from a cold start -- C out, every operand re-fed by the inner
+  // policy, the full recompute, C back.
+  const sim::WorkerProgress& progress = view.progress(straggler);
+  const double updates = static_cast<double>(progress.chunk.total_updates());
+  const model::Time straggler_finish =
+      view.now() + updates * view.calibrated_w(straggler);
+
+  int target = -1;
+  model::Time best_finish = straggler_finish;
+  for (int w = 0; w < view.worker_count(); ++w) {
+    if (w == straggler || !view.alive(w)) continue;
+    if (view.progress(w).has_chunk || in_pair(w)) continue;
+    // The duplicate must run the IDENTICAL plan (bit-for-bit C), so the
+    // plan has to fit as-is: splitting would reassociate the k sums.
+    if (progress.chunk.peak_buffers() > view.platform().worker(w).m)
+      continue;
+    const model::Time start = view.earliest_start(w, sim::CommKind::kSendC);
+    if (start >= kNever) continue;
+    const platform::WorkerSpec& spec = view.platform().worker(w);
+    const model::Time finish =
+        std::max(view.now(), start) +
+        2.0 * static_cast<double>(progress.chunk.rect.count()) * spec.c +
+        updates * view.calibrated_w(w);
+    if (finish < best_finish) {
+      best_finish = finish;
+      target = w;
+    }
+  }
+  if (target < 0) return std::nullopt;  // no copy would win the race
+
+  pairs_.push_back(Pair{straggler, target, progress.chunk,
+                        progress.chunks_returned,
+                        view.progress(target).chunks_returned});
+  return sim::Decision::send_chunk_speculative(target, progress.chunk);
+}
+
+sim::Decision SpeculativeScheduler::redirect_recv(
+    const sim::ExecutionView& view, sim::Decision decision) const {
+  const int x = decision.worker;
+
+  // A racing pair member: never park the master on the copy the static
+  // model happens to rank first -- drive the race to its first
+  // completion instead. Feed the twin's missing steps, then block on
+  // whichever member calibration expects to finish first.
+  for (const Pair& pair : pairs_) {
+    if (pair.primary != x && pair.duplicate != x) continue;
+    const int other = pair.primary == x ? pair.duplicate : pair.primary;
+    const sim::WorkerProgress& twin = view.progress(other);
+    if (!view.alive(other) || !twin.has_chunk ||
+        !same_rect(twin.chunk.rect, pair.plan.rect))
+      return decision;  // broken race; resolve_pairs owns it next turn
+    if (!twin.all_steps_received())
+      return sim::Decision::send_operands(other);
+    if (view.observed_drift(other) < view.observed_drift(x))
+      return sim::Decision::recv_result(other);
+    return decision;
+  }
+
+  // A plain drifted worker: while some less-drifted fully-fed chunk is
+  // collectible, collect that one first. The straggler's RecvC comes
+  // back around once nothing faster remains -- or never, if a duplicate
+  // out-races it in the meantime.
+  if (view.observed_drift(x) < options_.drift_threshold) return decision;
+  int best = -1;
+  double best_drift = options_.drift_threshold;
+  for (int w = 0; w < view.worker_count(); ++w) {
+    if (w == x || !view.alive(w) || in_pair(w)) continue;
+    const sim::WorkerProgress& progress = view.progress(w);
+    if (!progress.all_steps_received() || progress.chunk_speculative)
+      continue;
+    if (view.observed_drift(w) < best_drift) {
+      best_drift = view.observed_drift(w);
+      best = w;
+    }
+  }
+  if (best >= 0) return sim::Decision::recv_result(best);
+  return decision;
+}
+
+sim::Decision SpeculativeScheduler::next(const sim::ExecutionView& view) {
+  const auto workers = static_cast<std::size_t>(view.worker_count());
+  if (adopted_.size() != workers) adopted_.assign(workers, std::nullopt);
+
+  // Resolution first: a zombie must be revoked before the inner policy
+  // could try to collect it, and broken races must be re-shadowed
+  // before any new decision builds on them.
+  if (std::optional<sim::Decision> cancel = resolve_pairs(view))
+    return *cancel;
+  if (std::optional<sim::Decision> rescue = reissue(view))
+    return *rescue;
+  if (std::optional<sim::Decision> duplicate = speculate(view))
+    return *duplicate;
+  sim::Decision decision = inner_->next(view);
+  if (decision.kind == sim::Decision::Kind::kComm &&
+      decision.comm == sim::CommKind::kRecvC)
+    return redirect_recv(view, decision);
+  return decision;
+}
+
+std::unique_ptr<sim::Scheduler> make_speculative(
+    std::string name, std::unique_ptr<sim::Scheduler> inner,
+    SpeculationOptions options) {
+  return std::make_unique<SpeculativeScheduler>(std::move(name),
+                                                std::move(inner), options);
+}
+
+// Self-registrations: speculation over the demand-driven family, plain
+// and composed over fault tolerance (speculation outermost, so its
+// duplicate bookkeeping sees every decision that reaches the backend).
+
+HMXP_REGISTER_ALGORITHM(
+    sp_oddoml, "SP-ODDOML",
+    "speculative demand-driven (duplicates stragglers)", 15,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return make_speculative(
+          "SP-ODDOML", std::make_unique<DemandDrivenScheduler>(
+                           make_oddoml(platform, partition)));
+    });
+
+HMXP_REGISTER_ALGORITHM(
+    sp_ommoml, "SP-OMMOML",
+    "speculative calibrated min-min (duplicates stragglers)", 16,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return make_speculative(
+          "SP-OMMOML", std::make_unique<MinMinScheduler>(
+                           make_ommoml_calibrated(platform, partition)));
+    });
+
+HMXP_REGISTER_ALGORITHM(
+    sp_ft_oddoml, "SP-FT-ODDOML",
+    "speculative + fault-tolerant demand-driven", 17,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return make_speculative(
+          "SP-FT-ODDOML",
+          make_fault_tolerant("FT-ODDOML",
+                              std::make_unique<DemandDrivenScheduler>(
+                                  make_oddoml(platform, partition))));
+    });
+
+HMXP_REGISTER_ALGORITHM(
+    sp_ft_ommoml, "SP-FT-OMMOML",
+    "speculative + fault-tolerant calibrated min-min", 18,
+    [](const platform::Platform& platform, const matrix::Partition& partition,
+       HetSelection*) -> std::unique_ptr<sim::Scheduler> {
+      return make_speculative(
+          "SP-FT-OMMOML",
+          make_fault_tolerant("FT-OMMOML",
+                              std::make_unique<MinMinScheduler>(
+                                  make_ommoml_calibrated(platform,
+                                                         partition))));
+    });
+
+}  // namespace hmxp::sched

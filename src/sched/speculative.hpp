@@ -1,0 +1,139 @@
+// Speculative wrapper policy: proactive straggler mitigation by
+// redundant chunk execution with cancel-on-first-completion.
+//
+// The wrapper watches the view's calibration feedback. Once a worker's
+// observed drift (EWMA per-update cost over its own baseline) crosses
+// the configured threshold while it sits on an in-flight chunk, the
+// wrapper estimates when the straggler will finish under its CALIBRATED
+// speed and when the best idle survivor could deliver the same chunk
+// from scratch (C out + identical plan recompute + C back). If the
+// duplicate wins the race on paper, the wrapper issues a speculative
+// SendC: the backend links the two workers as twins over the SAME
+// rectangle (no new coverage is claimed), the inner policy feeds and
+// collects both copies naturally, the FIRST completion commits the
+// blocks, and the loser's now-zombie copy is revoked with a non-fatal
+// cancel -- the cancelled worker keeps its territory and its next
+// chunk. Because the duplicate runs the IDENTICAL plan (same k-step
+// structure, never split), the committed C is bit-for-bit the same
+// whichever copy wins.
+//
+// Rules of engagement:
+//   * speculation can fire at ANY point of the run, not just the tail:
+//     an online master serializes on the straggler's endpoint chunk
+//     after chunk, so waiting for the last assignment would miss every
+//     mid-run slowdown. The race estimate already prices the insurance
+//     copy (an idle survivor only duplicates when its COLD-START finish
+//     beats the straggler's calibrated one), and the drift threshold
+//     keeps healthy platforms duplicate-free;
+//   * one duplicate per chunk, and a worker participates in at most one
+//     race at a time;
+//   * the duplicate target must hold the identical plan in memory
+//     (peak_buffers <= m); chunks that would need splitting are never
+//     duplicated -- a split would reassociate k-sums and break the
+//     bit-for-bit guarantee;
+//   * composition with fault tolerance (SP over FT-*): if a race
+//     member dies, the backend hands sole ownership to the surviving
+//     twin. The FT layer below never saw the duplicate's SendC, so the
+//     wrapper adopts a shadow of every duplicate-inherited chunk and
+//     re-issues it itself if that survivor also dies (the FT layer
+//     skips rectangles that are still assigned -- see
+//     ExecutionView::rect_assigned -- so the two layers never
+//     double-issue);
+//   * the wrapper also REORDERS the inner policy's collections: a
+//     RecvC aimed at a drifted worker (or a racing pair member) is
+//     redirected while a less-drifted fully-fed chunk is collectible.
+//     The online master BLOCKS for real on the worker a RecvC names,
+//     and its model mirror projects with static speeds -- without the
+//     redirect it would park on the straggler's endpoint while the
+//     survivors finish, and no worker would ever be idle for a
+//     duplicate. Drift-free the redirect never engages, so the wrapper
+//     stays a bit-exact pass-through of the inner policy.
+//
+// Registered as SP-ODDOML / SP-OMMOML (plain inner policies) and
+// SP-FT-ODDOML / SP-FT-OMMOML (speculation over fault tolerance).
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/scheduler.hpp"
+
+namespace hmxp::sched {
+
+/// Tuning knobs for the speculation wrapper.
+struct SpeculationOptions {
+  /// Observed-drift ratio at which a worker counts as a straggler. The
+  /// default doubles the paper's nominal speed: transient noise stays
+  /// below it, a genuine 4x slowdown crosses it within a few steps.
+  double drift_threshold = 2.0;
+};
+
+/// Process-wide default consumed by registry-built SP-* schedulers (the
+/// registry's builder signature is fixed and cannot carry options).
+/// Thread-safe; set it before building the scheduler.
+void set_default_speculation_options(const SpeculationOptions& options);
+SpeculationOptions default_speculation_options();
+
+class SpeculativeScheduler final : public sim::Scheduler {
+ public:
+  SpeculativeScheduler(
+      std::string name, std::unique_ptr<sim::Scheduler> inner,
+      SpeculationOptions options = default_speculation_options());
+
+  std::string name() const override { return name_; }
+  sim::Decision next(const sim::ExecutionView& view) override;
+
+  /// Races currently in flight (for tests/diagnostics).
+  std::size_t active_pairs() const { return pairs_.size(); }
+
+ private:
+  /// One speculation race: the straggler, its duplicate, and both
+  /// workers' returned-chunk counts at race start (the view's counts
+  /// moving past these is the proof of a first completion -- a returned
+  /// RecvC decision proves nothing under the online backend's
+  /// mid-decision rollback).
+  struct Pair {
+    int primary = -1;
+    int duplicate = -1;
+    sim::ChunkPlan plan;
+    model::BlockCount returned_primary = 0;
+    model::BlockCount returned_duplicate = 0;
+  };
+
+  /// Shadow of a chunk a surviving duplicate inherited when its primary
+  /// died: the FT layer below never tracked it, so this wrapper must
+  /// re-issue it if the survivor dies too.
+  struct Adopted {
+    sim::ChunkPlan plan;
+    model::BlockCount returned_before = 0;
+  };
+
+  std::string name_;
+  std::unique_ptr<sim::Scheduler> inner_;
+  SpeculationOptions options_;
+  std::vector<Pair> pairs_;
+  std::vector<std::optional<Adopted>> adopted_;  // lazily sized
+  std::deque<sim::ChunkPlan> orphans_;
+
+  bool in_pair(int worker) const;
+  /// Resolves finished/broken races; may return the loser's cancel.
+  std::optional<sim::Decision> resolve_pairs(const sim::ExecutionView& view);
+  /// Re-issues duplicate-inherited chunks whose holder died.
+  std::optional<sim::Decision> reissue(const sim::ExecutionView& view);
+  /// Starts a new race when a straggler crosses the drift threshold.
+  std::optional<sim::Decision> speculate(const sim::ExecutionView& view);
+  /// Reroutes an inner RecvC that would park the master on a drifted
+  /// worker or stall a race (see the header comment).
+  sim::Decision redirect_recv(const sim::ExecutionView& view,
+                              sim::Decision decision) const;
+};
+
+/// Wraps `inner` (takes ownership) under the given display name.
+std::unique_ptr<sim::Scheduler> make_speculative(
+    std::string name, std::unique_ptr<sim::Scheduler> inner,
+    SpeculationOptions options = default_speculation_options());
+
+}  // namespace hmxp::sched

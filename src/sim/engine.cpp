@@ -86,6 +86,11 @@ model::Time Engine::earliest_start(int worker, CommKind kind) const {
       if (!state.has_chunk || !state.all_steps_received()) return kNever;
       return std::max(state_.port_free, state.chunk_compute_finish());
     }
+    case CommKind::kCancel:
+      // A cancel frame is control traffic: feasible whenever the worker
+      // holds a chunk, regardless of its compute progress.
+      if (!state.has_chunk) return kNever;
+      return state_.port_free;
   }
   return kNever;
 }
@@ -110,6 +115,10 @@ model::Time Engine::comm_duration(int worker, CommKind kind) const {
     case CommKind::kRecvC:
       HMXP_REQUIRE(state.has_chunk, "no active chunk");
       return static_cast<double>(state.chunk.rect.count()) * link;
+    case CommKind::kCancel:
+      // A few bytes against block-sized payloads: free in block units.
+      HMXP_REQUIRE(state.has_chunk, "no active chunk");
+      return 0.0;
   }
   return kNever;
 }
@@ -129,13 +138,17 @@ model::Time Engine::execute(const Decision& decision) {
   model::Time end = kNever;
   switch (decision.comm) {
     case CommKind::kSendC:
-      end = execute_send_chunk(decision.worker, decision.chunk);
+      end = execute_send_chunk(decision.worker, decision.chunk,
+                               decision.speculative);
       break;
     case CommKind::kSendAB:
       end = execute_send_operands(decision.worker);
       break;
     case CommKind::kRecvC:
       end = execute_recv_result(decision.worker);
+      break;
+    case CommKind::kCancel:
+      end = execute_cancel(decision.worker);
       break;
   }
   // Failures surface at decision boundaries: every event the port clock
@@ -160,26 +173,40 @@ void Engine::fail_worker(int worker) {
   if (!state.alive) return;
   state.alive = false;
   if (state.has_chunk) {
-    // The chunk returns to the pending set: clear its coverage so a
-    // fault-tolerant policy can re-assign the blocks, and roll back the
-    // updates its delivered batches enabled (they will be recomputed by
-    // the re-assignment; only returned results count). The port time
-    // already spent on it stays in comm_blocks -- lost work is not free.
-    const matrix::BlockRect& rect = state.chunk.rect;
-    const matrix::Partition& partition = context_->partition();
-    for (std::size_t i = rect.i0; i < rect.i1; ++i) {
-      for (std::size_t j = rect.j0; j < rect.j1; ++j) {
-        const std::size_t index = i * partition.s() + j;
-        HMXP_CHECK(state_.assigned[index], "failed chunk was not assigned");
-        state_.assigned[index] = false;
+    if (state.twin >= 0) {
+      // A speculative twin holds an identical copy: the surviving copy
+      // inherits sole ownership of the rect, so coverage stays intact
+      // and nothing needs re-issuing.
+      WorkerProgress& twin = progress_mut(state.twin);
+      twin.twin = -1;
+      if (!state.chunk_speculative) twin.chunk_speculative = false;
+    } else if (!state.chunk_speculative) {
+      // The chunk returns to the pending set: clear its coverage so a
+      // fault-tolerant policy can re-assign the blocks, and roll back the
+      // updates its delivered batches enabled (they will be recomputed by
+      // the re-assignment; only returned results count). The port time
+      // already spent on it stays in comm_blocks -- lost work is not free.
+      const matrix::BlockRect& rect = state.chunk.rect;
+      const matrix::Partition& partition = context_->partition();
+      for (std::size_t i = rect.i0; i < rect.i1; ++i) {
+        for (std::size_t j = rect.j0; j < rect.j1; ++j) {
+          const std::size_t index = i * partition.s() + j;
+          HMXP_CHECK(state_.assigned[index], "failed chunk was not assigned");
+          state_.assigned[index] = false;
+        }
       }
+      state_.unassigned_blocks +=
+          static_cast<model::BlockCount>(rect.count());
     }
-    state_.unassigned_blocks += static_cast<model::BlockCount>(rect.count());
+    // else: a zombie (its rect already committed by the twin's first
+    // completion) -- nothing to roll back but the delivered updates.
     for (std::size_t n = 0; n < state.steps_received; ++n)
       state_.updates_done -= state.chunk.steps[n].updates;
     --state_.chunks_outstanding;
     state.chunks_lost += 1;
     state.has_chunk = false;
+    state.chunk_speculative = false;
+    state.twin = -1;
     state.steps_received = 0;
     state.recv_end.clear();
     state.compute_end.clear();
@@ -191,7 +218,8 @@ model::Time Engine::calibrated_w(int worker) const {
   return state.speed.value_or(context_->platform().worker(worker).w);
 }
 
-model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
+model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan,
+                                       bool speculative) {
   WorkerProgress& state = progress_mut(worker);
   const platform::WorkerSpec& spec = context_->platform().worker(worker);
   const matrix::Partition& partition = context_->partition();
@@ -207,15 +235,46 @@ model::Time Engine::execute_send_chunk(int worker, const ChunkPlan& plan) {
                      static_cast<model::BlockCount>(partition.t()),
              "chunk steps do not cover all t updates of every block");
 
-  // Coverage bookkeeping: every block must be assigned exactly once.
-  for (std::size_t i = plan.rect.i0; i < plan.rect.i1; ++i) {
-    for (std::size_t j = plan.rect.j0; j < plan.rect.j1; ++j) {
-      const std::size_t index = i * partition.s() + j;
-      HMXP_CHECK(!state_.assigned[index], "C block assigned twice");
-      state_.assigned[index] = true;
+  if (speculative) {
+    // A duplicate of another worker's in-flight chunk: the rect is
+    // already assigned to the primary, which must exist, be untwinned
+    // and still own its coverage. The two workers become twins; the
+    // first completion commits the rect, the loser is cancelled.
+    int primary = -1;
+    for (int other = 0; other < worker_count(); ++other) {
+      if (other == worker) continue;
+      const WorkerProgress& candidate = progress(other);
+      if (candidate.alive && candidate.has_chunk &&
+          candidate.chunk.rect.i0 == plan.rect.i0 &&
+          candidate.chunk.rect.i1 == plan.rect.i1 &&
+          candidate.chunk.rect.j0 == plan.rect.j0 &&
+          candidate.chunk.rect.j1 == plan.rect.j1) {
+        primary = other;
+        break;
+      }
     }
+    HMXP_CHECK(primary >= 0, "speculative chunk duplicates no in-flight rect");
+    WorkerProgress& owner = progress_mut(primary);
+    HMXP_CHECK(owner.twin < 0, "chunk already has a speculative duplicate");
+    HMXP_CHECK(!owner.chunk_speculative,
+               "cannot duplicate an already-committed (zombie) chunk");
+    HMXP_CHECK(rect_assigned(plan.rect),
+               "speculative chunk over unassigned blocks");
+    owner.twin = worker;
+    state.twin = primary;
+    state.chunk_speculative = true;
+  } else {
+    // Coverage bookkeeping: every block must be assigned exactly once.
+    for (std::size_t i = plan.rect.i0; i < plan.rect.i1; ++i) {
+      for (std::size_t j = plan.rect.j0; j < plan.rect.j1; ++j) {
+        const std::size_t index = i * partition.s() + j;
+        HMXP_CHECK(!state_.assigned[index], "C block assigned twice");
+        state_.assigned[index] = true;
+      }
+    }
+    state_.unassigned_blocks -=
+        static_cast<model::BlockCount>(plan.rect.count());
   }
-  state_.unassigned_blocks -= static_cast<model::BlockCount>(plan.rect.count());
 
   const model::Time start = std::max(state_.port_free, state.ready_for_chunk);
   const model::Time duration = static_cast<double>(plan.rect.count()) *
@@ -302,6 +361,8 @@ model::Time Engine::execute_recv_result(int worker) {
   HMXP_CHECK(state.has_chunk, "result requested from a worker with no chunk");
   HMXP_CHECK(state.all_steps_received(),
              "result requested before all operand steps were sent");
+  HMXP_CHECK(!(state.chunk_speculative && state.twin < 0),
+             "result collected from a cancelled (zombie) duplicate");
 
   const model::Time start = earliest_start(worker, CommKind::kRecvC);
   HMXP_CHECK(start < kNever, "RecvC infeasible");
@@ -310,7 +371,18 @@ model::Time Engine::execute_recv_result(int worker) {
       start + static_cast<double>(blocks) * spec.c *
                   context_->slowdown().bandwidth_factor(worker, start);
 
+  if (state.twin >= 0) {
+    // First completion of a twinned pair commits the rect; the loser
+    // becomes a zombie awaiting cancellation (its eventual result, if
+    // any, must never be collected).
+    WorkerProgress& twin = progress_mut(state.twin);
+    twin.twin = -1;
+    twin.chunk_speculative = true;
+  }
+
   state.has_chunk = false;
+  state.chunk_speculative = false;
+  state.twin = -1;
   state.ready_for_chunk = end;
   state.steps_received = 0;
   state.recv_end.clear();
@@ -324,6 +396,72 @@ model::Time Engine::execute_recv_result(int worker) {
   if (record_trace_)
     trace_.record_comm(CommEvent{worker, CommKind::kRecvC, start, end, blocks});
   return end;
+}
+
+model::Time Engine::execute_cancel(int worker) {
+  WorkerProgress& state = progress_mut(worker);
+
+  HMXP_CHECK(state.has_chunk, "cancel sent to a worker with no chunk");
+
+  const model::Time start = earliest_start(worker, CommKind::kCancel);
+  HMXP_CHECK(start < kNever, "cancel infeasible");
+  const model::Time end = start;  // control frame: free in block units
+
+  if (state.twin >= 0) {
+    // Cancelling one copy of an uncommitted pair: the surviving copy
+    // inherits sole ownership of the rect.
+    WorkerProgress& twin = progress_mut(state.twin);
+    twin.twin = -1;
+    if (!state.chunk_speculative) twin.chunk_speculative = false;
+  } else if (!state.chunk_speculative) {
+    // Sole owner revoked: the rect returns to the pending set, exactly
+    // like a failed worker's chunk -- except the worker stays alive.
+    const matrix::BlockRect& rect = state.chunk.rect;
+    const matrix::Partition& partition = context_->partition();
+    for (std::size_t i = rect.i0; i < rect.i1; ++i) {
+      for (std::size_t j = rect.j0; j < rect.j1; ++j) {
+        const std::size_t index = i * partition.s() + j;
+        HMXP_CHECK(state_.assigned[index], "cancelled chunk was not assigned");
+        state_.assigned[index] = false;
+      }
+    }
+    state_.unassigned_blocks +=
+        static_cast<model::BlockCount>(rect.count());
+  }
+  // else: a zombie -- its rect was already committed by the twin.
+
+  // Delivered-but-discarded operand batches are speculation's wasted
+  // work: roll them out of updates_done and into the wasted account.
+  for (std::size_t n = 0; n < state.steps_received; ++n) {
+    state_.updates_done -= state.chunk.steps[n].updates;
+    state_.wasted_updates += state.chunk.steps[n].updates;
+  }
+  --state_.chunks_outstanding;
+  state.chunks_cancelled += 1;
+  state.has_chunk = false;
+  state.chunk_speculative = false;
+  state.twin = -1;
+  state.steps_received = 0;
+  state.recv_end.clear();
+  state.compute_end.clear();
+  // The worker drops the chunk on receipt and is immediately ready for
+  // a new one; it keeps its territory.
+  state.ready_for_chunk = std::max(state.ready_for_chunk, end);
+
+  state_.port_free = end;
+  if (record_trace_)
+    trace_.record_comm(CommEvent{worker, CommKind::kCancel, start, end, 0});
+  return end;
+}
+
+bool Engine::rect_assigned(const matrix::BlockRect& rect) const {
+  const matrix::Partition& partition = context_->partition();
+  for (std::size_t i = rect.i0; i < rect.i1; ++i) {
+    for (std::size_t j = rect.j0; j < rect.j1; ++j) {
+      if (!state_.assigned[i * partition.s() + j]) return false;
+    }
+  }
+  return true;
 }
 
 bool Engine::all_work_done() const {

@@ -73,6 +73,7 @@ class Engine final : public ExecutionView {
   model::BlockCount unassigned_blocks() const override {
     return state_.unassigned_blocks;
   }
+  bool rect_assigned(const matrix::BlockRect& rect) const override;
   model::BlockCount updates_total() const override {
     return state_.updates_done;
   }
@@ -135,9 +136,11 @@ class Engine final : public ExecutionView {
   EngineState state_;
   Trace trace_;
 
-  model::Time execute_send_chunk(int worker, const ChunkPlan& plan);
+  model::Time execute_send_chunk(int worker, const ChunkPlan& plan,
+                                 bool speculative);
   model::Time execute_send_operands(int worker);
   model::Time execute_recv_result(int worker);
+  model::Time execute_cancel(int worker);
   WorkerProgress& progress_mut(int worker);
   /// Applies every FaultSchedule event whose time has passed the port
   /// clock (called at the end of each execute(), so failures surface at

@@ -19,6 +19,12 @@ Decision Decision::send_chunk(int worker, ChunkPlan plan) {
   return decision;
 }
 
+Decision Decision::send_chunk_speculative(int worker, ChunkPlan plan) {
+  Decision decision = send_chunk(worker, std::move(plan));
+  decision.speculative = true;
+  return decision;
+}
+
 Decision Decision::send_operands(int worker) {
   Decision decision;
   decision.kind = Kind::kComm;
@@ -31,6 +37,14 @@ Decision Decision::recv_result(int worker) {
   Decision decision;
   decision.kind = Kind::kComm;
   decision.comm = CommKind::kRecvC;
+  decision.worker = worker;
+  return decision;
+}
+
+Decision Decision::cancel(int worker) {
+  Decision decision;
+  decision.kind = Kind::kComm;
+  decision.comm = CommKind::kCancel;
   decision.worker = worker;
   return decision;
 }

@@ -36,11 +36,20 @@ struct Decision {
   CommKind comm = CommKind::kSendC;
   int worker = -1;
   ChunkPlan chunk;  // payload for kSendC only
+  /// SendC only: this chunk duplicates another worker's in-flight chunk
+  /// (straggler speculation). The backend skips the coverage claim -- the
+  /// rect is already assigned to the primary -- and links the two workers
+  /// as twins so the first completion commits and the loser is cancelled.
+  bool speculative = false;
 
   static Decision done();
   static Decision send_chunk(int worker, ChunkPlan plan);
+  static Decision send_chunk_speculative(int worker, ChunkPlan plan);
   static Decision send_operands(int worker);
   static Decision recv_result(int worker);
+  /// Revoke the worker's in-flight chunk without killing the worker: it
+  /// drops the chunk, keeps its territory and stays schedulable.
+  static Decision cancel(int worker);
 };
 
 /// Dynamic state of one worker, exposed read-only to schedulers. Times
@@ -60,6 +69,15 @@ struct WorkerProgress {
   std::vector<model::Time> compute_end; // per received step (projected)
   model::Time chunk_arrival = 0.0;      // end of the SendC
   model::Time ready_for_chunk = 0.0;    // end of the last RecvC
+  /// True while the resident chunk does NOT own its rect's coverage: it
+  /// was delivered speculatively (twin >= 0 and the primary still owns
+  /// it), or its rect was already committed by the twin's first
+  /// completion (twin == -1: a zombie awaiting cancellation).
+  bool chunk_speculative = false;
+  /// The other worker holding an identical in-flight copy of this
+  /// chunk, -1 if none. Exactly one of the pair has
+  /// chunk_speculative == false (the coverage owner).
+  int twin = -1;
   /// EWMA of the observed per-update cost in the backend's clock
   /// (ExecutionView::calibrated_w folds it into the w_i projection).
   platform::SpeedEstimate speed;
@@ -73,6 +91,7 @@ struct WorkerProgress {
   model::BlockCount chunks_returned = 0;
   model::BlockCount updates_assigned = 0;
   model::BlockCount chunks_lost = 0;    // in-flight chunks lost to failure
+  model::BlockCount chunks_cancelled = 0;  // in-flight chunks revoked
   model::Time busy_compute = 0.0;
 
   bool all_steps_received() const {
@@ -135,6 +154,10 @@ struct EngineState {
   model::BlockCount updates_done = 0;
   int chunks_outstanding = 0;
   model::BlockCount blocks_returned = 0;
+  /// Updates delivered to workers whose chunk was later cancelled (or
+  /// raced and lost): speculation's wasted-work account. Subtracted from
+  /// updates_done when the losing copy is revoked.
+  model::BlockCount wasted_updates = 0;
   // Fault events of the instance's FaultSchedule already applied (the
   // schedule is sorted by time, so a cursor suffices and snapshots
   // rewind fault application together with everything else).
@@ -171,6 +194,12 @@ class ExecutionView {
 
   /// Blocks of C not yet covered by any assigned chunk.
   virtual model::BlockCount unassigned_blocks() const = 0;
+  /// True iff EVERY block of the rect is currently covered by an
+  /// assigned chunk. Recovery logic uses this to detect that a dead
+  /// worker's chunk survived through a speculative twin (the rect stayed
+  /// assigned) and must not be re-issued. Backends without coverage
+  /// introspection conservatively report false (never skip a re-issue).
+  virtual bool rect_assigned(const matrix::BlockRect&) const { return false; }
   /// Block updates enabled by the operand batches delivered so far.
   virtual model::BlockCount updates_total() const = 0;
   /// True when every C block was assigned, computed, and returned.

@@ -15,6 +15,7 @@ const char* comm_kind_name(CommKind kind) {
     case CommKind::kSendC: return "send-C";
     case CommKind::kSendAB: return "send-AB";
     case CommKind::kRecvC: return "recv-C";
+    case CommKind::kCancel: return "cancel";
   }
   return "?";
 }

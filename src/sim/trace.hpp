@@ -13,7 +13,7 @@
 
 namespace hmxp::sim {
 
-enum class CommKind { kSendC, kSendAB, kRecvC };
+enum class CommKind { kSendC, kSendAB, kRecvC, kCancel };
 
 const char* comm_kind_name(CommKind kind);
 

@@ -14,10 +14,10 @@ matrix::Partition blocks(std::size_t r, std::size_t t, std::size_t s) {
 }
 
 TEST(Registry, AllAlgorithmsRoundTripNames) {
-  // The paper's seven plus the fault-tolerant wrappers and the
-  // calibrated min-min.
+  // The paper's seven plus the fault-tolerant wrappers, the calibrated
+  // min-min, and the straggler-speculation family.
   const auto& algorithms = all_algorithms();
-  ASSERT_EQ(algorithms.size(), 12u);
+  ASSERT_EQ(algorithms.size(), 16u);
   for (const Algorithm& algorithm : algorithms) {
     EXPECT_EQ(algorithm_from_name(algorithm_name(algorithm)), algorithm);
   }
@@ -44,11 +44,13 @@ TEST(Registry, UnknownNameErrorListsValidNames) {
 }
 
 TEST(Registry, PaperPresentationOrder) {
-  // Paper columns first, then the unreliable-platform family.
+  // Paper columns first, then the unreliable-platform family, then the
+  // straggler-speculation wrappers.
   const std::vector<Algorithm> expected = {
-      "Hom",       "HomI",      "Het",       "ORROML",
-      "OMMOML",    "ODDOML",    "BMM",       "FT-ODDOML",
-      "FT-OMMOML", "FT-ORROML", "FT-BMM",    "OMMOML-cal"};
+      "Hom",          "HomI",       "Het",          "ORROML",
+      "OMMOML",       "ODDOML",     "BMM",          "FT-ODDOML",
+      "FT-OMMOML",    "FT-ORROML",  "FT-BMM",       "OMMOML-cal",
+      "SP-ODDOML",    "SP-OMMOML",  "SP-FT-ODDOML", "SP-FT-OMMOML"};
   EXPECT_EQ(all_algorithms(), expected);
   // The figure/table benches keep the paper's seven columns.
   const std::vector<Algorithm> paper = {"Hom",    "HomI",   "Het",

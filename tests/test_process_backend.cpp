@@ -221,11 +221,18 @@ TEST(ProcessBackend, EveryRegisteredSchedulerLiveParityWithThreadTransport) {
     EXPECT_EQ(threaded.report.transport, "thread");
     EXPECT_EQ(forked.report.transport, "process");
 
-    EXPECT_EQ(forked.decisions.size(), threaded.decisions.size());
-    EXPECT_EQ(forked.report.updates_performed,
-              threaded.report.updates_performed);
-    EXPECT_EQ(forked.report.chunks_processed,
-              threaded.report.chunks_processed);
+    // SP-* decision streams react to measured wall drift: a scheduling
+    // hiccup can legitimately trip the speculation gate on one
+    // transport and not the other, adding duplicate/cancel decisions
+    // and wasted twin updates. Their guarantee is the bit-for-bit C
+    // below; the counts are only pinned for drift-blind schedulers.
+    if (algorithm.rfind("SP-", 0) != 0) {
+      EXPECT_EQ(forked.decisions.size(), threaded.decisions.size());
+      EXPECT_EQ(forked.report.updates_performed,
+                threaded.report.updates_performed);
+      EXPECT_EQ(forked.report.chunks_processed,
+                threaded.report.chunks_processed);
+    }
     EXPECT_EQ(matrix::Matrix::max_abs_diff(forked.c, threaded.c), 0.0);
   }
 }

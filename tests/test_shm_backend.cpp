@@ -370,10 +370,18 @@ TEST(ShmBackend, EveryRegisteredSchedulerLiveParityWithThreadTransport) {
     EXPECT_TRUE(shm.report.verified);
     EXPECT_EQ(shm.report.transport, "shm");
 
-    EXPECT_EQ(shm.decisions.size(), threaded.decisions.size());
-    EXPECT_EQ(shm.report.updates_performed,
-              threaded.report.updates_performed);
-    EXPECT_EQ(shm.report.chunks_processed, threaded.report.chunks_processed);
+    // SP-* decision streams react to measured wall drift: a scheduling
+    // hiccup can legitimately trip the speculation gate on one
+    // transport and not the other, adding duplicate/cancel decisions
+    // and wasted twin updates. Their guarantee is the bit-for-bit C
+    // below; the counts are only pinned for drift-blind schedulers.
+    if (algorithm.rfind("SP-", 0) != 0) {
+      EXPECT_EQ(shm.decisions.size(), threaded.decisions.size());
+      EXPECT_EQ(shm.report.updates_performed,
+                threaded.report.updates_performed);
+      EXPECT_EQ(shm.report.chunks_processed,
+                threaded.report.chunks_processed);
+    }
     EXPECT_EQ(matrix::Matrix::max_abs_diff(shm.c, threaded.c), 0.0);
     // Clean runs leave the arena empty.
     EXPECT_EQ(shm.report.transport_stats.arena_leaked_slots, 0u);

@@ -1,0 +1,660 @@
+// Straggler-speculation suite: proactive redundant chunks with
+// cancel-on-first-completion, on both execution backends.
+//
+//   * engine-level twin semantics: a speculative SendC links two workers
+//     over the SAME rectangle without claiming new coverage, the first
+//     RecvC commits the blocks and zombifies the loser, the loser's
+//     cancel is non-fatal (territory kept, worker schedulable) and its
+//     delivered updates move to the wasted-work account;
+//   * composition with failure: whichever race member dies, the
+//     survivor inherits sole ownership and coverage never tears;
+//   * wrapper transparency: on a drift-free instance every SP-*
+//     scheduler decides EXACTLY like its inner policy (simulator) and
+//     issues zero duplicates while producing a verified C (runtime);
+//   * the payoff, deterministically on the simulator: against the
+//     4x heavy-straggler schedule, SP-ODDOML's makespan beats plain
+//     FT-ODDOML's by >= 20% at identical effective updates;
+//   * live cancellation on the threaded runtime: a wall-clock straggler
+//     (fault-hook sleeps) triggers a real duplicate, the loser's copy
+//     is revoked mid-flight, the product stays bit-for-bit equal to the
+//     speculation-free run, and the buffer pool balances to zero leaks;
+//   * the same scenario over forked workers (process and shm): cancel
+//     frames cross real socket/ring data planes, and on shm the arena
+//     ends with zero leaked slots;
+//   * SP over FT: speculation composed with fault tolerance survives
+//     exception kills and a REAL SIGKILL while staying bit-for-bit.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "platform/perturbation.hpp"
+#include "runtime/executor.hpp"
+#include "sched/registry.hpp"
+#include "sim/engine.hpp"
+#include "testing_support.hpp"
+#include "util/rng.hpp"
+
+#if defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define HMXP_TSAN 1
+#endif
+#elif defined(__SANITIZE_THREAD__)
+#define HMXP_TSAN 1
+#endif
+
+#if defined(HMXP_TSAN)
+#define HMXP_SKIP_UNDER_TSAN()                                    \
+  GTEST_SKIP() << "forked worker processes are not supported by " \
+                  "ThreadSanitizer"
+#else
+#define HMXP_SKIP_UNDER_TSAN() \
+  do {                         \
+  } while (false)
+#endif
+
+namespace hmxp {
+namespace {
+
+matrix::Partition stress_partition() {
+  return matrix::Partition(40, 48, 64, 8);  // r=5, t=6, s=8
+}
+constexpr model::BlockCount kStressUpdates = 5 * 8 * 6;
+
+platform::Platform stress_platform() {
+  std::vector<platform::WorkerSpec> specs = {
+      {0.010, 0.0020, 30, "w0"},
+      {0.008, 0.0015, 60, "w1"},
+      {0.012, 0.0010, 140, "w2"},
+      {0.010, 0.0025, 40, "w3"},
+  };
+  return platform::Platform("straggly", specs);
+}
+
+matrix::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                             std::uint64_t seed) {
+  util::Rng rng(seed);
+  return matrix::Matrix::random(rows, cols, rng);
+}
+
+/// SP-* registry names paired with the registry spelling of the inner
+/// policy they wrap (the parity baseline).
+std::vector<std::pair<std::string, std::string>> sp_pairs() {
+  return {{"SP-ODDOML", "ODDOML"},
+          {"SP-OMMOML", "OMMOML-cal"},
+          {"SP-FT-ODDOML", "FT-ODDOML"},
+          {"SP-FT-OMMOML", "FT-OMMOML"}};
+}
+
+// ---- engine-level twin semantics --------------------------------------------
+
+TEST(EngineSpeculation, FirstCompletionCommitsAndCancelRevokesZombie) {
+  const auto plat = stress_platform();
+  const auto part = stress_partition();
+  sim::Engine engine(plat, part);
+  const auto total = static_cast<model::BlockCount>(part.c_blocks());
+
+  const auto plan = sim::make_double_buffered_chunk({0, 2, 0, 2}, part.t());
+  engine.execute(sim::Decision::send_chunk(0, plan));
+  EXPECT_EQ(engine.unassigned_blocks(), total - 4);
+  EXPECT_TRUE(engine.rect_assigned(plan.rect));
+
+  // The duplicate claims NO new coverage and the pair is twinned, with
+  // the primary keeping ownership.
+  engine.execute(sim::Decision::send_chunk_speculative(1, plan));
+  EXPECT_EQ(engine.unassigned_blocks(), total - 4);
+  EXPECT_EQ(engine.progress(0).twin, 1);
+  EXPECT_EQ(engine.progress(1).twin, 0);
+  EXPECT_FALSE(engine.progress(0).chunk_speculative);
+  EXPECT_TRUE(engine.progress(1).chunk_speculative);
+
+  // Feed both copies fully: every delivered batch enables updates, on
+  // the duplicate too (it really computes).
+  for (std::size_t s = 0; s < plan.steps.size(); ++s) {
+    engine.execute(sim::Decision::send_operands(0));
+    engine.execute(sim::Decision::send_operands(1));
+  }
+  const model::BlockCount chunk_updates = plan.total_updates();
+  EXPECT_EQ(engine.updates_total(), 2 * chunk_updates);
+
+  // The duplicate finishes first: its RecvC commits the rect and turns
+  // the primary's copy into a zombie ...
+  engine.execute(sim::Decision::recv_result(1));
+  EXPECT_EQ(engine.progress(1).chunks_returned, 1);
+  EXPECT_FALSE(engine.progress(1).has_chunk);
+  EXPECT_TRUE(engine.progress(0).chunk_speculative);
+  EXPECT_EQ(engine.progress(0).twin, -1);
+  EXPECT_TRUE(engine.rect_assigned(plan.rect));
+
+  // ... which the master must never collect ...
+  EXPECT_THROW(engine.execute(sim::Decision::recv_result(0)),
+               std::logic_error);
+
+  // ... only cancel: non-fatal, coverage intact, the zombie's delivered
+  // updates move to the wasted-work account, and the worker is
+  // immediately schedulable again.
+  engine.execute(sim::Decision::cancel(0));
+  EXPECT_TRUE(engine.alive(0));
+  EXPECT_FALSE(engine.progress(0).has_chunk);
+  EXPECT_EQ(engine.progress(0).chunks_cancelled, 1);
+  EXPECT_EQ(engine.updates_total(), chunk_updates);
+  EXPECT_EQ(engine.snapshot().wasted_updates, chunk_updates);
+  EXPECT_EQ(engine.unassigned_blocks(), total - 4);  // still committed
+
+  const auto next = sim::make_double_buffered_chunk({2, 4, 0, 2}, part.t());
+  engine.execute(sim::Decision::send_chunk(0, next));
+  EXPECT_EQ(engine.unassigned_blocks(), total - 8);
+}
+
+TEST(EngineSpeculation, CancelOfSoleOwnerReturnsRectToPendingSet) {
+  const auto plat = stress_platform();
+  const auto part = stress_partition();
+  sim::Engine engine(plat, part);
+  const auto total = static_cast<model::BlockCount>(part.c_blocks());
+
+  const auto plan = sim::make_double_buffered_chunk({0, 2, 0, 2}, part.t());
+  engine.execute(sim::Decision::send_chunk(0, plan));
+  engine.execute(sim::Decision::send_operands(0));
+  EXPECT_GT(engine.updates_total(), 0);
+
+  // Revoking an untwinned chunk rolls its coverage back -- exactly a
+  // failed worker's rollback, except the worker survives.
+  engine.execute(sim::Decision::cancel(0));
+  EXPECT_TRUE(engine.alive(0));
+  EXPECT_EQ(engine.unassigned_blocks(), total);
+  EXPECT_FALSE(engine.rect_assigned(plan.rect));
+  EXPECT_EQ(engine.updates_total(), 0);
+  EXPECT_GT(engine.snapshot().wasted_updates, 0);
+
+  // The same worker may re-adopt the very same blocks.
+  engine.execute(sim::Decision::send_chunk(0, plan));
+  EXPECT_EQ(engine.unassigned_blocks(), total - 4);
+}
+
+TEST(EngineSpeculation, DeathOfEitherTwinHandsOwnershipToSurvivor) {
+  const auto plat = stress_platform();
+  const auto part = stress_partition();
+  const auto plan = sim::make_double_buffered_chunk({0, 2, 0, 2}, part.t());
+  const auto total = static_cast<model::BlockCount>(part.c_blocks());
+
+  {
+    // Primary dies: the speculative duplicate inherits sole ownership,
+    // coverage stays intact, nothing needs re-issuing.
+    sim::Engine engine(plat, part);
+    engine.execute(sim::Decision::send_chunk(0, plan));
+    engine.execute(sim::Decision::send_chunk_speculative(1, plan));
+    engine.fail_worker(0);
+    EXPECT_EQ(engine.progress(1).twin, -1);
+    EXPECT_FALSE(engine.progress(1).chunk_speculative);  // owner now
+    EXPECT_TRUE(engine.rect_assigned(plan.rect));
+    EXPECT_EQ(engine.unassigned_blocks(), total - 4);
+    for (std::size_t s = 0; s < plan.steps.size(); ++s)
+      engine.execute(sim::Decision::send_operands(1));
+    engine.execute(sim::Decision::recv_result(1));
+    EXPECT_EQ(engine.progress(1).chunks_returned, 1);
+  }
+  {
+    // Duplicate dies: the primary simply keeps what it always owned.
+    sim::Engine engine(plat, part);
+    engine.execute(sim::Decision::send_chunk(0, plan));
+    engine.execute(sim::Decision::send_chunk_speculative(1, plan));
+    engine.fail_worker(1);
+    EXPECT_EQ(engine.progress(0).twin, -1);
+    EXPECT_FALSE(engine.progress(0).chunk_speculative);
+    EXPECT_TRUE(engine.rect_assigned(plan.rect));
+    EXPECT_EQ(engine.unassigned_blocks(), total - 4);
+  }
+}
+
+// ---- wrapper transparency: simulator ----------------------------------------
+
+class SpSimParity
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {};
+
+TEST_P(SpSimParity, DriftFreeRunDecidesExactlyLikeInnerPolicy) {
+  // Without a straggler the observed drift stays at 1.0 everywhere, so
+  // the wrapper must be a pure pass-through: same decisions, same
+  // makespan, to the last bit of the model clock.
+  const auto& [sp_name, inner_name] = GetParam();
+  const auto plat = stress_platform();
+  const auto part = stress_partition();
+  sched::Registry& registry = sched::Registry::instance();
+
+  auto inner = registry.make(inner_name, plat, part);
+  const sim::RunResult plain = sim::simulate(*inner, plat, part);
+  auto wrapped = registry.make(sp_name, plat, part);
+  const sim::RunResult speculative = sim::simulate(*wrapped, plat, part);
+
+  EXPECT_EQ(speculative.makespan, plain.makespan);
+  EXPECT_EQ(speculative.decisions, plain.decisions);
+  EXPECT_EQ(speculative.comm_blocks, plain.comm_blocks);
+  EXPECT_EQ(speculative.updates, kStressUpdates);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SpSimParity,
+                         ::testing::ValuesIn(sp_pairs()),
+                         [](const auto& info) {
+                           return testing::param_safe(info.param.first);
+                         });
+
+// ---- the payoff, deterministically on the simulator -------------------------
+
+TEST(SpeculationPayoff, SimHeavyStragglerBeatsPlainFaultToleranceBy20Pct) {
+  // The acceptance scenario: one worker turns 4x slower mid-run and
+  // STAYS slow. FT-ODDOML (no proactive redundancy) ends the run
+  // waiting on the straggler's tail chunk; SP-ODDOML duplicates it onto
+  // an idle survivor and cancels the loser, cutting the makespan by at
+  // least a fifth at identical effective updates. Compute-bound on
+  // purpose (w >> c): on a port-bound instance workers idle at the
+  // master's link and a compute straggler cannot move the makespan.
+  // Two chunk rounds only, so the straggler's tail chunk IS a large
+  // fraction of the run -- the regime speculation exists for.
+  const auto plat = platform::Platform::homogeneous(4, 0.001, 0.02, 30);
+  const auto part = matrix::Partition(48, 48, 96, 8);  // r=6, t=6, s=12
+  const auto updates = static_cast<model::BlockCount>(6 * 12 * 6);
+  sched::Registry& registry = sched::Registry::instance();
+
+  auto probe = registry.make("FT-ODDOML", plat, part);
+  const sim::RunResult fault_free = sim::simulate(*probe, plat, part);
+  ASSERT_EQ(fault_free.updates, updates);
+
+  const platform::SlowdownSchedule straggler = platform::make_heavy_straggler(
+      /*worker=*/1, /*at=*/fault_free.makespan * 0.35, /*factor=*/4.0);
+
+  auto plain = registry.make("FT-ODDOML", plat, part);
+  const sim::RunResult ft = sim::simulate(
+      *plain, sim::InstanceContext::make(plat, part, straggler));
+  auto speculative = registry.make("SP-ODDOML", plat, part);
+  const sim::RunResult sp = sim::simulate(
+      *speculative, sim::InstanceContext::make(plat, part, straggler));
+
+  EXPECT_EQ(ft.updates, updates);
+  EXPECT_EQ(sp.updates, updates);
+  EXPECT_GT(ft.makespan, fault_free.makespan);
+  EXPECT_LE(sp.makespan, 0.80 * ft.makespan)
+      << "FT " << ft.makespan << "s vs SP " << sp.makespan << "s";
+}
+
+TEST(SpeculationPayoff, RampingStragglerAlsoTriggersSpeculation) {
+  // The compounding-ramp scenario family: 2x, then 4x, then 8x. The
+  // drift estimate follows the ramps and speculation still wins.
+  // Compute-bound and short for the same reason as the heavy-straggler
+  // test.
+  const auto plat = platform::Platform::homogeneous(4, 0.001, 0.02, 30);
+  const auto part = matrix::Partition(48, 48, 96, 8);
+  sched::Registry& registry = sched::Registry::instance();
+
+  auto probe = registry.make("FT-ODDOML", plat, part);
+  const sim::RunResult fault_free = sim::simulate(*probe, plat, part);
+
+  const platform::SlowdownSchedule ramp = platform::make_ramping_straggler(
+      /*worker=*/2, /*at=*/fault_free.makespan * 0.30,
+      /*period=*/fault_free.makespan * 0.15, /*step_factor=*/2.0,
+      /*steps=*/3);
+
+  auto plain = registry.make("FT-ODDOML", plat, part);
+  const sim::RunResult ft =
+      sim::simulate(*plain, sim::InstanceContext::make(plat, part, ramp));
+  auto speculative = registry.make("SP-ODDOML", plat, part);
+  const sim::RunResult sp = sim::simulate(
+      *speculative, sim::InstanceContext::make(plat, part, ramp));
+
+  EXPECT_EQ(sp.updates, ft.updates);
+  EXPECT_LT(sp.makespan, ft.makespan);
+}
+
+TEST(SpeculationPayoff, SpOverFtSurvivesDeathAndStragglerTogether) {
+  // The full unreliable platform: one worker dies for good AND another
+  // turns 4x slower. SP-FT-ODDOML recovers the lost chunk through the
+  // FT layer and still speculates on the straggler.
+  const auto plat = stress_platform();
+  const auto part = stress_partition();
+  sched::Registry& registry = sched::Registry::instance();
+
+  auto probe = registry.make("SP-FT-ODDOML", plat, part);
+  const sim::RunResult fault_free = sim::simulate(*probe, plat, part);
+  ASSERT_EQ(fault_free.updates, kStressUpdates);
+
+  platform::FaultSchedule faults;
+  faults.add(/*worker=*/3, fault_free.makespan * 0.30);
+  const platform::SlowdownSchedule straggler = platform::make_heavy_straggler(
+      /*worker=*/1, /*at=*/fault_free.makespan * 0.40, /*factor=*/4.0);
+
+  auto scheduler = registry.make("SP-FT-ODDOML", plat, part);
+  const sim::RunResult result = sim::simulate(
+      *scheduler, sim::InstanceContext::make(plat, part, straggler, faults));
+  EXPECT_EQ(result.workers_failed, 1);
+  EXPECT_EQ(result.updates, kStressUpdates);
+}
+
+// ---- wrapper transparency: online runtime -----------------------------------
+
+class SpOnlineParity
+    : public ::testing::TestWithParam<std::pair<std::string, std::string>> {};
+
+TEST_P(SpOnlineParity, DriftFreeRunIsBitForBitTheInnerPolicysProduct) {
+  const auto& [sp_name, inner_name] = GetParam();
+  const auto plat = stress_platform();
+  const auto part = stress_partition();
+  sched::Registry& registry = sched::Registry::instance();
+
+  const auto a = random_matrix(part.n_a(), part.n_ab(), 61);
+  const auto b = random_matrix(part.n_ab(), part.n_b(), 62);
+  const auto c0 = random_matrix(part.n_a(), part.n_b(), 63);
+
+  matrix::Matrix c_plain = c0;
+  {
+    auto scheduler = registry.make(inner_name, plat, part);
+    const runtime::ExecutorReport report =
+        runtime::execute_online(*scheduler, plat, part, a, b, c_plain, {});
+    ASSERT_TRUE(report.verified);
+  }
+
+  matrix::Matrix c_speculative = c0;
+  auto scheduler = registry.make(sp_name, plat, part);
+  const runtime::ExecutorReport report = runtime::execute_online(
+      *scheduler, plat, part, a, b, c_speculative, {});
+  EXPECT_TRUE(report.verified);
+  // Telemetry stays self-consistent. (Zero duplicates is NOT asserted
+  // here: wall-clock jitter may legitimately trip the drift gate, and a
+  // spurious race must still resolve to the identical product -- that
+  // is the invariant. Deterministic pass-through is the sim test's job.)
+  EXPECT_LE(report.speculation.duplicates_won,
+            report.speculation.duplicates_issued);
+  EXPECT_LE(report.speculation.duplicates_cancelled,
+            report.speculation.duplicates_issued);
+  EXPECT_EQ(report.result.updates, kStressUpdates);
+  // One k per step, ascending: any assignment computes the identical
+  // per-element accumulation, so not even the last ulp may differ.
+  EXPECT_EQ(matrix::Matrix::max_abs_diff(c_speculative, c_plain), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SpOnlineParity,
+                         ::testing::ValuesIn(sp_pairs()),
+                         [](const auto& info) {
+                           return testing::param_safe(info.param.first);
+                         });
+
+// ---- live straggler: deterministic wall-clock trigger -----------------------
+
+/// Fault-hook straggler: every worker pays a small floor delay per step
+/// (pacing the run into wall-clock territory where the master's EWMA
+/// can see), and ONE worker degrades hard after its first few steps --
+/// a machine progressively starved under the run. Keyed to each
+/// worker's own message stream, not the wall clock, so the trigger
+/// survives scheduler and sanitizer timing.
+struct StragglerPlan {
+  int straggler = 0;
+  int fast_steps = 5;  // its leading steps stay nominal (EWMA baseline)
+  std::chrono::milliseconds floor{5};
+  std::chrono::milliseconds stall{60};
+  std::array<std::atomic<int>, 8> steps{};
+};
+
+runtime::ExecutorOptions straggler_options(
+    const std::shared_ptr<StragglerPlan>& plan) {
+  runtime::ExecutorOptions options;
+  options.fault_hook = [plan](int worker, std::size_t) {
+    const int seen =
+        1 + plan->steps[static_cast<std::size_t>(worker)].fetch_add(1);
+    if (worker == plan->straggler && seen > plan->fast_steps)
+      std::this_thread::sleep_for(plan->stall);
+    else
+      std::this_thread::sleep_for(plan->floor);
+  };
+  return options;
+}
+
+/// The live-straggler instance: enough same-size chunks that the
+/// straggler returns a slow chunk (folding the drift into the master's
+/// calibration) and then sits on another while the survivors go idle.
+struct StragglerInstance {
+  platform::Platform plat = platform::Platform::homogeneous(4, 0.004,
+                                                            0.002, 30);
+  matrix::Partition part = matrix::Partition(96, 48, 120, 8);
+  model::BlockCount updates = 12 * 15 * 6;
+  matrix::Matrix a = random_matrix(96, 48, 71);
+  matrix::Matrix b = random_matrix(48, 120, 72);
+  matrix::Matrix c0 = random_matrix(96, 120, 73);
+
+  /// Speculation-free reference product (no hooks, fault-free).
+  matrix::Matrix reference() const {
+    matrix::Matrix c = c0;
+    auto scheduler =
+        sched::Registry::instance().make("ODDOML", plat, part);
+    const runtime::ExecutorReport report =
+        runtime::execute_online(*scheduler, plat, part, a, b, c, {});
+    EXPECT_TRUE(report.verified);
+    return c;
+  }
+};
+
+TEST(SpOnlineStraggler, ThreadRunDuplicatesCancelsAndStaysBitForBit) {
+  const StragglerInstance instance;
+  const matrix::Matrix c_reference = instance.reference();
+
+  auto plan = std::make_shared<StragglerPlan>();
+  matrix::Matrix c = instance.c0;
+  auto scheduler = sched::Registry::instance().make(
+      "SP-ODDOML", instance.plat, instance.part);
+  const runtime::ExecutorReport report =
+      runtime::execute_online(*scheduler, instance.plat, instance.part,
+                              instance.a, instance.b, c,
+                              straggler_options(plan));
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.workers_failed, 0);  // cancellation is non-fatal
+  EXPECT_EQ(report.result.updates, instance.updates);
+  // The straggler really triggered a race, and someone lost it.
+  EXPECT_GE(report.speculation.duplicates_issued, 1u);
+  EXPECT_GE(report.speculation.duplicates_cancelled, 1u);
+  EXPECT_LE(report.speculation.duplicates_won,
+            report.speculation.duplicates_issued);
+  // The duplicate ran the IDENTICAL plan: bit-for-bit product.
+  EXPECT_EQ(matrix::Matrix::max_abs_diff(c, c_reference), 0.0);
+  // Allocation-clean cancellation: every payload the revoked copies
+  // held went back to the pool (leaks would break this balance), and
+  // recycling kept working through the cancellations.
+  EXPECT_EQ(report.buffer_pool.allocations + report.buffer_pool.reuses,
+            report.buffer_pool.acquires);
+  EXPECT_GT(report.buffer_pool.reuses, 0u);
+  // Everyone survived to contribute, the straggler included.
+  for (std::size_t w = 0; w < report.updates_per_worker.size(); ++w)
+    EXPECT_GT(report.updates_per_worker[w], 0u) << "worker " << w;
+}
+
+TEST(SpOnlineStraggler, CancelledStragglerCostsLessWallClockThanWaiting) {
+  // The wall-clock payoff of the worker-side cancel lookahead: under
+  // plain FT-ODDOML the run ends only after the straggler grinds
+  // through every remaining stalled step; under SP-ODDOML the first
+  // completion commits and the CancelMessage preempts the loser's
+  // queued dead work. The stalls dwarf scheduler and sanitizer noise.
+  const StragglerInstance instance;
+
+  auto ft_plan = std::make_shared<StragglerPlan>();
+  matrix::Matrix c_ft = instance.c0;
+  auto ft_scheduler = sched::Registry::instance().make(
+      "FT-ODDOML", instance.plat, instance.part);
+  const runtime::ExecutorReport ft =
+      runtime::execute_online(*ft_scheduler, instance.plat, instance.part,
+                              instance.a, instance.b, c_ft,
+                              straggler_options(ft_plan));
+  ASSERT_TRUE(ft.verified);
+
+  auto sp_plan = std::make_shared<StragglerPlan>();
+  matrix::Matrix c_sp = instance.c0;
+  auto sp_scheduler = sched::Registry::instance().make(
+      "SP-ODDOML", instance.plat, instance.part);
+  const runtime::ExecutorReport sp =
+      runtime::execute_online(*sp_scheduler, instance.plat, instance.part,
+                              instance.a, instance.b, c_sp,
+                              straggler_options(sp_plan));
+  ASSERT_TRUE(sp.verified);
+  ASSERT_GE(sp.speculation.duplicates_issued, 1u);
+
+  EXPECT_EQ(matrix::Matrix::max_abs_diff(c_sp, c_ft), 0.0);
+  EXPECT_LT(sp.wall_seconds, ft.wall_seconds)
+      << "FT " << ft.wall_seconds << "s vs SP " << sp.wall_seconds << "s";
+}
+
+TEST(SpOnlineStraggler, ProcessRunCancelsAcrossSerializedFrames) {
+  HMXP_SKIP_UNDER_TSAN();
+  // The same live race over forked workers: CancelMessages are real
+  // serialized frames on the socketpair, the fault hook (and its step
+  // counters) runs inside each child.
+  const StragglerInstance instance;
+  const matrix::Matrix c_reference = instance.reference();
+
+  auto plan = std::make_shared<StragglerPlan>();
+  matrix::Matrix c = instance.c0;
+  auto scheduler = sched::Registry::instance().make(
+      "SP-ODDOML", instance.plat, instance.part);
+  runtime::ExecutorOptions options = straggler_options(plan);
+  options.transport = runtime::TransportKind::kProcess;
+  const runtime::ExecutorReport report =
+      runtime::execute_online(*scheduler, instance.plat, instance.part,
+                              instance.a, instance.b, c, options);
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.workers_failed, 0);
+  EXPECT_GE(report.speculation.duplicates_issued, 1u);
+  EXPECT_GE(report.speculation.duplicates_cancelled, 1u);
+  EXPECT_EQ(matrix::Matrix::max_abs_diff(c, c_reference), 0.0);
+}
+
+TEST(SpOnlineStraggler, ShmRunCancelsWithoutLeakingArenaSlots) {
+  HMXP_SKIP_UNDER_TSAN();
+  // Over the zero-copy arena the revoked copies held REAL shared-memory
+  // slots (resident C, queued operands): the cancel path must hand
+  // every one back or long speculative runs starve the arena.
+  const StragglerInstance instance;
+  const matrix::Matrix c_reference = instance.reference();
+
+  auto plan = std::make_shared<StragglerPlan>();
+  matrix::Matrix c = instance.c0;
+  auto scheduler = sched::Registry::instance().make(
+      "SP-ODDOML", instance.plat, instance.part);
+  runtime::ExecutorOptions options = straggler_options(plan);
+  options.transport = runtime::TransportKind::kShm;
+  const runtime::ExecutorReport report =
+      runtime::execute_online(*scheduler, instance.plat, instance.part,
+                              instance.a, instance.b, c, options);
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.workers_failed, 0);
+  EXPECT_GE(report.speculation.duplicates_issued, 1u);
+  EXPECT_EQ(matrix::Matrix::max_abs_diff(c, c_reference), 0.0);
+  EXPECT_GT(report.transport_stats.arena_peak_slots, 0u);
+  EXPECT_EQ(report.transport_stats.arena_leaked_slots, 0u);
+}
+
+// ---- SP over FT: speculation composed with real failure ---------------------
+
+class SpFtComposition : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(SpFtComposition, RecoversFromExceptionKillBitForBit) {
+  // The FT suite's deterministic kill (a worker's 2nd operand step
+  // throws) under the speculation wrapper: the FT layer re-assigns the
+  // lost chunk, the SP layer stays consistent, and the recovered C
+  // matches the fault-free product bit for bit.
+  const std::string name = GetParam();
+  const auto plat = stress_platform();
+  const auto part = stress_partition();
+  sched::Registry& registry = sched::Registry::instance();
+
+  const auto a = random_matrix(part.n_a(), part.n_ab(), 81);
+  const auto b = random_matrix(part.n_ab(), part.n_b(), 82);
+  const auto c0 = random_matrix(part.n_a(), part.n_b(), 83);
+
+  matrix::Matrix c_reference = c0;
+  {
+    auto scheduler = registry.make(name, plat, part);
+    const runtime::ExecutorReport report = runtime::execute_online(
+        *scheduler, plat, part, a, b, c_reference, {});
+    ASSERT_TRUE(report.verified);
+    ASSERT_EQ(report.workers_failed, 0);
+  }
+
+  struct KillPlan {
+    std::array<std::atomic<int>, 4> steps{};
+    std::atomic<int> slots{1};
+  };
+  auto plan = std::make_shared<KillPlan>();
+  runtime::ExecutorOptions options;
+  options.tolerate_faults = true;
+  options.fault_hook = [plan](int worker, std::size_t) {
+    const int seen =
+        1 + plan->steps[static_cast<std::size_t>(worker)].fetch_add(1);
+    if (seen == 2 && plan->slots.fetch_sub(1) > 0)
+      throw std::runtime_error("injected kill: worker " +
+                               std::to_string(worker));
+  };
+  matrix::Matrix c_faulty = c0;
+  auto scheduler = registry.make(name, plat, part);
+  const runtime::ExecutorReport report = runtime::execute_online(
+      *scheduler, plat, part, a, b, c_faulty, options);
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.workers_failed, 1);
+  EXPECT_EQ(report.result.updates, kStressUpdates);
+  EXPECT_EQ(matrix::Matrix::max_abs_diff(c_faulty, c_reference), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Matrix, SpFtComposition,
+                         ::testing::Values("SP-FT-ODDOML", "SP-FT-OMMOML"),
+                         [](const auto& info) {
+                           return testing::param_safe(info.param);
+                         });
+
+TEST(SpFtComposition, SurvivesRealSigkillOnShmWithoutLeakingSlots) {
+  HMXP_SKIP_UNDER_TSAN();
+  // Address-space-level failure under the composed wrapper: a forked
+  // worker takes a REAL SIGKILL mid-chunk on the shm transport. The FT
+  // layer re-assigns its work, the dead child's arena slots are swept,
+  // and the recovered product matches bit for bit.
+  const matrix::Partition part(40, 40, 40, 8);
+  const auto plat = platform::Platform::homogeneous(3, 0.01, 0.002, 40);
+  const auto a = random_matrix(40, 40, 91);
+  const auto b = random_matrix(40, 40, 92);
+  const auto c0 = random_matrix(40, 40, 93);
+  sched::Registry& registry = sched::Registry::instance();
+
+  matrix::Matrix c_clean = c0;
+  {
+    auto scheduler = registry.make("SP-FT-ODDOML", plat, part);
+    runtime::ExecutorOptions options;
+    options.transport = runtime::TransportKind::kShm;
+    const runtime::ExecutorReport report = runtime::execute_online(
+        *scheduler, plat, part, a, b, c_clean, options);
+    ASSERT_TRUE(report.verified);
+    ASSERT_EQ(report.workers_failed, 0);
+  }
+
+  matrix::Matrix c_faulty = c0;
+  auto scheduler = registry.make("SP-FT-ODDOML", plat, part);
+  runtime::ExecutorOptions options;
+  options.transport = runtime::TransportKind::kShm;
+  options.tolerate_faults = true;
+  // Runs inside the forked child: a REAL SIGKILL, not an exception.
+  options.fault_hook = [](int worker, std::size_t step) {
+    if (worker == 1 && step == 1) std::raise(SIGKILL);
+  };
+  const runtime::ExecutorReport report = runtime::execute_online(
+      *scheduler, plat, part, a, b, c_faulty, options);
+
+  EXPECT_TRUE(report.verified);
+  EXPECT_EQ(report.workers_failed, 1);
+  EXPECT_EQ(report.transport_stats.arena_leaked_slots, 0u);
+  EXPECT_EQ(matrix::Matrix::max_abs_diff(c_faulty, c_clean), 0.0);
+}
+
+}  // namespace
+}  // namespace hmxp
