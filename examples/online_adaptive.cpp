@@ -12,7 +12,7 @@
 //   4. verify C against a reference product and print the RunResult --
 //      the exact shape the simulator emits -- next to the prediction.
 //
-// Run:  ./online_adaptive [--backend=thread|process|shm]
+// Run:  ./online_adaptive [--backend=thread|process|shm|tcp]
 //                         [--speculate] [--drift-threshold=2.0]
 //                         [--kernel=...] [--tune=...]
 //
@@ -27,10 +27,12 @@
 // --backend picks the data-plane transport for step 3: worker threads
 // (default), one forked worker process per worker with serialized
 // frames over socketpairs -- the in-machine analogue of the companion
-// report's MPI deployment -- or forked workers over the zero-copy
+// report's MPI deployment -- forked workers over the zero-copy
 // shared-memory arena (process isolation without the serialization
-// tax). The scheduler, the perturbation, and the verified result are
-// identical on all three.
+// tax), or forked workers dialing the master over loopback TCP (the
+// versioned-handshake, reconnect-capable cluster rehearsal). The
+// scheduler, the perturbation, and the verified result are identical
+// on all four.
 //
 // --kernel pins the GEMM dispatch (naive|tiled|simd|portable|avx2|
 // avx512); --tune sets the packed tier's blocking resolution
@@ -58,7 +60,7 @@ int main(int argc, char** argv) {
   util::Flags flags;
   flags.define("backend", "thread",
                "data-plane transport for the live run: thread | process | "
-               "shm");
+               "shm | tcp");
   flags.define_bool("speculate", false,
                     "duplicate stragglers' chunks onto idle workers "
                     "(SP-ODDOML, cancel-on-first-completion)");
@@ -79,7 +81,7 @@ int main(int argc, char** argv) {
   const auto transport =
       runtime::parse_transport_kind(flags.get_string("backend"));
   if (!transport.has_value()) {
-    std::cerr << "unknown --backend (want thread, process or shm)\n";
+    std::cerr << "unknown --backend (want thread, process, shm or tcp)\n";
     return 1;
   }
   const std::string kernel = flags.get_string("kernel");

@@ -20,6 +20,8 @@ const char* backend_name(Backend backend) {
       return "process";
     case Backend::kShm:
       return "shm";
+    case Backend::kTcp:
+      return "tcp";
   }
   return "unknown";
 }
@@ -32,6 +34,8 @@ std::optional<Backend> parse_backend(const std::string& name) {
   if (lower == "process" || lower == "processes") return Backend::kProcess;
   if (lower == "shm" || lower == "shmem" || lower == "shared-memory")
     return Backend::kShm;
+  if (lower == "tcp" || lower == "loopback-tcp" || lower == "socket")
+    return Backend::kTcp;
   return std::nullopt;
 }
 
@@ -102,8 +106,8 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
                                const OnlineOptions& options,
                                bool record_trace) {
   HMXP_REQUIRE(options.backend != Backend::kSim,
-               "OnlineOptions::backend must be kOnline, kProcess or kShm "
-               "(simulation takes SimOptions)");
+               "OnlineOptions::backend must be kOnline, kProcess, kShm or "
+               "kTcp (simulation takes SimOptions)");
   RunReport report;
   report.algorithm = algorithm_name(algorithm);
   report.algorithm_label = report.algorithm;
@@ -126,6 +130,9 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
       break;
     case Backend::kShm:
       executor_options.transport = runtime::TransportKind::kShm;
+      break;
+    case Backend::kTcp:
+      executor_options.transport = runtime::TransportKind::kTcp;
       break;
     default:
       executor_options.transport = runtime::TransportKind::kThread;

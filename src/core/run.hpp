@@ -13,7 +13,12 @@
 //     companion report's real-cluster (MPI) deployment;
 //   * Backend::kShm    -- the same forked isolation, but payloads live
 //     in a pre-fork shared-memory arena and only (slot, length)
-//     descriptors cross the sockets: zero-copy process isolation.
+//     descriptors cross the sockets: zero-copy process isolation;
+//   * Backend::kTcp    -- the same online runtime over loopback TCP:
+//     forked workers DIAL the master's listen socket, handshake with a
+//     versioned hello and reconnect after a dropped connection -- the
+//     in-machine rehearsal of a real cluster deployment, including the
+//     fault-tolerant re-admission path.
 #pragma once
 
 #include <cstdint>
@@ -27,19 +32,20 @@
 
 namespace hmxp::core {
 
-enum class Backend { kSim, kOnline, kProcess, kShm };
+enum class Backend { kSim, kOnline, kProcess, kShm, kTcp };
 
-/// Canonical name ("sim" / "online" / "process" / "shm").
+/// Canonical name ("sim" / "online" / "process" / "shm" / "tcp").
 const char* backend_name(Backend backend);
 /// Parses a backend name (case-insensitive; "thread" is accepted as an
 /// alias of "online"); nullopt if unrecognized.
 std::optional<Backend> parse_backend(const std::string& name);
 
-/// Knobs for online cells (Backend::kOnline, kProcess and kShm).
+/// Knobs for online cells (Backend::kOnline, kProcess, kShm and kTcp).
 struct OnlineOptions {
   /// Which online backend executes the cell: kOnline (worker threads,
-  /// the default), kProcess (forked worker processes) or kShm (forked
-  /// workers over the zero-copy shared-memory arena). kSim is not a
+  /// the default), kProcess (forked worker processes), kShm (forked
+  /// workers over the zero-copy shared-memory arena) or kTcp (forked
+  /// workers dialing the master over loopback TCP). kSim is not a
   /// valid value here -- simulation takes SimOptions instead. The
   /// experiment grid overrides this with ExperimentOptions::backend, so
   /// a grid switches transports with one knob.

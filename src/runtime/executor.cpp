@@ -336,6 +336,7 @@ class OnlineExecutor final : public sim::ExecutionView {
     for (const std::size_t updates : updates_per_worker_)
       report.updates_performed += updates;
     report.workers_failed = workers_failed_;
+    report.workers_rejoined = workers_rejoined_;
     for (const platform::SpeedEstimate& speed : wall_speed_)
       report.observed_drift.push_back(speed.drift());
     report.result =
@@ -397,8 +398,22 @@ class OnlineExecutor final : public sim::ExecutionView {
   /// to touch its endpoint (which could be never).
   void drain_completions() {
     for (std::size_t w = 0; w < worker_count_; ++w) {
-      if (failure_handled_[w]) continue;
       Endpoint& endpoint = transport_->endpoint(static_cast<int>(w));
+      if (failure_handled_[w]) {
+        // A handled failure is the safe point to offer re-admission:
+        // the mirror rolled back, the in-flight chunk returned to the
+        // pending set, the endpoint drained. A TCP worker that
+        // reconnected with its identity token rejoins HERE, idle -- the
+        // scheduler simply sees it alive again and an FT-* policy hands
+        // it orphans or fresh territory (hot-join, the dual of PR-4's
+        // failure handling).
+        if (options_.tolerate_faults && endpoint.try_readmit()) {
+          failure_handled_[w] = 0;
+          ++workers_rejoined_;
+          mirror_.revive_worker(static_cast<int>(w));
+        }
+        continue;
+      }
       if (endpoint.failed()) {
         if (!options_.tolerate_faults)
           throw std::runtime_error("worker failed");
@@ -592,6 +607,7 @@ class OnlineExecutor final : public sim::ExecutionView {
   sim::EngineState rollback_state_;    // reused pre-decision snapshot
   SpeculationStats spec_stats_;
   int workers_failed_ = 0;
+  int workers_rejoined_ = 0;
   Clock::time_point run_begin_{};
   std::size_t chunks_processed_ = 0;
 };

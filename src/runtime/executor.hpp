@@ -103,6 +103,17 @@ struct ExecutorOptions {
   /// worker -- a throttled channel whose link speeds drift mid-run
   /// exactly like the simulator's c_i perturbation.
   double throttle_block_seconds = 0.0;
+  /// Wire-level compression on the TCP transport (zero-RLE byte codec,
+  /// runtime/wire_compress.hpp): frames above a threshold ship
+  /// compressed whenever the codec actually shrinks them. Aimed at the
+  /// bandwidth-bound regime the paper's CCR analysis prices; a no-op on
+  /// the local transports (which never serialize or are memory-bound).
+  bool wire_compression = false;
+  /// Hard ceiling on one wire frame, in bytes; 0 (the default) derives
+  /// it from the partition geometry (serde::max_frame_bytes_for). A
+  /// frame whose length prefix exceeds the ceiling is protocol
+  /// corruption: the endpoint fails cleanly instead of allocating.
+  std::size_t max_frame_bytes = 0;
 };
 
 /// Speculation telemetry: proactive duplicates the run issued and how
@@ -134,6 +145,10 @@ struct ExecutorReport {
   std::size_t updates_performed = 0;
   std::vector<std::size_t> updates_per_worker;
   int workers_failed = 0;              // workers lost (and tolerated) mid-run
+  /// Workers re-admitted after a mid-run reconnect (TCP transport): a
+  /// rejoin counts in workers_failed too -- the disconnect was a real
+  /// loss the FT machinery recovered from before the hot-join.
+  int workers_rejoined = 0;
   /// Per-worker calibration outcome: EWMA-over-baseline ratio of the
   /// measured per-update wall cost (1.0 = nominal / no observation).
   std::vector<double> observed_drift;

@@ -47,6 +47,7 @@
 #include "matrix/tuning.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/serde.hpp"
+#include "runtime/socket_util.hpp"
 #include "runtime/transport.hpp"
 #include "runtime/worker_main.hpp"
 #include "util/check.hpp"
@@ -59,51 +60,13 @@ using Clock = std::chrono::steady_clock;
 using serde::ByteBuffer;
 using serde::FrameType;
 
-/// Frames beyond this are protocol corruption, not data (the largest
-/// legitimate frame is one operand batch: O(chunk rows x k extent)).
-constexpr std::uint64_t kMaxFrameBytes = 1ull << 40;
-
 double seconds_since(Clock::time_point begin) {
   return std::chrono::duration<double>(Clock::now() - begin).count();
 }
 
-// ---- blocking fd helpers (child side) ---------------------------------------
-
-/// Reads exactly `size` bytes; false on clean EOF at a frame boundary
-/// (start == true), throws on mid-frame EOF or errors.
-bool read_exact(int fd, std::uint8_t* out, std::size_t size, bool start) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n = ::read(fd, out + done, size - done);
-    if (n > 0) {
-      done += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n == 0) {
-      if (start && done == 0) return false;
-      throw std::runtime_error("socket closed mid-frame");
-    }
-    if (errno == EINTR) continue;
-    throw std::runtime_error(std::string("socket read failed: ") +
-                             std::strerror(errno));
-  }
-  return true;
-}
-
-void write_exact(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n =
-        ::send(fd, data + done, size - done, MSG_NOSIGNAL);
-    if (n > 0) {
-      done += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    throw std::runtime_error(std::string("socket write failed: ") +
-                             std::strerror(errno));
-  }
-}
+// Blocking fd helpers (read_exact / write_exact / read_frame) live in
+// runtime/socket_util.hpp, shared with the shm bootstrap channel and
+// both sides of the TCP transport.
 
 // ---- child side -------------------------------------------------------------
 
@@ -111,17 +74,12 @@ void write_exact(int fd, const std::uint8_t* data, std::size_t size) {
 /// result frames out. Lives entirely in the child process.
 class SocketWorkerPort final : public WorkerPort {
  public:
-  SocketWorkerPort(int fd, BufferPool* pool) : fd_(fd), pool_(pool) {}
+  SocketWorkerPort(int fd, BufferPool* pool, std::uint64_t max_frame_bytes)
+      : fd_(fd), pool_(pool), max_frame_bytes_(max_frame_bytes) {}
 
   std::optional<WorkerMessage> receive() override {
-    std::uint8_t prefix[serde::kLengthBytes];
-    if (!read_exact(fd_, prefix, sizeof prefix, /*start=*/true))
+    if (!read_frame(fd_, body_, max_frame_bytes_))
       return std::nullopt;  // master closed the data plane: done
-    const std::uint64_t length = serde::decode_length(prefix);
-    if (length == 0 || length > kMaxFrameBytes)
-      throw std::runtime_error("corrupt frame length");
-    body_.resize(static_cast<std::size_t>(length));
-    read_exact(fd_, body_.data(), body_.size(), /*start=*/false);
 
     // Return the inbox credit BEFORE computing: the slot is free the
     // moment the message is dequeued, exactly like a channel pop.
@@ -176,18 +134,10 @@ class SocketWorkerPort final : public WorkerPort {
  private:
   int fd_;
   BufferPool* pool_;
+  std::uint64_t max_frame_bytes_;
   ByteBuffer body_;
   ByteBuffer tx_;
 };
-
-/// The handshake payload a kernel configuration answers for.
-serde::HelloFrame hello_frame_for(const matrix::KernelConfig& config) {
-  return {static_cast<std::uint8_t>(config.active_tier),
-          static_cast<std::uint8_t>(config.active_variant),
-          static_cast<std::uint64_t>(config.blocking.mc),
-          static_cast<std::uint64_t>(config.blocking.kc),
-          static_cast<std::uint64_t>(config.blocking.nc)};
-}
 
 /// Child-process entry: re-assert the master's kernel pin, handshake,
 /// then run the shared worker loop. Exits, never returns: 0 on a clean
@@ -204,7 +154,8 @@ serde::HelloFrame hello_frame_for(const matrix::KernelConfig& config) {
 /// on. The master bounds the bootstrap wait (wait_hello) so even a
 /// wedged child fails the run instead of hanging it.
 [[noreturn]] void run_child(int fd, const WorkerContext& context,
-                            const matrix::KernelConfig& config) {
+                            const matrix::KernelConfig& config,
+                            std::uint64_t max_frame_bytes) {
 #if defined(__linux__)
   // An orphaned worker must not outlive a crashed master.
   ::prctl(PR_SET_PDEATHSIG, SIGKILL);
@@ -218,11 +169,11 @@ serde::HelloFrame hello_frame_for(const matrix::KernelConfig& config) {
   matrix::install_kernel_config(config);
 
   BufferPool pool;
-  SocketWorkerPort port(fd, &pool);
+  SocketWorkerPort port(fd, &pool, max_frame_bytes);
   try {
     // The hello answers with the configuration the child ACTUALLY runs
     // (re-read, not echoed), so the master's verification is end-to-end.
-    port.send_hello(hello_frame_for(matrix::current_kernel_config()));
+    port.send_hello(serde::local_hello(matrix::current_kernel_config()));
     worker_main(context, port, pool);
   } catch (const std::exception& error) {
     try {
@@ -248,14 +199,15 @@ class ProcessEndpoint final : public Endpoint {
  public:
   ProcessEndpoint(int index, int fd, pid_t pid, std::size_t credits,
                   const serde::HelloFrame& expected_hello, BufferPool* pool,
-                  TransportStats* stats)
+                  TransportStats* stats, std::uint64_t max_frame_bytes)
       : index_(index),
         fd_(fd),
         pid_(pid),
         credits_(credits),
         expected_hello_(expected_hello),
         pool_(pool),
-        stats_(stats) {}
+        stats_(stats),
+        max_frame_bytes_(max_frame_bytes) {}
 
   ~ProcessEndpoint() override { teardown(); }
 
@@ -490,9 +442,14 @@ class ProcessEndpoint final : public Endpoint {
   void parse_frames() {
     std::size_t cursor = 0;
     while (rx_.size() - cursor >= serde::kLengthBytes) {
-      const std::uint64_t length = serde::decode_length(rx_.data() + cursor);
-      if (length == 0 || length > kMaxFrameBytes) {
-        mark_failed("corrupt frame length");
+      std::uint64_t length = 0;
+      try {
+        // Geometry-derived bound: a corrupt prefix fails the endpoint
+        // cleanly, it never sizes an allocation.
+        length = serde::checked_frame_length(rx_.data() + cursor,
+                                             max_frame_bytes_);
+      } catch (const std::exception& error) {
+        mark_failed(error.what());
         break;
       }
       if (rx_.size() - cursor - serde::kLengthBytes < length) break;
@@ -528,8 +485,11 @@ class ProcessEndpoint final : public Endpoint {
         break;
       }
       case FrameType::kHello: {
+        // decode_hello validates magic and protocol version (throwing
+        // with both versions named); the kernel fields are checked
+        // here, identity/resource fields legitimately differ.
         const serde::HelloFrame hello = serde::decode_hello(body, size);
-        HMXP_CHECK(hello == expected_hello_,
+        HMXP_CHECK(hello.same_kernel_config(expected_hello_),
                    "worker process booted with a divergent kernel "
                    "configuration (tier/micro-kernel/tuned blocking)");
         hello_seen_ = true;
@@ -561,13 +521,15 @@ class ProcessEndpoint final : public Endpoint {
   bool hello_seen_ = false;
   bool discarding_ = false;
   bool reaped_ = false;
+  std::uint64_t max_frame_bytes_;
 };
 
 class ProcessTransport final : public Transport {
  public:
   ProcessTransport(int workers, std::size_t inbox_capacity,
                    const ExecutorOptions& options,
-                   Clock::time_point run_begin, BufferPool* pool) {
+                   Clock::time_point run_begin, BufferPool* pool,
+                   std::size_t max_payload_doubles) {
     // Capture the kernel configuration ONCE, in the master, before any
     // fork: the explicit pins (force_kernel_tier / --kernel,
     // force_micro_kernel_variant), the tier/variant the dispatch
@@ -576,7 +538,11 @@ class ProcessTransport final : public Transport {
     // master -- so every child inherits a settled winner and re-asserts
     // exactly this state instead of re-tuning behind the fork.
     const matrix::KernelConfig config = matrix::current_kernel_config();
-    const serde::HelloFrame expected_hello = hello_frame_for(config);
+    const serde::HelloFrame expected_hello = serde::local_hello(config);
+    const std::uint64_t max_frame_bytes =
+        options.max_frame_bytes != 0
+            ? static_cast<std::uint64_t>(options.max_frame_bytes)
+            : serde::max_frame_bytes_for(max_payload_doubles);
 
     const auto count = static_cast<std::size_t>(workers);
     // master_fds keeps every master-end NUMBER for the whole spawn loop
@@ -606,7 +572,8 @@ class ProcessTransport final : public Transport {
             if (master_fds[j] >= 0) ::close(master_fds[j]);
             if (j != i && child_fds[j] >= 0) ::close(child_fds[j]);
           }
-          run_child(child_fds[i], context, config);  // never returns
+          run_child(child_fds[i], context, config,
+                    max_frame_bytes);  // never returns
         }
         // Master: the child end belongs to the child now.
         ::close(child_fds[i]);
@@ -618,7 +585,7 @@ class ProcessTransport final : public Transport {
                    "fcntl O_NONBLOCK failed");
         endpoints_.push_back(std::make_unique<ProcessEndpoint>(
             static_cast<int>(i), fd, pid, inbox_capacity, expected_hello,
-            pool, &stats_));
+            pool, &stats_, max_frame_bytes));
       }
     } catch (...) {
       // Endpoints own master_fds[0 .. endpoints_.size()); close the rest.
@@ -663,9 +630,11 @@ class ProcessTransport final : public Transport {
 
 std::unique_ptr<Transport> make_process_transport(
     int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
-    std::chrono::steady_clock::time_point run_begin, BufferPool* pool) {
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
+    std::size_t max_payload_doubles) {
   return std::make_unique<ProcessTransport>(workers, inbox_capacity, options,
-                                            run_begin, pool);
+                                            run_begin, pool,
+                                            max_payload_doubles);
 }
 
 }  // namespace hmxp::runtime

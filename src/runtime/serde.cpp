@@ -1,7 +1,13 @@
 #include "runtime/serde.hpp"
 
+#include <algorithm>
 #include <cstring>
 #include <stdexcept>
+#include <thread>
+
+#include <unistd.h>
+
+#include "runtime/wire_compress.hpp"
 
 namespace hmxp::runtime::serde {
 
@@ -11,6 +17,14 @@ void require(bool ok, const char* what) {
   if (!ok) throw std::runtime_error(std::string("corrupt frame: ") + what);
 }
 
+std::string to_hex(std::uint32_t value) {
+  static const char digits[] = "0123456789abcdef";
+  std::string hex(8, '0');
+  for (int i = 7; i >= 0; --i, value >>= 4)
+    hex[static_cast<std::size_t>(i)] = digits[value & 0xf];
+  return hex;
+}
+
 // ---- writer -----------------------------------------------------------------
 
 class Writer {
@@ -18,6 +32,7 @@ class Writer {
   explicit Writer(ByteBuffer& out) : out_(out) {}
 
   void u8(std::uint8_t value) { out_.push_back(value); }
+  void u32(std::uint32_t value) { raw(&value, sizeof value); }
   void u64(std::uint64_t value) { raw(&value, sizeof value); }
   void i64(std::int64_t value) { raw(&value, sizeof value); }
   void f64(double value) { raw(&value, sizeof value); }
@@ -54,6 +69,11 @@ class Reader {
   std::uint8_t u8() {
     require(cursor_ + 1 <= size_, "truncated u8");
     return data_[cursor_++];
+  }
+  std::uint32_t u32() {
+    std::uint32_t value;
+    raw(&value, sizeof value);
+    return value;
   }
   std::uint64_t u64() {
     std::uint64_t value;
@@ -229,12 +249,34 @@ void encode_hello(const HelloFrame& hello, ByteBuffer& out) {
   frame(out, [&] {
     Writer writer(out);
     writer.u8(static_cast<std::uint8_t>(FrameType::kHello));
+    writer.u32(hello.magic);
+    writer.u32(hello.version);
+    writer.u64(hello.token);
+    writer.u32(hello.cores);
+    writer.u64(hello.memory_mb);
     writer.u8(hello.kernel_tier);
     writer.u8(hello.kernel_variant);
     writer.u64(hello.mc);
     writer.u64(hello.kc);
     writer.u64(hello.nc);
   });
+}
+
+HelloFrame local_hello(const matrix::KernelConfig& config) {
+  HelloFrame hello;
+  hello.cores = std::max(1u, std::thread::hardware_concurrency());
+  const long pages = ::sysconf(_SC_PHYS_PAGES);
+  const long page_size = ::sysconf(_SC_PAGESIZE);
+  if (pages > 0 && page_size > 0)
+    hello.memory_mb = (static_cast<std::uint64_t>(pages) *
+                       static_cast<std::uint64_t>(page_size)) >>
+                      20;
+  hello.kernel_tier = static_cast<std::uint8_t>(config.active_tier);
+  hello.kernel_variant = static_cast<std::uint8_t>(config.active_variant);
+  hello.mc = static_cast<std::uint64_t>(config.blocking.mc);
+  hello.kc = static_cast<std::uint64_t>(config.blocking.kc);
+  hello.nc = static_cast<std::uint64_t>(config.blocking.nc);
+  return hello;
 }
 
 void encode_error(const std::string& what, ByteBuffer& out) {
@@ -253,13 +295,63 @@ std::uint64_t decode_length(const std::uint8_t* data) {
   return length;
 }
 
+std::uint64_t max_frame_bytes_for(std::size_t max_payload_doubles) {
+  // An operand batch ships two payloads (A and B); 64 KiB covers every
+  // header field with room to spare.
+  const std::uint64_t bytes =
+      2 * static_cast<std::uint64_t>(max_payload_doubles) * sizeof(double) +
+      (1ull << 16);
+  return std::min(bytes, kMaxFrameBytes);
+}
+
+std::uint64_t checked_frame_length(const std::uint8_t* data,
+                                   std::uint64_t limit) {
+  const std::uint64_t length = decode_length(data);
+  if (length == 0 || length > limit)
+    throw std::runtime_error(
+        "corrupt frame length " + std::to_string(length) + " (limit " +
+        std::to_string(limit) + " bytes): refusing to allocate");
+  return length;
+}
+
 FrameType frame_type(const std::uint8_t* body, std::size_t size) {
   require(size >= 1, "empty frame");
   const std::uint8_t type = body[0];
   require(type >= static_cast<std::uint8_t>(FrameType::kChunk) &&
-              type <= static_cast<std::uint8_t>(FrameType::kCancel),
+              type <= static_cast<std::uint8_t>(FrameType::kCompressed),
           "unknown frame type");
   return static_cast<FrameType>(type);
+}
+
+void encode_compressed(const std::uint8_t* body, std::size_t size,
+                       ByteBuffer& out) {
+  frame(out, [&] {
+    Writer writer(out);
+    writer.u8(static_cast<std::uint8_t>(FrameType::kCompressed));
+    writer.u64(size);
+    wire::compress(body, size, out);
+  });
+}
+
+void decode_compressed(const std::uint8_t* body, std::size_t size,
+                       std::uint64_t max_raw, ByteBuffer& raw) {
+  require(frame_type(body, size) == FrameType::kCompressed,
+          "not a compressed frame");
+  require(size >= 1 + sizeof(std::uint64_t), "truncated compressed header");
+  std::uint64_t raw_size;
+  std::memcpy(&raw_size, body + 1, sizeof raw_size);
+  // The same no-unbounded-allocation rule as the outer length prefix:
+  // the declared raw size gates the resize, so a hostile wrapper cannot
+  // expand past what the run could legitimately ship.
+  if (raw_size == 0 || raw_size > max_raw)
+    throw std::runtime_error(
+        "compressed frame declares raw size " + std::to_string(raw_size) +
+        " (limit " + std::to_string(max_raw) + " bytes): refusing to inflate");
+  raw.resize(static_cast<std::size_t>(raw_size));
+  wire::decompress(body + 1 + sizeof raw_size, size - 1 - sizeof raw_size,
+                   raw.data(), raw.size());
+  require(frame_type(raw.data(), raw.size()) != FrameType::kCompressed,
+          "nested compressed frame");
 }
 
 ChunkMessage decode_chunk(const std::uint8_t* body, std::size_t size,
@@ -327,6 +419,25 @@ HelloFrame decode_hello(const std::uint8_t* body, std::size_t size) {
   Reader reader(body, size);
   reader.u8();  // frame type, already validated
   HelloFrame hello;
+  // Identity gates layout: magic first (is this an hmxp worker at
+  // all?), version second (does it speak THIS frame layout?), and only
+  // then the fields whose layout the version vouches for. Each mismatch
+  // is its own clean error naming both sides.
+  hello.magic = reader.u32();
+  if (hello.magic != kProtocolMagic)
+    throw std::runtime_error(
+        "handshake magic mismatch (got 0x" + to_hex(hello.magic) +
+        ", want 0x" + to_hex(kProtocolMagic) +
+        "): peer is not an hmxp worker");
+  hello.version = reader.u32();
+  if (hello.version != kProtocolVersion)
+    throw std::runtime_error(
+        "protocol version mismatch: peer speaks v" +
+        std::to_string(hello.version) + ", this build speaks v" +
+        std::to_string(kProtocolVersion));
+  hello.token = reader.u64();
+  hello.cores = reader.u32();
+  hello.memory_mb = reader.u64();
   hello.kernel_tier = reader.u8();
   hello.kernel_variant = reader.u8();
   hello.mc = reader.u64();

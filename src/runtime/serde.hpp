@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "matrix/tuning.hpp"
 #include "runtime/buffer_pool.hpp"
 #include "runtime/messages.hpp"
 #include "runtime/shared_arena.hpp"
@@ -40,12 +41,36 @@ enum class FrameType : std::uint8_t {
   kOperandRef = 8,  // master -> worker: OperandMessage, A/B in arena slots
   kResultRef = 9,   // worker -> master: ResultMessage, C in an arena slot
   kCancel = 10,     // master -> worker: CancelMessage (seq only, no payload)
+  kGoodbye = 11,    // master -> worker: clean shutdown (TCP: EOF without a
+                    // goodbye means the CONNECTION died -- reconnect)
+  kCompressed = 12,  // either direction: a whole frame body, zero-RLE
+                     // compressed ([u64 raw size][stream]); never nested
 };
 
 using ByteBuffer = std::vector<std::uint8_t>;
 
 /// Bytes of the [u64 length] prefix.
 inline constexpr std::size_t kLengthBytes = sizeof(std::uint64_t);
+
+/// Absolute ceiling on one frame, any run: beyond this is protocol
+/// corruption whatever the geometry (per-run limits from
+/// max_frame_bytes_for are far tighter).
+inline constexpr std::uint64_t kMaxFrameBytes = 1ull << 40;
+
+/// The largest legitimate frame for a run whose biggest single payload
+/// is `max_payload_doubles` (from the partition geometry): one operand
+/// batch ships TWO payloads (A and B), plus generous header slack.
+/// Every transport derives its per-endpoint frame limit here, so a
+/// corrupt 8-byte length prefix can never drive an allocation beyond
+/// what the run could legitimately ship.
+std::uint64_t max_frame_bytes_for(std::size_t max_payload_doubles);
+
+/// Decodes and VALIDATES a length prefix: throws std::runtime_error
+/// (naming both the declared length and the limit) when the declared
+/// length is zero or exceeds `limit`. Call this -- never bare
+/// decode_length -- before sizing any buffer from wire data.
+std::uint64_t checked_frame_length(const std::uint8_t* data,
+                                   std::uint64_t limit);
 
 /// Appends a complete frame (length prefix + type + payload) for the
 /// message to `out`. The encoders never clear `out`, so a caller can
@@ -57,31 +82,77 @@ void encode_cancel(const CancelMessage& message, ByteBuffer& out);
 /// Payload-free control frame (kCredit).
 void encode_control(FrameType type, ByteBuffer& out);
 
-/// Bootstrap handshake payload: the worker's full kernel configuration
-/// -- dispatch tier, micro-kernel variant, and the tuned blocking
-/// parameters -- so the master can verify a forked worker computes with
-/// the IDENTICAL configuration it resolved (autotuned) before forking.
-/// A divergent worker (stale env pin, different tuned blocking) would
-/// silently produce different tile timings; the handshake turns that
-/// into an immediate, attributable failure.
+/// Handshake identity: the magic marks a peer as an hmxp worker at all,
+/// the version gates the frame layout. Bump kProtocolVersion on ANY
+/// wire-visible change; a mismatched peer then gets one clean error
+/// naming both versions instead of silently misparsing the next frame.
+inline constexpr std::uint32_t kProtocolMagic = 0x50584d48;  // "HMXP"
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+/// Bootstrap handshake payload: protocol identity (magic + version),
+/// the worker's identity token and advertised host resources (TCP), and
+/// its full kernel configuration -- dispatch tier, micro-kernel
+/// variant, and the tuned blocking parameters -- so the master can
+/// verify a forked worker computes with the IDENTICAL configuration it
+/// resolved (autotuned) before forking. A divergent worker (stale env
+/// pin, different tuned blocking) would silently produce different tile
+/// timings; the handshake turns that into an immediate, attributable
+/// failure.
 struct HelloFrame {
+  std::uint32_t magic = kProtocolMagic;
+  std::uint32_t version = kProtocolVersion;
+  /// Per-worker identity for the TCP accept/reconnect lifecycle: a
+  /// reconnecting worker presents the same token and is re-admitted to
+  /// its endpoint instead of treated as a stranger. 0 on socketpair
+  /// transports (the fd IS the identity there).
+  std::uint64_t token = 0;
+  /// Advertised host resources (hardware threads, physical MiB): the
+  /// per-client capability report a real cluster master tracks.
+  std::uint32_t cores = 0;
+  std::uint64_t memory_mb = 0;
   std::uint8_t kernel_tier = 0;
   std::uint8_t kernel_variant = 0;
   std::uint64_t mc = 0;
   std::uint64_t kc = 0;
   std::uint64_t nc = 0;
   friend bool operator==(const HelloFrame&, const HelloFrame&) = default;
+  /// True when the peer runs the same kernel configuration (identity,
+  /// resources and token excluded: those legitimately differ per host).
+  bool same_kernel_config(const HelloFrame& other) const {
+    return kernel_tier == other.kernel_tier &&
+           kernel_variant == other.kernel_variant && mc == other.mc &&
+           kc == other.kc && nc == other.nc;
+  }
 };
 
 void encode_hello(const HelloFrame& hello, ByteBuffer& out);
+/// The hello THIS build answers for `config`: protocol identity plus
+/// the advertised host resources (hardware threads, physical memory).
+/// The one construction every spawning transport shares -- a worker
+/// always advertises the configuration it ACTUALLY runs, so the caller
+/// re-reads current_kernel_config() rather than echoing the master's.
+HelloFrame local_hello(const matrix::KernelConfig& config);
 /// Death notice: a dying worker ships its exception text so the master
 /// can rethrow the real root cause (a child cannot share an
 /// exception_ptr across the fork boundary).
 void encode_error(const std::string& what, ByteBuffer& out);
 
 /// Frame length declared by a complete prefix at `data` (which must
-/// hold at least kLengthBytes).
+/// hold at least kLengthBytes). RAW: trusts the wire bytes -- use
+/// checked_frame_length anywhere the value sizes an allocation.
 std::uint64_t decode_length(const std::uint8_t* data);
+
+/// Wraps one already-encoded frame BODY (type byte + payload, `size`
+/// bytes) as a complete kCompressed frame appended to `out`:
+/// [u64 length][kCompressed][u64 raw size][zero-RLE stream].
+void encode_compressed(const std::uint8_t* body, std::size_t size,
+                       ByteBuffer& out);
+/// Unwraps a kCompressed body into the original frame body. The
+/// declared raw size is validated against `max_raw` BEFORE allocating,
+/// and a nested kCompressed payload is rejected (a decompression bomb
+/// must not recurse).
+void decode_compressed(const std::uint8_t* body, std::size_t size,
+                       std::uint64_t max_raw, ByteBuffer& raw);
 
 /// Decoders for one frame BODY (type byte + payload, i.e. `length`
 /// bytes starting after the prefix). They validate the type byte and

@@ -63,6 +63,7 @@
 #include "runtime/executor.hpp"
 #include "runtime/serde.hpp"
 #include "runtime/shared_arena.hpp"
+#include "runtime/socket_util.hpp"
 #include "runtime/transport.hpp"
 #include "runtime/worker_main.hpp"
 #include "util/check.hpp"
@@ -75,9 +76,11 @@ using Clock = std::chrono::steady_clock;
 using serde::ByteBuffer;
 using serde::FrameType;
 
-/// Descriptor frames are O(plan) bytes; anything near this is protocol
-/// corruption, not data.
-constexpr std::uint64_t kMaxFrameBytes = 1ull << 40;
+/// The shm socket carries ONLY bootstrap hello and death-notice frames
+/// (payloads ride the arena, descriptors the rings), so its frame
+/// budget is tiny: anything above this is protocol corruption, and the
+/// tight bound means a corrupt prefix can never drive a big allocation.
+constexpr std::uint64_t kBootstrapFrameBytes = 1ull << 20;
 
 /// Arena slots per worker. Worst case per worker is ~7 outstanding
 /// (the resident C slot plus a full credit window of operand pairs);
@@ -371,23 +374,6 @@ class SharedRingBlock {
   std::size_t count_ = 0;
 };
 
-// ---- bootstrap fd helpers (child side) --------------------------------------
-
-void write_exact(int fd, const std::uint8_t* data, std::size_t size) {
-  std::size_t done = 0;
-  while (done < size) {
-    const ssize_t n =
-        ::send(fd, data + done, size - done, MSG_NOSIGNAL);
-    if (n > 0) {
-      done += static_cast<std::size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    throw std::runtime_error(std::string("socket write failed: ") +
-                             std::strerror(errno));
-  }
-}
-
 // ---- child side -------------------------------------------------------------
 
 /// The worker's face of the shm data plane: descriptor frames popped
@@ -484,15 +470,6 @@ class ShmWorkerPort final : public WorkerPort {
 /// run_child (see the fork-without-exec notes there). The arena object
 /// itself arrives via the inherited heap; its PAGES are MAP_SHARED, so
 /// the child's slot releases are the master's slot releases.
-/// The handshake payload a kernel configuration answers for.
-serde::HelloFrame hello_frame_for(const matrix::KernelConfig& config) {
-  return {static_cast<std::uint8_t>(config.active_tier),
-          static_cast<std::uint8_t>(config.active_variant),
-          static_cast<std::uint64_t>(config.blocking.mc),
-          static_cast<std::uint64_t>(config.blocking.kc),
-          static_cast<std::uint64_t>(config.blocking.nc)};
-}
-
 [[noreturn]] void run_child(int fd, const WorkerContext& context,
                             RingChannel* rings, SharedArena* arena,
                             SharedAckBoard* acks, std::size_t index,
@@ -512,7 +489,7 @@ serde::HelloFrame hello_frame_for(const matrix::KernelConfig& config) {
   try {
     // Answer with the configuration the child ACTUALLY runs (re-read,
     // not echoed), so the master's verification is end-to-end.
-    port.send_hello(hello_frame_for(matrix::current_kernel_config()));
+    port.send_hello(serde::local_hello(matrix::current_kernel_config()));
     worker_main(context, port, pool);
   } catch (const std::exception& error) {
     try {
@@ -896,9 +873,12 @@ class ShmEndpoint final : public Endpoint {
   void parse_frames() {
     std::size_t cursor = 0;
     while (rx_.size() - cursor >= serde::kLengthBytes) {
-      const std::uint64_t length = serde::decode_length(rx_.data() + cursor);
-      if (length == 0 || length > kMaxFrameBytes) {
-        mark_failed("corrupt frame length");
+      std::uint64_t length = 0;
+      try {
+        length = serde::checked_frame_length(rx_.data() + cursor,
+                                             kBootstrapFrameBytes);
+      } catch (const std::exception& error) {
+        mark_failed(error.what());
         break;
       }
       if (rx_.size() - cursor - serde::kLengthBytes < length) break;
@@ -931,7 +911,7 @@ class ShmEndpoint final : public Endpoint {
       }
       case FrameType::kHello: {
         const serde::HelloFrame hello = serde::decode_hello(body, size);
-        HMXP_CHECK(hello == expected_hello_,
+        HMXP_CHECK(hello.same_kernel_config(expected_hello_),
                    "worker process booted with a divergent kernel "
                    "configuration (tier/micro-kernel/tuned blocking)");
         hello_seen_ = true;
@@ -986,7 +966,7 @@ class ShmTransport final : public Transport {
     // Resolve (possibly autotune) the blocking in the master, before
     // any fork; children re-assert and answer for exactly this state.
     const matrix::KernelConfig config = matrix::current_kernel_config();
-    const serde::HelloFrame expected_hello = hello_frame_for(config);
+    const serde::HelloFrame expected_hello = serde::local_hello(config);
 
     const auto count = static_cast<std::size_t>(workers);
     std::vector<int> master_fds(count, -1);

@@ -1,0 +1,51 @@
+// Blocking socket I/O shared by every socket-carrying transport: the
+// process transport's data plane, the shm transport's bootstrap/death
+// channel, and both sides of the TCP transport. One implementation of
+// the EINTR-retry / MSG_NOSIGNAL discipline instead of a copy per
+// transport -- and one place where "the peer vanished" is classified.
+//
+// Death classification matters to the fault-tolerant path: an EOF in
+// the middle of a frame (or mid-handshake) means the PEER died, which a
+// TCP worker answers by reconnecting and the master by recovering the
+// orphaned chunk -- while a malformed frame means protocol corruption,
+// which is never retried. PeerDisconnected keeps the two distinct where
+// a generic runtime_error conflated them.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace hmxp::runtime {
+
+/// The peer closed the connection part-way through a frame (or the
+/// stream reset under us): the other PROCESS is gone or the link
+/// dropped, not a protocol bug. Transports catch this type to route
+/// into their reconnect / fault-recovery paths.
+class PeerDisconnected : public std::runtime_error {
+ public:
+  explicit PeerDisconnected(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Reads exactly `size` bytes from a blocking fd; returns false on a
+/// clean EOF at a frame boundary (`start` == true, nothing read yet),
+/// throws PeerDisconnected on mid-frame EOF or a connection reset, and
+/// std::runtime_error on other errors. Retries EINTR.
+bool read_exact(int fd, std::uint8_t* out, std::size_t size, bool start);
+
+/// Writes exactly `size` bytes to a blocking fd (MSG_NOSIGNAL, EINTR
+/// retried). A broken pipe / reset throws PeerDisconnected; other
+/// errors throw std::runtime_error.
+void write_exact(int fd, const std::uint8_t* data, std::size_t size);
+
+/// Reads one length-prefixed frame into `body` (prefix stripped) from a
+/// blocking fd. Returns false on clean EOF at a frame boundary. The
+/// declared length is validated against `max_frame_bytes` BEFORE any
+/// allocation: a corrupt or hostile prefix must fail the connection,
+/// never drive a multi-GiB resize.
+bool read_frame(int fd, std::vector<std::uint8_t>& body,
+                std::uint64_t max_frame_bytes);
+
+}  // namespace hmxp::runtime

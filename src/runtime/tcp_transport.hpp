@@ -1,0 +1,24 @@
+// TcpTransport support declarations. The transport itself is reached
+// through make_tcp_transport (runtime/transport.hpp); this header only
+// exposes what tests and fault-injection hooks need by name.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace hmxp::runtime {
+
+/// Thrown from a fault_hook inside a TCP worker to sever its connection
+/// mid-run WITHOUT killing the process: the worker closes its socket
+/// abruptly (no goodbye, no error notice), the master observes a dead
+/// connection and recovers the orphaned chunk, and the worker redials
+/// and re-handshakes -- exercising the disconnect/reconnect lifecycle a
+/// real cluster run would see on a flaky link. Outside the TCP
+/// transport it behaves as an ordinary worker-killing exception.
+class TcpDisconnectFault : public std::runtime_error {
+ public:
+  explicit TcpDisconnectFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+}  // namespace hmxp::runtime

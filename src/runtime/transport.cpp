@@ -14,6 +14,8 @@ const char* transport_kind_name(TransportKind kind) {
       return "process";
     case TransportKind::kShm:
       return "shm";
+    case TransportKind::kTcp:
+      return "tcp";
   }
   return "unknown";
 }
@@ -25,6 +27,8 @@ std::optional<TransportKind> parse_transport_kind(const std::string& name) {
     return TransportKind::kProcess;
   if (lower == "shm" || lower == "shmem" || lower == "shared-memory")
     return TransportKind::kShm;
+  if (lower == "tcp" || lower == "loopback-tcp" || lower == "socket")
+    return TransportKind::kTcp;
   return std::nullopt;
 }
 
@@ -45,9 +49,12 @@ std::unique_ptr<Transport> make_transport(
                                    run_begin, pool);
     case TransportKind::kProcess:
       return make_process_transport(workers, inbox_capacity, options,
-                                    run_begin, pool);
+                                    run_begin, pool, max_payload_doubles);
     case TransportKind::kShm:
       return make_shm_transport(workers, inbox_capacity, options, run_begin,
+                                pool, max_payload_doubles);
+    case TransportKind::kTcp:
+      return make_tcp_transport(workers, inbox_capacity, options, run_begin,
                                 pool, max_payload_doubles);
   }
   HMXP_CHECK(false, "unknown transport kind");

@@ -50,9 +50,9 @@ namespace hmxp::runtime {
 
 struct ExecutorOptions;  // executor.hpp; broken include cycle
 
-enum class TransportKind { kThread, kProcess, kShm };
+enum class TransportKind { kThread, kProcess, kShm, kTcp };
 
-/// "thread", "process" or "shm".
+/// "thread", "process", "shm" or "tcp".
 const char* transport_kind_name(TransportKind kind);
 /// Parses a transport name (case-insensitive); nullopt if unrecognized.
 std::optional<TransportKind> parse_transport_kind(const std::string& name);
@@ -78,6 +78,13 @@ struct TransportStats {
   std::size_t arena_slots = 0;
   std::size_t arena_peak_slots = 0;
   std::size_t arena_leaked_slots = 0;
+  /// Wire-compression outcome (TCP transport with
+  /// ExecutorOptions::wire_compression on): master-side frames that
+  /// shipped compressed, and the bytes the codec removed from them. The
+  /// sender keeps a frame raw when compression fails to shrink it, so
+  /// incompressible traffic leaves both counters at 0.
+  std::size_t frames_compressed = 0;
+  std::size_t bytes_saved_by_compression = 0;
 };
 
 /// The master's handle to ONE worker's data plane.
@@ -128,6 +135,16 @@ class Endpoint {
   /// worker, blocking -- and pumping its socket -- while the arena is
   /// full, which makes arena capacity part of the backpressure rule.
   virtual Payload allocate_payload(std::size_t size, BufferPool& pool);
+
+  /// Worker re-admission: a transport whose workers can come BACK (the
+  /// TCP transport's reconnect lifecycle) reports here that a failed
+  /// worker re-established its connection -- the endpoint is healthy
+  /// again (fresh connection, credits reset, sticky failure cleared)
+  /// and the master may resume scheduling it. The master polls this
+  /// only AFTER it fully recovered from the failure (mirror rolled
+  /// back, in-flight chunk returned), so a rejoin is a hot-join of an
+  /// idle worker. Default: failures are final.
+  virtual bool try_readmit() { return false; }
 };
 
 /// Owns the worker set of one run: endpoints while running, join/reap
@@ -156,8 +173,10 @@ class Transport {
 /// workers (zero-copy), the process transport recycles master-side
 /// encode/decode buffers through it while each child owns a private
 /// pool in its own address space. `max_payload_doubles` is the largest
-/// single payload the run can ship (from the partition geometry); only
-/// the shm transport uses it, to size its arena slots before forking.
+/// single payload the run can ship (from the partition geometry): the
+/// shm transport sizes its arena slots with it, and every serializing
+/// transport derives its per-endpoint frame-length limit from it
+/// (serde::max_frame_bytes_for) so corrupt prefixes fail cleanly.
 std::unique_ptr<Transport> make_transport(
     TransportKind kind, int workers, std::size_t inbox_capacity,
     const ExecutorOptions& options,
@@ -170,9 +189,15 @@ std::unique_ptr<Transport> make_thread_transport(
 
 std::unique_ptr<Transport> make_process_transport(
     int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
-    std::chrono::steady_clock::time_point run_begin, BufferPool* pool);
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
+    std::size_t max_payload_doubles);
 
 std::unique_ptr<Transport> make_shm_transport(
+    int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
+    std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
+    std::size_t max_payload_doubles);
+
+std::unique_ptr<Transport> make_tcp_transport(
     int workers, std::size_t inbox_capacity, const ExecutorOptions& options,
     std::chrono::steady_clock::time_point run_begin, BufferPool* pool,
     std::size_t max_payload_doubles);

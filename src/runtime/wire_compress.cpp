@@ -1,0 +1,54 @@
+#include "runtime/wire_compress.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace hmxp::runtime::wire {
+
+void compress(const std::uint8_t* src, std::size_t n,
+              std::vector<std::uint8_t>& out) {
+  std::size_t i = 0;
+  while (i < n) {
+    if (src[i] != 0) {
+      std::size_t j = i;
+      while (j < n && src[j] != 0) ++j;
+      out.insert(out.end(), src + i, src + j);
+      i = j;
+    } else {
+      std::size_t j = i;
+      while (j < n && src[j] == 0 && j - i < 256) ++j;
+      out.push_back(0);
+      out.push_back(static_cast<std::uint8_t>(j - i - 1));
+      i = j;
+    }
+  }
+}
+
+void decompress(const std::uint8_t* src, std::size_t n, std::uint8_t* dst,
+                std::size_t raw_size) {
+  std::size_t in = 0;
+  std::size_t out = 0;
+  while (in < n) {
+    const std::uint8_t byte = src[in++];
+    if (byte != 0) {
+      if (out >= raw_size)
+        throw std::runtime_error(
+            "corrupt compressed stream: overflows declared raw size");
+      dst[out++] = byte;
+      continue;
+    }
+    if (in >= n)
+      throw std::runtime_error("corrupt compressed stream: truncated run");
+    const std::size_t run = 1u + src[in++];
+    if (run > raw_size - out)
+      throw std::runtime_error(
+          "corrupt compressed stream: overflows declared raw size");
+    std::memset(dst + out, 0, run);
+    out += run;
+  }
+  if (out != raw_size)
+    throw std::runtime_error(
+        "corrupt compressed stream: underflows declared raw size");
+}
+
+}  // namespace hmxp::runtime::wire

@@ -1,0 +1,37 @@
+// Wire-level payload compression for the TCP transport: a zero-run-
+// length byte codec, self-contained (no external compression library --
+// the build environment is hermetic by design).
+//
+// Why zero-RLE: the dominant compressible frames in this protocol are
+// outbound C chunks early in a product whose C starts at (or near)
+// zero, and the structural zeros of short edge panels. Dense random
+// payloads do not compress -- the sender keeps a frame raw whenever the
+// codec fails to shrink it, so incompressible traffic pays nothing but
+// the encode attempt. The paper's CCR analysis prices exactly the
+// bandwidth-bound regime where shaving those bytes buys makespan.
+//
+// Stream format: literal bytes are copied verbatim; every 0x00 in the
+// source encodes as the pair [0x00][u8 extra], meaning 1 + extra
+// consecutive zeros. Worst case (no zeros) the stream equals the
+// source; isolated zeros cost one extra byte each.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hmxp::runtime::wire {
+
+/// Appends the compressed stream for src[0..n) to `out`.
+void compress(const std::uint8_t* src, std::size_t n,
+              std::vector<std::uint8_t>& out);
+
+/// Decompresses a stream of `n` bytes into dst[0..raw_size). Throws
+/// std::runtime_error on any corrupt stream: a truncated run pair, or a
+/// stream that over- or under-fills the declared size. Writes are
+/// bounded by `raw_size` (which the CALLER validates against its frame
+/// limit before allocating dst), never by wire content.
+void decompress(const std::uint8_t* src, std::size_t n, std::uint8_t* dst,
+                std::size_t raw_size);
+
+}  // namespace hmxp::runtime::wire

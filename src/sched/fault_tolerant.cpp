@@ -87,7 +87,14 @@ void FaultTolerantScheduler::absorb_failures(const sim::ExecutionView& view) {
         view.progress(static_cast<int>(w)).chunks_returned >
             in_flight_[w]->returned_before)
       in_flight_[w].reset();
-    if (!known_alive_[w] || view.alive(static_cast<int>(w))) continue;
+    if (!known_alive_[w]) {
+      // A worker can come BACK (TCP reconnect re-admission): re-arm the
+      // death detector, or a second loss of the same worker would slip
+      // by with its in-flight chunk never orphaned.
+      if (view.alive(static_cast<int>(w))) known_alive_[w] = true;
+      continue;
+    }
+    if (view.alive(static_cast<int>(w))) continue;
     known_alive_[w] = false;
     if (in_flight_[w].has_value()) {
       orphans_.push_back(std::move(in_flight_[w]->plan));

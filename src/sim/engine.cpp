@@ -213,6 +213,13 @@ void Engine::fail_worker(int worker) {
   }
 }
 
+void Engine::revive_worker(int worker) {
+  WorkerProgress& state = progress_mut(worker);
+  if (state.alive) return;
+  HMXP_CHECK(!state.has_chunk, "revived worker still holds a chunk");
+  state.alive = true;
+}
+
 model::Time Engine::calibrated_w(int worker) const {
   const WorkerProgress& state = progress(worker);
   return state.speed.value_or(context_->platform().worker(worker).w);

@@ -89,6 +89,14 @@ class Engine final : public ExecutionView {
   /// decision boundaries (see execute()).
   void fail_worker(int worker) override;
 
+  /// Re-admits a failed worker at the current port clock (the TCP
+  /// transport's reconnect lifecycle): the worker rejoins ALIVE and
+  /// IDLE -- fail_worker already returned its in-flight chunk to the
+  /// pending set and rolled back its enabled updates, so revival only
+  /// flips the liveness bit; chunks_lost keeps counting the loss. A
+  /// worker that is already alive is left untouched (idempotent).
+  void revive_worker(int worker);
+
   /// EWMA of the observed per-update cost (model clock): the engine IS
   /// the platform's ground truth, so each executed step's slowdown-
   /// scaled duration is an observation. Falls back to the static w_i

@@ -58,9 +58,13 @@ struct Decision {
 /// the same bookkeeping while real threads do the work).
 struct WorkerProgress {
   /// False once the worker failed (FaultSchedule event, a dead runtime
-  /// thread, or an explicit fail_worker). A dead worker never comes
-  /// back: every communication to it is infeasible and its in-flight
-  /// chunk has returned to the pending set.
+  /// thread, or an explicit fail_worker). While dead, every
+  /// communication to it is infeasible and its in-flight chunk has
+  /// returned to the pending set. A dead worker normally stays dead;
+  /// the one exception is the TCP transport's reconnect lifecycle,
+  /// where a re-admitted worker flips back alive (Engine::
+  /// revive_worker) and rejoins idle -- schedulers must therefore
+  /// re-check alive() rather than cache deaths forever.
   bool alive = true;
   bool has_chunk = false;
   ChunkPlan chunk;                      // valid while has_chunk
