@@ -100,6 +100,21 @@ RunReport run_algorithm(const Algorithm& algorithm,
   return report;
 }
 
+OperandSet generate_operands(const matrix::Partition& partition,
+                             std::uint64_t seed) {
+  // The draw ORDER (A, then B, then C from one stream) is part of the
+  // contract: every producer of a (partition, seed) job must yield
+  // bit-identical operands.
+  util::Rng rng(seed);
+  OperandSet operands;
+  operands.a =
+      matrix::Matrix::random(partition.n_a(), partition.n_ab(), rng);
+  operands.b =
+      matrix::Matrix::random(partition.n_ab(), partition.n_b(), rng);
+  operands.c = matrix::Matrix::random(partition.n_a(), partition.n_b(), rng);
+  return operands;
+}
+
 RunReport run_algorithm_online(const Algorithm& algorithm,
                                const platform::Platform& platform,
                                const matrix::Partition& partition,
@@ -117,11 +132,10 @@ RunReport run_algorithm_online(const Algorithm& algorithm,
   std::unique_ptr<sim::Scheduler> scheduler =
       timed_scheduler(report, algorithm, platform, partition);
 
-  util::Rng rng(options.data_seed);
-  const auto a = matrix::Matrix::random(partition.n_a(), partition.n_ab(), rng);
-  const auto b = matrix::Matrix::random(partition.n_ab(), partition.n_b(), rng);
-  matrix::Matrix c = matrix::Matrix::random(partition.n_a(), partition.n_b(),
-                                            rng);
+  OperandSet operands = generate_operands(partition, options.data_seed);
+  const matrix::Matrix& a = operands.a;
+  const matrix::Matrix& b = operands.b;
+  matrix::Matrix& c = operands.c;
 
   runtime::ExecutorOptions executor_options;
   switch (options.backend) {

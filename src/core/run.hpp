@@ -26,6 +26,7 @@
 #include <string>
 
 #include "core/algorithms.hpp"
+#include "matrix/matrix.hpp"
 #include "platform/perturbation.hpp"
 #include "sched/speculative.hpp"
 #include "sim/scheduler.hpp"
@@ -122,6 +123,19 @@ RunReport run_algorithm(const Algorithm& algorithm,
                         const platform::Platform& platform,
                         const matrix::Partition& partition,
                         const SimOptions& options, bool record_trace = false);
+
+/// The deterministically generated operands of an online run: A, B and
+/// the initial C, shaped to `partition` and fully determined by `seed`.
+/// Factored out so OTHER producers of the same job -- the multi-job
+/// service, tests comparing a service job against a standalone run --
+/// generate bit-identical inputs from a (partition, seed) pair.
+struct OperandSet {
+  matrix::Matrix a;
+  matrix::Matrix b;
+  matrix::Matrix c;
+};
+OperandSet generate_operands(const matrix::Partition& partition,
+                             std::uint64_t seed);
 
 /// Runs `algorithm` live on the online runtime: random matrices are
 /// generated to the partition's shape, the scheduler drives real

@@ -9,6 +9,9 @@
 namespace hmxp::model {
 
 namespace {
+/// Strict validation for the simplex path: infinite coefficients would
+/// break the tableau, and a mu of zero divides by zero in the coverage
+/// row, so the LP demands a fully regular platform.
 void validate(const std::vector<SteadyWorker>& workers) {
   HMXP_REQUIRE(!workers.empty(), "steady state needs at least one worker");
   for (const SteadyWorker& worker : workers) {
@@ -16,6 +19,28 @@ void validate(const std::vector<SteadyWorker>& workers) {
     HMXP_REQUIRE(worker.w > 0, "computation cost must be positive");
     HMXP_REQUIRE(worker.mu >= 1, "mu must be >= 1");
   }
+}
+
+/// Relaxed validation for the closed-form greedy path, which an
+/// admission controller calls on platforms AS FOUND: a zero-bandwidth
+/// link shows up as c = +infinity and a memoryless worker as mu = 0.
+/// Both are legal here -- enrollable() below simply excludes them, the
+/// worker contributes zero throughput, and the caller learns the
+/// platform's honest capacity instead of crashing.
+void validate_relaxed(const std::vector<SteadyWorker>& workers) {
+  HMXP_REQUIRE(!workers.empty(), "steady state needs at least one worker");
+  for (const SteadyWorker& worker : workers) {
+    HMXP_REQUIRE(worker.c >= 0, "communication cost must be non-negative");
+    HMXP_REQUIRE(worker.w > 0, "computation cost must be positive");
+    HMXP_REQUIRE(worker.mu >= 0, "mu must be non-negative");
+  }
+}
+
+/// A worker the one-port greedy can serve at all: a finite link and at
+/// least the one resident buffer the protocol needs.
+bool enrollable(const SteadyWorker& worker) {
+  return std::isfinite(worker.c) && worker.mu >= 1 &&
+         std::isfinite(worker.w);
 }
 }  // namespace
 
@@ -26,12 +51,16 @@ std::size_t SteadyStateSolution::enrolled_count() const {
 
 SteadyStateSolution solve_bandwidth_centric(
     const std::vector<SteadyWorker>& workers) {
-  validate(workers);
+  validate_relaxed(workers);
   const std::size_t p = workers.size();
 
   // Sort by non-decreasing 2 c_i / mu_i: cheapest port time per update.
-  std::vector<std::size_t> order(p);
-  std::iota(order.begin(), order.end(), std::size_t{0});
+  // Degenerate workers (zero-bandwidth link, zero memory) never enroll:
+  // they stay at x = 0 and the rest of the platform carries the load.
+  std::vector<std::size_t> order;
+  order.reserve(p);
+  for (std::size_t i = 0; i < p; ++i)
+    if (enrollable(workers[i])) order.push_back(i);
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
     const double ka = 2.0 * workers[a].c / static_cast<double>(workers[a].mu);
     const double kb = 2.0 * workers[b].c / static_cast<double>(workers[b].mu);
@@ -53,6 +82,13 @@ SteadyStateSolution solve_bandwidth_centric(
     const double x_full = 1.0 / worker.w;
     const double y_full = 2.0 * x_full / static_cast<double>(worker.mu);
     const double port_full = y_full * worker.c;
+    if (worker.c <= 0.0) {
+      // Free link: saturate outright, no port consumed.
+      solution.x[i] = x_full;
+      solution.y[i] = y_full;
+      solution.saturated[i] = true;
+      continue;
+    }
     if (port_full <= port_left + 1e-15) {
       solution.x[i] = x_full;
       solution.y[i] = y_full;
@@ -123,7 +159,7 @@ double steady_state_throughput(const std::vector<SteadyWorker>& workers) {
 
 std::vector<double> steady_state_buffer_demand(
     const std::vector<SteadyWorker>& workers) {
-  validate(workers);
+  validate_relaxed(workers);
   const SteadyStateSolution solution = solve_bandwidth_centric(workers);
   const std::size_t p = workers.size();
 

@@ -16,6 +16,10 @@
 // {100, 50, 10} Mbps. EXPERIMENTS.md discusses the discrepancy.
 #pragma once
 
+#include <optional>
+#include <string>
+#include <vector>
+
 #include "platform/platform.hpp"
 
 namespace hmxp::platform {
@@ -102,5 +106,42 @@ struct CalibrationOptions {
   /// single-step jitter.
   double alpha = 0.25;
 };
+
+// ---- calibration persistence ------------------------------------------------
+//
+// A long-lived service loses everything it learned about its workers on
+// restart; these helpers give SpeedEstimate the same host-keyed cache
+// the kernel autotuner has. The file lives next to the tuning cache,
+// follows its discipline -- strict whole-file parse (any anomaly reads
+// as "no cache"), atomic tmp+rename writes, never a crash -- and keys
+// entries by CPU model + a caller-supplied fleet label + worker count,
+// so a fleet only reheats ITS OWN calibration on matching silicon.
+
+/// Resolved cache file path: programmatic override (set below), then
+/// the HMXP_CALIB_CACHE environment variable, then "<tuning cache
+/// directory>/calibration". The value "off" (override or env) and an
+/// unresolvable location both yield "" = persistence disabled.
+std::string calibration_cache_path();
+
+/// Overrides the cache location for this process ("off" disables,
+/// nullopt restores the default chain). Tests use this for isolation.
+void set_calibration_cache_override(std::optional<std::string> path_or_off);
+
+/// Cache key for one fleet: sanitized CPU model + fleet label + worker
+/// count. The count is part of the key -- a resized fleet cold-starts
+/// rather than misassign estimates to the wrong workers.
+std::string calibration_cache_key(const std::string& fleet_label,
+                                  std::size_t workers);
+
+/// Loads the estimates stored under `key`, or nullopt if the file is
+/// missing, malformed, holds no such key, or the stored worker count
+/// differs from `workers`. Never throws.
+std::optional<std::vector<SpeedEstimate>> load_calibration(
+    const std::string& path, const std::string& key, std::size_t workers);
+
+/// Stores `speeds` under `key`, preserving other keys' entries.
+/// Atomic (tmp + rename); false on any failure. Never throws.
+bool store_calibration(const std::string& path, const std::string& key,
+                       const std::vector<SpeedEstimate>& speeds);
 
 }  // namespace hmxp::platform

@@ -5,11 +5,23 @@
 
 namespace hmxp::runtime {
 
+BufferPool::Stats BufferPool::Stats::delta_to(const Stats& end) const {
+  Stats delta;
+  delta.acquires = end.acquires - acquires;
+  delta.allocations = end.allocations - allocations;
+  delta.reuses = end.reuses - reuses;
+  delta.releases = end.releases - releases;
+  delta.peak_outstanding = end.peak_outstanding;
+  delta.outstanding = end.outstanding;
+  return delta;
+}
+
 BufferPool::Buffer BufferPool::acquire(std::size_t size) {
   std::lock_guard<std::mutex> lock(mutex_);
   ++stats_.acquires;
-  ++outstanding_;
-  stats_.peak_outstanding = std::max(stats_.peak_outstanding, outstanding_);
+  ++stats_.outstanding;
+  stats_.peak_outstanding =
+      std::max(stats_.peak_outstanding, stats_.outstanding);
 
   // Best fit: the smallest free buffer whose capacity suffices. When
   // none does, evict the smallest free buffer (keeping the larger ones
@@ -41,9 +53,10 @@ BufferPool::Buffer BufferPool::acquire(std::size_t size) {
 
 void BufferPool::release(Buffer&& buffer) {
   std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.releases;
   // Clamped so a foreign (never-acquired) release cannot push the
   // in-flight count negative; acquired buffers always balance.
-  if (outstanding_ > 0) --outstanding_;
+  if (stats_.outstanding > 0) --stats_.outstanding;
   if (buffer.capacity() == 0) return;  // nothing worth recycling
   free_.push_back(std::move(buffer));
 }

@@ -24,7 +24,19 @@ class BufferPool {
     std::size_t acquires = 0;     // total checkout count
     std::size_t allocations = 0;  // checkouts that had to grow heap storage
     std::size_t reuses = 0;       // checkouts served entirely from recycling
+    std::size_t releases = 0;     // total buffer returns
     std::size_t peak_outstanding = 0;  // max buffers checked out at once
+    /// Buffers checked out RIGHT NOW (a gauge, not a counter): 0 at any
+    /// quiescent point -- between jobs on a long-lived pool, and at
+    /// shutdown -- or payloads leaked.
+    std::size_t outstanding = 0;
+
+    /// Per-job view of a long-lived pool: counters are differences
+    /// (`end` minus this), gauges (`outstanding`, `peak_outstanding`)
+    /// are taken from `end` as-of-job-end values. Counters on a pool
+    /// are cumulative and never reset, so N sequential jobs each get an
+    /// honest delta while the lifetime totals stay assertable.
+    Stats delta_to(const Stats& end) const;
   };
 
   /// Checks out a buffer of exactly `size` elements (contents
@@ -43,7 +55,6 @@ class BufferPool {
  private:
   mutable std::mutex mutex_;
   std::vector<Buffer> free_;
-  std::size_t outstanding_ = 0;
   Stats stats_;
 };
 

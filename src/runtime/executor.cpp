@@ -12,6 +12,7 @@
 #include "core/algorithms.hpp"
 #include "matrix/gemm.hpp"
 #include "runtime/buffer_pool.hpp"
+#include "runtime/fleet.hpp"
 #include "runtime/messages.hpp"
 #include "runtime/transport.hpp"
 #include "util/check.hpp"
@@ -152,8 +153,60 @@ class OnlineExecutor final : public sim::ExecutionView {
         views_(worker_count_),
         pending_(worker_count_),
         updates_per_worker_(worker_count_, 0),
-        wall_speed_(worker_count_),
-        failure_handled_(worker_count_, 0) {}
+        own_speed_(worker_count_),
+        failure_handled_(worker_count_, 0) {
+    pool_ = &own_pool_;
+    wall_speed_ = &own_speed_;
+  }
+
+  /// Fleet mode: the same master loop, re-seated over a long-lived
+  /// fleet's transport, pool and calibration vector. The mirror spans
+  /// the FULL fleet platform; every worker outside `initial_lease`
+  /// starts marked failed (the FT-* scheduler schedules around it) and
+  /// its endpoint is NEVER touched -- another job may be driving it
+  /// concurrently. Grants arriving through `hooks` hot-join through the
+  /// same revive path a re-admitted TCP worker uses.
+  OnlineExecutor(Fleet& fleet, const matrix::Partition& partition,
+                 const matrix::Matrix& a, const matrix::Matrix& b,
+                 matrix::Matrix& c, const FleetJobOptions& job,
+                 const std::vector<int>& initial_lease,
+                 const LeaseHooks& hooks)
+      : mirror_(sim::InstanceContext::make(fleet.platform(), partition),
+                job.record_trace),
+        a_(a),
+        b_(b),
+        c_(c),
+        options_(fleet.options()),
+        worker_count_(static_cast<std::size_t>(fleet.size())),
+        views_(worker_count_),
+        pending_(worker_count_),
+        updates_per_worker_(worker_count_, 0),
+        failure_handled_(worker_count_, 0),
+        fleet_(&fleet),
+        hooks_(&hooks),
+        leased_(worker_count_, 0),
+        ever_leased_(worker_count_, 0) {
+    options_.verify = job.verify;
+    options_.tolerance = job.tolerance;
+    options_.record_trace = job.record_trace;
+    pool_ = &fleet.pool();
+    wall_speed_ = &fleet.speeds();
+    transport_ = &fleet.transport();
+    for (const int w : initial_lease) {
+      HMXP_REQUIRE(w >= 0 && static_cast<std::size_t>(w) < worker_count_,
+                   "lease index out of range");
+      HMXP_REQUIRE(fleet.alive(w), "cannot lease a dead worker");
+      leased_[static_cast<std::size_t>(w)] = 1;
+      ever_leased_[static_cast<std::size_t>(w)] = 1;
+    }
+    for (std::size_t w = 0; w < worker_count_; ++w) {
+      if (leased_[w]) continue;
+      // Foreign (or initially unleased) worker: dead on this job's
+      // mirror, endpoint untouched. NOT counted in workers_failed_.
+      failure_handled_[w] = 1;
+      mirror_.fail_worker(static_cast<int>(w));
+    }
+  }
 
   ~OnlineExecutor() override { shutdown(); }
 
@@ -219,12 +272,19 @@ class OnlineExecutor final : public sim::ExecutionView {
     // frees every slot still tagged with the worker -- releasing after
     // would double-free a slot another worker may already hold.
     if (pending_[w].has_value()) {
-      pending_[w]->c.release_to(pool_);
+      pending_[w]->c.release_to(*pool_);
       pending_[w].reset();
     }
-    endpoint.drain(pool_);
+    endpoint.drain(*pool_);
     views_[w].plan.reset();
     mirror_.fail_worker(worker);
+    if (fleet_ != nullptr && leased_[w]) {
+      // A real death, not a lease release: the fleet permanently loses
+      // the worker and the lease manager must stop offering it.
+      leased_[w] = 0;
+      fleet_->mark_dead(worker);
+      if (hooks_->worker_dead) hooks_->worker_dead(worker);
+    }
   }
 
   /// Static w_i scaled by the worker's observed wall-clock drift: the
@@ -234,10 +294,10 @@ class OnlineExecutor final : public sim::ExecutionView {
   /// 2x mid-run costs 2x in every lookahead that consults it.
   model::Time calibrated_w(int worker) const override {
     return mirror_.platform().worker(worker).w *
-           wall_speed_[static_cast<std::size_t>(worker)].drift();
+           (*wall_speed_)[static_cast<std::size_t>(worker)].drift();
   }
   double observed_drift(int worker) const override {
-    return wall_speed_[static_cast<std::size_t>(worker)].drift();
+    return (*wall_speed_)[static_cast<std::size_t>(worker)].drift();
   }
 
   // ----- the master loop -----
@@ -251,18 +311,22 @@ class OnlineExecutor final : public sim::ExecutionView {
     // slots for the deepest layout (double buffering, depth 1). The
     // bound makes a master that overruns a worker's buffers block for
     // real; per-chunk depths below the bound are enforced in model time
-    // by the mirror's SendAB timing.
-    {
+    // by the mirror's SendAB timing. A fleet job skips all of this: the
+    // fleet's transport (and its workers) already exist.
+    if (fleet_ == nullptr) {
       // Workers never see the master's matrices (payloads travel
       // serialized or through the shared arena), so keep those pages
       // out of the forks entirely -- see ForkVisibilityGuard.
       const ForkVisibilityGuard fork_guard(
           options_.transport != TransportKind::kThread, a_, b_, c_);
-      transport_ = make_transport(options_.transport,
-                                  static_cast<int>(worker_count_),
-                                  /*inbox_capacity=*/3, options_, run_begin_,
-                                  &pool_, max_payload_doubles(partition()));
+      owned_transport_ = make_transport(options_.transport,
+                                        static_cast<int>(worker_count_),
+                                        /*inbox_capacity=*/3, options_,
+                                        run_begin_, pool_,
+                                        max_payload_doubles(partition()));
+      transport_ = owned_transport_.get();
     }
+    pool_begin_ = pool_->stats();
     const std::size_t max_decisions =
         sim::decision_budget(mirror_.partition());
     std::size_t executed = 0;
@@ -323,12 +387,32 @@ class OnlineExecutor final : public sim::ExecutionView {
                    "scheduler exceeded decision budget (livelock?)");
       }
     } catch (...) {
+      if (fleet_ != nullptr) {
+        // The job failed mid-flight. A still-leased worker may be
+        // mid-chunk -- its endpoint protocol state is not at a message
+        // boundary, so handing it to another job would corrupt that
+        // job's stream. Kill what we hold; the fleet shrinks.
+        for (std::size_t w = 0; w < worker_count_; ++w) {
+          if (!leased_[w]) continue;
+          try {
+            fail_worker(static_cast<int>(w));
+          } catch (...) {  // best-effort teardown; original error wins
+          }
+        }
+        publish_calibration();
+        throw;
+      }
       shutdown();
       rethrow_worker_error();  // a dead worker is the root cause
       throw;
     }
-    shutdown();
-    rethrow_worker_error();
+    if (fleet_ == nullptr) {
+      shutdown();
+      rethrow_worker_error();
+    } else {
+      release_remaining_leases();
+      publish_calibration();
+    }
 
     ExecutorReport report;
     report.chunks_processed = chunks_processed_;
@@ -337,16 +421,23 @@ class OnlineExecutor final : public sim::ExecutionView {
       report.updates_performed += updates;
     report.workers_failed = workers_failed_;
     report.workers_rejoined = workers_rejoined_;
-    for (const platform::SpeedEstimate& speed : wall_speed_)
+    for (const platform::SpeedEstimate& speed : *wall_speed_)
       report.observed_drift.push_back(speed.drift());
     report.result =
         sim::collect_result(scheduler.name(), mirror_, executed);
-    report.buffer_pool = pool_.stats();
+    report.buffer_pool = pool_->stats();
+    report.buffer_pool_delta = pool_begin_.delta_to(report.buffer_pool);
     report.speculation = spec_stats_;
     report.speculation.wasted_updates =
         static_cast<std::size_t>(mirror_.snapshot().wasted_updates);
     report.transport = transport_->name();
-    report.transport_stats = transport_->stats();
+    if (fleet_ == nullptr) {
+      // Fleet endpoints keep streaming for OTHER jobs while this report
+      // is assembled -- reading the shared counters here would race.
+      // Fleet-wide stats are read between jobs via Fleet::transport_stats.
+      report.transport_stats = transport_->stats();
+    }
+    for (const char used : ever_leased_) report.fleet_workers_used += used;
     report.kernel_variant = matrix::packed_kernel_variant();
     // Mirrors the hello handshake: a tuned blocking only when the
     // packed tier actually ran; zeros document "no blocking consumed".
@@ -397,7 +488,11 @@ class OnlineExecutor final : public sim::ExecutionView {
   /// between steps surfaces here, not whenever the master next happens
   /// to touch its endpoint (which could be never).
   void drain_completions() {
+    if (fleet_ != nullptr) fleet_lease_sweep();
     for (std::size_t w = 0; w < worker_count_; ++w) {
+      // NEVER touch an endpoint this job does not hold: another job's
+      // master loop may be mid-protocol on it right now.
+      if (fleet_ != nullptr && !leased_[w]) continue;
       Endpoint& endpoint = transport_->endpoint(static_cast<int>(w));
       if (failure_handled_[w]) {
         // A handled failure is the safe point to offer re-admission:
@@ -424,7 +519,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         while ((pending_[w] = endpoint.try_recv()).has_value()) {
           observe_result(w, *pending_[w]);
           if (!stale_result(w, *pending_[w])) break;
-          pending_[w]->c.release_to(pool_);
+          pending_[w]->c.release_to(*pool_);
           pending_[w].reset();
           ++spec_stats_.stale_results;
         }
@@ -438,6 +533,99 @@ class OnlineExecutor final : public sim::ExecutionView {
         }
       }
     }
+    if (fleet_ != nullptr) fleet_starvation_guard();
+  }
+
+  // ----- fleet-mode lease plumbing -----
+
+  /// A worker with no resident chunk, no undrained result and no plan:
+  /// its endpoint is at a message boundary, so the lease can change
+  /// hands without corrupting either job's protocol stream.
+  bool worker_idle(std::size_t w) const {
+    return !views_[w].plan.has_value() && !pending_[w].has_value() &&
+           !mirror_.progress(static_cast<int>(w)).has_chunk;
+  }
+
+  void apply_grants(const std::vector<int>& grants) {
+    for (const int g : grants) {
+      const auto w = static_cast<std::size_t>(g);
+      HMXP_REQUIRE(g >= 0 && w < worker_count_, "grant index out of range");
+      if (leased_[w]) continue;
+      leased_[w] = 1;
+      ever_leased_[w] = 1;
+      failure_handled_[w] = 0;
+      // Hot-join: identical to a re-admitted TCP worker -- alive and
+      // idle on the mirror, and the FT-* scheduler hands it orphans or
+      // fresh territory on its next decision.
+      mirror_.revive_worker(g);
+    }
+  }
+
+  void release_lease(std::size_t w) {
+    leased_[w] = 0;
+    failure_handled_[w] = 1;  // back to "not ours": skip its endpoint
+    views_[w].plan.reset();
+    mirror_.fail_worker(static_cast<int>(w));
+    if (hooks_->release) hooks_->release(static_cast<int>(w));
+  }
+
+  /// Chunk-boundary rebalancing, run before every scheduling decision:
+  /// pick up any workers the lease manager granted us, then shed idle
+  /// workers we no longer need -- either because all blocks are
+  /// assigned (tail drain: a finished worker immediately starts the
+  /// NEXT job's prologue, the pipelined epilogue/prologue overlap) or
+  /// because we hold more than our fair share. If every leased worker
+  /// is gone while work remains, block on the lease manager rather
+  /// than let the FT scheduler conclude the run is unrecoverable.
+  void fleet_lease_sweep() {
+    if (hooks_->poll_grants) apply_grants(hooks_->poll_grants());
+    const bool tail = mirror_.unassigned_blocks() == 0;
+    int held = 0;
+    for (const char lease : leased_) held += lease;
+    const int target =
+        hooks_->target ? std::max(1, hooks_->target()) : held;
+    for (std::size_t w = 0; w < worker_count_ && held > 0; ++w) {
+      if (!leased_[w] || !worker_idle(w)) continue;
+      if (!tail && held <= target) break;  // keep our fair share busy
+      release_lease(w);
+      --held;
+    }
+  }
+
+  /// Runs after the endpoint sweep (which is where deaths surface): if
+  /// this job lost its last worker mid-run, block on the lease manager
+  /// for a replacement instead of letting the FT scheduler conclude
+  /// the run is unrecoverable.
+  void fleet_starvation_guard() {
+    while (!mirror_.all_work_done()) {
+      int held = 0;
+      for (const char lease : leased_) held += lease;
+      if (held > 0) return;
+      HMXP_CHECK(hooks_->wait_grant,
+                 "fleet job has no workers and no grant source");
+      const std::vector<int> grants = hooks_->wait_grant();
+      if (grants.empty())
+        throw std::runtime_error(
+            "fleet job starved: no workers left to grant");
+      apply_grants(grants);
+    }
+  }
+
+  void release_remaining_leases() {
+    // kDone with leases still held (e.g. target kept them busy to the
+    // last chunk): they are idle now -- every chunk was received -- so
+    // hand them back cleanly.
+    for (std::size_t w = 0; w < worker_count_; ++w)
+      if (leased_[w]) release_lease(w);
+  }
+
+  /// Publishes each used worker's drift snapshot for lock-free readers
+  /// (the admission controller) -- the SpeedEstimate vector itself is
+  /// only safe under the lease protocol.
+  void publish_calibration() {
+    for (std::size_t w = 0; w < worker_count_; ++w)
+      if (ever_leased_[w])
+        fleet_->publish_drift(static_cast<int>(w), (*wall_speed_)[w].drift());
   }
 
   /// Folds a returned chunk into the master's bookkeeping: its measured
@@ -452,7 +640,8 @@ class OnlineExecutor final : public sim::ExecutionView {
           static_cast<double>(result.plan.steps[s].updates);
       const double seconds = result.step_seconds[s];
       if (updates <= 0 || seconds <= 0) continue;  // below clock resolution
-      wall_speed_[w].observe(seconds / updates, options_.calibration.alpha);
+      (*wall_speed_)[w].observe(seconds / updates,
+                                options_.calibration.alpha);
     }
     const std::size_t performed =
         std::min(result.updates_performed, result.plan.steps.size());
@@ -487,7 +676,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.plan = decision.chunk;
         message.element_rows = window.rows();
         message.element_cols = window.cols();
-        message.c = copy_window(endpoint, pool_, c_, window.row0, window.row1,
+        message.c = copy_window(endpoint, *pool_, c_, window.row0, window.row1,
                                 window.col0, window.col1);
         message.seq = ++view.seq;
         throttle(decision.worker,
@@ -508,9 +697,9 @@ class OnlineExecutor final : public sim::ExecutionView {
         message.step = view.steps_sent;
         message.k_elem_begin = ek0;
         message.k_elems = ek1 - ek0;
-        message.a = copy_window(endpoint, pool_, a_, view.window.row0,
+        message.a = copy_window(endpoint, *pool_, a_, view.window.row0,
                                 view.window.row1, ek0, ek1);
-        message.b = copy_window(endpoint, pool_, b_, ek0, ek1,
+        message.b = copy_window(endpoint, *pool_, b_, ek0, ek1,
                                 view.window.col0, view.window.col1);
         throttle(decision.worker, static_cast<double>(step.operand_blocks));
         endpoint.send(std::move(message));
@@ -526,7 +715,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         // waiting on the port, as in the model).
         while (!result.has_value() || stale_result(w, *result)) {
           if (result.has_value()) {
-            result->c.release_to(pool_);
+            result->c.release_to(*pool_);
             ++spec_stats_.stale_results;
           }
           result = endpoint.recv();
@@ -547,7 +736,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         matrix::copy_into(src, dst);
         // The chunk is folded in; recycle its storage for the next send
         // (pool vector or arena slot, per the transport).
-        result->c.release_to(pool_);
+        result->c.release_to(*pool_);
         ++chunks_processed_;
         view.plan.reset();
         break;
@@ -560,7 +749,7 @@ class OnlineExecutor final : public sim::ExecutionView {
         // or by the stale-seq filters on the receive paths.
         endpoint.send(CancelMessage{view.seq});
         if (pending_[w].has_value()) {
-          pending_[w]->c.release_to(pool_);
+          pending_[w]->c.release_to(*pool_);
           pending_[w].reset();
           ++spec_stats_.stale_results;
         }
@@ -572,8 +761,10 @@ class OnlineExecutor final : public sim::ExecutionView {
 
   /// Stops and reclaims every worker through the transport (join
   /// threads / reap child processes). Idempotent, safe on error paths.
+  /// A fleet job owns no transport, so this is a no-op for it -- the
+  /// fleet's workers live on to serve the next job.
   void shutdown() noexcept {
-    if (transport_ != nullptr) transport_->shutdown();
+    if (owned_transport_ != nullptr) owned_transport_->shutdown();
   }
 
   /// After shutdown: if any worker failed, its error is the root cause
@@ -583,6 +774,10 @@ class OnlineExecutor final : public sim::ExecutionView {
   /// stay buried.
   void rethrow_worker_error() {
     if (transport_ == nullptr) return;
+    // Fleet mode always tolerates faults: every death this job saw was
+    // handled (and reported through the lease hooks), and foreign
+    // endpoints are not this job's to inspect.
+    if (fleet_ != nullptr) return;
     for (std::size_t w = 0; w < worker_count_; ++w) {
       Endpoint& endpoint = transport_->endpoint(static_cast<int>(w));
       if (!endpoint.error() || endpoint.killed()) continue;
@@ -595,17 +790,29 @@ class OnlineExecutor final : public sim::ExecutionView {
   const matrix::Matrix& a_;
   const matrix::Matrix& b_;
   matrix::Matrix& c_;
-  BufferPool pool_;  // shared with workers; outlives them (declared first)
+  // Owned-vs-borrowed pairs: a standalone run owns its pool, transport
+  // and calibration; a fleet job borrows all three from the fleet (the
+  // owned slots stay empty). Code paths always go through the pointers.
+  BufferPool own_pool_;  // shared with workers; outlives them (first)
   ExecutorOptions options_;
   std::size_t worker_count_;
-  std::unique_ptr<Transport> transport_;
+  std::unique_ptr<Transport> owned_transport_;
+  Transport* transport_ = nullptr;
+  BufferPool* pool_ = nullptr;
   std::vector<MasterView> views_;
   std::vector<std::optional<ResultMessage>> pending_;
   std::vector<std::size_t> updates_per_worker_;
-  std::vector<platform::SpeedEstimate> wall_speed_;
+  std::vector<platform::SpeedEstimate> own_speed_;
+  std::vector<platform::SpeedEstimate>* wall_speed_ = nullptr;
   std::vector<char> failure_handled_;  // fail_worker() already ran
   sim::EngineState rollback_state_;    // reused pre-decision snapshot
   SpeculationStats spec_stats_;
+  // Fleet mode only (nullptr / empty otherwise).
+  Fleet* fleet_ = nullptr;
+  const LeaseHooks* hooks_ = nullptr;
+  std::vector<char> leased_;       // holds the lease right now
+  std::vector<char> ever_leased_;  // held it at some point this job
+  BufferPool::Stats pool_begin_{};
   int workers_failed_ = 0;
   int workers_rejoined_ = 0;
   Clock::time_point run_begin_{};
@@ -640,6 +847,25 @@ ExecutorReport execute_online(sim::Scheduler& scheduler,
                               std::vector<sim::Decision>* decision_log) {
   check_shapes(partition, a, b, c, platform, options);
   OnlineExecutor executor(platform, partition, a, b, c, options);
+  return executor.run(scheduler, decision_log);
+}
+
+ExecutorReport execute_on_fleet(sim::Scheduler& scheduler, Fleet& fleet,
+                                const matrix::Partition& partition,
+                                const matrix::Matrix& a,
+                                const matrix::Matrix& b, matrix::Matrix& c,
+                                const std::vector<int>& initial_lease,
+                                const LeaseHooks& hooks,
+                                const FleetJobOptions& job,
+                                std::vector<sim::Decision>* decision_log) {
+  check_shapes(partition, a, b, c, fleet.platform(), fleet.options());
+  // The fleet's arena slots and frame ceilings were sized once at
+  // spawn; a job that would ship a larger payload must be rejected at
+  // admission, and is a hard error here.
+  HMXP_REQUIRE(max_payload_doubles(partition) <= fleet.max_payload_doubles(),
+               "job payload exceeds the fleet's sizing ceiling");
+  OnlineExecutor executor(fleet, partition, a, b, c, job, initial_lease,
+                          hooks);
   return executor.run(scheduler, decision_log);
 }
 

@@ -154,11 +154,23 @@ struct ExecutorReport {
   std::vector<double> observed_drift;
   bool verified = false;               // true iff verify ran and passed
   double max_abs_error = 0.0;          // vs reference (when verify on)
-  /// Payload-buffer recycling counters for the run: in steady state
-  /// acquires grow while allocations stay at the warm-up count (the
-  /// "no per-step payload allocation" property; small per-step
-  /// bookkeeping like channel nodes is outside the pool's scope).
+  /// Payload-buffer recycling counters: in steady state acquires grow
+  /// while allocations stay at the warm-up count (the "no per-step
+  /// payload allocation" property; small per-step bookkeeping like
+  /// channel nodes is outside the pool's scope). On a fleet these are
+  /// the pool's CUMULATIVE lifetime counters (never reset across
+  /// jobs); `buffer_pool_delta` below is this job's own slice.
   BufferPool::Stats buffer_pool;
+  /// This run's contribution alone: counter fields are end-minus-start
+  /// differences, gauge fields (`outstanding`, `peak_outstanding`) are
+  /// as-of-run-end values. A warm fleet job in steady state allocates
+  /// (near) nothing: its `buffer_pool_delta.allocations` only covers
+  /// growth past every earlier job's in-flight peak, so the total
+  /// across N jobs stays bounded by the worst-case in-flight
+  /// population, never scaling with N. Any balanced run -- first or
+  /// hundredth -- leaves `buffer_pool_delta.outstanding` covering only
+  /// payloads other concurrent jobs hold.
+  BufferPool::Stats buffer_pool_delta;
   /// Proactive-redundancy outcome (all zero under non-SP schedulers).
   SpeculationStats speculation;
   /// Which transport moved the data plane ("thread" / "process").
@@ -173,6 +185,46 @@ struct ExecutorReport {
   /// dispatched a non-packed tier (naive/tiled consume no blocking).
   std::string kernel_variant;
   matrix::BlockingParams kernel_blocking;
+  /// Fleet-mode only: how many distinct workers ever held this job's
+  /// lease (0 on the classic own-transport paths).
+  int fleet_workers_used = 0;
+};
+
+class Fleet;  // fleet.hpp; broken include cycle
+
+/// Lease coordination a fleet-mode master polls at every completion
+/// sweep. All callbacks are invoked from the job's master thread; the
+/// lease manager behind them (service/daemon.cpp) provides the mutual
+/// exclusion that makes worker hand-offs safe. Any callback may be
+/// empty: poll_grants/wait_grant default to "no grants ever", target to
+/// "keep everything", release/worker_dead to no-ops.
+struct LeaseHooks {
+  /// Drains workers granted to this job since the last poll (fleet
+  /// worker indices; each is idle and alive when granted).
+  std::function<std::vector<int>()> poll_grants;
+  /// Blocks until at least one worker is granted. An EMPTY result means
+  /// the grant can never come (daemon shutting down): the job fails.
+  /// Called only when the job holds zero alive workers with work left.
+  std::function<std::vector<int>()> wait_grant;
+  /// This job's current fair-share worker target. When the job holds
+  /// more than the target, it sheds idle workers at chunk boundaries
+  /// (the lease rebalancing point: a worker is only ever handed back
+  /// between chunks, fully quiesced).
+  std::function<int()> target;
+  /// Hands an idle, alive, fully-drained worker back to the pool.
+  std::function<void(int)> release;
+  /// Reports a worker that REALLY died while this job held it (the
+  /// job's FT-* scheduler re-completes the lost chunk on survivors;
+  /// the fleet never leases the worker again).
+  std::function<void(int)> worker_dead;
+};
+
+/// Per-job knobs of a fleet run (everything else -- transport, fault
+/// schedules, calibration alpha -- is fixed fleet-wide at spawn).
+struct FleetJobOptions {
+  bool verify = false;  // off by default: fleet jobs verify via their caller
+  double tolerance = 1e-9;
+  bool record_trace = false;
 };
 
 /// Online execution: drives `scheduler` live against real worker
@@ -199,6 +251,29 @@ ExecutorReport execute(const platform::Platform& platform,
                        const std::vector<sim::Decision>& decisions,
                        const matrix::Matrix& a, const matrix::Matrix& b,
                        matrix::Matrix& c, const ExecutorOptions& options = {});
+
+/// Fleet re-entry: the same online master loop, but over a LONG-LIVED
+/// fleet's transport, pool and calibration state instead of its own --
+/// no worker spawn, no teardown, warm buffers. The job's scheduler sees
+/// the full fleet platform with every non-leased worker marked failed
+/// (an FT-* policy simply schedules around them), so `scheduler` MUST
+/// be fault-tolerant. Workers granted mid-run (LeaseHooks::poll_grants)
+/// hot-join exactly like a re-admitted TCP worker; idle workers are
+/// shed at chunk boundaries whenever the job exceeds its fair-share
+/// target, and every worker is released as the tail drains -- the
+/// pipelined epilogue that lets the next job's prologue start while
+/// this job's last chunks come home. On any failure the job KILLS the
+/// workers it still holds (reporting them dead) rather than hand a
+/// non-quiesced worker to the next job. Throws like execute_online.
+ExecutorReport execute_on_fleet(sim::Scheduler& scheduler, Fleet& fleet,
+                                const matrix::Partition& partition,
+                                const matrix::Matrix& a,
+                                const matrix::Matrix& b, matrix::Matrix& c,
+                                const std::vector<int>& initial_lease,
+                                const LeaseHooks& hooks,
+                                const FleetJobOptions& job = {},
+                                std::vector<sim::Decision>* decision_log =
+                                    nullptr);
 
 /// Convenience: build the scheduler for `algorithm` and run it ONLINE on
 /// real data (no pre-simulation; algorithms with a selection phase, like

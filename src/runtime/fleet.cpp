@@ -1,0 +1,67 @@
+#include "runtime/fleet.hpp"
+
+#include "util/check.hpp"
+
+namespace hmxp::runtime {
+
+Fleet::Fleet(platform::Platform platform, ExecutorOptions options,
+             std::size_t max_payload_doubles)
+    : platform_(std::move(platform)),
+      options_(std::move(options)),
+      max_payload_doubles_(max_payload_doubles),
+      spawn_time_(std::chrono::steady_clock::now()),
+      speeds_(static_cast<std::size_t>(platform_.size())) {
+  HMXP_REQUIRE(platform_.size() > 0, "fleet needs at least one worker");
+  HMXP_REQUIRE(max_payload_doubles_ > 0,
+               "fleet needs a positive payload ceiling");
+  // Jobs run under fault tolerance unconditionally: a fleet outlives
+  // any one job, so a worker death must degrade, never abort.
+  options_.tolerate_faults = true;
+  const auto count = static_cast<std::size_t>(platform_.size());
+  drift_.reserve(count);
+  dead_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    drift_.push_back(std::make_unique<std::atomic<double>>(1.0));
+    dead_.push_back(std::make_unique<std::atomic<bool>>(false));
+  }
+  // Inbox depth 3: the chunk message plus the double-buffered layout's
+  // prefetch + 1 operand slots -- the same bound execute_online uses.
+  transport_ = make_transport(options_.transport, platform_.size(),
+                              /*inbox_capacity=*/3, options_, spawn_time_,
+                              &pool_, max_payload_doubles_);
+}
+
+Fleet::~Fleet() { shutdown(); }
+
+double Fleet::drift(int worker) const {
+  return drift_[static_cast<std::size_t>(worker)]->load(
+      std::memory_order_relaxed);
+}
+
+void Fleet::publish_drift(int worker, double drift) {
+  drift_[static_cast<std::size_t>(worker)]->store(drift,
+                                                  std::memory_order_relaxed);
+}
+
+void Fleet::mark_dead(int worker) {
+  dead_[static_cast<std::size_t>(worker)]->store(true,
+                                                 std::memory_order_release);
+}
+
+bool Fleet::alive(int worker) const {
+  return !dead_[static_cast<std::size_t>(worker)]->load(
+      std::memory_order_acquire);
+}
+
+int Fleet::alive_count() const {
+  int alive = 0;
+  for (const auto& dead : dead_)
+    if (!dead->load(std::memory_order_acquire)) ++alive;
+  return alive;
+}
+
+void Fleet::shutdown() noexcept {
+  if (transport_ != nullptr) transport_->shutdown();
+}
+
+}  // namespace hmxp::runtime

@@ -529,7 +529,8 @@ class ProcessTransport final : public Transport {
   ProcessTransport(int workers, std::size_t inbox_capacity,
                    const ExecutorOptions& options,
                    Clock::time_point run_begin, BufferPool* pool,
-                   std::size_t max_payload_doubles) {
+                   std::size_t max_payload_doubles)
+      : endpoint_stats_(static_cast<std::size_t>(workers)) {
     // Capture the kernel configuration ONCE, in the master, before any
     // fork: the explicit pins (force_kernel_tier / --kernel,
     // force_micro_kernel_variant), the tier/variant the dispatch
@@ -585,7 +586,7 @@ class ProcessTransport final : public Transport {
                    "fcntl O_NONBLOCK failed");
         endpoints_.push_back(std::make_unique<ProcessEndpoint>(
             static_cast<int>(i), fd, pid, inbox_capacity, expected_hello,
-            pool, &stats_, max_frame_bytes));
+            pool, &endpoint_stats_[i], max_frame_bytes));
       }
     } catch (...) {
       // Endpoints own master_fds[0 .. endpoints_.size()); close the rest.
@@ -619,11 +620,17 @@ class ProcessTransport final : public Transport {
     for (auto& endpoint : endpoints_) endpoint->finish_shutdown();
   }
 
-  TransportStats stats() const override { return stats_; }
+  TransportStats stats() const override {
+    TransportStats total;
+    for (const TransportStats& slot : endpoint_stats_) total += slot;
+    return total;
+  }
 
  private:
+  // One slot per endpoint (each writes only its own; stable addresses,
+  // never resized) so concurrent fleet jobs never race on a counter.
+  std::vector<TransportStats> endpoint_stats_;
   std::vector<std::unique_ptr<ProcessEndpoint>> endpoints_;
-  TransportStats stats_;
 };
 
 }  // namespace

@@ -962,7 +962,8 @@ class ShmTransport final : public Transport {
       : arena_(static_cast<std::size_t>(workers) * kSlotsPerWorker,
                std::max<std::size_t>(max_payload_doubles, 1)),
         acks_(static_cast<std::size_t>(workers)),
-        rings_(static_cast<std::size_t>(workers)) {
+        rings_(static_cast<std::size_t>(workers)),
+        endpoint_stats_(static_cast<std::size_t>(workers)) {
     // Resolve (possibly autotune) the blocking in the master, before
     // any fork; children re-assert and answer for exactly this state.
     const matrix::KernelConfig config = matrix::current_kernel_config();
@@ -1004,7 +1005,7 @@ class ShmTransport final : public Transport {
                    "fcntl O_NONBLOCK failed");
         endpoints_.push_back(std::make_unique<ShmEndpoint>(
             static_cast<int>(i), fd, pid, inbox_capacity, expected_hello,
-            rings_.channel(i), &arena_, &acks_, &stats_));
+            rings_.channel(i), &arena_, &acks_, &endpoint_stats_[i]));
       }
     } catch (...) {
       for (std::size_t j = endpoints_.size(); j < count; ++j)
@@ -1045,7 +1046,8 @@ class ShmTransport final : public Transport {
   }
 
   TransportStats stats() const override {
-    TransportStats stats = stats_;
+    TransportStats stats;
+    for (const TransportStats& slot : endpoint_stats_) stats += slot;
     const SharedArena::Stats arena = arena_.stats();
     stats.arena_slots = arena_.slot_count();
     stats.arena_peak_slots = arena.peak_in_use;
@@ -1055,14 +1057,15 @@ class ShmTransport final : public Transport {
   }
 
  private:
-  // Declared before the endpoints: they hold arena, ack-board and
-  // ring pointers, so all three must outlive them on every
-  // destruction path.
+  // Declared before the endpoints: they hold arena, ack-board, ring
+  // and stats-slot pointers, so all four must outlive them on every
+  // destruction path. One stats slot per endpoint (stable addresses,
+  // never resized) so concurrent fleet jobs never race on a counter.
   SharedArena arena_;
   SharedAckBoard acks_;
   SharedRingBlock rings_;
+  std::vector<TransportStats> endpoint_stats_;
   std::vector<std::unique_ptr<ShmEndpoint>> endpoints_;
-  TransportStats stats_;
   std::size_t leaked_slots_ = 0;
   bool leak_recorded_ = false;
 };

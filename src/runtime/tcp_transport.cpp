@@ -890,7 +890,8 @@ class TcpTransport final : public Transport {
  public:
   TcpTransport(int workers, std::size_t inbox_capacity,
                const ExecutorOptions& options, Clock::time_point run_begin,
-               BufferPool* pool, std::size_t max_payload_doubles) {
+               BufferPool* pool, std::size_t max_payload_doubles)
+      : endpoint_stats_(static_cast<std::size_t>(workers)) {
     // Resolve (possibly autotune) the blocking in the master, before
     // any fork; children re-assert and answer for exactly this state.
     const matrix::KernelConfig config = matrix::current_kernel_config();
@@ -927,7 +928,8 @@ class TcpTransport final : public Transport {
         ack.token = token;
         endpoints_.push_back(std::make_unique<TcpEndpoint>(
             static_cast<int>(i), token, pid, inbox_capacity, expected_hello,
-            ack, pool, &stats_, max_frame_bytes, compress, &acceptor_));
+            ack, pool, &endpoint_stats_[i], max_frame_bytes, compress,
+            &acceptor_));
       }
     } catch (...) {
       shutdown();
@@ -957,12 +959,18 @@ class TcpTransport final : public Transport {
     acceptor_.close_all();
   }
 
-  TransportStats stats() const override { return stats_; }
+  TransportStats stats() const override {
+    TransportStats total;
+    for (const TransportStats& slot : endpoint_stats_) total += slot;
+    return total;
+  }
 
  private:
   Acceptor acceptor_;
+  // One slot per endpoint (each writes only its own; stable addresses,
+  // never resized) so concurrent fleet jobs never race on a counter.
+  std::vector<TransportStats> endpoint_stats_;
   std::vector<std::unique_ptr<TcpEndpoint>> endpoints_;
-  TransportStats stats_;
 };
 
 }  // namespace

@@ -142,14 +142,19 @@ class ThreadTransport final : public Transport {
   ThreadTransport(int workers, std::size_t inbox_capacity,
                   const ExecutorOptions& options,
                   std::chrono::steady_clock::time_point run_begin,
-                  BufferPool* pool) {
+                  BufferPool* pool)
+      : endpoint_stats_(static_cast<std::size_t>(workers)) {
     workers_.reserve(static_cast<std::size_t>(workers));
     endpoints_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i) {
       workers_.push_back(std::make_unique<ThreadWorker>(
           make_worker_context(options, i, run_begin), inbox_capacity, pool));
-      endpoints_.push_back(
-          std::make_unique<ThreadEndpoint>(workers_.back().get(), &stats_));
+      // One stats slot per endpoint: each endpoint writes only its own
+      // counters, so concurrent master loops over disjoint endpoint
+      // sets (fleet mode) never race here; stats() sums at quiescence.
+      endpoints_.push_back(std::make_unique<ThreadEndpoint>(
+          workers_.back().get(),
+          &endpoint_stats_[static_cast<std::size_t>(i)]));
     }
     for (auto& worker : workers_) worker->start();
   }
@@ -178,12 +183,18 @@ class ThreadTransport final : public Transport {
     }
   }
 
-  TransportStats stats() const override { return stats_; }
+  TransportStats stats() const override {
+    TransportStats total;
+    for (const TransportStats& slot : endpoint_stats_) total += slot;
+    return total;
+  }
 
  private:
+  // Declared before the endpoints that point into it; never resized
+  // after construction, so the slot addresses stay stable.
+  std::vector<TransportStats> endpoint_stats_;
   std::vector<std::unique_ptr<ThreadWorker>> workers_;
   std::vector<std::unique_ptr<ThreadEndpoint>> endpoints_;
-  TransportStats stats_;
 };
 
 }  // namespace

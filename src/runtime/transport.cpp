@@ -32,6 +32,21 @@ std::optional<TransportKind> parse_transport_kind(const std::string& name) {
   return std::nullopt;
 }
 
+TransportStats& TransportStats::operator+=(const TransportStats& other) {
+  messages_sent += other.messages_sent;
+  messages_received += other.messages_received;
+  bytes_sent += other.bytes_sent;
+  bytes_received += other.bytes_received;
+  serde_seconds += other.serde_seconds;
+  bytes_zero_copied += other.bytes_zero_copied;
+  arena_slots += other.arena_slots;
+  arena_peak_slots += other.arena_peak_slots;
+  arena_leaked_slots += other.arena_leaked_slots;
+  frames_compressed += other.frames_compressed;
+  bytes_saved_by_compression += other.bytes_saved_by_compression;
+  return *this;
+}
+
 Payload Endpoint::allocate_payload(std::size_t size, BufferPool& pool) {
   return Payload(pool.acquire(size));
 }

@@ -85,6 +85,13 @@ struct TransportStats {
   /// incompressible traffic leaves both counters at 0.
   std::size_t frames_compressed = 0;
   std::size_t bytes_saved_by_compression = 0;
+
+  /// Field-wise accumulation. Transports keep one stats slot PER
+  /// endpoint (each endpoint writes only its own, so two master loops
+  /// driving disjoint endpoint sets -- concurrent jobs on a shared
+  /// fleet -- never race on a counter) and sum the slots here. Only
+  /// meaningful at a quiescent point: after shutdown, or between jobs.
+  TransportStats& operator+=(const TransportStats& other);
 };
 
 /// The master's handle to ONE worker's data plane.

@@ -1,0 +1,70 @@
+#include "service/client.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "runtime/socket_util.hpp"
+#include "service/wire.hpp"
+
+namespace hmxp::service {
+
+TcpClient::TcpClient(std::uint16_t port, std::size_t max_payload_doubles)
+    : max_response_bytes_(wire::max_frame_bytes_for(max_payload_doubles)) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) throw std::runtime_error("service client: socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("service client: connect failed (port " +
+                             std::to_string(port) + ")");
+  }
+  bool ok = false;
+  try {
+    ok = wire::client_handshake(fd_);
+  } catch (...) {
+    ::close(fd_);
+    fd_ = -1;
+    throw;
+  }
+  if (!ok) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error(
+        "service client: daemon refused the handshake (protocol version "
+        "mismatch?)");
+  }
+}
+
+TcpClient::~TcpClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+JobResult TcpClient::run(const JobSpec& spec) {
+  if (fd_ < 0) throw std::runtime_error("service client: not connected");
+  wire::ByteBuffer frame(sizeof(std::uint64_t), 0);
+  wire::encode_job_spec(spec, frame);
+  const auto length =
+      static_cast<std::uint64_t>(frame.size() - sizeof(std::uint64_t));
+  std::memcpy(frame.data(), &length, sizeof(length));
+  runtime::write_exact(fd_, frame.data(), frame.size());
+
+  std::vector<std::uint8_t> body;
+  if (!runtime::read_frame(fd_, body, max_response_bytes_))
+    throw std::runtime_error(
+        "service client: daemon closed before responding");
+  std::optional<JobResult> result = wire::decode_job_result(body);
+  if (!result.has_value())
+    throw std::runtime_error("service client: malformed response frame");
+  return std::move(*result);
+}
+
+}  // namespace hmxp::service

@@ -1,0 +1,56 @@
+// Client surfaces of the multi-job service. Two ways in, one contract:
+//
+//  * Client -- in-process: wraps a Daemon reference directly. Submit
+//    returns a job id immediately; wait blocks for the result. Many
+//    Client instances (one per application thread) share one daemon.
+//  * TcpClient -- remote: dials the daemon's loopback TCP front-end,
+//    performs the versioned handshake, and runs jobs synchronously
+//    over the wire (one in flight per connection; open several
+//    connections for concurrency, exactly like the tests do).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "service/daemon.hpp"
+#include "service/job.hpp"
+
+namespace hmxp::service {
+
+class Client {
+ public:
+  explicit Client(Daemon& daemon) : daemon_(&daemon) {}
+
+  /// Submits and returns the job id (possibly already terminal when
+  /// admission rejected the spec -- wait() reports the reason).
+  std::uint64_t submit(const JobSpec& spec) { return daemon_->submit(spec); }
+  /// Blocks until terminal; consumes the result.
+  JobResult wait(std::uint64_t job_id) { return daemon_->wait(job_id); }
+  /// Submit + wait in one call.
+  JobResult run(const JobSpec& spec) { return wait(submit(spec)); }
+
+ private:
+  Daemon* daemon_;
+};
+
+class TcpClient {
+ public:
+  /// Connects to the daemon's TCP front-end on loopback and performs
+  /// the handshake. Throws std::runtime_error when the daemon is
+  /// unreachable or speaks an incompatible protocol version.
+  TcpClient(std::uint16_t port, std::size_t max_payload_doubles);
+  ~TcpClient();
+  TcpClient(const TcpClient&) = delete;
+  TcpClient& operator=(const TcpClient&) = delete;
+
+  /// Runs one job synchronously over the connection: ships the spec,
+  /// blocks for the result frame (the product matrix rides inline).
+  /// Throws on transport errors or a malformed response.
+  JobResult run(const JobSpec& spec);
+
+ private:
+  int fd_ = -1;
+  std::uint64_t max_response_bytes_ = 0;
+};
+
+}  // namespace hmxp::service

@@ -1,0 +1,21 @@
+#include "service/job.hpp"
+
+namespace hmxp::service {
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued:
+      return "queued";
+    case JobState::kRunning:
+      return "running";
+    case JobState::kCompleted:
+      return "completed";
+    case JobState::kFailed:
+      return "failed";
+    case JobState::kRejected:
+      return "rejected";
+  }
+  return "unknown";
+}
+
+}  // namespace hmxp::service

@@ -1,0 +1,71 @@
+// The unit of work the multi-job service queues: one C += A * B
+// product, fully described by value. A job names its geometry and data
+// seed instead of carrying matrices -- operands are regenerated
+// deterministically on the daemon side (core::generate_operands), so a
+// service job and a standalone run of the same (partition, seed) pair
+// compute over bit-identical inputs, and the submit path stays cheap
+// enough to price at admission time.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "matrix/matrix.hpp"
+#include "runtime/buffer_pool.hpp"
+
+namespace hmxp::service {
+
+struct JobSpec {
+  /// Scheduling policy. MUST be fault-tolerant (an FT-* registry name):
+  /// a fleet job starts with zero workers and acquires them through
+  /// leases, which only an FT policy's hot-join machinery understands.
+  /// Admission rejects anything else.
+  std::string algorithm = "FT-ODDOML";
+  std::size_t n_a = 0;   // element rows of A and C
+  std::size_t n_ab = 0;  // inner element dimension
+  std::size_t n_b = 0;   // element cols of B and C
+  std::size_t q = 80;    // block side
+  std::uint64_t data_seed = 42;
+  /// Fair-share weight: a weight-2 job targets twice the workers of a
+  /// weight-1 job running beside it. Must be positive.
+  double weight = 1.0;
+  /// Verify C against a reference product inside the job (costly).
+  bool verify = false;
+};
+
+enum class JobState : std::uint8_t {
+  kQueued = 0,
+  kRunning = 1,
+  kCompleted = 2,
+  kFailed = 3,    // started but did not finish (worker loss beyond FT, ...)
+  kRejected = 4,  // never queued: admission refused it (see error)
+};
+
+const char* job_state_name(JobState state);
+
+struct JobResult {
+  JobState state = JobState::kQueued;
+  /// Rejection or failure reason; empty on completion.
+  std::string error;
+  /// The product: C_initial + A * B. Empty unless state == kCompleted.
+  matrix::Matrix c;
+  double wall_seconds = 0.0;
+  std::size_t chunks_processed = 0;
+  std::size_t updates_performed = 0;
+  /// Distinct workers that ever held this job's lease.
+  int workers_used = 0;
+  /// Workers that really died while this job held them.
+  int workers_failed = 0;
+  bool verified = false;
+  double max_abs_error = 0.0;
+  /// Admission's throughput estimate for this job (block updates per
+  /// second at the fleet's current calibration), for telemetry.
+  double priced_throughput = 0.0;
+  /// This job's slice of the fleet's buffer-pool activity (counters are
+  /// differences; a warm-fleet job allocates only when it pushes the
+  /// in-flight buffer population past every earlier job's peak).
+  runtime::BufferPool::Stats pool_delta;
+};
+
+}  // namespace hmxp::service

@@ -1,0 +1,171 @@
+#include "service/wire.hpp"
+
+#include <cstring>
+
+#include "runtime/serde.hpp"
+#include "runtime/socket_util.hpp"
+
+namespace hmxp::service::wire {
+
+namespace {
+
+constexpr std::size_t kMaxStringBytes = 4096;
+
+template <typename T>
+void append_raw(const T& value, ByteBuffer& out) {
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(&value);
+  out.insert(out.end(), bytes, bytes + sizeof(T));
+}
+
+void append_string(const std::string& text, ByteBuffer& out) {
+  append_raw(static_cast<std::uint32_t>(text.size()), out);
+  out.insert(out.end(), text.begin(), text.end());
+}
+
+/// Bounds-checked sequential reader over one frame body.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t offset = 0;
+  bool failed = false;
+
+  template <typename T>
+  T read() {
+    T value{};
+    if (failed || size - offset < sizeof(T)) {
+      failed = true;
+      return value;
+    }
+    std::memcpy(&value, data + offset, sizeof(T));
+    offset += sizeof(T);
+    return value;
+  }
+
+  std::string read_string() {
+    const auto length = read<std::uint32_t>();
+    if (failed || length > kMaxStringBytes || size - offset < length) {
+      failed = true;
+      return {};
+    }
+    std::string text(reinterpret_cast<const char*>(data + offset), length);
+    offset += length;
+    return text;
+  }
+
+  bool done() const { return !failed && offset == size; }
+};
+
+}  // namespace
+
+std::uint64_t max_frame_bytes_for(std::size_t max_payload_doubles) {
+  return static_cast<std::uint64_t>(max_payload_doubles) * sizeof(double) +
+         2 * kMaxStringBytes + 1024;
+}
+
+void encode_job_spec(const JobSpec& spec, ByteBuffer& out) {
+  append_string(spec.algorithm, out);
+  append_raw(static_cast<std::uint64_t>(spec.n_a), out);
+  append_raw(static_cast<std::uint64_t>(spec.n_ab), out);
+  append_raw(static_cast<std::uint64_t>(spec.n_b), out);
+  append_raw(static_cast<std::uint64_t>(spec.q), out);
+  append_raw(spec.data_seed, out);
+  append_raw(spec.weight, out);
+  append_raw(static_cast<std::uint8_t>(spec.verify ? 1 : 0), out);
+}
+
+std::optional<JobSpec> decode_job_spec(const ByteBuffer& body) {
+  Reader reader{body.data(), body.size()};
+  JobSpec spec;
+  spec.algorithm = reader.read_string();
+  spec.n_a = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  spec.n_ab = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  spec.n_b = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  spec.q = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  spec.data_seed = reader.read<std::uint64_t>();
+  spec.weight = reader.read<double>();
+  spec.verify = reader.read<std::uint8_t>() != 0;
+  if (!reader.done()) return std::nullopt;
+  return spec;
+}
+
+void encode_job_result(const JobResult& result, ByteBuffer& out) {
+  append_raw(static_cast<std::uint8_t>(result.state), out);
+  append_string(result.error, out);
+  append_raw(result.wall_seconds, out);
+  append_raw(static_cast<std::uint64_t>(result.chunks_processed), out);
+  append_raw(static_cast<std::uint64_t>(result.updates_performed), out);
+  append_raw(static_cast<std::int32_t>(result.workers_used), out);
+  append_raw(static_cast<std::int32_t>(result.workers_failed), out);
+  append_raw(static_cast<std::uint8_t>(result.verified ? 1 : 0), out);
+  append_raw(result.max_abs_error, out);
+  append_raw(result.priced_throughput, out);
+  append_raw(static_cast<std::uint64_t>(result.c.rows()), out);
+  append_raw(static_cast<std::uint64_t>(result.c.cols()), out);
+  const auto* bytes = reinterpret_cast<const std::uint8_t*>(result.c.data());
+  out.insert(out.end(), bytes,
+             bytes + result.c.size() * sizeof(double));
+}
+
+std::optional<JobResult> decode_job_result(const ByteBuffer& body) {
+  Reader reader{body.data(), body.size()};
+  JobResult result;
+  result.state = static_cast<JobState>(reader.read<std::uint8_t>());
+  result.error = reader.read_string();
+  result.wall_seconds = reader.read<double>();
+  result.chunks_processed =
+      static_cast<std::size_t>(reader.read<std::uint64_t>());
+  result.updates_performed =
+      static_cast<std::size_t>(reader.read<std::uint64_t>());
+  result.workers_used = reader.read<std::int32_t>();
+  result.workers_failed = reader.read<std::int32_t>();
+  result.verified = reader.read<std::uint8_t>() != 0;
+  result.max_abs_error = reader.read<double>();
+  result.priced_throughput = reader.read<double>();
+  const auto rows = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  const auto cols = static_cast<std::size_t>(reader.read<std::uint64_t>());
+  if (reader.failed) return std::nullopt;
+  const std::size_t doubles = rows * cols;
+  if (cols != 0 && doubles / cols != rows) return std::nullopt;  // overflow
+  if (reader.size - reader.offset != doubles * sizeof(double))
+    return std::nullopt;
+  if (doubles > 0) {
+    result.c = matrix::Matrix(rows, cols, 0.0);
+    std::memcpy(result.c.data(), reader.data + reader.offset,
+                doubles * sizeof(double));
+  }
+  return result;
+}
+
+bool client_handshake(int fd) {
+  std::uint8_t hello[8];
+  std::memcpy(hello, &runtime::serde::kProtocolMagic, 4);
+  std::memcpy(hello + 4, &kServiceVersion, 4);
+  runtime::write_exact(fd, hello, sizeof(hello));
+  std::uint8_t reply[9];
+  if (!runtime::read_exact(fd, reply, sizeof(reply), /*start=*/true))
+    return false;
+  std::uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, reply, 4);
+  std::memcpy(&version, reply + 4, 4);
+  return magic == runtime::serde::kProtocolMagic &&
+         version == kServiceVersion && reply[8] == 1;
+}
+
+bool server_handshake(int fd) {
+  std::uint8_t hello[8];
+  if (!runtime::read_exact(fd, hello, sizeof(hello), /*start=*/true))
+    return false;
+  std::uint32_t magic = 0, version = 0;
+  std::memcpy(&magic, hello, 4);
+  std::memcpy(&version, hello + 4, 4);
+  const bool ok =
+      magic == runtime::serde::kProtocolMagic && version == kServiceVersion;
+  std::uint8_t reply[9];
+  std::memcpy(reply, &runtime::serde::kProtocolMagic, 4);
+  std::memcpy(reply + 4, &kServiceVersion, 4);
+  reply[8] = ok ? 1 : 0;
+  runtime::write_exact(fd, reply, sizeof(reply));
+  return ok;
+}
+
+}  // namespace hmxp::service::wire

@@ -1,0 +1,61 @@
+// Wire protocol of the service's TCP front-end: how a CLIENT talks to
+// the daemon (distinct from the worker data plane, which has its own
+// protocol in runtime/serde.hpp -- a client submits jobs, a worker
+// moves blocks).
+//
+// Framing reuses the runtime's discipline wholesale: a [u32 magic]
+// [u32 version] handshake first (serde's magic, a service-local
+// version), then length-prefixed frames whose declared length is
+// validated against a ceiling BEFORE any allocation (socket_util::
+// read_frame). Integers and doubles are host-endian raw bytes, same
+// single-machine assumption as the worker protocol.
+//
+//   client -> server  [u32 magic][u32 version]
+//   server -> client  [u32 magic][u32 version][u8 ok]   (ok=0: refused)
+//   then, repeated:
+//   client -> server  [u64 len][JobSpec]
+//   server -> client  [u64 len][JobResult]               (C inline)
+//   until the client closes (EOF at a frame boundary = clean goodbye).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "service/job.hpp"
+
+namespace hmxp::service::wire {
+
+/// Bump on ANY wire-visible change to the job frames below; a
+/// mismatched client gets one clean refusal naming the mismatch
+/// instead of misparsing frames (same contract as the worker serde).
+inline constexpr std::uint32_t kServiceVersion = 1;
+
+using ByteBuffer = std::vector<std::uint8_t>;
+
+/// The largest legitimate response frame when the daemon's payload
+/// ceiling is `max_payload_doubles`: the product matrix inline plus
+/// generous header/string slack.
+std::uint64_t max_frame_bytes_for(std::size_t max_payload_doubles);
+
+/// Request frames are spec-only (no matrix data ever travels
+/// client->server), so a tight constant bounds them.
+inline constexpr std::uint64_t kMaxRequestBytes = 64 * 1024;
+
+void encode_job_spec(const JobSpec& spec, ByteBuffer& out);
+void encode_job_result(const JobResult& result, ByteBuffer& out);
+
+/// Strict decoders: nullopt on ANY anomaly (short body, trailing
+/// bytes, oversized string) -- a malformed frame fails the session,
+/// it is never "partially" applied. Note: pool_delta does not travel;
+/// it decodes zeroed (clients read it from in-process results only).
+std::optional<JobSpec> decode_job_spec(const ByteBuffer& body);
+std::optional<JobResult> decode_job_result(const ByteBuffer& body);
+
+/// Blocking handshake halves over a connected socket. Each returns
+/// false when the peer is incompatible (and, server-side, after
+/// sending the refusal); they throw only on transport errors.
+bool client_handshake(int fd);
+bool server_handshake(int fd);
+
+}  // namespace hmxp::service::wire

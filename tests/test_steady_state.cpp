@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "model/steady_state.hpp"
 #include "util/rng.hpp"
@@ -135,11 +136,99 @@ TEST(SteadyState, ThroughputUpperBoundIsSumOfComputeRates) {
 
 TEST(SteadyState, RejectsInvalidWorkers) {
   EXPECT_THROW(solve_bandwidth_centric({}), std::invalid_argument);
-  EXPECT_THROW(solve_bandwidth_centric({SteadyWorker{0.0, 1.0, 2}}),
+  EXPECT_THROW(solve_bandwidth_centric({SteadyWorker{-1.0, 1.0, 2}}),
                std::invalid_argument);
   EXPECT_THROW(solve_bandwidth_centric({SteadyWorker{1.0, -1.0, 2}}),
                std::invalid_argument);
+  EXPECT_THROW(solve_bandwidth_centric({SteadyWorker{1.0, 0.0, 2}}),
+               std::invalid_argument);
   EXPECT_THROW(table2_platform(0.0), std::invalid_argument);
+  // The simplex path keeps the STRICT contract: its tableau cannot take
+  // the degenerate inputs the greedy now absorbs for admission control.
+  EXPECT_THROW(solve_lp({SteadyWorker{0.0, 1.0, 2}}), std::invalid_argument);
+  EXPECT_THROW(solve_lp({SteadyWorker{1.0, 1.0, 0}}), std::invalid_argument);
+}
+
+// ---- degenerate inputs ------------------------------------------------------
+//
+// The admission controller prices platforms AS FOUND: dead workers show
+// up as mu = 0, a zero-bandwidth link as c = +infinity, an unmetered
+// local link as c = 0. The greedy path must absorb all of them and
+// report the platform's honest capacity instead of crashing.
+
+TEST(SteadyState, SingleWorkerDegenerateForms) {
+  // A lone healthy worker still prices normally...
+  EXPECT_NEAR(steady_state_throughput({SteadyWorker{0.01, 1.0, 4}}), 1.0,
+              1e-12);
+  // ...a lone memoryless worker contributes nothing...
+  EXPECT_EQ(steady_state_throughput({SteadyWorker{0.01, 1.0, 0}}), 0.0);
+  // ...and a lone unreachable worker likewise.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(steady_state_throughput({SteadyWorker{inf, 1.0, 4}}), 0.0);
+}
+
+TEST(SteadyState, ZeroBandwidthLinkIsPricedOut) {
+  // Worker 1 is behind a dead link (c = +inf): it never enrolls, takes
+  // no port share, and the platform's throughput is worker 0's alone.
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<SteadyWorker> workers = {SteadyWorker{0.01, 1.0, 4},
+                                             SteadyWorker{inf, 0.5, 4}};
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_NEAR(solution.throughput, 1.0, 1e-12);
+  EXPECT_EQ(solution.x[1], 0.0);
+  EXPECT_EQ(solution.y[1], 0.0);
+  EXPECT_EQ(solution.port_share[1], 0.0);
+  EXPECT_FALSE(solution.saturated[1]);
+}
+
+TEST(SteadyState, MemorylessWorkerIsPricedOut) {
+  // mu = 0 is how admission marks a dead (unleasable) worker.
+  const std::vector<SteadyWorker> workers = {SteadyWorker{0.01, 1.0, 0},
+                                             SteadyWorker{0.01, 0.5, 4}};
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_EQ(solution.x[0], 0.0);
+  EXPECT_NEAR(solution.throughput, 2.0, 1e-12);
+  EXPECT_EQ(solution.enrolled_count(), 1u);
+}
+
+TEST(SteadyState, FreeLinkSaturatesWithoutPortShare) {
+  // c = 0: the worker costs no port time at all, so it saturates at
+  // 1/w and the WHOLE port remains for the paying worker.
+  const std::vector<SteadyWorker> workers = {SteadyWorker{0.0, 0.25, 4},
+                                             SteadyWorker{1.0, 0.001, 4}};
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_TRUE(solution.saturated[0]);
+  EXPECT_EQ(solution.port_share[0], 0.0);
+  EXPECT_NEAR(solution.port_share[1], 1.0, 1e-12);
+  EXPECT_NEAR(solution.throughput, 4.0 + 2.0, 1e-9);
+}
+
+TEST(SteadyState, AllDegenerateYieldsZeroThroughputNotACrash) {
+  const double inf = std::numeric_limits<double>::infinity();
+  const std::vector<SteadyWorker> workers = {SteadyWorker{inf, 1.0, 4},
+                                             SteadyWorker{0.01, 1.0, 0}};
+  const SteadyStateSolution solution = solve_bandwidth_centric(workers);
+  EXPECT_EQ(solution.throughput, 0.0);
+  EXPECT_EQ(solution.enrolled_count(), 0u);
+  EXPECT_EQ(steady_state_throughput(workers), 0.0);
+}
+
+TEST(SteadyState, BufferDemandSurvivesDegenerateInputs) {
+  const double inf = std::numeric_limits<double>::infinity();
+  // Excluded workers demand zero buffers; enrolled ones keep their
+  // normal demand even with degenerate neighbours in the list.
+  const std::vector<SteadyWorker> workers = {SteadyWorker{0.01, 1.0, 4},
+                                             SteadyWorker{inf, 1.0, 4},
+                                             SteadyWorker{0.01, 1.0, 0}};
+  const auto demand = steady_state_buffer_demand(workers);
+  ASSERT_EQ(demand.size(), workers.size());
+  EXPECT_GT(demand[0], 0.0);
+  EXPECT_EQ(demand[1], 0.0);
+  EXPECT_EQ(demand[2], 0.0);
+  // An all-degenerate platform demands nothing anywhere.
+  for (const double d : steady_state_buffer_demand(
+           {SteadyWorker{inf, 1.0, 4}, SteadyWorker{0.01, 1.0, 0}}))
+    EXPECT_EQ(d, 0.0);
 }
 
 }  // namespace
